@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper: it times
+the underlying algorithm runs with ``pytest-benchmark`` and writes the
+regenerated table (the same rows/columns the paper reports) to
+``benchmarks/output/`` so the reproduction can be inspected and diffed
+against the published version.  Absolute numbers differ (the datasets are
+synthetic stand-ins, see DESIGN.md §2); the assertions in each module check
+that the *shape* of the published result holds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["output_directory", "write_report"]
+
+#: Directory the regenerated tables are written to.
+OUTPUT_DIRECTORY = Path(__file__).resolve().parent / "output"
+
+
+def output_directory() -> Path:
+    """Return (and create) the directory for regenerated tables."""
+    OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIRECTORY
+
+
+def write_report(name: str, content: str) -> Path:
+    """Write one regenerated table/figure report and return its path."""
+    path = output_directory() / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,86 @@
+"""Ablation — how much do the personalized algorithms agree with each other?
+
+The demo's algorithm-comparison use case is qualitative (side-by-side top-5
+columns); this ablation condenses it into pairwise agreement matrices over
+all personalized algorithms — the seven of the paper plus the extension
+algorithms registered on top (approximate PPR, rooted HITS, personalized
+Katz) — for the paper's reference nodes.
+
+Expected shape (asserted): the walk-based family (Personalized PageRank, its
+push and Monte-Carlo approximations, personalized Katz) clusters together,
+while CycleRank sits apart from Personalized PageRank — the disagreement
+Tables I and II illustrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.agreement import agreement_matrix
+
+from _harness import write_report
+
+#: Personalized algorithms compared, with per-algorithm parameters chosen to
+#: match the paper's Table I settings where applicable.
+ALGORITHMS = {
+    "Cyclerank": ("cyclerank", {"k": 3, "sigma": "exp"}),
+    "Pers. PageRank": ("personalized-pagerank", {"alpha": 0.85}),
+    "PPR (push)": ("ppr-push", {"alpha": 0.85, "epsilon": 1e-8}),
+    "PPR (Monte Carlo)": ("ppr-montecarlo", {"alpha": 0.85, "num_walks": 20000}),
+    "Pers. CheiRank": ("personalized-cheirank", {"alpha": 0.85}),
+    "Pers. 2DRank": ("personalized-2drank", {"alpha": 0.85}),
+    "Pers. HITS": ("personalized-hits", {"alpha": 0.85}),
+    "Pers. Katz": ("personalized-katz", {"beta": 0.01}),
+}
+
+REFERENCES = ("Freddie Mercury", "Pasta")
+
+
+def _rankings_for(graph, reference):
+    rankings = {}
+    for display_name, (registry_name, parameters) in ALGORITHMS.items():
+        algorithm = get_algorithm(registry_name)
+        rankings[display_name] = algorithm.run(graph, source=reference, parameters=parameters)
+    return rankings
+
+
+@pytest.mark.benchmark(group="ablation-agreement")
+@pytest.mark.parametrize("reference", REFERENCES)
+def test_bench_agreement_matrix(benchmark, enwiki_2018, reference):
+    """Time running all personalized algorithms + building the agreement matrix."""
+
+    def run():
+        return agreement_matrix(_rankings_for(enwiki_2018, reference), measure="overlap", k=10)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The exact solver and its push approximation must be nearly interchangeable.
+    assert matrix.value("Pers. PageRank", "PPR (push)") >= 0.8
+    # CycleRank must disagree with PPR more than the PPR approximations do.
+    assert matrix.value("Cyclerank", "Pers. PageRank") < matrix.value(
+        "PPR (push)", "Pers. PageRank"
+    )
+
+
+@pytest.mark.benchmark(group="ablation-agreement")
+def test_regenerate_agreement_report(benchmark, enwiki_2018):
+    """Write the agreement matrices for both Table-I references."""
+
+    def build_report() -> str:
+        sections = []
+        for reference in REFERENCES:
+            matrix = agreement_matrix(
+                _rankings_for(enwiki_2018, reference), measure="overlap", k=10
+            )
+            sections.append(f"Reference {reference!r}\n{'-' * 40}\n{matrix.to_text()}")
+            best = matrix.most_similar_pair()
+            worst = matrix.least_similar_pair()
+            sections.append(
+                f"most similar pair:  {best[0]} / {best[1]} ({best[2]:.2f})\n"
+                f"least similar pair: {worst[0]} / {worst[1]} ({worst[2]:.2f})"
+            )
+        return "\n\n".join(sections)
+
+    content = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report = write_report("ablation_agreement.txt", content)
+    assert report.exists()

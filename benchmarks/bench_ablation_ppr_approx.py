@@ -1,0 +1,106 @@
+"""Ablation — exact Personalized PageRank vs its two approximations.
+
+The demo answers personalized queries interactively, so it matters how much
+accuracy the cheaper PPR solvers give up.  This ablation compares the exact
+power-iteration solver with the forward-push solver (at several epsilon) and
+the Monte-Carlo estimator (at several walk counts) on the synthetic enwiki
+snapshot, reporting runtime and precision@10 against the exact top-10.
+
+Expected shape: push at epsilon<=1e-8 and Monte Carlo at >=50k walks recover
+(almost) the exact top-10 while being competitive in runtime; coarser
+settings trade precision for speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.ppr_montecarlo import ppr_montecarlo
+from repro.algorithms.ppr_push import ppr_push
+from repro.ranking.metrics import precision_at_k
+
+from _harness import write_report
+
+REFERENCE = "Pasta"
+ALPHA = 0.5
+EPSILONS = (1e-4, 1e-6, 1e-8)
+WALK_COUNTS = (1_000, 10_000, 50_000)
+
+
+@pytest.fixture(scope="module")
+def exact_top10(enwiki_2018):
+    return personalized_pagerank(enwiki_2018, REFERENCE, alpha=ALPHA).top_labels(10)
+
+
+@pytest.mark.benchmark(group="ablation-ppr-approx")
+def test_bench_exact_ppr(benchmark, enwiki_2018):
+    """Time the exact power-iteration PPR (the accuracy reference)."""
+    ranking = benchmark(personalized_pagerank, enwiki_2018, REFERENCE, alpha=ALPHA)
+    assert ranking.top_labels(1) == [REFERENCE]
+
+
+@pytest.mark.benchmark(group="ablation-ppr-approx")
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_bench_push_ppr(benchmark, enwiki_2018, exact_top10, epsilon):
+    """Time the forward-push solver at several accuracy settings."""
+    ranking = benchmark(ppr_push, enwiki_2018, REFERENCE, alpha=ALPHA, epsilon=epsilon)
+    if epsilon <= 1e-8:
+        assert precision_at_k(ranking, exact_top10, 10) >= 0.8
+
+
+@pytest.mark.benchmark(group="ablation-ppr-approx")
+@pytest.mark.parametrize("num_walks", WALK_COUNTS)
+def test_bench_montecarlo_ppr(benchmark, enwiki_2018, exact_top10, num_walks):
+    """Time the Monte-Carlo estimator at several walk counts."""
+    ranking = benchmark.pedantic(
+        ppr_montecarlo,
+        args=(enwiki_2018, REFERENCE),
+        kwargs={"alpha": ALPHA, "num_walks": num_walks, "seed": 1},
+        rounds=2,
+        iterations=1,
+    )
+    if num_walks >= 50_000:
+        assert precision_at_k(ranking, exact_top10, 10) >= 0.7
+
+
+@pytest.mark.benchmark(group="ablation-ppr-approx-report")
+def test_regenerate_ppr_approx_report(benchmark, enwiki_2018, exact_top10):
+    """Write the accuracy/runtime trade-off table to benchmarks/output/."""
+
+    def build_report() -> str:
+        lines = [
+            "Exact vs approximate Personalized PageRank "
+            f"(reference {REFERENCE!r}, alpha={ALPHA})",
+            "=" * 70,
+            f"{'solver':>28}  {'runtime (s)':>12}  {'precision@10':>13}",
+        ]
+        started = time.perf_counter()
+        personalized_pagerank(enwiki_2018, REFERENCE, alpha=ALPHA)
+        lines.append(f"{'exact power iteration':>28}  {time.perf_counter() - started:>12.4f}  "
+                     f"{1.0:>13.2f}")
+        for epsilon in EPSILONS:
+            started = time.perf_counter()
+            ranking = ppr_push(enwiki_2018, REFERENCE, alpha=ALPHA, epsilon=epsilon)
+            elapsed = time.perf_counter() - started
+            precision = precision_at_k(ranking, exact_top10, 10)
+            lines.append(
+                f"{f'forward push (eps={epsilon:g})':>28}  {elapsed:>12.4f}  {precision:>13.2f}"
+            )
+        for num_walks in WALK_COUNTS:
+            started = time.perf_counter()
+            ranking = ppr_montecarlo(
+                enwiki_2018, REFERENCE, alpha=ALPHA, num_walks=num_walks, seed=1
+            )
+            elapsed = time.perf_counter() - started
+            precision = precision_at_k(ranking, exact_top10, 10)
+            lines.append(
+                f"{f'Monte Carlo ({num_walks} walks)':>28}  {elapsed:>12.4f}  {precision:>13.2f}"
+            )
+        return "\n".join(lines)
+
+    content = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report = write_report("ablation_ppr_approx.txt", content)
+    assert report.exists()

@@ -1,0 +1,80 @@
+"""Ablation — runtime scaling of every algorithm with graph size.
+
+The demo's interactivity rests on the algorithms answering quickly on graphs
+of growing size.  This ablation times all seven paper algorithms on
+preferential-attachment graphs of increasing size (the same heavy-tailed
+in-degree shape as the wikilink and co-purchase graphs) and records the
+runtimes, exposing the expected ordering: CycleRank with small K and the
+push-based PPR are local and fast, the power-iteration family scales with
+the edge count, and 2DRank costs roughly two power iterations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.graph.generators import preferential_attachment_graph
+
+from _harness import write_report
+
+GRAPH_SIZES = (300, 1000, 3000)
+#: Reference node: the first node of the seed clique is present in every size.
+REFERENCE_NODE = "0"
+
+
+@pytest.fixture(scope="module")
+def scaling_graphs():
+    """Preferential-attachment graphs of growing size, labelled by node id."""
+    graphs = {}
+    for size in GRAPH_SIZES:
+        graph = preferential_attachment_graph(size, 3, seed=7, name=f"pa-{size}")
+        for node in graph.nodes():
+            graph.set_label(node, str(node))
+        graphs[size] = graph
+    return graphs
+
+
+@pytest.mark.benchmark(group="ablation-scaling")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+@pytest.mark.parametrize("algorithm_name", list(PAPER_ALGORITHMS))
+def test_bench_algorithm_scaling(benchmark, scaling_graphs, algorithm_name, size):
+    """Time one (algorithm, graph size) cell of the scaling matrix."""
+    graph = scaling_graphs[size]
+    algorithm = get_algorithm(algorithm_name)
+    source = REFERENCE_NODE if algorithm.is_personalized else None
+    ranking = benchmark.pedantic(
+        algorithm.run, args=(graph,), kwargs={"source": source}, rounds=2, iterations=1
+    )
+    assert len(ranking) == graph.number_of_nodes()
+
+
+@pytest.mark.benchmark(group="ablation-scaling-report")
+def test_regenerate_scaling_report(benchmark, scaling_graphs):
+    """Write the full runtime matrix to benchmarks/output/ (single-shot timings)."""
+
+    def build_report() -> str:
+        header = f"{'algorithm':>24} " + " ".join(f"{f'n={size}':>12}" for size in GRAPH_SIZES)
+        lines = [
+            "Runtime (seconds, single run) of each algorithm vs graph size",
+            "(preferential-attachment graphs, out-degree 3)",
+            "=" * len(header),
+            header,
+        ]
+        for algorithm_name in PAPER_ALGORITHMS:
+            algorithm = get_algorithm(algorithm_name)
+            cells = []
+            for size in GRAPH_SIZES:
+                graph = scaling_graphs[size]
+                source = REFERENCE_NODE if algorithm.is_personalized else None
+                started = time.perf_counter()
+                algorithm.run(graph, source=source)
+                cells.append(f"{time.perf_counter() - started:>12.4f}")
+            lines.append(f"{algorithm.display_name:>24} " + " ".join(cells))
+        return "\n".join(lines)
+
+    content = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report = write_report("ablation_scaling.txt", content)
+    assert report.exists()

@@ -1,0 +1,72 @@
+"""Temporal dataset comparison — the same query across yearly snapshots.
+
+The paper's dataset-comparison section notes that "a similar analysis can
+also be performed by comparing snapshots of a graph at different points in
+time, another functionality available in the demo".  This benchmark runs
+CycleRank for "Freddie Mercury" on the four yearly snapshots of the English
+edition (2003, 2008, 2013, 2018), times the per-snapshot queries and the
+full comparison, and writes the snapshot table (with growth statistics and
+head stability) to ``benchmarks/output/dataset_snapshots.txt``.
+
+Expected shape: the graph grows monotonically across snapshots, the
+reference stays at rank 1 everywhere, and the head of the ranking is largely
+stable between consecutive snapshots (overlap@5 well above 0.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.cyclerank import cyclerank
+from repro.analysis.temporal import snapshot_comparison
+from repro.datasets.seeds import WIKIPEDIA_SNAPSHOTS
+from repro.datasets.wikipedia import generate_wikilink_graph
+
+from _harness import write_report
+
+REFERENCE = "Freddie Mercury"
+#: Oldest-to-newest order for the temporal comparison.
+SNAPSHOT_ORDER = tuple(reversed(WIKIPEDIA_SNAPSHOTS))
+
+
+@pytest.fixture(scope="module")
+def yearly_snapshots():
+    return {
+        snapshot: generate_wikilink_graph("en", snapshot) for snapshot in SNAPSHOT_ORDER
+    }
+
+
+@pytest.mark.benchmark(group="dataset-snapshots")
+@pytest.mark.parametrize("snapshot", SNAPSHOT_ORDER)
+def test_bench_cyclerank_per_snapshot(benchmark, yearly_snapshots, snapshot):
+    """Time the CycleRank query on each yearly snapshot."""
+    graph = yearly_snapshots[snapshot]
+    ranking = benchmark(cyclerank, graph, REFERENCE, max_cycle_length=3, scoring="exp")
+    assert ranking.top_labels(1) == [REFERENCE]
+
+
+@pytest.mark.benchmark(group="dataset-snapshots")
+def test_regenerate_snapshot_comparison(benchmark, yearly_snapshots):
+    """Run the full temporal comparison and write the report."""
+
+    def compare():
+        return snapshot_comparison(
+            yearly_snapshots, "cyclerank", source=REFERENCE,
+            parameters={"k": 3, "sigma": "exp"},
+        )
+
+    comparison = benchmark.pedantic(compare, rounds=1, iterations=1)
+    report = write_report(
+        "dataset_snapshots.txt",
+        "Temporal dataset comparison (reproduced): CycleRank (K=3, exp) for "
+        f"{REFERENCE!r} across enwiki snapshots\n" + "=" * 70 + "\n\n"
+        + comparison.to_text(5),
+    )
+    assert report.exists()
+
+    # Shape assertions: monotone growth and a largely stable head.
+    node_counts = [comparison.graph_sizes[s]["nodes"] for s in comparison.snapshots]
+    assert node_counts == sorted(node_counts)
+    stability = comparison.head_stability(5)
+    assert stability, "at least two snapshots must contain the reference"
+    assert all(value >= 0.4 for value in stability.values())

@@ -1,0 +1,117 @@
+"""Figure 2 — the task-builder interface (query sets and their permalinks).
+
+Figure 2 shows the task builder with a comparison id, one numbered row per
+query (dataset, algorithm, source, parameters), per-row removal and a
+clear-all control.  The benchmarks time query validation and query-set
+construction (the interactive operations behind the form) and write a
+rendered task-builder view — reproducing the figure's content — to
+``benchmarks/output/fig2_task_builder.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.platform.gateway import ApiGateway
+from repro.platform.tasks import TaskBuilder
+from repro.platform.webui import WebUI
+
+from _harness import write_report
+
+
+@pytest.fixture(scope="module")
+def bench_catalog(enwiki_2018):
+    catalog = DatasetCatalog()
+    catalog.register_graph("enwiki-2018", enwiki_2018, family="wikipedia",
+                           description="synthetic enwiki 2018-03-01")
+    return catalog
+
+
+#: The three rows shown in Figure 2 of the paper.
+FIGURE2_ROWS = [
+    ("enwiki-2018", "cyclerank", "Fake news", {"k": 3, "sigma": "exp"}),
+    ("enwiki-2018", "pagerank", None, {"alpha": 0.3}),
+    ("enwiki-2018", "personalized-pagerank", "Fake news", {"alpha": 0.3}),
+]
+
+
+@pytest.mark.benchmark(group="fig2-taskbuilder")
+def test_bench_query_validation(benchmark, bench_catalog):
+    """Time validating one query against the catalog and the algorithm spec."""
+    builder = TaskBuilder(bench_catalog)
+    query = benchmark(
+        builder.build_query,
+        "enwiki-2018",
+        "cyclerank",
+        source="Fake news",
+        parameters={"k": "3", "sigma": "exp"},
+    )
+    assert query.parameters["k"] == 3
+
+
+@pytest.mark.benchmark(group="fig2-taskbuilder")
+def test_bench_query_set_assembly(benchmark, bench_catalog):
+    """Time assembling the full Figure-2 query set (three rows)."""
+    builder = TaskBuilder(bench_catalog)
+
+    def assemble():
+        query_set = builder.new_query_set()
+        for dataset_id, algorithm, source, parameters in FIGURE2_ROWS:
+            query_set.add(
+                builder.build_query(dataset_id, algorithm, source=source, parameters=parameters)
+            )
+        return query_set
+
+    query_set = benchmark(assemble)
+    assert len(query_set) == len(FIGURE2_ROWS)
+
+
+@pytest.mark.benchmark(group="fig2-taskbuilder")
+def test_bench_query_set_mutation(benchmark, bench_catalog):
+    """Time the interactive mutations: add rows, remove one, clear all."""
+    builder = TaskBuilder(bench_catalog)
+    prototype = [
+        builder.build_query(dataset_id, algorithm, source=source, parameters=parameters)
+        for dataset_id, algorithm, source, parameters in FIGURE2_ROWS
+    ]
+
+    def mutate():
+        query_set = builder.new_query_set()
+        for query in prototype:
+            query_set.add(query)
+        query_set.remove(1)
+        removed_state = len(query_set)
+        query_set.clear()
+        return removed_state, len(query_set)
+
+    removed_state, cleared_state = benchmark(mutate)
+    assert removed_state == len(FIGURE2_ROWS) - 1
+    assert cleared_state == 0
+
+
+@pytest.mark.benchmark(group="fig2-taskbuilder")
+def test_regenerate_fig2_view(benchmark, bench_catalog):
+    """Render the task-builder view of Figure 2 and write it to benchmarks/output/."""
+    gateway = ApiGateway(catalog=bench_catalog, num_workers=1)
+    ui = WebUI(gateway)
+
+    def build_and_render() -> str:
+        query_set = gateway.new_query_set()
+        for dataset_id, algorithm, source, parameters in FIGURE2_ROWS:
+            gateway.add_query(query_set, dataset_id, algorithm,
+                              source=source, parameters=parameters)
+        return ui.render_task_builder(query_set)
+
+    try:
+        view = benchmark.pedantic(build_and_render, rounds=1, iterations=1)
+        report = write_report(
+            "fig2_task_builder.txt",
+            "Figure 2 (reproduced): task-builder view\n" + "=" * 70 + "\n\n" + view,
+        )
+        assert report.exists()
+        assert "Comparison id:" in view
+        assert "cyclerank" in view
+        assert "Fake news" in view
+    finally:
+        gateway.shutdown()

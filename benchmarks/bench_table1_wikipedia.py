@@ -1,0 +1,100 @@
+"""Table I — Top-5 by PageRank, CycleRank and Personalized PageRank on enwiki.
+
+Paper parameters: PageRank with alpha=0.85, CycleRank with K=3 and
+sigma=e^-n, Personalized PageRank with alpha=0.3; reference articles
+"Freddie Mercury" and "Pasta" on the English Wikipedia snapshot of
+2018-03-01.
+
+The benchmarks time each algorithm run on the synthetic snapshot; the module
+also writes the regenerated table to ``benchmarks/output/table1_wikipedia.txt``
+and asserts the published shape: the PageRank column is made of globally
+central articles, the CycleRank columns stay inside the reference's topical
+neighbourhood, and the PPR columns promote at least one node with a very
+high global in-degree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.datasets.seeds import WIKIPEDIA_GLOBAL_HUBS, WIKIPEDIA_TOPICS
+from repro.ranking.comparison import ComparisonTable
+
+from _harness import write_report
+
+REFERENCES = ("Freddie Mercury", "Pasta")
+PAGERANK_ALPHA = 0.85
+PPR_ALPHA = 0.3
+CYCLERANK_K = 3
+
+
+@pytest.mark.benchmark(group="table1-wikipedia")
+def test_bench_pagerank_enwiki(benchmark, enwiki_2018):
+    """Time the global PageRank column of Table I."""
+    ranking = benchmark(pagerank, enwiki_2018, alpha=PAGERANK_ALPHA)
+    assert set(ranking.top_labels(5)) <= set(WIKIPEDIA_GLOBAL_HUBS)
+
+
+@pytest.mark.benchmark(group="table1-wikipedia")
+@pytest.mark.parametrize("reference", REFERENCES)
+def test_bench_cyclerank_enwiki(benchmark, enwiki_2018, reference):
+    """Time the CycleRank columns of Table I (K=3, sigma=e^-n)."""
+    ranking = benchmark(
+        cyclerank, enwiki_2018, reference, max_cycle_length=CYCLERANK_K, scoring="exp"
+    )
+    assert ranking.top_labels(1) == [reference]
+    topical = set(WIKIPEDIA_TOPICS[reference].all_nodes())
+    assert set(ranking.top_labels(5, exclude=(reference,))) <= topical
+
+
+@pytest.mark.benchmark(group="table1-wikipedia")
+@pytest.mark.parametrize("reference", REFERENCES)
+def test_bench_personalized_pagerank_enwiki(benchmark, enwiki_2018, reference):
+    """Time the Personalized PageRank columns of Table I (alpha=0.3)."""
+    ranking = benchmark(personalized_pagerank, enwiki_2018, reference, alpha=PPR_ALPHA)
+    assert ranking.top_labels(1) == [reference]
+
+
+@pytest.mark.benchmark(group="table1-wikipedia")
+def test_regenerate_table1(benchmark, enwiki_2018):
+    """Regenerate Table I end-to-end and write it to benchmarks/output/."""
+
+    def build_table() -> ComparisonTable:
+        columns = {"PageRank": pagerank(enwiki_2018, alpha=PAGERANK_ALPHA)}
+        for reference in REFERENCES:
+            columns[f"Cyclerank [{reference}]"] = cyclerank(
+                enwiki_2018, reference, max_cycle_length=CYCLERANK_K, scoring="exp"
+            )
+            columns[f"Pers.PageRank [{reference}]"] = personalized_pagerank(
+                enwiki_2018, reference, alpha=PPR_ALPHA
+            )
+        return ComparisonTable.from_rankings(
+            columns,
+            k=5,
+            title=(
+                "Table I (reproduced): top-5 articles by PR (a=0.85), CR (K=3, exp) and "
+                "PPR (a=0.3) on the synthetic enwiki 2018-03-01 snapshot"
+            ),
+        )
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report = write_report("table1_wikipedia.txt", table.to_text(show_scores=False))
+    assert report.exists()
+
+    # Shape assertions mirroring the paper's discussion of Table I.
+    for reference in REFERENCES:
+        cyclerank_top = set(table.column(f"Cyclerank [{reference}]"))
+        ppr_top = set(table.column(f"Pers.PageRank [{reference}]"))
+        assert cyclerank_top != ppr_top
+        # PPR promotes at least one node outside the reference's core
+        # neighbourhood with a very high global in-degree.
+        core = set(WIKIPEDIA_TOPICS[reference].core) | {reference}
+        in_degrees = enwiki_2018.in_degrees()
+        median = sorted(in_degrees)[len(in_degrees) // 2]
+        promoted = [label for label in ppr_top if label not in core]
+        assert any(
+            enwiki_2018.in_degree(label) >= 5 * max(median, 1) for label in promoted
+        )

@@ -1,0 +1,40 @@
+"""Session fixtures shared by the benchmark suite.
+
+The full-size synthetic datasets are generated once per session (dataset
+generation is deliberately *not* part of the timed benchmark bodies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amazon import generate_amazon_graph
+from repro.datasets.twitter import generate_twitter_graph
+from repro.datasets.wikipedia import generate_wikilink_graph
+
+
+@pytest.fixture(scope="session")
+def enwiki_2018():
+    """The synthetic English Wikipedia snapshot used by Table I."""
+    return generate_wikilink_graph("en", "2018-03-01")
+
+
+@pytest.fixture(scope="session")
+def amazon_graph():
+    """The synthetic Amazon co-purchase graph used by Table II."""
+    return generate_amazon_graph()
+
+
+@pytest.fixture(scope="session")
+def twitter_cop27():
+    """The synthetic Twitter cop27 interaction network."""
+    return generate_twitter_graph("cop27")
+
+
+@pytest.fixture(scope="session")
+def language_editions():
+    """The six language editions of Table III, keyed by language code."""
+    return {
+        language: generate_wikilink_graph(language, "2018-03-01")
+        for language in ("de", "en", "fr", "it", "nl", "pl")
+    }

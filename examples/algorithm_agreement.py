@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""How much do the personalized relevance algorithms agree with each other?
+
+Runs every personalized algorithm in the registry — the paper's (CycleRank,
+Personalized PageRank, Personalized CheiRank, Personalized 2DRank) plus the
+extension algorithms added through the same plug-in interface (push and
+Monte-Carlo approximate PPR, rooted HITS, personalized Katz) — for one query
+on the synthetic English Wikipedia snapshot, and prints:
+
+* the side-by-side top-5 columns (the demo's algorithm-comparison view),
+* the pairwise overlap@10 agreement matrix,
+* the popularity-bias score of each algorithm's head.
+
+Run with::
+
+    python examples/algorithm_agreement.py [--reference "Freddie Mercury"]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.analysis import agreement_matrix, popularity_bias_report
+from repro.datasets import generate_wikilink_graph
+from repro.ranking.comparison import algorithm_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reference", default="Freddie Mercury", help="query article")
+    parser.add_argument("--top", type=int, default=5, help="rows in the comparison table")
+    arguments = parser.parse_args()
+
+    print("Generating the synthetic enwiki 2018-03-01 snapshot ...")
+    graph = generate_wikilink_graph("en", "2018-03-01")
+    print(f"  {graph}\n")
+
+    rankings = {}
+    for name in available_algorithms(personalized=True):
+        algorithm = get_algorithm(name)
+        rankings[algorithm.display_name] = algorithm.run(graph, source=arguments.reference)
+
+    table = algorithm_comparison(
+        rankings, k=arguments.top,
+        title=f"Top-{arguments.top} results of every personalized algorithm "
+              f"for {arguments.reference!r}",
+    )
+    print(table.to_text())
+    print()
+
+    matrix = agreement_matrix(rankings, measure="overlap", k=10)
+    print(matrix.to_text())
+    best = matrix.most_similar_pair()
+    worst = matrix.least_similar_pair()
+    print(f"\nMost similar pair:  {best[0]} / {best[1]} (overlap@10 = {best[2]:.2f})")
+    print(f"Least similar pair: {worst[0]} / {worst[1]} (overlap@10 = {worst[2]:.2f})")
+    print()
+
+    report = popularity_bias_report(rankings, graph, k=10)
+    print(report.to_text())
+    print()
+    print(
+        "The matrix shows the walk-based family clustering together while "
+        "CycleRank stands apart; the bias scores show why — its head avoids the "
+        "globally popular articles the other algorithms promote."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Algorithm comparison on the Amazon co-purchase graph (Table II of the paper).
+
+On the synthetic co-purchase graph, compare PageRank (alpha=0.85), CycleRank
+(K=5, sigma=e^-n) and Personalized PageRank (alpha=0.85) for the reference
+items "1984" and "The Fellowship of the Ring".  The point of the table: PPR
+recommends runaway bestsellers (the Harry Potter series) for a Tolkien query,
+CycleRank does not.
+
+Run with::
+
+    python examples/amazon_copurchase.py
+"""
+
+from __future__ import annotations
+
+from repro import algorithm_comparison, cyclerank, pagerank, personalized_pagerank
+from repro.datasets import generate_amazon_graph
+from repro.ranking.metrics import jaccard_at_k, rank_biased_overlap
+
+
+def main() -> None:
+    print("Generating the synthetic Amazon co-purchase graph ...")
+    graph = generate_amazon_graph()
+    print(f"  {graph}\n")
+
+    print("Global PageRank top-5 (bestsellers dominate):")
+    for entry in pagerank(graph, alpha=0.85).top(5):
+        print(f"  {entry.rank}. {entry.label}")
+    print()
+
+    for reference in ["1984", "The Fellowship of the Ring"]:
+        cycle_ranking = cyclerank(graph, reference, max_cycle_length=5, scoring="exp")
+        ppr_ranking = personalized_pagerank(graph, reference, alpha=0.85)
+        table = algorithm_comparison(
+            {"Cyclerank": cycle_ranking, "Personalized PageRank": ppr_ranking},
+            k=5,
+            title=f"Top-5 items for reference {reference!r}",
+        )
+        print(table.to_text())
+        agreement = jaccard_at_k(cycle_ranking, ppr_ranking, 5)
+        rbo = rank_biased_overlap(cycle_ranking, ppr_ranking, depth=20)
+        print(f"  top-5 Jaccard agreement: {agreement:.2f}   rank-biased overlap: {rbo:.2f}")
+        harry_potter_in_ppr = [
+            label for label in ppr_ranking.top_labels(8) if "Harry Potter" in label
+        ]
+        if harry_potter_in_ppr:
+            print(
+                f"  Personalized PageRank also surfaces {harry_potter_in_ppr[0]!r} — "
+                "a cross-genre bestseller CycleRank ignores."
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Drive the platform over HTTP, the way the browser-based Web UI does.
+
+Starts the REST front-end (:class:`repro.platform.RestApiServer`) on a random
+local port, then acts as an HTTP client: discovers the datasets and
+algorithms, submits a comparison as JSON, polls its status, and fetches the
+comparison table and the execution log — all through the same endpoints a web
+front-end (or ``curl``) would use.
+
+Run with::
+
+    python examples/rest_api_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+from repro.platform import ApiGateway, RestApiServer
+from repro.datasets.catalog import DatasetCatalog
+from repro.datasets.wikipedia import generate_wikilink_graph
+
+
+def get_json(base_url: str, path: str):
+    with urllib.request.urlopen(base_url + path, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post_json(base_url: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> None:
+    # A small catalog keeps the example fast; drop the `catalog=` argument to
+    # serve all 50 pre-loaded datasets instead.
+    catalog = DatasetCatalog()
+    catalog.register_graph(
+        "enwiki-2018",
+        generate_wikilink_graph("en", "2018-03-01"),
+        family="wikipedia",
+        description="synthetic English wikilink snapshot",
+    )
+    gateway = ApiGateway(catalog=catalog, num_workers=2)
+
+    with RestApiServer(gateway) as server:
+        base_url = server.url
+        print(f"REST API listening on {base_url}\n")
+
+        datasets = get_json(base_url, "/api/datasets")
+        print("GET /api/datasets ->", ", ".join(entry["dataset_id"] for entry in datasets))
+        algorithms = get_json(base_url, "/api/algorithms")
+        print("GET /api/algorithms ->", ", ".join(entry["name"] for entry in algorithms))
+        print()
+
+        created = post_json(
+            base_url,
+            "/api/comparisons",
+            {
+                "queries": [
+                    {"dataset_id": "enwiki-2018", "algorithm": "cyclerank",
+                     "source": "Pasta", "parameters": {"k": 3, "sigma": "exp"}},
+                    {"dataset_id": "enwiki-2018", "algorithm": "personalized-pagerank",
+                     "source": "Pasta", "parameters": {"alpha": 0.3}},
+                    {"dataset_id": "enwiki-2018", "algorithm": "pagerank",
+                     "parameters": {"alpha": 0.85}},
+                ]
+            },
+        )
+        comparison_id = created["comparison_id"]
+        print(f"POST /api/comparisons -> comparison_id = {comparison_id}")
+
+        while True:
+            progress = get_json(base_url, f"/api/comparisons/{comparison_id}/status")
+            print(f"  status: {progress['state']} "
+                  f"({progress['completed_queries']}/{progress['total_queries']})")
+            if progress["state"] in ("completed", "failed"):
+                break
+            time.sleep(0.1)
+        print()
+
+        table = get_json(base_url, f"/api/comparisons/{comparison_id}/results?k=5")
+        header = ["#"] + table["columns"]
+        print("  ".join(header))
+        for position, row in enumerate(table["rows"], start=1):
+            print("  ".join([str(position)] + row))
+        print()
+
+        logs = get_json(base_url, f"/api/comparisons/{comparison_id}/logs")
+        print("Execution log (last 5 lines):")
+        for line in logs["lines"][-5:]:
+            print(f"  {line}")
+
+    gateway.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Temporal dataset comparison: the same query across yearly Wikipedia snapshots.
+
+Besides comparing language editions (Table III), the demo supports comparing
+snapshots of the same graph at different points in time.  This example runs
+CycleRank for "Freddie Mercury" on the 2003, 2008, 2013 and 2018 snapshots of
+the synthetic English edition and shows how the ranking's head evolves as the
+graph grows, plus a popularity-bias comparison of the personalized
+algorithms on the newest snapshot.
+
+Run with::
+
+    python examples/temporal_snapshots.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis import popularity_bias_report, snapshot_comparison
+from repro.datasets import generate_wikilink_graph
+from repro.datasets.seeds import WIKIPEDIA_SNAPSHOTS
+
+REFERENCE = "Freddie Mercury"
+
+
+def main() -> None:
+    snapshots = {}
+    for snapshot in reversed(WIKIPEDIA_SNAPSHOTS):  # oldest first
+        print(f"Generating the synthetic enwiki {snapshot} snapshot ...")
+        snapshots[snapshot] = generate_wikilink_graph("en", snapshot)
+    print()
+
+    comparison = snapshot_comparison(
+        snapshots, "cyclerank", source=REFERENCE, parameters={"k": 3, "sigma": "exp"}
+    )
+    print(comparison.to_text(5))
+    print()
+
+    newcomers = comparison.newcomers(5)
+    for snapshot, labels in newcomers.items():
+        if labels:
+            print(f"New in the top-5 of {snapshot}: {', '.join(labels)}")
+    print()
+
+    newest = snapshots[comparison.snapshots[-1]]
+    rankings = {}
+    for name in ("cyclerank", "personalized-pagerank", "personalized-cheirank"):
+        algorithm = get_algorithm(name)
+        rankings[algorithm.display_name] = algorithm.run(newest, source=REFERENCE)
+    report = popularity_bias_report(rankings, newest, k=10)
+    print(report.to_text())
+    print()
+    print(
+        "The bias numbers quantify the paper's claim: Personalized PageRank's "
+        "head sits much higher in the global-popularity distribution than "
+        "CycleRank's."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Upload a user-provided dataset and run the algorithms on it.
+
+The demo supports user-uploaded graphs in three formats (edgelist CSV, Pajek
+NET, and the ASD format).  This example writes a small Twitter-like
+interaction network to disk in all three formats, uploads one of them through
+the gateway, and runs an algorithm comparison against the uploaded graph —
+the "users can upload new datasets" feature of the paper.
+
+Run with::
+
+    python examples/upload_custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DirectedGraph, write_graph
+from repro.platform import ApiGateway
+
+
+def build_interaction_network() -> DirectedGraph:
+    """A small interaction network: a research group and a couple of celebrities."""
+    graph = DirectedGraph(name="my lab on social media")
+    group = ["@alice", "@bob", "@carol", "@dave"]
+    for first in group:
+        for second in group:
+            if first != second:
+                graph.add_edge(first, second)
+    for account in group + ["@random1", "@random2", "@random3"]:
+        graph.add_edge(account, "@big_celebrity")
+        graph.add_edge(account, "@news_outlet")
+    graph.add_edge("@news_outlet", "@alice")  # one interview reply
+    return graph
+
+
+def main() -> None:
+    graph = build_interaction_network()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-upload-"))
+
+    # Write the dataset in all three supported formats.
+    paths = {
+        "edgelist": workdir / "lab.csv",
+        "pajek": workdir / "lab.net",
+        "asd": workdir / "lab.asd",
+    }
+    for fmt, path in paths.items():
+        write_graph(graph, path, format=fmt)
+        print(f"wrote {fmt:9s} -> {path}")
+    print()
+
+    with ApiGateway(num_workers=1) as gateway:
+        summary = gateway.upload_dataset("my-lab", paths["asd"], description="uploaded example")
+        print("Uploaded dataset summary:")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+        print()
+
+        comparison_id = gateway.run_queries(
+            [
+                {"dataset_id": "my-lab", "algorithm": "cyclerank",
+                 "source": "@alice", "parameters": {"k": 3}},
+                {"dataset_id": "my-lab", "algorithm": "personalized-pagerank",
+                 "source": "@alice", "parameters": {"alpha": 0.85}},
+            ]
+        )
+        table = gateway.get_comparison_table(
+            comparison_id, k=5, title="Top-5 accounts related to @alice"
+        )
+        print(table.to_text(show_scores=True))
+        print()
+        print(
+            "CycleRank keeps the research group (reciprocal interactions); "
+            "Personalized PageRank also rewards the celebrity accounts everyone "
+            "mentions but who never reply."
+        )
+
+
+if __name__ == "__main__":
+    main()

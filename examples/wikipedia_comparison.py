@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Algorithm comparison on the Wikipedia wikilink graph (Table I of the paper).
+
+Reproduces the paper's first use case: on the (synthetic) English Wikipedia
+snapshot of 2018-03-01, compare PageRank (alpha=0.85), CycleRank (K=3,
+sigma=e^-n) and Personalized PageRank (alpha=0.3) for the reference articles
+"Freddie Mercury" and "Pasta", and print the Table-I-style top-5 columns.
+
+Run with::
+
+    python examples/wikipedia_comparison.py [--top 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import algorithm_comparison, cyclerank, pagerank, personalized_pagerank
+from repro.datasets import generate_wikilink_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--top", type=int, default=5, help="rows per table")
+    parser.add_argument(
+        "--references", nargs="+", default=["Freddie Mercury", "Pasta"],
+        help="reference articles (must exist in the synthetic snapshot)",
+    )
+    arguments = parser.parse_args()
+
+    print("Generating the synthetic enwiki 2018-03-01 snapshot ...")
+    graph = generate_wikilink_graph("en", "2018-03-01")
+    print(f"  {graph}\n")
+
+    global_ranking = pagerank(graph, alpha=0.85)
+    print("Global PageRank top-5 (the paper's first column):")
+    for entry in global_ranking.top(arguments.top):
+        print(f"  {entry.rank}. {entry.label}")
+    print()
+
+    for reference in arguments.references:
+        rankings = {
+            "Cyclerank": cyclerank(graph, reference, max_cycle_length=3, scoring="exp"),
+            "Pers. PageRank": personalized_pagerank(graph, reference, alpha=0.3),
+        }
+        table = algorithm_comparison(
+            rankings, k=arguments.top,
+            title=f"Top-{arguments.top} articles for reference {reference!r}",
+        )
+        print(table.to_text(show_scores=False))
+        print()
+
+    print(
+        "CycleRank's column stays inside the topical neighbourhood of the "
+        "reference, while Personalized PageRank lets globally central articles "
+        "creep in — the limitation the paper demonstrates in Table I."
+    )
+
+
+if __name__ == "__main__":
+    main()

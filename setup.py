@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that fully offline environments (no ``wheel`` package available, hence no
+PEP 660 editable builds) can still do a legacy editable install with
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

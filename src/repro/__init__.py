@@ -1,0 +1,93 @@
+"""repro — personalized relevance algorithms for directed graphs.
+
+A from-scratch reproduction of *"Comparing Personalized Relevance Algorithms
+for Directed Graphs"* (ICDE 2024): the CycleRank algorithm, the six
+PageRank-family baselines it is compared against, the synthetic stand-ins
+for the paper's 50 pre-loaded datasets, and the task-builder / scheduler /
+executor / datastore platform that serves the comparisons.
+
+Quickstart
+----------
+>>> from repro import cyclerank, personalized_pagerank, pagerank
+>>> from repro.datasets import generate_wikilink_graph
+>>> graph = generate_wikilink_graph("en", "2018-03-01")
+>>> cr = cyclerank(graph, "Freddie Mercury", max_cycle_length=3)
+>>> ppr = personalized_pagerank(graph, "Freddie Mercury", alpha=0.3)
+>>> cr.top_labels(5)[0]
+'Freddie Mercury'
+
+The higher-level entry point is the platform gateway, which mirrors the web
+demo's API::
+
+    from repro.platform import ApiGateway
+
+    with ApiGateway() as gateway:
+        comparison = gateway.run_queries([
+            {"dataset_id": "enwiki-2018", "algorithm": "cyclerank",
+             "source": "Freddie Mercury", "parameters": {"k": 3}},
+            {"dataset_id": "enwiki-2018", "algorithm": "personalized-pagerank",
+             "source": "Freddie Mercury", "parameters": {"alpha": 0.3}},
+        ])
+        print(gateway.get_comparison_table(comparison, k=5).to_text())
+"""
+
+from __future__ import annotations
+
+from .algorithms import (
+    Algorithm,
+    available_algorithms,
+    cheirank,
+    cyclerank,
+    get_algorithm,
+    pagerank,
+    personalized_cheirank,
+    personalized_pagerank,
+    personalized_twodrank,
+    ppr_montecarlo,
+    ppr_push,
+    register_algorithm,
+    run_algorithm,
+    twodrank,
+)
+from .exceptions import ReproError
+from .graph import CSRGraph, DirectedGraph, GraphBuilder
+from .io import read_graph, write_graph
+from .ranking import ComparisonTable, Ranking, algorithm_comparison, dataset_comparison
+from .scoring import ScoringFunction, get_scoring_function
+from .version import __version__
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "DirectedGraph",
+    "CSRGraph",
+    "GraphBuilder",
+    # io
+    "read_graph",
+    "write_graph",
+    # algorithms
+    "pagerank",
+    "personalized_pagerank",
+    "cheirank",
+    "personalized_cheirank",
+    "twodrank",
+    "personalized_twodrank",
+    "cyclerank",
+    "ppr_push",
+    "ppr_montecarlo",
+    "Algorithm",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "run_algorithm",
+    # ranking
+    "Ranking",
+    "ComparisonTable",
+    "algorithm_comparison",
+    "dataset_comparison",
+    # scoring
+    "ScoringFunction",
+    "get_scoring_function",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,82 @@
+"""Small internal helpers for validating user-supplied arguments.
+
+These helpers centralise the error messages used across the library so that
+invalid parameters always produce a consistent, informative
+:class:`~repro.exceptions.InvalidParameterError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .exceptions import InvalidParameterError
+
+__all__ = [
+    "require_probability",
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_positive_float",
+    "require_in_range",
+    "require_one_of",
+]
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a float in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_positive_float(value: float, name: str) -> float:
+    """Validate that ``value`` is a number strictly greater than zero."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if value <= 0.0:
+        raise InvalidParameterError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [``low``, ``high``]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not low <= value <= high:
+        raise InvalidParameterError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_one_of(value: str, name: str, allowed: Iterable[str]) -> str:
+    """Validate that ``value`` is one of the ``allowed`` strings."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise InvalidParameterError(
+            f"{name} must be one of {', '.join(repr(a) for a in allowed)}, got {value!r}"
+        )
+    return value

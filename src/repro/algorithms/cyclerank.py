@@ -1,0 +1,137 @@
+"""CycleRank: personalized relevance from cyclic paths (the paper's contribution).
+
+Given a directed graph ``G``, a reference node ``r`` and a maximum cycle
+length ``K``, the CycleRank score of node ``i`` is (Equation 1)::
+
+    CR_{r,K}(i) = sum_{n=2}^{K} sigma(n) * c_{r,n}(i)
+
+where ``c_{r,n}(i)`` is the number of simple cycles of length ``n`` that
+contain both ``r`` and ``i``, and ``sigma`` is a non-increasing scoring
+function that rewards shorter cycles (the paper uses ``sigma(n) = e^{-n}``).
+
+Intuition: a node linked *from* the reference but not back is probably
+globally relevant yet unrelated; a node linking *to* the reference but not
+linked back is related but not relevant; only nodes connected in both
+directions — directly or through short indirect paths — are both related and
+relevant, and those are exactly the nodes lying on short cycles through the
+reference.  By construction the reference node participates in every counted
+cycle and therefore receives the maximum score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DirectedGraph, NodeRef
+from ..ranking.result import Ranking
+from ..scoring import ScoringFunction, get_scoring_function
+from .cycle_enumeration import enumerate_cycles_through
+
+__all__ = ["cyclerank", "CycleRankStatistics"]
+
+#: Default maximum cycle length; the paper uses K=3 for Wikipedia and K=5 for
+#: the sparser Amazon co-purchase graph.
+DEFAULT_MAX_CYCLE_LENGTH = 3
+
+
+@dataclass
+class CycleRankStatistics:
+    """Diagnostics collected during a CycleRank run.
+
+    Attributes
+    ----------
+    cycles_by_length:
+        ``{cycle length: number of cycles}`` enumerated through the reference.
+    total_cycles:
+        Total number of cycles enumerated.
+    nodes_on_cycles:
+        Number of distinct nodes (including the reference) lying on at least
+        one counted cycle — exactly the nodes with a positive score.
+    """
+
+    cycles_by_length: Dict[int, int] = field(default_factory=dict)
+    total_cycles: int = 0
+    nodes_on_cycles: int = 0
+
+
+def cyclerank(
+    graph: DirectedGraph,
+    reference: NodeRef,
+    *,
+    max_cycle_length: int = DEFAULT_MAX_CYCLE_LENGTH,
+    scoring: ScoringFunction | str = "exp",
+    statistics: Optional[CycleRankStatistics] = None,
+) -> Ranking:
+    """Compute CycleRank scores with respect to ``reference``.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to rank.
+    reference:
+        The reference (query) node, by id or label.
+    max_cycle_length:
+        The parameter ``K`` of Equation 1 — only cycles of length 2..K are
+        counted.  Must be at least 2.
+    scoring:
+        The scoring function σ, either a
+        :class:`~repro.scoring.ScoringFunction` instance or a registry name
+        (``"exp"``, ``"lin"``, ``"quad"``, ``"const"``).
+    statistics:
+        Optional :class:`CycleRankStatistics` instance that will be filled
+        with run diagnostics (cycle counts per length).
+
+    Returns
+    -------
+    Ranking
+        Non-negative scores; nodes on no qualifying cycle score 0 and the
+        reference node holds the maximum score.
+    """
+    require_positive_int(max_cycle_length, "max_cycle_length")
+    if max_cycle_length < 2:
+        raise InvalidParameterError(
+            f"max_cycle_length must be >= 2, got {max_cycle_length}"
+        )
+    scoring_function = get_scoring_function(scoring)
+    # Precompute sigma for every admissible cycle length.
+    weights = {
+        length: weight
+        for length, weight in zip(
+            range(2, max_cycle_length + 1),
+            scoring_function.weights_up_to(max_cycle_length),
+        )
+    }
+
+    root = graph.resolve(reference)
+    scores = np.zeros(graph.number_of_nodes(), dtype=np.float64)
+    cycles_by_length: Dict[int, int] = {}
+    touched = set()
+    for cycle in enumerate_cycles_through(graph, root, max_cycle_length):
+        length = len(cycle)
+        weight = weights[length]
+        cycles_by_length[length] = cycles_by_length.get(length, 0) + 1
+        for node in cycle:
+            scores[node] += weight
+            touched.add(node)
+
+    if statistics is not None:
+        statistics.cycles_by_length = dict(sorted(cycles_by_length.items()))
+        statistics.total_cycles = sum(cycles_by_length.values())
+        statistics.nodes_on_cycles = len(touched)
+
+    return Ranking(
+        scores,
+        labels=graph.labels(),
+        algorithm="CycleRank",
+        parameters={
+            "k": max_cycle_length,
+            "sigma": scoring_function.name,
+        },
+        graph_name=graph.name,
+        reference=graph.label_of(root),
+    )

@@ -1,0 +1,110 @@
+"""Personalized PageRank (PPR): PageRank with a query-biased teleport.
+
+Instead of teleporting uniformly, the random surfer always restarts at the
+reference node (or at a set of reference nodes).  The stationary distribution
+then measures how likely a random walk *from the query* is to be found at
+each node, which is the classic notion of personalized relevance the paper
+compares CycleRank against.
+
+The shortcoming demonstrated in Tables I and II — globally central nodes
+("United States", the Harry Potter series) receiving high scores for any
+query — follows directly from this definition: once the walk has wandered a
+couple of hops away from the reference, it behaves like a global PageRank
+walk and piles mass onto high in-degree nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DirectedGraph, NodeRef
+from ..ranking.result import Ranking
+from .pagerank import DEFAULT_MAX_ITER, DEFAULT_TOL, power_iteration
+
+__all__ = ["personalized_pagerank", "teleport_vector_for"]
+
+#: Damping factor the paper uses for PPR in Table I (a low value keeps the
+#: walk near the reference; Table II uses 0.85).
+DEFAULT_PPR_ALPHA = 0.85
+
+ReferenceSpec = Union[NodeRef, Sequence[NodeRef], Mapping[NodeRef, float]]
+
+
+def teleport_vector_for(graph: DirectedGraph, reference: ReferenceSpec) -> np.ndarray:
+    """Build a teleport distribution concentrated on the reference node(s).
+
+    ``reference`` may be a single node (id or label), a sequence of nodes
+    (uniform mass over them), or a mapping ``node -> weight``.
+    """
+    n = graph.number_of_nodes()
+    teleport = np.zeros(n, dtype=np.float64)
+    if isinstance(reference, Mapping):
+        for ref, weight in reference.items():
+            if weight < 0:
+                raise InvalidParameterError(
+                    f"teleport weight for {ref!r} must be non-negative, got {weight}"
+                )
+            teleport[graph.resolve(ref)] += float(weight)
+    elif isinstance(reference, (str, int)) and not isinstance(reference, bool):
+        teleport[graph.resolve(reference)] = 1.0
+    elif isinstance(reference, Iterable):
+        references = list(reference)
+        if not references:
+            raise InvalidParameterError("reference set must not be empty")
+        for ref in references:
+            teleport[graph.resolve(ref)] += 1.0
+    else:
+        raise InvalidParameterError(f"cannot interpret reference {reference!r}")
+    if teleport.sum() <= 0:
+        raise InvalidParameterError("teleport distribution has no positive mass")
+    return teleport / teleport.sum()
+
+
+def personalized_pagerank(
+    graph: DirectedGraph,
+    reference: ReferenceSpec,
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> Ranking:
+    """Compute Personalized PageRank with respect to ``reference``.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to rank.
+    reference:
+        The query node (id or label), a set of query nodes, or a weighted
+        teleport mapping.
+    alpha:
+        Damping factor.  The paper's Table I uses 0.3 (a short-range walk),
+        Table II uses 0.85.
+    tol, max_iter:
+        Power-iteration convergence controls.
+
+    Returns
+    -------
+    Ranking
+        Scores summing to 1, with ``reference`` recorded in the provenance
+        (as a label when a single reference node is given).
+    """
+    teleport = teleport_vector_for(graph, reference)
+    csr = graph.to_csr()
+    scores, iterations = power_iteration(
+        csr, alpha=alpha, teleport=teleport, tol=tol, max_iter=max_iter
+    )
+    reference_label: Optional[str] = None
+    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
+        reference_label = graph.label_of(graph.resolve(reference))
+    return Ranking(
+        scores,
+        labels=graph.labels(),
+        algorithm="Personalized PageRank",
+        parameters={"alpha": alpha, "tol": tol, "max_iter": max_iter, "iterations": iterations},
+        graph_name=graph.name,
+        reference=reference_label,
+    )

@@ -1,0 +1,111 @@
+"""Approximate Personalized PageRank by Monte-Carlo random walks with restart.
+
+The estimator simulates ``num_walks`` independent random walks starting at
+the reference node.  At each step the walk stops with probability
+``1 - alpha`` (the restart event) and otherwise moves to a uniformly random
+successor; walks stranded at a dangling node also stop.  The fraction of
+walk *visits* each node receives converges to its Personalized PageRank
+score as the number of walks grows, with an error of order
+``O(1 / sqrt(num_walks))`` on each coordinate.
+
+This estimator is the cheapest way to answer "roughly which nodes are most
+relevant to the query?" and is used in the ablation benchmark comparing
+precision@k versus the exact power-iteration solver.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import numpy as np
+
+from .._validation import require_positive_int, require_probability
+from ..graph.digraph import DirectedGraph
+from ..ranking.result import Ranking
+from .personalized_pagerank import DEFAULT_PPR_ALPHA, ReferenceSpec, teleport_vector_for
+
+__all__ = ["ppr_montecarlo"]
+
+DEFAULT_NUM_WALKS = 10_000
+DEFAULT_MAX_WALK_LENGTH = 100
+
+
+def ppr_montecarlo(
+    graph: DirectedGraph,
+    reference: ReferenceSpec,
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    num_walks: int = DEFAULT_NUM_WALKS,
+    max_walk_length: int = DEFAULT_MAX_WALK_LENGTH,
+    seed: int = 0,
+) -> Ranking:
+    """Estimate Personalized PageRank by simulating random walks with restart.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to rank.
+    reference:
+        The query node (id or label), node set, or weighted teleport mapping.
+    alpha:
+        Damping factor (probability of continuing the walk at each step).
+    num_walks:
+        Number of independent walks; more walks mean lower variance.
+    max_walk_length:
+        Hard cap on individual walk length (walks are geometric with mean
+        ``1 / (1 - alpha)``, so the cap is rarely hit for reasonable alpha).
+    seed:
+        Seed for the pseudo-random generator; runs are deterministic per seed.
+
+    Returns
+    -------
+    Ranking
+        Estimated PPR scores normalised to sum to 1.
+    """
+    alpha = require_probability(alpha, "alpha")
+    require_positive_int(num_walks, "num_walks")
+    require_positive_int(max_walk_length, "max_walk_length")
+
+    n = graph.number_of_nodes()
+    teleport = teleport_vector_for(graph, reference)
+    start_nodes = np.nonzero(teleport)[0]
+    start_weights = teleport[start_nodes]
+    successor_lists = graph.successor_lists()
+    rng = random.Random(seed)
+
+    visits = np.zeros(n, dtype=np.float64)
+    for _ in range(num_walks):
+        if start_nodes.size == 1:
+            node = int(start_nodes[0])
+        else:
+            node = int(rng.choices(start_nodes.tolist(), weights=start_weights.tolist())[0])
+        visits[node] += 1.0
+        for _ in range(max_walk_length):
+            if rng.random() >= alpha:
+                break
+            successors = successor_lists[node]
+            if not successors:
+                break
+            node = successors[rng.randrange(len(successors))]
+            visits[node] += 1.0
+
+    total = visits.sum()
+    if total > 0:
+        visits = visits / total
+    reference_label: Optional[str] = None
+    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
+        reference_label = graph.label_of(graph.resolve(reference))
+    return Ranking(
+        visits,
+        labels=graph.labels(),
+        algorithm="PPR (Monte Carlo)",
+        parameters={
+            "alpha": alpha,
+            "num_walks": num_walks,
+            "max_walk_length": max_walk_length,
+            "seed": seed,
+        },
+        graph_name=graph.name,
+        reference=reference_label,
+    )

@@ -1,0 +1,426 @@
+"""Registry of runnable algorithms and their concrete :class:`Algorithm` wrappers.
+
+The registry maps the names used in task parameters (``"cyclerank"``,
+``"pagerank"``, ...) to :class:`~repro.algorithms.base.Algorithm` instances.
+The seven algorithms of the paper are pre-registered; users add their own
+with :func:`register_algorithm`, which is all it takes for a new algorithm to
+become selectable from the task builder, the gateway API and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..exceptions import AlgorithmNotFoundError, InvalidParameterError
+from ..graph.digraph import DirectedGraph
+from ..ranking.result import Ranking
+from ..scoring import available_scoring_functions
+from .base import Algorithm, AlgorithmSpec, ParameterSpec
+from .cheirank import cheirank, personalized_cheirank
+from .cyclerank import cyclerank
+from .hits import hits, personalized_hits
+from .katz import katz_centrality, personalized_katz
+from .pagerank import pagerank
+from .personalized_pagerank import personalized_pagerank
+from .ppr_montecarlo import ppr_montecarlo
+from .ppr_push import ppr_push
+from .twodrank import personalized_twodrank, twodrank
+
+__all__ = [
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "run_algorithm",
+    "PAPER_ALGORITHMS",
+]
+
+_ALPHA_SPEC = ParameterSpec(
+    name="alpha",
+    kind="float",
+    default=0.85,
+    minimum=0.0,
+    maximum=1.0,
+    description="damping factor: probability of following an edge instead of teleporting",
+)
+
+_MAX_ITER_SPEC = ParameterSpec(
+    name="max_iter",
+    kind="int",
+    default=1000,
+    minimum=1,
+    description="maximum number of power-iteration steps",
+)
+
+
+class _PageRankAlgorithm(Algorithm):
+    """Global PageRank (registry name ``pagerank``)."""
+
+    spec = AlgorithmSpec(
+        name="pagerank",
+        display_name="PageRank",
+        personalized=False,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="Global importance from incoming connections (random-surfer model).",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return pagerank(graph, alpha=parameters["alpha"], max_iter=parameters["max_iter"])
+
+
+class _PersonalizedPageRankAlgorithm(Algorithm):
+    """Personalized PageRank (registry name ``personalized-pagerank``)."""
+
+    spec = AlgorithmSpec(
+        name="personalized-pagerank",
+        display_name="Pers. PageRank",
+        personalized=True,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="PageRank whose teleport always returns to the reference node.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return personalized_pagerank(
+            graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
+
+class _CheiRankAlgorithm(Algorithm):
+    """Global CheiRank (registry name ``cheirank``)."""
+
+    spec = AlgorithmSpec(
+        name="cheirank",
+        display_name="CheiRank",
+        personalized=False,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="PageRank computed on the transposed graph (outgoing connections).",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return cheirank(graph, alpha=parameters["alpha"], max_iter=parameters["max_iter"])
+
+
+class _PersonalizedCheiRankAlgorithm(Algorithm):
+    """Personalized CheiRank (registry name ``personalized-cheirank``)."""
+
+    spec = AlgorithmSpec(
+        name="personalized-cheirank",
+        display_name="Pers. CheiRank",
+        personalized=True,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="Personalized PageRank on the transposed graph.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return personalized_cheirank(
+            graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
+
+class _TwoDRankAlgorithm(Algorithm):
+    """Global 2DRank (registry name ``2drank``)."""
+
+    spec = AlgorithmSpec(
+        name="2drank",
+        display_name="2DRank",
+        personalized=False,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="Two-dimensional combination of PageRank and CheiRank (ranking only).",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return twodrank(graph, alpha=parameters["alpha"], max_iter=parameters["max_iter"])
+
+
+class _PersonalizedTwoDRankAlgorithm(Algorithm):
+    """Personalized 2DRank (registry name ``personalized-2drank``)."""
+
+    spec = AlgorithmSpec(
+        name="personalized-2drank",
+        display_name="Pers. 2DRank",
+        personalized=True,
+        parameters=(_ALPHA_SPEC, _MAX_ITER_SPEC),
+        description="2DRank built from Personalized PageRank and Personalized CheiRank.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return personalized_twodrank(
+            graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
+
+class _CycleRankAlgorithm(Algorithm):
+    """CycleRank (registry name ``cyclerank``)."""
+
+    spec = AlgorithmSpec(
+        name="cyclerank",
+        display_name="Cyclerank",
+        personalized=True,
+        parameters=(
+            ParameterSpec(
+                name="k",
+                kind="int",
+                default=3,
+                minimum=2,
+                maximum=10,
+                description="maximum cycle length K considered by Equation 1",
+            ),
+            ParameterSpec(
+                name="sigma",
+                kind="str",
+                default="exp",
+                choices=tuple(available_scoring_functions()),
+                description="scoring function weighting cycles by their length",
+            ),
+        ),
+        description="Personalized relevance from the cycles through the reference node.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return cyclerank(
+            graph, source, max_cycle_length=parameters["k"], scoring=parameters["sigma"]
+        )
+
+
+class _PushPPRAlgorithm(Algorithm):
+    """Forward-push approximate PPR (registry name ``ppr-push``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="ppr-push",
+        display_name="PPR (push)",
+        personalized=True,
+        parameters=(
+            _ALPHA_SPEC,
+            ParameterSpec(
+                name="epsilon",
+                kind="float",
+                default=1e-6,
+                minimum=0.0,
+                description="per-out-degree residual threshold (accuracy/locality trade-off)",
+            ),
+        ),
+        description="Local forward-push approximation of Personalized PageRank.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return ppr_push(
+            graph, source, alpha=parameters["alpha"], epsilon=parameters["epsilon"]
+        )
+
+
+class _MonteCarloPPRAlgorithm(Algorithm):
+    """Monte-Carlo approximate PPR (registry name ``ppr-montecarlo``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="ppr-montecarlo",
+        display_name="PPR (Monte Carlo)",
+        personalized=True,
+        parameters=(
+            _ALPHA_SPEC,
+            ParameterSpec(
+                name="num_walks",
+                kind="int",
+                default=10_000,
+                minimum=1,
+                description="number of random walks simulated from the reference node",
+            ),
+            ParameterSpec(
+                name="seed",
+                kind="int",
+                default=0,
+                description="pseudo-random generator seed",
+            ),
+        ),
+        description="Monte-Carlo random-walk estimate of Personalized PageRank.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return ppr_montecarlo(
+            graph,
+            source,
+            alpha=parameters["alpha"],
+            num_walks=parameters["num_walks"],
+            seed=parameters["seed"],
+        )
+
+
+_HITS_MAX_ITER_SPEC = ParameterSpec(
+    name="max_iter",
+    kind="int",
+    default=5000,
+    minimum=1,
+    description="maximum number of HITS iterations (its contraction can be slow)",
+)
+
+
+class _HitsAlgorithm(Algorithm):
+    """Global HITS authorities (registry name ``hits``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="hits",
+        display_name="HITS",
+        personalized=False,
+        parameters=(
+            ParameterSpec(
+                name="scores",
+                kind="str",
+                default="authority",
+                choices=("authority", "hub"),
+                description="rank by authority or by hub score",
+            ),
+            _HITS_MAX_ITER_SPEC,
+        ),
+        description="Hubs-and-authorities mutual reinforcement (Kleinberg).",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return hits(graph, scores=parameters["scores"], max_iter=parameters["max_iter"])
+
+
+class _PersonalizedHitsAlgorithm(Algorithm):
+    """Rooted HITS (registry name ``personalized-hits``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="personalized-hits",
+        display_name="Pers. HITS",
+        personalized=True,
+        parameters=(
+            _ALPHA_SPEC,
+            ParameterSpec(
+                name="scores",
+                kind="str",
+                default="authority",
+                choices=("authority", "hub"),
+                description="rank by authority or by hub score",
+            ),
+            _HITS_MAX_ITER_SPEC,
+        ),
+        description="HITS whose authority mass restarts at the reference node.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return personalized_hits(
+            graph, source, alpha=parameters["alpha"], scores=parameters["scores"],
+            max_iter=parameters["max_iter"],
+        )
+
+
+_BETA_SPEC = ParameterSpec(
+    name="beta",
+    kind="float",
+    default=0.05,
+    minimum=0.0,
+    description="walk-length damping factor (must stay below 1 / spectral radius)",
+)
+
+
+class _KatzAlgorithm(Algorithm):
+    """Global Katz centrality (registry name ``katz``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="katz",
+        display_name="Katz",
+        personalized=False,
+        parameters=(_BETA_SPEC, _MAX_ITER_SPEC),
+        description="Damped count of incoming walks of every length.",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return katz_centrality(graph, beta=parameters["beta"], max_iter=parameters["max_iter"])
+
+
+class _PersonalizedKatzAlgorithm(Algorithm):
+    """Personalized Katz index (registry name ``personalized-katz``, extension)."""
+
+    spec = AlgorithmSpec(
+        name="personalized-katz",
+        display_name="Pers. Katz",
+        personalized=True,
+        parameters=(_BETA_SPEC, _MAX_ITER_SPEC),
+        description="Damped count of walks from the reference node (Katz relatedness index).",
+    )
+
+    def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
+        return personalized_katz(
+            graph, source, beta=parameters["beta"], max_iter=parameters["max_iter"]
+        )
+
+
+#: The seven algorithms showcased in the paper, in the order it lists them.
+PAPER_ALGORITHMS = (
+    "cyclerank",
+    "pagerank",
+    "personalized-pagerank",
+    "cheirank",
+    "personalized-cheirank",
+    "2drank",
+    "personalized-2drank",
+)
+
+_REGISTRY: Dict[str, Algorithm] = {}
+
+
+def register_algorithm(algorithm: Algorithm, *, replace: bool = False) -> Algorithm:
+    """Register an :class:`Algorithm` instance under its spec name.
+
+    Set ``replace=True`` to overwrite an existing registration (useful in
+    tests and when experimenting with variants).
+    """
+    name = algorithm.name
+    if not name:
+        raise InvalidParameterError("algorithm spec must define a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise InvalidParameterError(
+            f"algorithm {name!r} is already registered; pass replace=True to overwrite"
+        )
+    _REGISTRY[name] = algorithm
+    return algorithm
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Return the registered algorithm called ``name``.
+
+    Lookup is case-insensitive and tolerant of ``_`` vs ``-``.
+    """
+    normalized = name.strip().lower().replace("_", "-")
+    algorithm = _REGISTRY.get(normalized)
+    if algorithm is None:
+        raise AlgorithmNotFoundError(name)
+    return algorithm
+
+
+def available_algorithms(*, personalized: Optional[bool] = None) -> List[str]:
+    """Return registered algorithm names, optionally filtered by personalization."""
+    names = []
+    for name, algorithm in sorted(_REGISTRY.items()):
+        if personalized is None or algorithm.is_personalized == personalized:
+            names.append(name)
+    return names
+
+
+def run_algorithm(
+    name: str,
+    graph: DirectedGraph,
+    *,
+    source: Optional[str] = None,
+    parameters: Optional[Mapping[str, Any]] = None,
+) -> Ranking:
+    """Look up ``name`` in the registry and run it on ``graph``."""
+    return get_algorithm(name).run(graph, source=source, parameters=parameters)
+
+
+for _algorithm_class in (
+    _PageRankAlgorithm,
+    _PersonalizedPageRankAlgorithm,
+    _CheiRankAlgorithm,
+    _PersonalizedCheiRankAlgorithm,
+    _TwoDRankAlgorithm,
+    _PersonalizedTwoDRankAlgorithm,
+    _CycleRankAlgorithm,
+    _PushPPRAlgorithm,
+    _MonteCarloPPRAlgorithm,
+    _HitsAlgorithm,
+    _PersonalizedHitsAlgorithm,
+    _KatzAlgorithm,
+    _PersonalizedKatzAlgorithm,
+):
+    register_algorithm(_algorithm_class())

@@ -1,0 +1,137 @@
+"""2DRank: the two-dimensional combination of PageRank and CheiRank.
+
+Zhirov, Zhirov & Shepelyansky (2010) place every node in the plane spanned by
+its PageRank rank ``K`` and its CheiRank rank ``K*`` and read off a single
+combined ranking by scanning squares of growing side length: a node enters
+the 2DRank order when the square ``[1..r] × [1..r]`` first contains its
+``(K, K*)`` point, i.e. at ``r = max(K, K*)``.  Nodes entering at the same
+``r`` are ordered along the two new sides of the square — first down the
+vertical side (``K = r``, increasing ``K*``), then along the horizontal side
+(``K* = r``, increasing ``K``), with the corner ``(r, r)`` last.
+
+As the paper notes, 2DRank "does not assign a score to each node, but just
+produces a ranking"; the returned :class:`Ranking` therefore carries a
+synthetic score of ``1 / position`` purely so it can flow through the same
+comparison machinery as the score-based algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..ranking.result import Ranking
+from .cheirank import cheirank, personalized_cheirank
+from .pagerank import DEFAULT_ALPHA, DEFAULT_MAX_ITER, DEFAULT_TOL, pagerank
+from .personalized_pagerank import (
+    DEFAULT_PPR_ALPHA,
+    ReferenceSpec,
+    personalized_pagerank,
+)
+
+__all__ = ["twodrank", "personalized_twodrank", "two_dimensional_order"]
+
+
+def two_dimensional_order(pagerank_ranking: Ranking, cheirank_ranking: Ranking) -> List[int]:
+    """Return node ids in 2DRank order given a PageRank and a CheiRank ranking.
+
+    Both rankings must cover the same node set (same length, same labels).
+    """
+    if len(pagerank_ranking) != len(cheirank_ranking):
+        raise ValueError(
+            "PageRank and CheiRank rankings cover different node sets "
+            f"({len(pagerank_ranking)} vs {len(cheirank_ranking)} nodes)"
+        )
+    n = len(pagerank_ranking)
+    order: List[int] = []
+    entries = []
+    for node in range(n):
+        k = pagerank_ranking.rank_of(node)
+        k_star = cheirank_ranking.rank_of(node)
+        r = max(k, k_star)
+        if k == r and k_star == r:
+            side, offset = 2, 0  # the corner of the square enters last
+        elif k == r:
+            side, offset = 0, k_star  # vertical side, scanned by increasing K*
+        else:
+            side, offset = 1, k  # horizontal side, scanned by increasing K
+        entries.append((r, side, offset, node))
+    for _, _, _, node in sorted(entries):
+        order.append(node)
+    return order
+
+
+def _ranking_from_order(
+    order: List[int],
+    template: Ranking,
+    *,
+    algorithm: str,
+    parameters: dict,
+    reference: str | None = None,
+) -> Ranking:
+    """Build a Ranking whose scores encode only the position in ``order``."""
+    scores = np.zeros(len(order), dtype=np.float64)
+    for position, node in enumerate(order, start=1):
+        scores[node] = 1.0 / position
+    return Ranking(
+        scores,
+        labels=[template.label_of(i) for i in range(len(template))],
+        algorithm=algorithm,
+        parameters=parameters,
+        graph_name=template.graph_name,
+        reference=reference,
+    )
+
+
+def twodrank(
+    graph: DirectedGraph,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> Ranking:
+    """Compute the global 2DRank ordering of every node.
+
+    Parameters
+    ----------
+    alpha, tol, max_iter:
+        Passed to the underlying PageRank and CheiRank computations (both use
+        the same damping factor, as in the original 2DRank formulation).
+    """
+    pr = pagerank(graph, alpha=alpha, tol=tol, max_iter=max_iter)
+    cr = cheirank(graph, alpha=alpha, tol=tol, max_iter=max_iter)
+    order = two_dimensional_order(pr, cr)
+    return _ranking_from_order(
+        order,
+        pr,
+        algorithm="2DRank",
+        parameters={"alpha": alpha, "tol": tol, "max_iter": max_iter},
+    )
+
+
+def personalized_twodrank(
+    graph: DirectedGraph,
+    reference: ReferenceSpec,
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> Ranking:
+    """Compute the personalized 2DRank ordering with respect to ``reference``.
+
+    The two underlying rankings are Personalized PageRank and Personalized
+    CheiRank with the same reference node, combined with the same
+    square-scanning rule as the global variant.
+    """
+    ppr = personalized_pagerank(graph, reference, alpha=alpha, tol=tol, max_iter=max_iter)
+    pcr = personalized_cheirank(graph, reference, alpha=alpha, tol=tol, max_iter=max_iter)
+    order = two_dimensional_order(ppr, pcr)
+    return _ranking_from_order(
+        order,
+        ppr,
+        algorithm="Personalized 2DRank",
+        parameters={"alpha": alpha, "tol": tol, "max_iter": max_iter},
+        reference=ppr.reference,
+    )

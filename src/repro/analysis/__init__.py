@@ -1,0 +1,40 @@
+"""Higher-level analyses built on top of the ranking algorithms.
+
+Three analyses complement the demo's two headline use cases:
+
+``temporal``
+    The paper notes that "a similar analysis can also be performed by
+    comparing snapshots of a graph at different points in time, another
+    functionality available in the demo".  :func:`snapshot_comparison` runs
+    the same query across the yearly snapshots of a dataset family and
+    reports how the ranking evolves.
+
+``agreement``
+    Pairwise agreement between algorithms on the same query (overlap@k,
+    Kendall's tau, rank-biased overlap), summarising the algorithm-comparison
+    use case in one matrix instead of eyeballing top-5 tables.
+
+``popularity``
+    A quantitative form of the paper's central qualitative claim — that
+    Personalized PageRank over-promotes globally popular nodes while
+    CycleRank does not.  :func:`popularity_bias` measures how strongly a
+    personalized ranking's head correlates with global popularity (in-degree
+    or global PageRank), so the claim becomes a number that can be compared
+    across algorithms and asserted in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from .agreement import AgreementMatrix, agreement_matrix
+from .popularity import PopularityBiasReport, popularity_bias, popularity_bias_report
+from .temporal import SnapshotComparison, snapshot_comparison
+
+__all__ = [
+    "AgreementMatrix",
+    "agreement_matrix",
+    "popularity_bias",
+    "popularity_bias_report",
+    "PopularityBiasReport",
+    "snapshot_comparison",
+    "SnapshotComparison",
+]

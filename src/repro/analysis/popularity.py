@@ -1,0 +1,167 @@
+"""Quantifying the "popular node" bias of personalized rankings.
+
+The paper's central qualitative observation is that Personalized PageRank
+"tends to assign a high score to nodes with high global centrality in the
+graph, regardless of the query node", while CycleRank does not.  This module
+turns that observation into a measurement:
+
+* :func:`popularity_bias` — given a personalized ranking and a notion of
+  global popularity (raw in-degree or global PageRank), return the average
+  popularity *percentile* of the ranking's top-k (excluding the reference).
+  A value near 1.0 means the head of the ranking is made of the globally
+  most popular nodes; a value near 0.5 means the head looks like a random
+  sample with respect to popularity.
+* :func:`popularity_bias_report` — compute the bias for several rankings of
+  the same graph side by side, which is what the popularity-bias ablation
+  benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .._validation import require_one_of, require_positive_int
+from ..algorithms.pagerank import pagerank
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DirectedGraph
+from ..ranking.result import Ranking
+
+__all__ = ["popularity_bias", "popularity_bias_report", "PopularityBiasReport"]
+
+#: Supported notions of global popularity.
+POPULARITY_MEASURES = ("in-degree", "pagerank")
+
+
+def _popularity_percentiles(
+    graph: DirectedGraph, measure: str, *, alpha: float = 0.85
+) -> Dict[str, float]:
+    """Return each node label's popularity percentile in [0, 1]."""
+    require_one_of(measure, "measure", POPULARITY_MEASURES)
+    if measure == "in-degree":
+        values = np.asarray(graph.in_degrees(), dtype=np.float64)
+    else:
+        values = pagerank(graph, alpha=alpha).scores
+    n = values.size
+    if n == 0:
+        return {}
+    # Percentile by rank: the most popular node gets 1.0, the least popular
+    # 1/n; ties share the average of their positions.
+    order = np.argsort(np.argsort(values, kind="stable"), kind="stable") + 1
+    # Handle ties by averaging positions of equal values.
+    percentiles = np.empty(n, dtype=np.float64)
+    unique_values = {}
+    for node, value in enumerate(values):
+        unique_values.setdefault(float(value), []).append(node)
+    for nodes in unique_values.values():
+        mean_position = float(np.mean([order[node] for node in nodes]))
+        for node in nodes:
+            percentiles[node] = mean_position / n
+    return {graph.label_of(node): float(percentiles[node]) for node in graph.nodes()}
+
+
+def popularity_bias(
+    ranking: Ranking,
+    graph: DirectedGraph,
+    *,
+    k: int = 10,
+    measure: str = "in-degree",
+    exclude_reference: bool = True,
+) -> float:
+    """Return the mean global-popularity percentile of the ranking's top-k.
+
+    Parameters
+    ----------
+    ranking:
+        A (typically personalized) ranking over ``graph``.
+    graph:
+        The graph the ranking was computed on.
+    k:
+        How many head entries to average over.
+    measure:
+        ``"in-degree"`` (default) or ``"pagerank"``.
+    exclude_reference:
+        Drop the reference node itself before taking the top-k (it is
+        trivially at the top of every personalized ranking).
+
+    Returns
+    -------
+    float
+        Mean percentile in [0, 1]; higher means the ranking's head is made of
+        globally popular nodes.  Returns ``float("nan")`` for an empty head.
+    """
+    require_positive_int(k, "k")
+    percentiles = _popularity_percentiles(graph, measure)
+    exclude = ()
+    if exclude_reference and ranking.reference:
+        exclude = (ranking.reference,)
+    head = ranking.top_labels(k, exclude=exclude)
+    head = [label for label in head if ranking.score_of(label) > 0 or not exclude_reference]
+    if not head:
+        return float("nan")
+    missing = [label for label in head if label not in percentiles]
+    if missing:
+        raise InvalidParameterError(
+            f"ranking labels not present in the graph: {', '.join(missing[:3])}"
+        )
+    return float(np.mean([percentiles[label] for label in head]))
+
+
+@dataclass
+class PopularityBiasReport:
+    """Popularity bias of several rankings over the same graph."""
+
+    graph_name: str
+    measure: str
+    k: int
+    biases: Dict[str, float] = field(default_factory=dict)
+
+    def ordered(self) -> List[tuple]:
+        """Return ``(name, bias)`` pairs sorted from most to least biased."""
+        return sorted(self.biases.items(), key=lambda item: -item[1])
+
+    def most_biased(self) -> str:
+        """Return the name of the most popularity-biased ranking."""
+        return self.ordered()[0][0]
+
+    def least_biased(self) -> str:
+        """Return the name of the least popularity-biased ranking."""
+        return self.ordered()[-1][0]
+
+    def to_text(self) -> str:
+        """Render the report as aligned plain text."""
+        width = max(len(name) for name in self.biases) + 2
+        lines = [
+            f"Popularity bias ({self.measure} percentile of the top-{self.k}) on "
+            f"{self.graph_name}",
+        ]
+        for name, bias in self.ordered():
+            lines.append(f"  {name.ljust(width)} {bias:.3f}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise the report to plain Python types."""
+        return {
+            "graph_name": self.graph_name,
+            "measure": self.measure,
+            "k": self.k,
+            "biases": dict(self.biases),
+        }
+
+
+def popularity_bias_report(
+    rankings: Mapping[str, Ranking],
+    graph: DirectedGraph,
+    *,
+    k: int = 10,
+    measure: str = "in-degree",
+) -> PopularityBiasReport:
+    """Compute :func:`popularity_bias` for several rankings of the same graph."""
+    if not rankings:
+        raise InvalidParameterError("popularity_bias_report needs at least one ranking")
+    report = PopularityBiasReport(graph_name=graph.name, measure=measure, k=k)
+    for name, ranking in rankings.items():
+        report.biases[name] = popularity_bias(ranking, graph, k=k, measure=measure)
+    return report

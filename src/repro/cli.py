@@ -1,0 +1,283 @@
+"""Command-line interface: the demo's functionality without the browser.
+
+Sub-commands mirror the Web UI workflow:
+
+``repro-relevance datasets``
+    List the pre-loaded datasets (optionally filtered by family).
+``repro-relevance algorithms``
+    List the available algorithms and their parameters.
+``repro-relevance summary <dataset>``
+    Print the structural summary of one dataset.
+``repro-relevance run <dataset> <algorithm> [--source ... --param k=3 ...]``
+    Run one algorithm and print its top-k results.
+``repro-relevance compare <dataset> --source ... [--algorithms ...]``
+    Run several algorithms on the same dataset and reference node and print
+    the side-by-side comparison table (the algorithm-comparison use case).
+``repro-relevance cross-language --topic fake-news [--languages de en fr]``
+    Run CycleRank on several language editions (the dataset-comparison use
+    case of Table III).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .algorithms.registry import available_algorithms, get_algorithm
+from .datasets.seeds import FAKE_NEWS_TOPICS
+from .exceptions import ReproError
+from .platform.gateway import ApiGateway
+from .platform.webui import WebUI
+from .ranking.comparison import dataset_comparison
+from .version import __version__
+
+__all__ = ["main", "build_parser"]
+
+#: Algorithms used by ``compare`` when the user does not pick any.
+DEFAULT_COMPARISON_ALGORITHMS = ("pagerank", "cyclerank", "personalized-pagerank")
+
+
+def _parse_parameter_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, str]:
+    """Turn ``["k=3", "sigma=exp"]`` into ``{"k": "3", "sigma": "exp"}``."""
+    overrides: Dict[str, str] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        overrides[key.strip()] = value.strip()
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-relevance",
+        description="Compare personalized relevance algorithms on directed graphs.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list the pre-loaded datasets")
+    datasets_parser.add_argument("--family", help="filter by family (wikipedia, amazon, ...)")
+
+    subparsers.add_parser("algorithms", help="list the available algorithms")
+
+    summary_parser = subparsers.add_parser("summary", help="print a dataset's structural summary")
+    summary_parser.add_argument("dataset", help="dataset identifier (e.g. enwiki-2018)")
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm on one dataset")
+    run_parser.add_argument("dataset", help="dataset identifier")
+    run_parser.add_argument("algorithm", help="algorithm name (see 'algorithms')")
+    run_parser.add_argument("--source", help="reference node for personalized algorithms")
+    run_parser.add_argument(
+        "--param", action="append", metavar="KEY=VALUE", help="algorithm parameter override"
+    )
+    run_parser.add_argument("--top", type=int, default=10, help="number of results to print")
+    run_parser.add_argument(
+        "--scores", action="store_true", help="print scores next to the labels"
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare several algorithms on the same dataset and reference"
+    )
+    compare_parser.add_argument("dataset", help="dataset identifier")
+    compare_parser.add_argument("--source", required=True, help="reference node label")
+    compare_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(DEFAULT_COMPARISON_ALGORITHMS),
+        help="algorithms to compare (default: pagerank cyclerank personalized-pagerank)",
+    )
+    compare_parser.add_argument("--alpha", type=float, default=0.85, help="damping factor")
+    compare_parser.add_argument("--k", type=int, default=3, help="CycleRank maximum cycle length")
+    compare_parser.add_argument("--top", type=int, default=5, help="rows in the comparison table")
+    compare_parser.add_argument("--logs", action="store_true", help="print the execution log")
+
+    cross_parser = subparsers.add_parser(
+        "cross-language", help="run CycleRank on several Wikipedia language editions"
+    )
+    cross_parser.add_argument(
+        "--languages", nargs="+", default=["de", "en", "fr", "it", "nl", "pl"],
+        help="language codes (default: the six editions of Table III)",
+    )
+    cross_parser.add_argument("--snapshot-year", default="2018", help="snapshot year")
+    cross_parser.add_argument("--k", type=int, default=3, help="CycleRank maximum cycle length")
+    cross_parser.add_argument("--top", type=int, default=5, help="rows in the comparison table")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="expose the API gateway over HTTP (the demo's REST surface)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8080, help="bind port (0 = random)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="number of executor nodes in the pool"
+    )
+
+    return parser
+
+
+def _command_datasets(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    ui = WebUI(gateway)
+    print(ui.render_dataset_picker(family=arguments.family))
+    return 0
+
+
+def _command_algorithms(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    ui = WebUI(gateway)
+    print(ui.render_algorithm_picker())
+    return 0
+
+
+def _command_summary(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    summary = gateway.dataset_summary(arguments.dataset)
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = f"{value:.6f}"
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
+    """Print the task error and return an exit code if the comparison failed."""
+    progress = gateway.get_status(comparison_id)
+    if progress.error is not None:
+        print(f"error: {progress.error}", file=sys.stderr)
+        return 1
+    return None
+
+
+def _command_run(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    parameters = _parse_parameter_overrides(arguments.param)
+    comparison = gateway.run_queries(
+        [
+            {
+                "dataset_id": arguments.dataset,
+                "algorithm": arguments.algorithm,
+                "source": arguments.source,
+                "parameters": parameters,
+            }
+        ],
+        synchronous=True,
+    )
+    failure = _fail_if_errored(gateway, comparison)
+    if failure is not None:
+        return failure
+    ranking = gateway.get_rankings(comparison)[0]
+    print(ranking.describe())
+    for entry in ranking.top(arguments.top):
+        if arguments.scores:
+            print(f"{entry.rank:>3}. {entry.label}  ({entry.score:.6g})")
+        else:
+            print(f"{entry.rank:>3}. {entry.label}")
+    return 0
+
+
+def _command_compare(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    queries: List[dict] = []
+    for name in arguments.algorithms:
+        algorithm = get_algorithm(name)
+        parameters: Dict[str, object] = {}
+        if any(spec.name == "alpha" for spec in algorithm.spec.parameters):
+            parameters["alpha"] = arguments.alpha
+        if any(spec.name == "k" for spec in algorithm.spec.parameters):
+            parameters["k"] = arguments.k
+        queries.append(
+            {
+                "dataset_id": arguments.dataset,
+                "algorithm": algorithm.name,
+                "source": arguments.source if algorithm.is_personalized else None,
+                "parameters": parameters,
+            }
+        )
+    comparison = gateway.run_queries(queries, synchronous=True)
+    failure = _fail_if_errored(gateway, comparison)
+    if failure is not None:
+        return failure
+    table = gateway.get_comparison_table(
+        comparison,
+        k=arguments.top,
+        title=f"Top-{arguments.top} results for {arguments.source!r} on {arguments.dataset}",
+    )
+    print(table.to_text())
+    if arguments.logs:
+        print()
+        for line in gateway.get_logs(comparison):
+            print(line)
+    return 0
+
+
+def _command_cross_language(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    rankings = {}
+    for language in arguments.languages:
+        seed = FAKE_NEWS_TOPICS.get(language)
+        if seed is None:
+            print(f"skipping unknown language {language!r}", file=sys.stderr)
+            continue
+        dataset_id = f"{language}wiki-{arguments.snapshot_year}"
+        comparison = gateway.run_queries(
+            [
+                {
+                    "dataset_id": dataset_id,
+                    "algorithm": "cyclerank",
+                    "source": seed.reference,
+                    "parameters": {"k": arguments.k},
+                }
+            ],
+            synchronous=True,
+        )
+        failure = _fail_if_errored(gateway, comparison)
+        if failure is not None:
+            return failure
+        rankings[f"{seed.reference} ({language})"] = gateway.get_rankings(comparison)[0]
+    table = dataset_comparison(rankings, k=arguments.top)
+    print(table.to_text())
+    return 0
+
+
+def _command_serve(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
+    from .platform.restapi import RestApiServer
+
+    gateway.executor_pool.scale_to(arguments.workers)
+    server = RestApiServer(gateway, host=arguments.host, port=arguments.port)
+    host, port = server.start()
+    print(f"Serving the comparison API on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        while True:
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        return 0
+    finally:
+        server.stop()
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "algorithms": _command_algorithms,
+    "summary": _command_summary,
+    "run": _command_run,
+    "compare": _command_compare,
+    "cross-language": _command_cross_language,
+    "serve": _command_serve,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-relevance`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handler = _COMMANDS[arguments.command]
+    try:
+        with ApiGateway() as gateway:
+            return handler(gateway, arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Dataset catalog and synthetic dataset generators.
+
+The demo ships 50 pre-loaded datasets: WikiLinkGraphs snapshots (9 language
+editions × several yearly snapshots), the Amazon co-purchase graph and two
+Twitter interaction networks (cop27 and 8m).  The original data is crawled
+from production services and cannot be redistributed here, so this package
+generates *synthetic stand-ins* that preserve the structural properties the
+paper's evaluation relies on (see DESIGN.md §2 for the substitution
+rationale):
+
+* a layer of globally central hub nodes with very high in-degree,
+* topic communities whose members link to each other in both directions
+  (rich in short cycles),
+* asymmetric links from topical nodes to the hubs,
+* and a heavy-tailed background of filler nodes.
+
+All generators are deterministic for a given seed.  The
+:class:`~repro.datasets.catalog.DatasetCatalog` exposes every pre-loaded
+dataset by identifier (``"enwiki-2018"``, ``"amazon-copurchase"``,
+``"twitter-cop27"``, ...) and builds graphs lazily, caching them in memory.
+"""
+
+from __future__ import annotations
+
+from .amazon import AMAZON_REFERENCE_ITEMS, generate_amazon_graph
+from .catalog import DatasetCatalog, DatasetDescriptor, default_catalog
+from .seeds import (
+    AMAZON_COMMUNITIES,
+    AMAZON_POPULAR_ITEMS,
+    FAKE_NEWS_TOPICS,
+    WIKIPEDIA_GLOBAL_HUBS,
+    WIKIPEDIA_LANGUAGES,
+    WIKIPEDIA_SNAPSHOTS,
+    WIKIPEDIA_TOPICS,
+    TopicSeed,
+)
+from .twitter import TWITTER_DATASETS, generate_twitter_graph
+from .wikipedia import generate_wikilink_graph
+
+__all__ = [
+    "DatasetCatalog",
+    "DatasetDescriptor",
+    "default_catalog",
+    "generate_wikilink_graph",
+    "generate_amazon_graph",
+    "generate_twitter_graph",
+    "TopicSeed",
+    "WIKIPEDIA_TOPICS",
+    "WIKIPEDIA_GLOBAL_HUBS",
+    "WIKIPEDIA_LANGUAGES",
+    "WIKIPEDIA_SNAPSHOTS",
+    "FAKE_NEWS_TOPICS",
+    "AMAZON_COMMUNITIES",
+    "AMAZON_POPULAR_ITEMS",
+    "AMAZON_REFERENCE_ITEMS",
+    "TWITTER_DATASETS",
+]

@@ -1,0 +1,123 @@
+"""Synthetic Amazon co-purchase graph.
+
+The real dataset (Leskovec, Adamic & Huberman 2007) records, for each product,
+the products most frequently co-purchased with it ("Customers who bought X
+also bought Y"), yielding a directed graph over ~548k books, music CDs and
+DVDs.  The synthetic stand-in keeps the three structural features Table II of
+the paper exploits:
+
+* **genre communities** whose members recommend each other in both
+  directions (Tolkien volumes, dystopian classics, business books, ...),
+* **runaway bestsellers** (the Harry Potter series, The Da Vinci Code) that
+  receive co-purchase links from *every* genre but only link back within
+  their own series — the asymmetry that makes Personalized PageRank suggest
+  Harry Potter for "The Fellowship of the Ring" while CycleRank does not,
+* a long tail of **catalogue filler** items with a couple of co-purchase
+  links each.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from .._validation import require_non_negative_int
+from ..graph.digraph import DirectedGraph
+from .seeds import AMAZON_COMMUNITIES, AMAZON_POPULAR_ITEMS
+
+__all__ = ["generate_amazon_graph", "AMAZON_REFERENCE_ITEMS"]
+
+#: The two reference items of Table II and the community each belongs to.
+AMAZON_REFERENCE_ITEMS: Dict[str, str] = {
+    "1984": "dystopian-classics",
+    "The Fellowship of the Ring": "tolkien",
+}
+
+#: Default number of catalogue filler items.
+DEFAULT_NUM_FILLER_ITEMS = 600
+
+
+def _add_genre_communities(graph: DirectedGraph, rng: random.Random) -> None:
+    """Create each genre community with mostly reciprocated co-purchases."""
+    for members in AMAZON_COMMUNITIES.values():
+        for member in members:
+            graph.add_node(member)
+        for first in members:
+            for second in members:
+                if first == second:
+                    continue
+                if rng.random() < 0.75:
+                    graph.add_edge(first, second)
+                    if rng.random() < 0.85:
+                        graph.add_edge(second, first)
+
+
+def _add_bestseller_links(graph: DirectedGraph, rng: random.Random) -> None:
+    """Link every community item towards the bestsellers, without reciprocation."""
+    for popular in AMAZON_POPULAR_ITEMS:
+        graph.add_node(popular)
+    for members in AMAZON_COMMUNITIES.values():
+        for member in members:
+            for popular in AMAZON_POPULAR_ITEMS:
+                if member == popular or popular in members:
+                    # Items do not need an extra edge to a bestseller of their
+                    # own genre; the community step already connected them.
+                    continue
+                if rng.random() < 0.45:
+                    graph.add_edge(member, popular)
+
+
+def _add_filler_items(graph: DirectedGraph, num_filler: int, rng: random.Random) -> None:
+    """Create the catalogue long tail: each item co-purchased with a few others."""
+    filler_labels = [f"Catalogue item {index}" for index in range(num_filler)]
+    for label in filler_labels:
+        graph.add_node(label)
+    community_members: Tuple[str, ...] = tuple(
+        member for members in AMAZON_COMMUNITIES.values() for member in members
+    )
+    for label in filler_labels:
+        # Every catalogue item points at a handful of bestsellers...
+        for popular in AMAZON_POPULAR_ITEMS:
+            if rng.random() < 0.3:
+                graph.add_edge(label, popular)
+        # ...and at a couple of other items, rarely reciprocated.
+        for _ in range(rng.randint(1, 3)):
+            other = filler_labels[rng.randrange(num_filler)]
+            if other != label:
+                graph.add_edge(label, other)
+                if rng.random() < 0.1:
+                    graph.add_edge(other, label)
+        if rng.random() < 0.15:
+            graph.add_edge(label, rng.choice(community_members))
+
+
+def generate_amazon_graph(
+    *,
+    num_filler_items: Optional[int] = None,
+    seed: int = 0,
+) -> DirectedGraph:
+    """Generate the synthetic Amazon co-purchase graph.
+
+    Parameters
+    ----------
+    num_filler_items:
+        Number of catalogue long-tail items (default
+        :data:`DEFAULT_NUM_FILLER_ITEMS`).
+    seed:
+        Pseudo-random seed; the same arguments always produce the same graph.
+
+    Returns
+    -------
+    DirectedGraph
+        A graph named ``"amazon co-purchase"`` whose labels are product titles.
+    """
+    if num_filler_items is None:
+        num_filler = DEFAULT_NUM_FILLER_ITEMS
+    else:
+        num_filler = require_non_negative_int(num_filler_items, "num_filler_items")
+    rng = random.Random(("amazon", seed).__repr__())
+    graph = DirectedGraph(name="amazon co-purchase")
+    _add_genre_communities(graph, rng)
+    _add_bestseller_links(graph, rng)
+    _add_filler_items(graph, num_filler, rng)
+    return graph

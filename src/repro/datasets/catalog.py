@@ -1,0 +1,321 @@
+"""The catalog of pre-loaded datasets.
+
+The demo ships 50 pre-loaded datasets; :func:`default_catalog` reproduces
+that inventory with the synthetic generators of this package:
+
+* 36 WikiLinkGraphs snapshots — 9 language editions × 4 yearly snapshots;
+* 1 Amazon co-purchase graph plus 3 per-category variants (books, music,
+  DVD) generated at different sizes;
+* 2 Twitter interaction networks (cop27 and 8m) plus 2 smaller re-crawls;
+* 6 synthetic reference graphs (preferential attachment, hubs-and-spokes,
+  planted communities at two sizes each) used by the ablation benchmarks.
+
+Graphs are generated lazily on first access and cached, so listing the
+catalog is instantaneous while loading a dataset takes the generation cost
+exactly once.  Users can also register their own datasets — either an
+already-built :class:`DirectedGraph` or a file in one of the supported
+formats — which is the catalog-side half of the demo's "upload your own
+dataset" feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..exceptions import DatasetError, DatasetNotFoundError
+from ..graph.digraph import DirectedGraph
+from ..graph.generators import (
+    hub_and_spoke_graph,
+    preferential_attachment_graph,
+    reciprocal_communities_graph,
+)
+from ..io.registry import read_graph
+from .amazon import generate_amazon_graph
+from .seeds import WIKIPEDIA_LANGUAGES, WIKIPEDIA_SNAPSHOTS
+from .twitter import generate_twitter_graph
+from .wikipedia import generate_wikilink_graph
+
+__all__ = ["DatasetDescriptor", "DatasetCatalog", "default_catalog"]
+
+
+@dataclass(frozen=True)
+class DatasetDescriptor:
+    """Metadata and loader for one catalog dataset.
+
+    Attributes
+    ----------
+    dataset_id:
+        Unique identifier used in task parameters (e.g. ``"enwiki-2018"``).
+    family:
+        Dataset family: ``"wikipedia"``, ``"amazon"``, ``"twitter"``,
+        ``"synthetic"`` or ``"uploaded"``.
+    description:
+        One-line human-readable description shown in the dataset picker.
+    loader:
+        Zero-argument callable producing the :class:`DirectedGraph`.
+    tags:
+        Free-form tags (language code, snapshot, topic) used for filtering.
+    """
+
+    dataset_id: str
+    family: str
+    description: str
+    loader: Callable[[], DirectedGraph] = field(compare=False, repr=False)
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def load(self) -> DirectedGraph:
+        """Build (or rebuild) the dataset's graph."""
+        graph = self.loader()
+        if not isinstance(graph, DirectedGraph):
+            raise DatasetError(
+                f"loader for {self.dataset_id!r} returned {type(graph).__name__}, "
+                "expected DirectedGraph"
+            )
+        return graph
+
+
+class DatasetCatalog:
+    """A registry of datasets addressable by identifier, with lazy loading."""
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[str, DatasetDescriptor] = {}
+        self._cache: Dict[str, DirectedGraph] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, descriptor: DatasetDescriptor, *, replace: bool = False) -> None:
+        """Register a dataset descriptor.
+
+        Raises
+        ------
+        DatasetError
+            If the identifier is already taken and ``replace`` is ``False``.
+        """
+        if descriptor.dataset_id in self._descriptors and not replace:
+            raise DatasetError(
+                f"dataset {descriptor.dataset_id!r} is already registered; "
+                "pass replace=True to overwrite"
+            )
+        self._descriptors[descriptor.dataset_id] = descriptor
+        self._cache.pop(descriptor.dataset_id, None)
+
+    def register_graph(
+        self,
+        dataset_id: str,
+        graph: DirectedGraph,
+        *,
+        description: str = "",
+        family: str = "uploaded",
+        replace: bool = False,
+    ) -> DatasetDescriptor:
+        """Register an already-built graph (the "upload" path for in-memory data)."""
+        descriptor = DatasetDescriptor(
+            dataset_id=dataset_id,
+            family=family,
+            description=description or f"uploaded dataset {dataset_id}",
+            loader=lambda: graph,
+        )
+        self.register(descriptor, replace=replace)
+        self._cache[dataset_id] = graph
+        return descriptor
+
+    def register_file(
+        self,
+        dataset_id: str,
+        path: Union[str, Path],
+        *,
+        format: Optional[str] = None,
+        description: str = "",
+        replace: bool = False,
+    ) -> DatasetDescriptor:
+        """Register a dataset backed by a file in a supported format."""
+        path = Path(path)
+        descriptor = DatasetDescriptor(
+            dataset_id=dataset_id,
+            family="uploaded",
+            description=description or f"uploaded file {path.name}",
+            loader=lambda: read_graph(path, format=format, name=dataset_id),
+            tags={"path": str(path)},
+        )
+        self.register(descriptor, replace=replace)
+        return descriptor
+
+    def unregister(self, dataset_id: str) -> None:
+        """Remove a dataset from the catalog (no error if absent)."""
+        self._descriptors.pop(dataset_id, None)
+        self._cache.pop(dataset_id, None)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def describe(self, dataset_id: str) -> DatasetDescriptor:
+        """Return the descriptor of ``dataset_id`` (raises if unknown)."""
+        descriptor = self._descriptors.get(dataset_id)
+        if descriptor is None:
+            raise DatasetNotFoundError(dataset_id)
+        return descriptor
+
+    def load(self, dataset_id: str) -> DirectedGraph:
+        """Return the dataset's graph, building and caching it on first access."""
+        if dataset_id not in self._cache:
+            self._cache[dataset_id] = self.describe(dataset_id).load()
+        return self._cache[dataset_id]
+
+    def __contains__(self, dataset_id: object) -> bool:
+        return dataset_id in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self) -> Iterator[DatasetDescriptor]:
+        return iter(self.list())
+
+    def list(self, *, family: Optional[str] = None) -> List[DatasetDescriptor]:
+        """Return all descriptors (optionally filtered by family), sorted by id."""
+        descriptors = sorted(self._descriptors.values(), key=lambda d: d.dataset_id)
+        if family is not None:
+            descriptors = [d for d in descriptors if d.family == family]
+        return descriptors
+
+    def identifiers(self, *, family: Optional[str] = None) -> List[str]:
+        """Return all dataset identifiers (optionally filtered by family)."""
+        return [descriptor.dataset_id for descriptor in self.list(family=family)]
+
+    def families(self) -> List[str]:
+        """Return the distinct dataset families present in the catalog."""
+        return sorted({descriptor.family for descriptor in self._descriptors.values()})
+
+
+def _wikipedia_descriptors() -> List[DatasetDescriptor]:
+    descriptors = []
+    for language in WIKIPEDIA_LANGUAGES:
+        for snapshot in WIKIPEDIA_SNAPSHOTS:
+            year = snapshot.split("-")[0]
+            dataset_id = f"{language}wiki-{year}"
+            descriptors.append(
+                DatasetDescriptor(
+                    dataset_id=dataset_id,
+                    family="wikipedia",
+                    description=(
+                        f"Synthetic wikilink graph, {language} edition, snapshot {snapshot}"
+                    ),
+                    loader=(
+                        lambda language=language, snapshot=snapshot: generate_wikilink_graph(
+                            language, snapshot
+                        )
+                    ),
+                    tags={"language": language, "snapshot": snapshot},
+                )
+            )
+    return descriptors
+
+
+def _amazon_descriptors() -> List[DatasetDescriptor]:
+    sizes = {
+        "amazon-copurchase": 600,
+        "amazon-books": 450,
+        "amazon-music": 300,
+        "amazon-dvd": 200,
+    }
+    descriptors = []
+    for index, (dataset_id, num_filler) in enumerate(sizes.items()):
+        category = dataset_id.split("-", 1)[1]
+        descriptors.append(
+            DatasetDescriptor(
+                dataset_id=dataset_id,
+                family="amazon",
+                description=f"Synthetic Amazon co-purchase graph ({category})",
+                loader=(
+                    lambda num_filler=num_filler, index=index: generate_amazon_graph(
+                        num_filler_items=num_filler, seed=index
+                    )
+                ),
+                tags={"category": category},
+            )
+        )
+    return descriptors
+
+
+def _twitter_descriptors() -> List[DatasetDescriptor]:
+    crawls = {
+        "twitter-cop27": ("cop27", 300, 0),
+        "twitter-8m": ("8m", 300, 0),
+        "twitter-cop27-recrawl": ("cop27", 150, 1),
+        "twitter-8m-recrawl": ("8m", 150, 1),
+    }
+    descriptors = []
+    for dataset_id, (topic, num_casual, seed) in crawls.items():
+        descriptors.append(
+            DatasetDescriptor(
+                dataset_id=dataset_id,
+                family="twitter",
+                description=f"Synthetic Twitter interaction network about {topic}",
+                loader=(
+                    lambda topic=topic, num_casual=num_casual, seed=seed: generate_twitter_graph(
+                        topic, num_casual_users=num_casual, seed=seed
+                    )
+                ),
+                tags={"topic": topic},
+            )
+        )
+    return descriptors
+
+
+def _synthetic_descriptors() -> List[DatasetDescriptor]:
+    descriptors = [
+        DatasetDescriptor(
+            dataset_id="synthetic-pa-small",
+            family="synthetic",
+            description="Preferential-attachment graph, 300 nodes",
+            loader=lambda: preferential_attachment_graph(300, 3, seed=1, name="pa-small"),
+        ),
+        DatasetDescriptor(
+            dataset_id="synthetic-pa-large",
+            family="synthetic",
+            description="Preferential-attachment graph, 1500 nodes",
+            loader=lambda: preferential_attachment_graph(1500, 3, seed=2, name="pa-large"),
+        ),
+        DatasetDescriptor(
+            dataset_id="synthetic-hubs-small",
+            family="synthetic",
+            description="Hub-and-spoke graph, 10 hubs x 20 spokes",
+            loader=lambda: hub_and_spoke_graph(10, 20, hub_back_probability=0.1, seed=3,
+                                               name="hubs-small"),
+        ),
+        DatasetDescriptor(
+            dataset_id="synthetic-hubs-large",
+            family="synthetic",
+            description="Hub-and-spoke graph, 20 hubs x 50 spokes",
+            loader=lambda: hub_and_spoke_graph(20, 50, hub_back_probability=0.1, seed=4,
+                                               name="hubs-large"),
+        ),
+        DatasetDescriptor(
+            dataset_id="synthetic-communities-small",
+            family="synthetic",
+            description="Planted reciprocal communities, 6 x 15 nodes",
+            loader=lambda: reciprocal_communities_graph(6, 15, seed=5, name="communities-small"),
+        ),
+        DatasetDescriptor(
+            dataset_id="synthetic-communities-large",
+            family="synthetic",
+            description="Planted reciprocal communities, 10 x 30 nodes",
+            loader=lambda: reciprocal_communities_graph(10, 30, seed=6, name="communities-large"),
+        ),
+    ]
+    return descriptors
+
+
+def default_catalog() -> DatasetCatalog:
+    """Build the catalog of the 50 pre-loaded datasets."""
+    catalog = DatasetCatalog()
+    for descriptor in (
+        _wikipedia_descriptors()
+        + _amazon_descriptors()
+        + _twitter_descriptors()
+        + _synthetic_descriptors()
+    ):
+        catalog.register(descriptor)
+    return catalog

@@ -1,0 +1,415 @@
+"""Curated seed topic models for the synthetic datasets.
+
+A :class:`TopicSeed` describes one semantic neighbourhood of a graph: a
+reference node (the query node used in the paper's tables), the set of
+*core* nodes that are mutually related to it (these become reciprocally
+linked and therefore lie on short cycles), and a set of *satellite* nodes
+that the reference links to — or is linked from — without a strong mutual
+relationship (these receive probability mass from Personalized PageRank but
+little or no CycleRank score).
+
+The concrete article, product and account names reproduce the entities that
+appear in Tables I, II and III of the paper, so the regenerated tables are
+directly comparable with the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "TopicSeed",
+    "WIKIPEDIA_GLOBAL_HUBS",
+    "WIKIPEDIA_TOPICS",
+    "WIKIPEDIA_LANGUAGES",
+    "WIKIPEDIA_SNAPSHOTS",
+    "FAKE_NEWS_TOPICS",
+    "AMAZON_COMMUNITIES",
+    "AMAZON_POPULAR_ITEMS",
+    "TWITTER_COMMUNITIES",
+]
+
+
+@dataclass(frozen=True)
+class TopicSeed:
+    """One semantic neighbourhood used to grow a synthetic graph.
+
+    Attributes
+    ----------
+    reference:
+        The query node the paper builds its tables around.
+    core:
+        Nodes mutually related to the reference: they link to each other and
+        to the reference in both directions with high probability.
+    satellites:
+        Nodes the reference links *to* (or that link to the reference) without
+        a reciprocated relationship; they typically also receive links from
+        elsewhere in the graph, which is what makes Personalized PageRank
+        promote them.
+    """
+
+    reference: str
+    core: Tuple[str, ...]
+    satellites: Tuple[str, ...] = field(default_factory=tuple)
+
+    def all_nodes(self) -> List[str]:
+        """Return reference, core and satellite labels in a stable order."""
+        return [self.reference, *self.core, *self.satellites]
+
+
+# --------------------------------------------------------------------------- #
+# Wikipedia (wikilink) seeds
+# --------------------------------------------------------------------------- #
+
+#: Globally central articles: these are the pages with the highest in-degree
+#: in the English Wikipedia and they form the PageRank top-5 of Table I.  In
+#: the synthetic editions every other article links to them with high
+#: probability and they link back only rarely.
+WIKIPEDIA_GLOBAL_HUBS: Tuple[str, ...] = (
+    "United States",
+    "Animal",
+    "Arthropod",
+    "Association football",
+    "Insect",
+    "France",
+    "Germany",
+    "World War II",
+    "English language",
+    "The New York Times",
+    "London",
+    "India",
+)
+
+#: Topic neighbourhoods of the English edition used by Table I.
+WIKIPEDIA_TOPICS: Dict[str, TopicSeed] = {
+    "Freddie Mercury": TopicSeed(
+        reference="Freddie Mercury",
+        core=(
+            "Queen (band)",
+            "Brian May",
+            "Roger Taylor",
+            "John Deacon",
+            "Bohemian Rhapsody",
+            "A Night at the Opera",
+        ),
+        satellites=(
+            "The Freddie Mercury Tribute Concert",
+            "HIV/AIDS",
+            "Queen II",
+            "Zanzibar",
+            "Mary Austin",
+            "Rock music",
+        ),
+    ),
+    "Pasta": TopicSeed(
+        reference="Pasta",
+        core=(
+            "Italian cuisine",
+            "Spaghetti",
+            "Flour",
+            "Durum",
+            "Macaroni",
+            "Lasagne",
+        ),
+        satellites=(
+            "Italy",
+            "Bolognese sauce",
+            "Carbonara",
+            "Tomato sauce",
+            "Wheat",
+            "Semolina",
+        ),
+    ),
+    "Fake news": TopicSeed(
+        reference="Fake news",
+        core=(
+            "CNN",
+            "Facebook",
+            "United States presidential election, 2016",
+            "Propaganda",
+            "Social media",
+            "Post-truth politics",
+        ),
+        satellites=(
+            "Donald Trump",
+            "Journalism",
+            "Misinformation",
+            "Twitter",
+            "BuzzFeed",
+        ),
+    ),
+}
+
+#: Language editions provided by WikiLinkGraphs and used in Table III.
+WIKIPEDIA_LANGUAGES: Tuple[str, ...] = ("de", "en", "es", "fr", "it", "nl", "pl", "ru", "sv")
+
+#: Yearly snapshots provided for each language edition.
+WIKIPEDIA_SNAPSHOTS: Tuple[str, ...] = ("2018-03-01", "2013-03-01", "2008-03-01", "2003-03-01")
+
+#: Per-language "Fake news" neighbourhoods reproducing the entities of
+#: Table III.  The reference article title differs per language, and the
+#: related concepts differ as well — that cross-cultural difference is the
+#: point of the dataset-comparison use case.
+FAKE_NEWS_TOPICS: Dict[str, TopicSeed] = {
+    "de": TopicSeed(
+        reference="Fake News",
+        core=(
+            "Barack Obama",
+            "Tagesschau.de",
+            "Desinformation",
+            "Fake",
+            "Donald Trump",
+            "Lügenpresse",
+        ),
+        satellites=("Facebook", "Twitter", "Postfaktische Politik"),
+    ),
+    "en": TopicSeed(
+        reference="Fake news",
+        core=(
+            "CNN",
+            "Facebook",
+            "United States presidential election, 2016",
+            "Propaganda",
+            "Social media",
+            "Post-truth politics",
+        ),
+        satellites=("Donald Trump", "Journalism", "Misinformation"),
+    ),
+    "fr": TopicSeed(
+        reference="Fake news",
+        core=(
+            "Ère post-vérité",
+            "Donald Trump",
+            "Facebook",
+            "Hoax",
+            "Alex Jones (complotiste)",
+            "Désinformation",
+        ),
+        satellites=("Twitter", "Théorie du complot", "CNN"),
+    ),
+    "it": TopicSeed(
+        reference="Fake news",
+        core=(
+            "Disinformazione",
+            "Post-verità",
+            "Bufala",
+            "Debunker",
+            "Clickbait",
+            "Complottismo",
+        ),
+        satellites=("Facebook", "Donald Trump", "Giornalismo"),
+    ),
+    "nl": TopicSeed(
+        reference="Nepnieuws",
+        core=(
+            "Facebook",
+            "Journalistiek",
+            "Hoax",
+            "Desinformatie",
+            "Sociale media",
+        ),
+        satellites=("Donald Trump", "Twitter"),
+    ),
+    "pl": TopicSeed(
+        reference="Fake news",
+        core=(
+            "Dezinformacja",
+            "Propaganda",
+            "Media społecznościowe",
+            "Postprawda",
+            "Plotka",
+        ),
+        satellites=("Facebook", "Donald Trump", "Dziennikarstwo"),
+    ),
+    "es": TopicSeed(
+        reference="Fake news",
+        core=(
+            "Desinformación",
+            "Posverdad",
+            "Bulo",
+            "Propaganda",
+            "Redes sociales",
+        ),
+        satellites=("Facebook", "Donald Trump", "Periodismo"),
+    ),
+    "ru": TopicSeed(
+        reference="Фейковые новости",
+        core=(
+            "Дезинформация",
+            "Пропаганда",
+            "Социальные сети",
+            "Постправда",
+            "Жёлтая пресса",
+        ),
+        satellites=("Facebook", "Дональд Трамп"),
+    ),
+    "sv": TopicSeed(
+        reference="Falska nyheter",
+        core=(
+            "Desinformation",
+            "Propaganda",
+            "Sociala medier",
+            "Faktoid",
+            "Källkritik",
+        ),
+        satellites=("Facebook", "Donald Trump"),
+    ),
+}
+
+#: Per-language localisation of the music and food topics so that every
+#: language edition contains analogous neighbourhoods (needed for snapshots
+#: and for exercising the dataset-comparison use case beyond fake news).
+_LOCALIZED_EXTRA_TOPICS: Dict[str, Dict[str, TopicSeed]] = {
+    "en": {
+        "Freddie Mercury": WIKIPEDIA_TOPICS["Freddie Mercury"],
+        "Pasta": WIKIPEDIA_TOPICS["Pasta"],
+    },
+}
+
+
+def topics_for_language(language: str) -> Dict[str, TopicSeed]:
+    """Return every topic seed available for ``language``.
+
+    Every language gets its "Fake news" neighbourhood (Table III); the English
+    edition additionally gets the "Freddie Mercury" and "Pasta" neighbourhoods
+    used by Table I.  Other languages reuse the English music/food topics with
+    the same titles, mirroring the fact that most entities of Table I exist in
+    every large Wikipedia edition.
+    """
+    topics: Dict[str, TopicSeed] = {}
+    fake_news = FAKE_NEWS_TOPICS.get(language)
+    if fake_news is not None:
+        topics[fake_news.reference] = fake_news
+    extra = _LOCALIZED_EXTRA_TOPICS.get(language, _LOCALIZED_EXTRA_TOPICS["en"])
+    for name, seed in extra.items():
+        topics.setdefault(name, seed)
+    return topics
+
+
+# --------------------------------------------------------------------------- #
+# Amazon co-purchase seeds
+# --------------------------------------------------------------------------- #
+
+#: Genre communities of the co-purchase graph.  Within a community items are
+#: co-purchased in both directions; the first entry of each tuple is the
+#: representative reference item used in Table II when applicable.
+AMAZON_COMMUNITIES: Dict[str, Tuple[str, ...]] = {
+    "dystopian-classics": (
+        "1984",
+        "Animal Farm",
+        "Fahrenheit 451",
+        "The Catcher in the Rye",
+        "Brave New World",
+        "Lord of the Flies",
+        "To Kill a Mockingbird",
+        "The Great Gatsby",
+    ),
+    "tolkien": (
+        "The Fellowship of the Ring",
+        "The Hobbit",
+        "The Return of the King",
+        "The Silmarillion",
+        "The Two Towers",
+        "Unfinished Tales",
+    ),
+    "business": (
+        "Good to Great",
+        "Built to Last",
+        "Who Moved My Cheese?",
+        "The 7 Habits of Highly Effective People",
+        "First, Break All the Rules",
+    ),
+    "psychology-reference": (
+        "DSM-IV",
+        "Diagnostic Interview",
+        "Abnormal Psychology",
+        "Clinical Handbook of Psychological Disorders",
+    ),
+    "harry-potter": (
+        "Harry Potter (Book 1)",
+        "Harry Potter (Book 2)",
+        "Harry Potter (Book 3)",
+        "Harry Potter (Book 4)",
+        "Harry Potter (Book 5)",
+    ),
+}
+
+#: Items that attract co-purchase links from every genre ("Customers who
+#: bought X also bought Y" with Y a runaway bestseller) without linking back.
+#: This asymmetry is what makes Personalized PageRank surface the Harry
+#: Potter series for a Tolkien query in Table II while CycleRank does not.
+AMAZON_POPULAR_ITEMS: Tuple[str, ...] = (
+    "Harry Potter (Book 1)",
+    "Harry Potter (Book 2)",
+    "Harry Potter (Book 3)",
+    "The Da Vinci Code",
+    "Good to Great",
+    "The Catcher in the Rye",
+    "DSM-IV",
+    "The Great Gatsby",
+    "Lord of the Flies",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Twitter interaction seeds
+# --------------------------------------------------------------------------- #
+
+#: Communities of the two Twitter crawls (cop27 and 8m).  Each community is a
+#: group of accounts that retweet/reply/quote/mention each other heavily; the
+#: first member doubles as the usual query account in the examples.
+TWITTER_COMMUNITIES: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "cop27": {
+        "climate-activists": (
+            "@climate_voice",
+            "@fridays_future",
+            "@green_marta",
+            "@carbon_watch",
+            "@youth4climate",
+            "@ecojustice_now",
+        ),
+        "delegations": (
+            "@un_climate",
+            "@cop27_official",
+            "@eu_delegation",
+            "@egypt_presidency",
+            "@island_states",
+        ),
+        "journalists": (
+            "@climate_desk",
+            "@env_reporter",
+            "@energy_news",
+            "@cop_tracker",
+        ),
+        "celebrities": (
+            "@global_celebrity",
+            "@famous_activist",
+            "@world_leader",
+        ),
+    },
+    "8m": {
+        "feminist-collectives": (
+            "@8m_assembly",
+            "@ni_una_menos",
+            "@huelga_feminista",
+            "@mujeres_en_lucha",
+            "@feminist_strike",
+        ),
+        "unions": (
+            "@union_general",
+            "@trabajadoras",
+            "@care_workers",
+        ),
+        "institutions": (
+            "@equality_ministry",
+            "@city_council",
+            "@un_women",
+        ),
+        "celebrities": (
+            "@global_celebrity",
+            "@famous_artist",
+            "@tv_presenter",
+        ),
+    },
+}

@@ -1,0 +1,108 @@
+"""Synthetic Twitter interaction networks (cop27 and 8m).
+
+The paper's Twitter datasets contain one node per user who tweeted about a
+topic (the COP27 climate conference; the 8th of March, International Women's
+Day) and an edge whenever one user interacted with another (retweet, reply,
+quote or mention).  The synthetic stand-in models:
+
+* **thematic communities** (activists, institutions, journalists, ...) whose
+  members interact with each other frequently and mostly reciprocally,
+* **celebrity accounts** mentioned by everyone but rarely replying — the
+  high-in-degree nodes that dominate global rankings,
+* a long tail of **casual participants** who retweet a couple of popular
+  accounts and interact with one or two peers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from .._validation import require_non_negative_int, require_one_of
+from ..graph.digraph import DirectedGraph
+from .seeds import TWITTER_COMMUNITIES
+
+__all__ = ["generate_twitter_graph", "TWITTER_DATASETS"]
+
+#: The Twitter crawls provided by the demo.
+TWITTER_DATASETS: Tuple[str, ...] = tuple(sorted(TWITTER_COMMUNITIES))
+
+#: Default number of casual participant accounts.
+DEFAULT_NUM_CASUAL_USERS = 300
+
+
+def generate_twitter_graph(
+    topic: str = "cop27",
+    *,
+    num_casual_users: Optional[int] = None,
+    seed: int = 0,
+) -> DirectedGraph:
+    """Generate a synthetic Twitter interaction network about ``topic``.
+
+    Parameters
+    ----------
+    topic:
+        ``"cop27"`` or ``"8m"`` — the two crawls shipped with the demo.
+    num_casual_users:
+        Number of casual participant accounts (default
+        :data:`DEFAULT_NUM_CASUAL_USERS`).
+    seed:
+        Pseudo-random seed; the same arguments always produce the same graph.
+
+    Returns
+    -------
+    DirectedGraph
+        A graph named ``"twitter <topic>"`` whose labels are account handles.
+    """
+    require_one_of(topic, "topic", TWITTER_DATASETS)
+    if num_casual_users is None:
+        num_casual = DEFAULT_NUM_CASUAL_USERS
+    else:
+        num_casual = require_non_negative_int(num_casual_users, "num_casual_users")
+    rng = random.Random(("twitter", topic, seed).__repr__())
+    communities = TWITTER_COMMUNITIES[topic]
+    graph = DirectedGraph(name=f"twitter {topic}")
+
+    celebrity_handles = communities.get("celebrities", ())
+    # Communities: frequent, mostly reciprocated interactions.
+    for community_name, handles in communities.items():
+        for handle in handles:
+            graph.add_node(handle)
+        for first in handles:
+            for second in handles:
+                if first == second:
+                    continue
+                if rng.random() < 0.65:
+                    graph.add_edge(first, second)
+                    if rng.random() < (0.2 if community_name == "celebrities" else 0.75):
+                        graph.add_edge(second, first)
+    # Cross-community interactions: activists mention institutions and
+    # celebrities; celebrities almost never answer.
+    all_handles = [handle for handles in communities.values() for handle in handles]
+    for handle in all_handles:
+        for celebrity in celebrity_handles:
+            if handle != celebrity and rng.random() < 0.5:
+                graph.add_edge(handle, celebrity)
+        for other in all_handles:
+            if handle != other and rng.random() < 0.1:
+                graph.add_edge(handle, other)
+
+    # Casual participants: retweet celebrities and a couple of peers.
+    casual_handles = [f"@{topic}_user{index}" for index in range(num_casual)]
+    for handle in casual_handles:
+        graph.add_node(handle)
+    for handle in casual_handles:
+        for celebrity in celebrity_handles:
+            if rng.random() < 0.4:
+                graph.add_edge(handle, celebrity)
+        core_target = all_handles[rng.randrange(len(all_handles))]
+        graph.add_edge(handle, core_target)
+        if rng.random() < 0.2:
+            graph.add_edge(core_target, handle)
+        for _ in range(rng.randint(0, 2)):
+            peer = casual_handles[rng.randrange(num_casual)]
+            if peer != handle:
+                graph.add_edge(handle, peer)
+                if rng.random() < 0.25:
+                    graph.add_edge(peer, handle)
+    return graph

@@ -1,0 +1,254 @@
+"""Synthetic WikiLinkGraphs: wikilink snapshots per language edition and year.
+
+The real WikiLinkGraphs dataset (Consonni, Laniado & Montresor, ICWSM 2019)
+contains the full link graph of nine Wikipedia language editions at yearly
+snapshots.  This generator produces a scaled-down synthetic stand-in with the
+three structural ingredients the paper's evaluation depends on:
+
+1. **Global hubs** — articles like "United States" that almost every other
+   article links to and that rarely link back.  They dominate the global
+   PageRank ranking (Table I, first column) and attract Personalized
+   PageRank mass regardless of the query node.
+2. **Topic neighbourhoods** — the curated seeds of
+   :mod:`repro.datasets.seeds`: a reference article, a core of mutually
+   linked related articles (rich in short cycles, hence high CycleRank), and
+   satellites the reference points to without reciprocation (they collect
+   PPR mass but no CycleRank score).
+3. **Filler articles** — a background of ordinary articles linking to hubs,
+   to a few random articles and occasionally into the topic neighbourhoods,
+   giving the graph its heavy-tailed in-degree distribution.
+
+Different language editions contain different "Fake news" neighbourhoods
+(Table III) and different sizes; earlier snapshots are smaller, emulating
+Wikipedia's growth over time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from .._validation import require_non_negative_int, require_one_of
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DirectedGraph
+from .seeds import (
+    WIKIPEDIA_GLOBAL_HUBS,
+    WIKIPEDIA_LANGUAGES,
+    WIKIPEDIA_SNAPSHOTS,
+    TopicSeed,
+    topics_for_language,
+)
+
+__all__ = ["generate_wikilink_graph", "edition_size_factor", "snapshot_size_factor"]
+
+#: Relative sizes of the language editions (English is the largest).
+_LANGUAGE_SCALE: Dict[str, float] = {
+    "en": 1.0,
+    "de": 0.8,
+    "fr": 0.75,
+    "es": 0.7,
+    "it": 0.65,
+    "ru": 0.65,
+    "nl": 0.55,
+    "pl": 0.55,
+    "sv": 0.5,
+}
+
+#: Relative sizes of the yearly snapshots (Wikipedia grows over time).
+_SNAPSHOT_SCALE: Dict[str, float] = {
+    "2018-03-01": 1.0,
+    "2013-03-01": 0.7,
+    "2008-03-01": 0.45,
+    "2003-03-01": 0.2,
+}
+
+#: Default number of background (filler) articles for the English 2018 edition.
+DEFAULT_NUM_FILLER_ARTICLES = 400
+
+
+def edition_size_factor(language: str) -> float:
+    """Return the relative size of a language edition (1.0 for English)."""
+    require_one_of(language, "language", WIKIPEDIA_LANGUAGES)
+    return _LANGUAGE_SCALE[language]
+
+
+def snapshot_size_factor(snapshot: str) -> float:
+    """Return the relative size of a yearly snapshot (1.0 for 2018-03-01)."""
+    require_one_of(snapshot, "snapshot", WIKIPEDIA_SNAPSHOTS)
+    return _SNAPSHOT_SCALE[snapshot]
+
+
+def _add_hub_layer(graph: DirectedGraph, rng: random.Random) -> None:
+    """Create the hub articles and their sparse mutual links."""
+    for hub in WIKIPEDIA_GLOBAL_HUBS:
+        graph.add_node(hub)
+    for hub in WIKIPEDIA_GLOBAL_HUBS:
+        for other in WIKIPEDIA_GLOBAL_HUBS:
+            if hub != other and rng.random() < 0.3:
+                graph.add_edge(hub, other)
+
+
+def _link_article_to_hubs(
+    graph: DirectedGraph,
+    article: str,
+    rng: random.Random,
+    *,
+    out_probability: float = 0.5,
+    back_probability: float = 0.02,
+) -> None:
+    """Link an article into the hub layer (mostly one-directional).
+
+    The first five hubs (the PageRank top-5 of Table I) receive links with the
+    full probability; the remaining hubs with roughly half of it, so the
+    global PageRank ordering of the synthetic edition mirrors the paper's.
+    """
+    for hub_index, hub in enumerate(WIKIPEDIA_GLOBAL_HUBS):
+        if article == hub:
+            continue
+        probability = out_probability if hub_index < 5 else out_probability * 0.45
+        if rng.random() < probability:
+            graph.add_edge(article, hub)
+            if rng.random() < back_probability:
+                graph.add_edge(hub, article)
+
+
+def _add_topic_neighbourhood(
+    graph: DirectedGraph,
+    seed: TopicSeed,
+    rng: random.Random,
+    *,
+    scale: float,
+) -> None:
+    """Create a topic neighbourhood: reference, core (reciprocal), satellites."""
+    core = list(seed.core)
+    satellites = list(seed.satellites)
+    # Older/smaller editions keep a prefix of the neighbourhood, never fewer
+    # than three core members so the tables remain meaningful.
+    core_keep = max(3, int(round(len(core) * scale)))
+    satellite_keep = max(2, int(round(len(satellites) * scale))) if satellites else 0
+    core = core[:core_keep]
+    satellites = satellites[:satellite_keep]
+
+    reference = graph.add_node(seed.reference)
+    core_ids = [graph.add_node(label) for label in core]
+    satellite_ids = [graph.add_node(label) for label in satellites]
+
+    # Reference <-> core: strong mutual relationship (short cycles).
+    for core_id in core_ids:
+        graph.add_edge(reference, core_id)
+        graph.add_edge(core_id, reference)
+    # Core <-> core: dense, mostly reciprocated.
+    for first in core_ids:
+        for second in core_ids:
+            if first != second and rng.random() < 0.7:
+                graph.add_edge(first, second)
+                if rng.random() < 0.8:
+                    graph.add_edge(second, first)
+    # Reference -> satellites without reciprocation: related-looking pages the
+    # reference links to, but which do not link back (no cycles through them).
+    for satellite_id in satellite_ids:
+        graph.add_edge(reference, satellite_id)
+    # Core -> satellites: the rest of the neighbourhood also links to the
+    # satellites, feeding them two-hop Personalized PageRank mass.
+    for core_id in core_ids:
+        for satellite_id in satellite_ids:
+            if rng.random() < 0.6:
+                graph.add_edge(core_id, satellite_id)
+    # Everything in the neighbourhood links out to the global hubs, but less
+    # densely than filler articles do: topical pages devote most of their
+    # links to their own neighbourhood.
+    for label in [seed.reference, *core, *satellites]:
+        _link_article_to_hubs(graph, label, rng, out_probability=0.3)
+
+
+def _add_filler_articles(
+    graph: DirectedGraph,
+    language: str,
+    num_filler: int,
+    rng: random.Random,
+    topic_seeds: Dict[str, TopicSeed],
+) -> None:
+    """Create the background articles and their heavy-tailed linking."""
+    satellite_labels = [
+        label for seed in topic_seeds.values() for label in seed.satellites
+        if graph.has_label(label)
+    ]
+    reference_labels = [
+        seed.reference for seed in topic_seeds.values() if graph.has_label(seed.reference)
+    ]
+    filler_labels = [f"{language}:Article {index}" for index in range(num_filler)]
+    for label in filler_labels:
+        graph.add_node(label)
+    for index, label in enumerate(filler_labels):
+        _link_article_to_hubs(graph, label, rng, out_probability=0.45)
+        # A few links among filler articles, occasionally reciprocated, so the
+        # background is not a pure DAG.
+        for _ in range(rng.randint(1, 4)):
+            other = filler_labels[rng.randrange(num_filler)]
+            if other != label:
+                graph.add_edge(label, other)
+                if rng.random() < 0.15:
+                    graph.add_edge(other, label)
+        # Filler articles mention popular satellite pages (e.g. HIV/AIDS,
+        # Donald Trump) far more often than they mention the topical
+        # reference articles, giving satellites their high global in-degree.
+        if satellite_labels and rng.random() < 0.35:
+            graph.add_edge(label, rng.choice(satellite_labels))
+        if reference_labels and rng.random() < 0.03:
+            graph.add_edge(label, rng.choice(reference_labels))
+
+
+def generate_wikilink_graph(
+    language: str = "en",
+    snapshot: str = "2018-03-01",
+    *,
+    num_filler_articles: Optional[int] = None,
+    seed: int = 0,
+) -> DirectedGraph:
+    """Generate a synthetic wikilink graph for one language edition and snapshot.
+
+    Parameters
+    ----------
+    language:
+        One of the nine WikiLinkGraphs language codes
+        (``de en es fr it nl pl ru sv``).
+    snapshot:
+        One of the yearly snapshots (``2018-03-01``, ``2013-03-01``,
+        ``2008-03-01``, ``2003-03-01``).
+    num_filler_articles:
+        Number of background articles before scaling; defaults to
+        :data:`DEFAULT_NUM_FILLER_ARTICLES` scaled by the edition and snapshot
+        factors.
+    seed:
+        Pseudo-random seed; the same arguments always produce the same graph.
+
+    Returns
+    -------
+    DirectedGraph
+        A graph named ``"<language>wiki <snapshot>"`` whose labels are article
+        titles.
+    """
+    require_one_of(language, "language", WIKIPEDIA_LANGUAGES)
+    require_one_of(snapshot, "snapshot", WIKIPEDIA_SNAPSHOTS)
+    scale = edition_size_factor(language) * snapshot_size_factor(snapshot)
+    if num_filler_articles is None:
+        num_filler = int(round(DEFAULT_NUM_FILLER_ARTICLES * scale))
+    else:
+        num_filler = require_non_negative_int(num_filler_articles, "num_filler_articles")
+    if num_filler < 0:
+        raise InvalidParameterError("num_filler_articles must be non-negative")
+
+    # Independent seeds per (language, snapshot) so editions differ but remain
+    # individually reproducible.
+    rng = random.Random((seed, language, snapshot).__repr__())
+    graph = DirectedGraph(name=f"{language}wiki {snapshot}")
+    _add_hub_layer(graph, rng)
+    topic_seeds = topics_for_language(language)
+    # Topic neighbourhoods shrink with the snapshot age (articles did not yet
+    # exist) but not with the edition size: every large-enough edition covers
+    # the whole neighbourhood, as in the real WikiLinkGraphs data.
+    topic_scale = max(snapshot_size_factor(snapshot), 0.4)
+    for topic_seed in topic_seeds.values():
+        _add_topic_neighbourhood(graph, topic_seed, rng, scale=topic_scale)
+    _add_filler_articles(graph, language, num_filler, rng, topic_seeds)
+    return graph

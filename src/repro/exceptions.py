@@ -1,0 +1,157 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` raised by argument
+validation) propagate normally where appropriate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "GraphFormatError",
+    "DatasetError",
+    "DatasetNotFoundError",
+    "AlgorithmError",
+    "AlgorithmNotFoundError",
+    "InvalidParameterError",
+    "ConvergenceError",
+    "PlatformError",
+    "TaskError",
+    "TaskNotFoundError",
+    "ExecutorError",
+    "StorageError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or manipulation."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node (by id or label) is not present in a graph.
+
+    Inherits from :class:`KeyError` so that mapping-style call sites keep
+    working, while still being catchable as a :class:`GraphError`.
+    """
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError.__str__ uses repr of args; be friendlier.
+        return f"node not found in graph: {self.node!r}"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge is not present in a graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__((source, target))
+        self.source = source
+        self.target = target
+
+    def __str__(self) -> str:
+        return f"edge not found in graph: {self.source!r} -> {self.target!r}"
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph file cannot be parsed or written.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number where parsing failed, when known.
+    """
+
+    def __init__(self, message: str, *, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DatasetError(ReproError):
+    """Base class for dataset-catalog errors."""
+
+
+class DatasetNotFoundError(DatasetError, KeyError):
+    """Raised when a dataset identifier is not present in the catalog."""
+
+    def __init__(self, dataset_id: str) -> None:
+        super().__init__(dataset_id)
+        self.dataset_id = dataset_id
+
+    def __str__(self) -> str:
+        return f"dataset not found in catalog: {self.dataset_id!r}"
+
+
+class AlgorithmError(ReproError):
+    """Base class for algorithm execution errors."""
+
+
+class AlgorithmNotFoundError(AlgorithmError, KeyError):
+    """Raised when an algorithm name is not present in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"algorithm not registered: {self.name!r}"
+
+
+class InvalidParameterError(AlgorithmError, ValueError):
+    """Raised when an algorithm or platform parameter is invalid."""
+
+
+class ConvergenceError(AlgorithmError):
+    """Raised when an iterative algorithm fails to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last observed residual (L1 change between iterations), when known.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class PlatformError(ReproError):
+    """Base class for platform (gateway / scheduler / executor) errors."""
+
+
+class TaskError(PlatformError):
+    """Raised when a task cannot be built, scheduled, or executed."""
+
+
+class TaskNotFoundError(TaskError, KeyError):
+    """Raised when a task or query-set identifier is unknown."""
+
+    def __init__(self, task_id: str) -> None:
+        super().__init__(task_id)
+        self.task_id = task_id
+
+    def __str__(self) -> str:
+        return f"task not found: {self.task_id!r}"
+
+
+class ExecutorError(PlatformError):
+    """Raised when an executor node fails while running a task."""
+
+
+class StorageError(PlatformError):
+    """Raised when the datastore cannot read or write an object."""

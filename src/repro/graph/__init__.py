@@ -1,0 +1,112 @@
+"""Directed-graph substrate used by every relevance algorithm in the library.
+
+The central type is :class:`~repro.graph.digraph.DirectedGraph`, a mutable
+directed graph with labelled nodes, designed for the workloads of the paper
+(wikilink networks, co-purchase graphs, interaction networks).  For numeric
+algorithms that want vectorised access, :class:`~repro.graph.csr.CSRGraph`
+provides an immutable compressed-sparse-row view that converts losslessly to
+and from :class:`DirectedGraph` and to a :mod:`scipy.sparse` matrix.
+
+Supporting modules:
+
+``builder``
+    Incremental :class:`GraphBuilder` used by the file-format readers and the
+    synthetic dataset generators.
+``views``
+    Structure-sharing transformations: transpose, subgraph extraction,
+    relabelling, simplification (removal of self loops and parallel edges).
+``components``
+    Strongly / weakly connected components (iterative Tarjan), condensation.
+``traversal``
+    BFS/DFS orders, reachability sets, unweighted shortest path lengths.
+``analysis``
+    Degree statistics, density, reciprocity, degree distributions.
+``generators``
+    Deterministic synthetic graph families used by tests and ablations.
+"""
+
+from __future__ import annotations
+
+from .analysis import (
+    degree_histogram,
+    density,
+    graph_summary,
+    reciprocity,
+)
+from .builder import GraphBuilder
+from .components import (
+    condensation,
+    is_strongly_connected,
+    is_weakly_connected,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from .csr import CSRGraph
+from .digraph import DirectedGraph, Edge
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    hub_and_spoke_graph,
+    layered_dag,
+    path_graph,
+    preferential_attachment_graph,
+    reciprocal_communities_graph,
+    star_graph,
+)
+from .traversal import (
+    bfs_order,
+    bfs_tree,
+    dfs_order,
+    descendants,
+    ancestors,
+    shortest_path_lengths,
+)
+from .views import (
+    relabeled,
+    reversed_view,
+    simplified,
+    subgraph,
+    transpose,
+)
+
+__all__ = [
+    "DirectedGraph",
+    "Edge",
+    "CSRGraph",
+    "GraphBuilder",
+    # views
+    "transpose",
+    "reversed_view",
+    "subgraph",
+    "relabeled",
+    "simplified",
+    # components
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "condensation",
+    # traversal
+    "bfs_order",
+    "bfs_tree",
+    "dfs_order",
+    "descendants",
+    "ancestors",
+    "shortest_path_lengths",
+    # analysis
+    "density",
+    "reciprocity",
+    "degree_histogram",
+    "graph_summary",
+    # generators
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "gnp_random_graph",
+    "preferential_attachment_graph",
+    "hub_and_spoke_graph",
+    "reciprocal_communities_graph",
+    "layered_dag",
+]

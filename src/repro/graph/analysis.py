@@ -1,0 +1,128 @@
+"""Descriptive statistics over directed graphs.
+
+Used by the dataset catalog (each pre-loaded dataset carries a summary), the
+text Web UI (dataset cards) and the dataset-comparison use case of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .components import strongly_connected_components, weakly_connected_components
+from .digraph import DirectedGraph
+
+__all__ = [
+    "density",
+    "reciprocity",
+    "degree_histogram",
+    "top_nodes_by_degree",
+    "GraphSummary",
+    "graph_summary",
+]
+
+
+def density(graph: DirectedGraph) -> float:
+    """Return the edge density ``m / (n * (n - 1))`` of a directed graph.
+
+    Graphs with fewer than two nodes have density 0 by convention.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges() / (n * (n - 1))
+
+
+def reciprocity(graph: DirectedGraph) -> float:
+    """Return the fraction of edges whose reverse edge also exists.
+
+    Reciprocity is the single strongest structural predictor of where
+    CycleRank and Personalized PageRank diverge: CycleRank only rewards nodes
+    connected to the reference by paths in *both* directions.
+    """
+    m = graph.number_of_edges()
+    if m == 0:
+        return 0.0
+    reciprocated = sum(
+        1 for edge in graph.edges() if graph.has_edge(edge.target, edge.source)
+    )
+    return reciprocated / m
+
+
+def degree_histogram(graph: DirectedGraph, *, direction: str = "in") -> Dict[int, int]:
+    """Return a ``{degree: count}`` histogram of in- or out-degrees."""
+    if direction not in ("in", "out"):
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    degrees = graph.in_degrees() if direction == "in" else graph.out_degrees()
+    histogram: Dict[int, int] = {}
+    for degree in degrees:
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def top_nodes_by_degree(
+    graph: DirectedGraph,
+    k: int = 10,
+    *,
+    direction: str = "in",
+) -> List[Tuple[str, int]]:
+    """Return the ``k`` nodes with the highest in- or out-degree as (label, degree)."""
+    if direction not in ("in", "out"):
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    degrees = graph.in_degrees() if direction == "in" else graph.out_degrees()
+    ranked = sorted(range(graph.number_of_nodes()), key=lambda u: (-degrees[u], u))
+    return [(graph.label_of(u), degrees[u]) for u in ranked[:k]]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A compact structural summary of a directed graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    density: float
+    reciprocity: float
+    num_self_loops: int
+    max_in_degree: int
+    max_out_degree: int
+    num_weakly_connected_components: int
+    num_strongly_connected_components: int
+    largest_scc_size: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the summary as a plain dictionary (for JSON serialisation)."""
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "reciprocity": self.reciprocity,
+            "num_self_loops": self.num_self_loops,
+            "max_in_degree": self.max_in_degree,
+            "max_out_degree": self.max_out_degree,
+            "num_weakly_connected_components": self.num_weakly_connected_components,
+            "num_strongly_connected_components": self.num_strongly_connected_components,
+            "largest_scc_size": self.largest_scc_size,
+        }
+
+
+def graph_summary(graph: DirectedGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    in_degrees = graph.in_degrees()
+    out_degrees = graph.out_degrees()
+    sccs = strongly_connected_components(graph)
+    wccs = weakly_connected_components(graph)
+    return GraphSummary(
+        name=graph.name,
+        num_nodes=graph.number_of_nodes(),
+        num_edges=graph.number_of_edges(),
+        density=density(graph),
+        reciprocity=reciprocity(graph),
+        num_self_loops=len(graph.self_loops()),
+        max_in_degree=max(in_degrees, default=0),
+        max_out_degree=max(out_degrees, default=0),
+        num_weakly_connected_components=len(wccs),
+        num_strongly_connected_components=len(sccs),
+        largest_scc_size=max((len(c) for c in sccs), default=0),
+    )

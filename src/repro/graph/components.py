@@ -1,0 +1,156 @@
+"""Connected components of directed graphs.
+
+CycleRank only ever assigns a positive score to nodes in the same strongly
+connected component (SCC) as the reference node — a cycle through ``r`` and
+``i`` requires a path in both directions — so SCC computation is both a
+useful pre-filter and the basis of several property tests.
+
+The SCC implementation is an iterative version of Tarjan's algorithm (no
+recursion, so it works on graphs far deeper than Python's recursion limit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .digraph import DirectedGraph, NodeRef
+
+__all__ = [
+    "strongly_connected_components",
+    "strongly_connected_component_of",
+    "weakly_connected_components",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "condensation",
+]
+
+
+def strongly_connected_components(graph: DirectedGraph) -> List[Set[int]]:
+    """Return the strongly connected components of ``graph``.
+
+    The components are returned as a list of sets of node ids, in reverse
+    topological order of the condensation (a property of Tarjan's algorithm:
+    a component is emitted only after every component it can reach).
+    """
+    n = graph.number_of_nodes()
+    successors = graph.successor_lists()
+
+    index_counter = 0
+    indices: List[int] = [-1] * n
+    lowlink: List[int] = [0] * n
+    on_stack: List[bool] = [False] * n
+    stack: List[int] = []
+    components: List[Set[int]] = []
+
+    for root in range(n):
+        if indices[root] != -1:
+            continue
+        # Each work-stack entry is (node, iterator position into successors).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, position = work[-1]
+            if position == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            succ = successors[node]
+            while position < len(succ):
+                neighbour = succ[position]
+                position += 1
+                if indices[neighbour] == -1:
+                    work[-1] = (node, position)
+                    work.append((neighbour, 0))
+                    advanced = True
+                    break
+                if on_stack[neighbour]:
+                    lowlink[node] = min(lowlink[node], indices[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def strongly_connected_component_of(graph: DirectedGraph, ref: NodeRef) -> Set[int]:
+    """Return the SCC containing the node ``ref``."""
+    node = graph.resolve(ref)
+    for component in strongly_connected_components(graph):
+        if node in component:
+            return component
+    # Unreachable: every node belongs to exactly one SCC.
+    return {node}
+
+
+def weakly_connected_components(graph: DirectedGraph) -> List[Set[int]]:
+    """Return the weakly connected components (ignoring edge direction)."""
+    n = graph.number_of_nodes()
+    seen = [False] * n
+    components: List[Set[int]] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        component: Set[int] = set()
+        frontier = [root]
+        seen[root] = True
+        while frontier:
+            node = frontier.pop()
+            component.add(node)
+            for neighbour in graph.successors(node) | graph.predecessors(node):
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    frontier.append(neighbour)
+        components.append(component)
+    return components
+
+
+def is_strongly_connected(graph: DirectedGraph) -> bool:
+    """Return ``True`` if the graph has a single strongly connected component."""
+    if graph.number_of_nodes() == 0:
+        return True
+    return len(strongly_connected_components(graph)) == 1
+
+
+def is_weakly_connected(graph: DirectedGraph) -> bool:
+    """Return ``True`` if the graph has a single weakly connected component."""
+    if graph.number_of_nodes() == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def condensation(graph: DirectedGraph) -> Tuple[DirectedGraph, Dict[int, int]]:
+    """Contract each SCC into a single node.
+
+    Returns
+    -------
+    (dag, membership):
+        ``dag`` is the condensation graph (always acyclic, nodes labelled
+        ``"scc<i>"``); ``membership`` maps each original node id to its
+        condensation node id.
+    """
+    components = strongly_connected_components(graph)
+    membership: Dict[int, int] = {}
+    dag = DirectedGraph(name=f"{graph.name}-condensation")
+    for component_id, component in enumerate(components):
+        dag.add_node(f"scc{component_id}")
+        for node in component:
+            membership[node] = component_id
+    for edge in graph.edges():
+        source_component = membership[edge.source]
+        target_component = membership[edge.target]
+        if source_component != target_component:
+            dag.add_edge(source_component, target_component)
+    return dag, membership

@@ -1,0 +1,256 @@
+"""Immutable compressed-sparse-row (CSR) representation of a directed graph.
+
+The numerical algorithms (PageRank, Personalized PageRank, CheiRank) operate
+on the adjacency structure as arrays.  :class:`CSRGraph` stores the graph as
+the classic ``indptr`` / ``indices`` pair (row = source node, columns =
+successors) together with the node labels, and converts to a
+:class:`scipy.sparse.csr_matrix` on demand.
+
+A :class:`CSRGraph` is a frozen snapshot: mutating the originating
+:class:`~repro.graph.digraph.DirectedGraph` afterwards does not affect it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError, NodeNotFoundError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Read-only CSR adjacency structure with labels.
+
+    Parameters
+    ----------
+    indptr:
+        Array of length ``n + 1``; successors of node ``u`` live in
+        ``indices[indptr[u]:indptr[u + 1]]``.
+    indices:
+        Array of length ``m`` holding successor node ids.
+    labels:
+        Optional display labels, indexed by node id.
+    name:
+        Optional graph name.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_labels", "_label_index", "name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise GraphError("indptr must start with 0 and be non-empty")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1] ({int(indptr[-1])}) must equal len(indices) ({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        num_nodes = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_nodes):
+            raise GraphError("indices contain node ids outside [0, n)")
+        self._indptr = indptr
+        self._indices = indices
+        if labels is not None and len(labels) != num_nodes:
+            raise GraphError(
+                f"labels has length {len(labels)} but the graph has {num_nodes} nodes"
+            )
+        self._labels: Optional[List[str]] = list(labels) if labels is not None else None
+        self._label_index = (
+            {label: i for i, label in enumerate(self._labels)} if self._labels else {}
+        )
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_directed_graph(cls, graph) -> "CSRGraph":
+        """Build a CSR snapshot from a :class:`DirectedGraph`."""
+        num_nodes = graph.number_of_nodes()
+        out_degrees = graph.out_degrees()
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(out_degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for node in graph.nodes():
+            start = indptr[node]
+            targets = sorted(graph.successors(node))
+            indices[start : start + len(targets)] = targets
+        return cls(indptr, indices, labels=graph.labels(), name=graph.name)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Sequence[Tuple[int, int]],
+        labels: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> "CSRGraph":
+        """Build a CSR graph directly from ``(source, target)`` integer pairs."""
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        sources = np.fromiter((e[0] for e in edges), dtype=np.int64, count=len(edges))
+        targets = np.fromiter((e[1] for e in edges), dtype=np.int64, count=len(edges))
+        if sources.size:
+            if sources.min() < 0 or sources.max() >= num_nodes:
+                raise GraphError("edge sources contain node ids outside [0, n)")
+            if targets.min() < 0 or targets.max() >= num_nodes:
+                raise GraphError("edge targets contain node ids outside [0, n)")
+        order = np.lexsort((targets, sources))
+        sources, targets = sources[order], targets[order]
+        # Collapse parallel edges so the structure stays a simple graph.
+        if sources.size:
+            keep = np.ones(sources.size, dtype=bool)
+            keep[1:] = (sources[1:] != sources[:-1]) | (targets[1:] != targets[:-1])
+            sources, targets = sources[keep], targets[keep]
+        counts = np.bincount(sources, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, targets, labels=labels, name=name)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def indptr(self) -> np.ndarray:
+        """Row-pointer array (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Column-index (successor) array (length ``m``)."""
+        return self._indices
+
+    def number_of_nodes(self) -> int:
+        """Return the number of nodes."""
+        return int(self._indptr.size - 1)
+
+    def number_of_edges(self) -> int:
+        """Return the number of directed edges."""
+        return int(self._indices.size)
+
+    def successors(self, node: int) -> np.ndarray:
+        """Return the successor ids of ``node`` as an array."""
+        self._check_id(node)
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Return the out-degree of ``node``."""
+        self._check_id(node)
+        return int(self._indptr[node + 1] - self._indptr[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Return the out-degree of every node as an array."""
+        return np.diff(self._indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Return the in-degree of every node as an array."""
+        return np.bincount(self._indices, minlength=self.number_of_nodes()).astype(np.int64)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` if the edge ``source -> target`` exists."""
+        row = self.successors(source)
+        position = np.searchsorted(row, target)
+        return bool(position < row.size and row[position] == target)
+
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, targets)`` arrays listing every edge."""
+        sources = np.repeat(np.arange(self.number_of_nodes(), dtype=np.int64), self.out_degrees())
+        return sources, self._indices.copy()
+
+    def _check_id(self, node: int) -> None:
+        if not 0 <= node < self.number_of_nodes():
+            raise NodeNotFoundError(node)
+
+    # ------------------------------------------------------------------ #
+    # labels
+    # ------------------------------------------------------------------ #
+    def label_of(self, node: int) -> str:
+        """Return the display label of ``node``."""
+        self._check_id(node)
+        if self._labels is None:
+            return f"#{node}"
+        return self._labels[node]
+
+    def node_for_label(self, label: str) -> int:
+        """Return the node id carrying ``label`` (raises if unknown)."""
+        node = self._label_index.get(label)
+        if node is None:
+            raise NodeNotFoundError(label)
+        return node
+
+    def labels(self) -> List[str]:
+        """Return the display labels of all nodes."""
+        if self._labels is not None:
+            return list(self._labels)
+        return [f"#{i}" for i in range(self.number_of_nodes())]
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def transpose(self) -> "CSRGraph":
+        """Return a CSR graph with every edge reversed."""
+        sources, targets = self.edges()
+        return CSRGraph.from_edges(
+            self.number_of_nodes(),
+            list(zip(targets.tolist(), sources.tolist())),
+            labels=self._labels,
+            name=(self.name + "-transposed") if self.name else "",
+        )
+
+    def to_scipy(self, dtype=np.float64):
+        """Return the adjacency matrix as a :class:`scipy.sparse.csr_matrix`.
+
+        ``A[u, v] == 1`` iff the edge ``u -> v`` exists.
+        """
+        from scipy.sparse import csr_matrix
+
+        n = self.number_of_nodes()
+        data = np.ones(self.number_of_edges(), dtype=dtype)
+        return csr_matrix((data, self._indices, self._indptr), shape=(n, n))
+
+    def to_directed_graph(self):
+        """Convert back to a mutable :class:`DirectedGraph`."""
+        from .digraph import DirectedGraph
+
+        graph = DirectedGraph(name=self.name)
+        for label in self.labels():
+            graph.add_node(label)
+        sources, targets = self.edges()
+        for u, v in zip(sources.tolist(), targets.tolist()):
+            graph.add_edge(int(u), int(v))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.number_of_nodes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+            and self.labels() == other.labels()
+        )
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<CSRGraph{name} with {self.number_of_nodes()} nodes "
+            f"and {self.number_of_edges()} edges>"
+        )

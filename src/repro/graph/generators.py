@@ -1,0 +1,268 @@
+"""Deterministic synthetic graph families.
+
+These generators back the unit tests (small graphs with known structure), the
+hypothesis strategies, and the scaling ablation benchmarks.  All stochastic
+generators take an explicit ``seed`` and are fully deterministic for a given
+seed, so benchmark results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .._validation import (
+    require_in_range,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+)
+from ..exceptions import InvalidParameterError
+from .digraph import DirectedGraph
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "gnp_random_graph",
+    "preferential_attachment_graph",
+    "hub_and_spoke_graph",
+    "reciprocal_communities_graph",
+    "layered_dag",
+]
+
+
+def cycle_graph(num_nodes: int, *, name: str = "cycle") -> DirectedGraph:
+    """Return the directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    require_positive_int(num_nodes, "num_nodes")
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_nodes)
+    for node in range(num_nodes):
+        graph.add_edge(node, (node + 1) % num_nodes)
+    return graph
+
+
+def path_graph(num_nodes: int, *, name: str = "path") -> DirectedGraph:
+    """Return the directed path ``0 -> 1 -> ... -> n-1``."""
+    require_positive_int(num_nodes, "num_nodes")
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_nodes)
+    for node in range(num_nodes - 1):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+def star_graph(num_leaves: int, *, reciprocal: bool = False, name: str = "star") -> DirectedGraph:
+    """Return a star with node 0 at the centre pointing to ``num_leaves`` leaves.
+
+    With ``reciprocal=True`` every leaf also points back at the centre, which
+    creates ``num_leaves`` cycles of length 2 through the hub.
+    """
+    require_non_negative_int(num_leaves, "num_leaves")
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+        if reciprocal:
+            graph.add_edge(leaf, 0)
+    return graph
+
+
+def complete_graph(num_nodes: int, *, name: str = "complete") -> DirectedGraph:
+    """Return the complete directed graph (all ordered pairs, no self loops)."""
+    require_positive_int(num_nodes, "num_nodes")
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_nodes)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target:
+                graph.add_edge(source, target)
+    return graph
+
+
+def gnp_random_graph(
+    num_nodes: int,
+    edge_probability: float,
+    *,
+    seed: int = 0,
+    name: str = "gnp",
+) -> DirectedGraph:
+    """Return a directed Erdős–Rényi G(n, p) graph.
+
+    Every ordered pair ``(u, v)`` with ``u != v`` is an edge independently
+    with probability ``edge_probability``.
+    """
+    require_positive_int(num_nodes, "num_nodes")
+    require_probability(edge_probability, "edge_probability")
+    rng = random.Random(seed)
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_nodes)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target and rng.random() < edge_probability:
+                graph.add_edge(source, target)
+    return graph
+
+
+def preferential_attachment_graph(
+    num_nodes: int,
+    out_degree: int = 3,
+    *,
+    reciprocation_probability: float = 0.3,
+    seed: int = 0,
+    name: str = "preferential-attachment",
+) -> DirectedGraph:
+    """Return a directed preferential-attachment ("rich get richer") graph.
+
+    Each new node sends ``out_degree`` edges to existing nodes chosen with
+    probability proportional to their current in-degree (plus one).  With
+    probability ``reciprocation_probability`` the chosen target links back,
+    creating the reciprocated edges CycleRank relies on.  The resulting
+    in-degree distribution is heavy-tailed, mimicking the wikilink and
+    co-purchase graphs of the paper.
+    """
+    require_positive_int(num_nodes, "num_nodes")
+    require_positive_int(out_degree, "out_degree")
+    require_probability(reciprocation_probability, "reciprocation_probability")
+    if num_nodes <= out_degree:
+        raise InvalidParameterError(
+            f"num_nodes ({num_nodes}) must exceed out_degree ({out_degree})"
+        )
+    rng = random.Random(seed)
+    graph = DirectedGraph(name=name)
+    graph.add_nodes(num_nodes)
+    # Seed clique among the first (out_degree + 1) nodes so early choices exist.
+    seed_size = out_degree + 1
+    for source in range(seed_size):
+        for target in range(seed_size):
+            if source != target:
+                graph.add_edge(source, target)
+    # Attachment targets are sampled from this multiset, where each node
+    # appears once per incoming edge plus once unconditionally.
+    attachment_pool: List[int] = list(range(seed_size)) * seed_size
+    for new_node in range(seed_size, num_nodes):
+        chosen = set()
+        while len(chosen) < out_degree:
+            chosen.add(rng.choice(attachment_pool))
+        for target in chosen:
+            graph.add_edge(new_node, target)
+            attachment_pool.append(target)
+            if rng.random() < reciprocation_probability:
+                graph.add_edge(target, new_node)
+                attachment_pool.append(new_node)
+        attachment_pool.append(new_node)
+    return graph
+
+
+def hub_and_spoke_graph(
+    num_hubs: int,
+    spokes_per_hub: int,
+    *,
+    hub_back_probability: float = 0.0,
+    seed: int = 0,
+    name: str = "hub-and-spoke",
+) -> DirectedGraph:
+    """Return a graph of hubs receiving edges from many spokes.
+
+    Every spoke points to its hub and to one random other hub; hubs point back
+    to each spoke with probability ``hub_back_probability``.  This is the
+    minimal structure exhibiting the "popular node" pathology of Personalized
+    PageRank described in the paper: hubs accumulate relevance from everywhere
+    regardless of the query node.
+    """
+    require_positive_int(num_hubs, "num_hubs")
+    require_positive_int(spokes_per_hub, "spokes_per_hub")
+    require_probability(hub_back_probability, "hub_back_probability")
+    rng = random.Random(seed)
+    graph = DirectedGraph(name=name)
+    hubs = [graph.add_node(f"hub{i}") for i in range(num_hubs)]
+    for hub_index, hub in enumerate(hubs):
+        for spoke_index in range(spokes_per_hub):
+            spoke = graph.add_node(f"spoke{hub_index}-{spoke_index}")
+            graph.add_edge(spoke, hub)
+            other = rng.choice(hubs)
+            if other != spoke:
+                graph.add_edge(spoke, other)
+            if rng.random() < hub_back_probability:
+                graph.add_edge(hub, spoke)
+    return graph
+
+
+def reciprocal_communities_graph(
+    num_communities: int,
+    community_size: int,
+    *,
+    intra_probability: float = 0.5,
+    inter_probability: float = 0.01,
+    reciprocation_probability: float = 0.8,
+    seed: int = 0,
+    name: str = "communities",
+) -> DirectedGraph:
+    """Return a planted-partition directed graph with reciprocated intra-community edges.
+
+    Nodes are labelled ``"c<community>-n<index>"``.  Intra-community edges are
+    frequent and mostly reciprocated (so communities are rich in short
+    cycles), inter-community edges are rare and one-directional.  CycleRank
+    run from any node should therefore surface its own community, which is the
+    behaviour exercised by several integration tests.
+    """
+    require_positive_int(num_communities, "num_communities")
+    require_positive_int(community_size, "community_size")
+    require_probability(intra_probability, "intra_probability")
+    require_probability(inter_probability, "inter_probability")
+    require_probability(reciprocation_probability, "reciprocation_probability")
+    rng = random.Random(seed)
+    graph = DirectedGraph(name=name)
+    members: List[List[int]] = []
+    for community in range(num_communities):
+        members.append(
+            [graph.add_node(f"c{community}-n{i}") for i in range(community_size)]
+        )
+    for community, nodes in enumerate(members):
+        for source in nodes:
+            for target in nodes:
+                if source != target and rng.random() < intra_probability:
+                    graph.add_edge(source, target)
+                    if rng.random() < reciprocation_probability:
+                        graph.add_edge(target, source)
+        for other_community, other_nodes in enumerate(members):
+            if other_community == community:
+                continue
+            for source in nodes:
+                for target in other_nodes:
+                    if rng.random() < inter_probability:
+                        graph.add_edge(source, target)
+    return graph
+
+
+def layered_dag(
+    layer_sizes: Sequence[int],
+    *,
+    edge_probability: float = 0.5,
+    seed: int = 0,
+    name: str = "layered-dag",
+) -> DirectedGraph:
+    """Return a layered DAG with edges only from layer ``i`` to layer ``i + 1``.
+
+    A DAG has no cycles at all, so CycleRank scores every node except the
+    reference as zero — a useful degenerate case for tests.
+    """
+    if not layer_sizes:
+        raise InvalidParameterError("layer_sizes must contain at least one layer")
+    for size in layer_sizes:
+        require_positive_int(size, "layer size")
+    require_in_range(edge_probability, "edge_probability", 0.0, 1.0)
+    rng = random.Random(seed)
+    graph = DirectedGraph(name=name)
+    layers: List[List[int]] = []
+    for layer_index, size in enumerate(layer_sizes):
+        layers.append([graph.add_node(f"L{layer_index}-{i}") for i in range(size)])
+    for upper, lower in zip(layers, layers[1:]):
+        for source in upper:
+            targets = [t for t in lower if rng.random() < edge_probability]
+            if not targets:
+                targets = [rng.choice(lower)]
+            for target in targets:
+                graph.add_edge(source, target)
+    return graph

@@ -1,0 +1,141 @@
+"""Breadth-first / depth-first traversal utilities.
+
+These helpers back the CycleRank pruning step (nodes that cannot reach the
+reference node within the cycle-length budget can be discarded before cycle
+enumeration) and several dataset-analysis functions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from .digraph import DirectedGraph, NodeRef
+
+__all__ = [
+    "bfs_order",
+    "bfs_tree",
+    "dfs_order",
+    "descendants",
+    "ancestors",
+    "shortest_path_lengths",
+    "nodes_within_distance",
+]
+
+
+def bfs_order(graph: DirectedGraph, source: NodeRef) -> List[int]:
+    """Return nodes reachable from ``source`` in breadth-first order."""
+    start = graph.resolve(source)
+    seen = {start}
+    order = [start]
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbour in sorted(graph.successors(node)):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                order.append(neighbour)
+                queue.append(neighbour)
+    return order
+
+
+def bfs_tree(graph: DirectedGraph, source: NodeRef) -> Dict[int, Optional[int]]:
+    """Return the BFS parent of every reachable node (``None`` for the source)."""
+    start = graph.resolve(source)
+    parents: Dict[int, Optional[int]] = {start: None}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbour in sorted(graph.successors(node)):
+            if neighbour not in parents:
+                parents[neighbour] = node
+                queue.append(neighbour)
+    return parents
+
+
+def dfs_order(graph: DirectedGraph, source: NodeRef) -> List[int]:
+    """Return nodes reachable from ``source`` in (pre-order) depth-first order."""
+    start = graph.resolve(source)
+    seen: Set[int] = set()
+    order: List[int] = []
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reverse-sorted push so that smaller ids are visited first.
+        for neighbour in sorted(graph.successors(node), reverse=True):
+            if neighbour not in seen:
+                stack.append(neighbour)
+    return order
+
+
+def descendants(graph: DirectedGraph, source: NodeRef) -> Set[int]:
+    """Return every node reachable from ``source`` (excluding ``source`` itself)."""
+    start = graph.resolve(source)
+    reachable = set(bfs_order(graph, start))
+    reachable.discard(start)
+    return reachable
+
+
+def ancestors(graph: DirectedGraph, target: NodeRef) -> Set[int]:
+    """Return every node that can reach ``target`` (excluding ``target`` itself)."""
+    end = graph.resolve(target)
+    seen = {end}
+    queue = deque([end])
+    while queue:
+        node = queue.popleft()
+        for predecessor in sorted(graph.predecessors(node)):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                queue.append(predecessor)
+    seen.discard(end)
+    return seen
+
+
+def shortest_path_lengths(
+    graph: DirectedGraph,
+    source: NodeRef,
+    *,
+    reverse: bool = False,
+    cutoff: Optional[int] = None,
+) -> Dict[int, int]:
+    """Return unweighted shortest-path lengths from ``source``.
+
+    Parameters
+    ----------
+    reverse:
+        When ``True`` follow edges backwards, i.e. compute distances *to*
+        ``source`` instead of from it.
+    cutoff:
+        Stop expanding once this distance is reached (inclusive).
+    """
+    start = graph.resolve(source)
+    distances = {start: 0}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        distance = distances[node]
+        if cutoff is not None and distance >= cutoff:
+            continue
+        neighbours = graph.predecessors(node) if reverse else graph.successors(node)
+        for neighbour in sorted(neighbours):
+            if neighbour not in distances:
+                distances[neighbour] = distance + 1
+                queue.append(neighbour)
+    return distances
+
+
+def nodes_within_distance(
+    graph: DirectedGraph,
+    source: NodeRef,
+    max_distance: int,
+    *,
+    reverse: bool = False,
+) -> Set[int]:
+    """Return the nodes within ``max_distance`` hops of ``source``."""
+    return set(
+        shortest_path_lengths(graph, source, reverse=reverse, cutoff=max_distance)
+    )

@@ -1,0 +1,44 @@
+"""Graph file formats supported by the demo platform.
+
+The paper's demo accepts user-uploaded datasets in three formats:
+
+* **edgelist (CSV)** — one edge per line, ``source,target`` (optionally with
+  a header), endpoints are either integer ids or quoted labels;
+* **Pajek NET** — ``*Vertices`` section listing nodes then ``*Arcs`` /
+  ``*Edges`` sections listing edges;
+* **ASD** — the demo's own compact format: a header line
+  ``<num_nodes> <num_edges>`` followed by one ``source target`` pair per
+  line (0- or 1-based, auto-detected from a ``#index-base`` comment).
+
+Every format has a reader and a writer, all of which round-trip losslessly,
+and :func:`read_graph` / :func:`write_graph` dispatch on file extension or an
+explicit format name.
+"""
+
+from __future__ import annotations
+
+from .asd import read_asd, write_asd
+from .edgelist import read_edgelist, write_edgelist
+from .jsongraph import read_json_graph, write_json_graph
+from .pajek import read_pajek, write_pajek
+from .registry import (
+    SUPPORTED_FORMATS,
+    detect_format,
+    read_graph,
+    write_graph,
+)
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_pajek",
+    "write_pajek",
+    "read_asd",
+    "write_asd",
+    "read_json_graph",
+    "write_json_graph",
+    "read_graph",
+    "write_graph",
+    "detect_format",
+    "SUPPORTED_FORMATS",
+]

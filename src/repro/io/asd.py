@@ -1,0 +1,185 @@
+"""Reader and writer for the demo's own ASD format.
+
+ASD is the compact format the CycleRank tooling uses internally:
+
+* an optional comment header (lines starting with ``#``); the special
+  comment ``#index-base: 0`` or ``#index-base: 1`` declares whether node ids
+  start at 0 or 1 (default 0);
+* a mandatory first non-comment line ``<num_nodes> <num_edges>``;
+* one ``<source> <target>`` pair per subsequent line;
+* an optional trailing ``#labels`` section with ``<id> <label>`` lines.
+
+The declared node and edge counts are validated against the body, which
+catches the truncated-upload errors the web demo guards against.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Optional, TextIO, Tuple, Union
+
+from ..exceptions import GraphFormatError
+from ..graph.builder import GraphBuilder
+from ..graph.digraph import DirectedGraph
+
+__all__ = ["read_asd", "write_asd", "parse_asd", "format_asd"]
+
+PathOrText = Union[str, Path, TextIO]
+
+
+def parse_asd(
+    lines: Iterable[str],
+    *,
+    name: str = "",
+    allow_self_loops: bool = False,
+) -> Tuple[DirectedGraph, GraphBuilder]:
+    """Parse ASD lines; return ``(graph, builder)``."""
+    builder = GraphBuilder(name=name, allow_self_loops=allow_self_loops)
+    index_base = 0
+    declared: Optional[Tuple[int, int]] = None
+    edge_lines = 0
+    in_labels_section = False
+    pending_labels = {}
+
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line:
+            builder.skip_line()
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip().lower()
+            if body.startswith("index-base:"):
+                base_token = body.split(":", 1)[1].strip()
+                if base_token not in ("0", "1"):
+                    raise GraphFormatError(
+                        f"index-base must be 0 or 1, got {base_token!r}",
+                        line_number=line_number,
+                    )
+                index_base = int(base_token)
+            elif body == "labels":
+                in_labels_section = True
+            else:
+                builder.skip_line()
+            continue
+        if in_labels_section:
+            tokens = line.split(maxsplit=1)
+            if len(tokens) != 2:
+                raise GraphFormatError(
+                    f"expected '<id> <label>' in labels section, got {line!r}",
+                    line_number=line_number,
+                )
+            try:
+                node_id = int(tokens[0]) - index_base
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"invalid node id {tokens[0]!r} in labels section",
+                    line_number=line_number,
+                ) from exc
+            pending_labels[node_id] = tokens[1]
+            continue
+        tokens = line.split()
+        if declared is None:
+            if len(tokens) != 2:
+                raise GraphFormatError(
+                    f"header must be '<num_nodes> <num_edges>', got {line!r}",
+                    line_number=line_number,
+                )
+            try:
+                declared = (int(tokens[0]), int(tokens[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"non-integer header fields in {line!r}", line_number=line_number
+                ) from exc
+            if declared[0] < 0 or declared[1] < 0:
+                raise GraphFormatError(
+                    "node and edge counts must be non-negative", line_number=line_number
+                )
+            continue
+        if len(tokens) != 2:
+            raise GraphFormatError(
+                f"expected '<source> <target>', got {line!r}", line_number=line_number
+            )
+        try:
+            source = int(tokens[0]) - index_base
+            target = int(tokens[1]) - index_base
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"non-integer endpoint in {line!r}", line_number=line_number
+            ) from exc
+        if source < 0 or target < 0:
+            raise GraphFormatError(
+                f"node id below index base in {line!r}", line_number=line_number
+            )
+        if source >= declared[0] or target >= declared[0]:
+            raise GraphFormatError(
+                f"node id {max(source, target) + index_base} exceeds the declared "
+                f"node count {declared[0]}",
+                line_number=line_number,
+            )
+        edge_lines += 1
+        builder.add_edge(source, target)
+
+    if declared is None:
+        raise GraphFormatError("missing '<num_nodes> <num_edges>' header")
+    graph = builder.build()
+    while graph.number_of_nodes() < declared[0]:
+        graph.add_node()
+    if edge_lines != declared[1]:
+        raise GraphFormatError(
+            f"header declares {declared[1]} edges but the body lists {edge_lines}"
+        )
+    for node_id, label in pending_labels.items():
+        if 0 <= node_id < graph.number_of_nodes():
+            graph.set_label(node_id, label)
+        else:
+            raise GraphFormatError(
+                f"label refers to unknown node id {node_id + index_base}"
+            )
+    return graph, builder
+
+
+def read_asd(
+    source: PathOrText,
+    *,
+    name: Optional[str] = None,
+    allow_self_loops: bool = False,
+) -> DirectedGraph:
+    """Read an ASD file from a path or file-like object."""
+    if isinstance(source, (str, Path)):
+        graph_name = name if name is not None else Path(str(source)).stem
+        with open(source, "r", encoding="utf-8") as handle:
+            graph, _ = parse_asd(handle, name=graph_name, allow_self_loops=allow_self_loops)
+        return graph
+    graph, _ = parse_asd(source, name=name or "", allow_self_loops=allow_self_loops)
+    return graph
+
+
+def format_asd(graph: DirectedGraph, *, include_labels: bool = True) -> str:
+    """Render ``graph`` in ASD format (0-based, labels appended when present)."""
+    buffer = io.StringIO()
+    buffer.write("#index-base: 0\n")
+    buffer.write(f"{graph.number_of_nodes()} {graph.number_of_edges()}\n")
+    for edge in graph.edges():
+        buffer.write(f"{edge.source} {edge.target}\n")
+    if include_labels:
+        labelled = [
+            (node, graph.raw_label_of(node))
+            for node in graph.nodes()
+            if graph.raw_label_of(node) is not None
+        ]
+        if labelled:
+            buffer.write("#labels\n")
+            for node, label in labelled:
+                buffer.write(f"{node} {label}\n")
+    return buffer.getvalue()
+
+
+def write_asd(graph: DirectedGraph, target: PathOrText, *, include_labels: bool = True) -> None:
+    """Write ``graph`` in ASD format to a path or file-like object."""
+    text = format_asd(graph, include_labels=include_labels)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

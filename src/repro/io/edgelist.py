@@ -1,0 +1,150 @@
+"""Reader and writer for CSV edge lists.
+
+The edgelist format is one edge per line::
+
+    source,target
+
+Endpoints may be integer node ids or arbitrary labels.  Lines starting with
+``#`` are comments.  An optional header line (``source,target`` or
+``Source,Target``) is detected and skipped.  A custom delimiter may be given
+(the Twitter datasets of the paper use tab-separated files).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Optional, TextIO, Tuple, Union
+
+from ..exceptions import GraphFormatError
+from ..graph.builder import GraphBuilder
+from ..graph.digraph import DirectedGraph
+
+__all__ = ["read_edgelist", "write_edgelist", "parse_edgelist", "format_edgelist"]
+
+PathOrText = Union[str, Path, TextIO]
+
+_HEADER_TOKENS = {("source", "target"), ("from", "to"), ("src", "dst"), ("u", "v")}
+
+
+def _open_for_reading(source: PathOrText):
+    """Return ``(file_object, should_close)`` for a path or file-like input."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8", newline=""), True
+    return source, False
+
+
+def _open_for_writing(target: PathOrText):
+    """Return ``(file_object, should_close)`` for a path or file-like output."""
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8", newline=""), True
+    return target, False
+
+
+def _coerce_endpoint(token: str) -> Union[int, str]:
+    """Interpret a CSV field as an integer node id when possible, else a label."""
+    token = token.strip()
+    if token.isdigit() or (token.startswith("-") and token[1:].isdigit()):
+        return int(token)
+    return token
+
+
+def parse_edgelist(
+    lines: Iterable[str],
+    *,
+    delimiter: str = ",",
+    name: str = "",
+    allow_self_loops: bool = False,
+) -> Tuple[DirectedGraph, "GraphBuilder"]:
+    """Parse edge-list lines into a graph; return ``(graph, builder)``.
+
+    The builder is returned alongside the graph so callers can inspect the
+    :class:`~repro.graph.builder.BuildReport` (skipped lines, duplicates).
+    """
+    builder = GraphBuilder(name=name, allow_self_loops=allow_self_loops)
+    reader = csv.reader(lines, delimiter=delimiter)
+    for line_number, row in enumerate(reader, start=1):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            builder.skip_line()
+            continue
+        first_field = row[0].strip()
+        if first_field.startswith("#"):
+            builder.skip_line()
+            continue
+        if len(row) < 2:
+            raise GraphFormatError(
+                f"expected at least two fields, got {len(row)}", line_number=line_number
+            )
+        source_token, target_token = row[0].strip(), row[1].strip()
+        if line_number == 1 and (source_token.lower(), target_token.lower()) in _HEADER_TOKENS:
+            builder.skip_line()
+            continue
+        if not source_token or not target_token:
+            raise GraphFormatError("empty endpoint field", line_number=line_number)
+        builder.add_edge(_coerce_endpoint(source_token), _coerce_endpoint(target_token))
+    graph = builder.build()
+    # Negative integer ids cannot be represented densely; they only occur in
+    # malformed files, so surface them as a format error.
+    return graph, builder
+
+
+def read_edgelist(
+    source: PathOrText,
+    *,
+    delimiter: str = ",",
+    name: Optional[str] = None,
+    allow_self_loops: bool = False,
+) -> DirectedGraph:
+    """Read a CSV edge list from a path or file-like object."""
+    handle, should_close = _open_for_reading(source)
+    try:
+        graph_name = name
+        if graph_name is None:
+            graph_name = Path(str(source)).stem if isinstance(source, (str, Path)) else ""
+        graph, _ = parse_edgelist(
+            handle, delimiter=delimiter, name=graph_name, allow_self_loops=allow_self_loops
+        )
+        return graph
+    finally:
+        if should_close:
+            handle.close()
+
+
+def format_edgelist(
+    graph: DirectedGraph,
+    *,
+    delimiter: str = ",",
+    use_labels: bool = True,
+    header: bool = False,
+) -> str:
+    """Render ``graph`` as an edge-list string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    if header:
+        writer.writerow(["source", "target"])
+    for edge in graph.edges():
+        if use_labels:
+            writer.writerow([graph.label_of(edge.source), graph.label_of(edge.target)])
+        else:
+            writer.writerow([edge.source, edge.target])
+    return buffer.getvalue()
+
+
+def write_edgelist(
+    graph: DirectedGraph,
+    target: PathOrText,
+    *,
+    delimiter: str = ",",
+    use_labels: bool = True,
+    header: bool = False,
+) -> None:
+    """Write ``graph`` as a CSV edge list to a path or file-like object."""
+    handle, should_close = _open_for_writing(target)
+    try:
+        handle.write(
+            format_edgelist(graph, delimiter=delimiter, use_labels=use_labels, header=header)
+        )
+    finally:
+        if should_close:
+            handle.close()

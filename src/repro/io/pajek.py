@@ -1,0 +1,153 @@
+"""Reader and writer for the Pajek ``.net`` format.
+
+The subset implemented here is the one used for plain directed graphs (and
+the one the demo's instructions page documents):
+
+* ``*Vertices <n>`` followed by ``<id> "<label>"`` lines (label optional);
+* ``*Arcs`` followed by ``<source> <target>`` lines (directed edges);
+* ``*Edges`` followed by ``<u> <v>`` lines (undirected edges, translated to
+  a pair of directed edges).
+
+Vertex ids in the file are 1-based, as per the Pajek convention.
+"""
+
+from __future__ import annotations
+
+import io
+import shlex
+from pathlib import Path
+from typing import Iterable, Optional, TextIO, Tuple, Union
+
+from ..exceptions import GraphFormatError
+from ..graph.builder import GraphBuilder
+from ..graph.digraph import DirectedGraph
+
+__all__ = ["read_pajek", "write_pajek", "parse_pajek", "format_pajek"]
+
+PathOrText = Union[str, Path, TextIO]
+
+
+def parse_pajek(
+    lines: Iterable[str],
+    *,
+    name: str = "",
+    allow_self_loops: bool = False,
+) -> Tuple[DirectedGraph, GraphBuilder]:
+    """Parse Pajek lines; return ``(graph, builder)``."""
+    builder = GraphBuilder(name=name, allow_self_loops=allow_self_loops)
+    section = None
+    declared_vertices: Optional[int] = None
+    id_to_node = {}
+
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            builder.skip_line()
+            continue
+        lowered = line.lower()
+        if lowered.startswith("*vertices"):
+            section = "vertices"
+            parts = line.split()
+            if len(parts) >= 2:
+                try:
+                    declared_vertices = int(parts[1])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"invalid vertex count {parts[1]!r}", line_number=line_number
+                    ) from exc
+            continue
+        if lowered.startswith("*arcs"):
+            section = "arcs"
+            continue
+        if lowered.startswith("*edges"):
+            section = "edges"
+            continue
+        if lowered.startswith("*"):
+            raise GraphFormatError(f"unknown section {line!r}", line_number=line_number)
+
+        if section == "vertices":
+            try:
+                tokens = shlex.split(line)
+            except ValueError as exc:
+                raise GraphFormatError(str(exc), line_number=line_number) from exc
+            if not tokens:
+                builder.skip_line()
+                continue
+            try:
+                vertex_id = int(tokens[0])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"invalid vertex id {tokens[0]!r}", line_number=line_number
+                ) from exc
+            label = tokens[1] if len(tokens) > 1 else f"v{vertex_id}"
+            id_to_node[vertex_id] = builder.add_node(label)
+        elif section in ("arcs", "edges"):
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise GraphFormatError(
+                    f"expected 'source target', got {line!r}", line_number=line_number
+                )
+            try:
+                source_id, target_id = int(tokens[0]), int(tokens[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"non-integer endpoint in {line!r}", line_number=line_number
+                ) from exc
+            for vertex_id in (source_id, target_id):
+                if vertex_id not in id_to_node:
+                    # Vertices may be implicit when no label section is given.
+                    id_to_node[vertex_id] = builder.add_node(f"v{vertex_id}")
+            builder.add_edge(id_to_node[source_id], id_to_node[target_id])
+            if section == "edges":
+                builder.add_edge(id_to_node[target_id], id_to_node[source_id])
+        else:
+            raise GraphFormatError(
+                f"data line before any *Vertices/*Arcs section: {line!r}",
+                line_number=line_number,
+            )
+
+    graph = builder.build()
+    if declared_vertices is not None and graph.number_of_nodes() < declared_vertices:
+        # Pad isolated vertices that were declared but never listed.
+        for missing in range(graph.number_of_nodes(), declared_vertices):
+            graph.add_node(f"v{missing + 1}")
+    return graph, builder
+
+
+def read_pajek(
+    source: PathOrText,
+    *,
+    name: Optional[str] = None,
+    allow_self_loops: bool = False,
+) -> DirectedGraph:
+    """Read a Pajek ``.net`` file from a path or file-like object."""
+    if isinstance(source, (str, Path)):
+        graph_name = name if name is not None else Path(str(source)).stem
+        with open(source, "r", encoding="utf-8") as handle:
+            graph, _ = parse_pajek(handle, name=graph_name, allow_self_loops=allow_self_loops)
+        return graph
+    graph, _ = parse_pajek(source, name=name or "", allow_self_loops=allow_self_loops)
+    return graph
+
+
+def format_pajek(graph: DirectedGraph) -> str:
+    """Render ``graph`` in Pajek format (1-based vertex ids, quoted labels)."""
+    buffer = io.StringIO()
+    buffer.write(f"*Vertices {graph.number_of_nodes()}\n")
+    for node in graph.nodes():
+        label = graph.label_of(node).replace('"', "'")
+        buffer.write(f'{node + 1} "{label}"\n')
+    buffer.write("*Arcs\n")
+    for edge in graph.edges():
+        buffer.write(f"{edge.source + 1} {edge.target + 1}\n")
+    return buffer.getvalue()
+
+
+def write_pajek(graph: DirectedGraph, target: PathOrText) -> None:
+    """Write ``graph`` in Pajek format to a path or file-like object."""
+    text = format_pajek(graph)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

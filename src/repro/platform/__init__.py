@@ -1,0 +1,59 @@
+"""The demo platform of Section III, reproduced as an in-process system.
+
+The paper's deployment consists of four containerized components — the
+Datastore, the API gateway, the Computational nodes and the Web UI — and a
+five-step task lifecycle (build task → schedule → execute on workers → write
+results and logs to the datastore → return results to the UI).  This package
+reproduces the same component decomposition with in-process equivalents:
+
+``datastore``
+    Stores datasets, results and logs; in-memory by default with optional
+    directory persistence.
+``tasks``
+    :class:`Query`, :class:`QuerySet` and :class:`TaskBuilder` — the task
+    builder of Figure 2, producing (dataset, algorithm, parameters) triples
+    identified by a permalink id.
+``executor``
+    Executor (worker) nodes running queries on a thread pool that can be
+    scaled up or down.
+``scheduler``
+    Receives tasks, fetches datasets, dispatches queries to executors and
+    tracks progress.
+``status``
+    The polling component the UI uses to monitor running tasks.
+``gateway``
+    The API gateway: the single entry point the Web UI (and the CLI) talks
+    to.
+``webui``
+    A deterministic text/HTML renderer of the task-builder view and of the
+    comparison tables — the presentation half of the demo, minus the browser.
+"""
+
+from __future__ import annotations
+
+from .datastore import DataStore
+from .executor import ExecutionOutcome, ExecutorNode, ExecutorPool
+from .gateway import ApiGateway
+from .restapi import RestApiServer
+from .scheduler import Scheduler
+from .status import StatusComponent, TaskProgress
+from .tasks import Query, QuerySet, Task, TaskBuilder, TaskState
+from .webui import WebUI
+
+__all__ = [
+    "DataStore",
+    "Query",
+    "QuerySet",
+    "Task",
+    "TaskState",
+    "TaskBuilder",
+    "ExecutorNode",
+    "ExecutorPool",
+    "ExecutionOutcome",
+    "Scheduler",
+    "StatusComponent",
+    "TaskProgress",
+    "ApiGateway",
+    "RestApiServer",
+    "WebUI",
+]

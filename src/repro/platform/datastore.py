@@ -1,0 +1,164 @@
+"""The Datastore component: datasets, results and logs.
+
+The paper's datastore "is responsible for storing and managing datasets" and
+"provides storage for results and logs produced by the system".  This
+implementation keeps everything in memory (thread-safe) and can optionally
+persist results and logs to a directory as JSON/plain-text files, which is
+what the file-backed deployment of the demo does.
+
+Results are stored as plain dictionaries (the serialised form of
+:class:`~repro.ranking.result.Ranking` and
+:class:`~repro.ranking.comparison.ComparisonTable`), so the datastore has no
+dependency on the algorithm layer and can be swapped for a real database
+without touching the rest of the platform.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..exceptions import StorageError
+from ..graph.digraph import DirectedGraph
+
+__all__ = ["DataStore"]
+
+
+class DataStore:
+    """Thread-safe storage for datasets, results and logs.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory for persisting results and logs to disk.  Datasets
+        are always kept in memory (they are either generated or uploaded as
+        graphs); results and logs written while a directory is configured are
+        additionally mirrored as ``results/<id>.json`` and ``logs/<id>.log``.
+    """
+
+    def __init__(self, directory: Optional[str | Path] = None) -> None:
+        self._lock = threading.RLock()
+        self._datasets: Dict[str, DirectedGraph] = {}
+        self._results: Dict[str, dict] = {}
+        self._logs: Dict[str, List[str]] = {}
+        self._directory: Optional[Path] = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            try:
+                (self._directory / "results").mkdir(parents=True, exist_ok=True)
+                (self._directory / "logs").mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise StorageError(f"cannot create datastore directory: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # datasets
+    # ------------------------------------------------------------------ #
+    def store_dataset(self, dataset_id: str, graph: DirectedGraph) -> None:
+        """Store (or replace) a dataset graph under ``dataset_id``."""
+        with self._lock:
+            self._datasets[dataset_id] = graph
+
+    def fetch_dataset(self, dataset_id: str) -> DirectedGraph:
+        """Return the stored dataset graph (raises :class:`StorageError` if absent)."""
+        with self._lock:
+            graph = self._datasets.get(dataset_id)
+        if graph is None:
+            raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
+        return graph
+
+    def has_dataset(self, dataset_id: str) -> bool:
+        """Return ``True`` if a dataset graph is stored under ``dataset_id``."""
+        with self._lock:
+            return dataset_id in self._datasets
+
+    def list_datasets(self) -> List[str]:
+        """Return the identifiers of all stored datasets, sorted."""
+        with self._lock:
+            return sorted(self._datasets)
+
+    def drop_dataset(self, dataset_id: str) -> None:
+        """Remove a stored dataset (no error if absent)."""
+        with self._lock:
+            self._datasets.pop(dataset_id, None)
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
+        """Store a result payload (a JSON-serialisable mapping).
+
+        When a persistence directory is configured the file is written
+        *before* the result becomes visible in memory, so any reader that can
+        already see the result is guaranteed to also find it on disk.
+        """
+        serialisable = dict(payload)
+        if self._directory is not None:
+            path = self._directory / "results" / f"{result_id}.json"
+            try:
+                path.write_text(json.dumps(serialisable, indent=2, default=str),
+                                encoding="utf-8")
+            except (OSError, TypeError) as exc:
+                raise StorageError(f"cannot persist result {result_id!r}: {exc}") from exc
+        with self._lock:
+            self._results[result_id] = serialisable
+
+    def get_result(self, result_id: str) -> dict:
+        """Return a stored result payload (raises :class:`StorageError` if absent)."""
+        with self._lock:
+            if result_id in self._results:
+                return dict(self._results[result_id])
+        if self._directory is not None:
+            path = self._directory / "results" / f"{result_id}.json"
+            if path.exists():
+                try:
+                    return json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise StorageError(
+                        f"cannot read persisted result {result_id!r}: {exc}"
+                    ) from exc
+        raise StorageError(f"result {result_id!r} is not stored in the datastore")
+
+    def has_result(self, result_id: str) -> bool:
+        """Return ``True`` if a result is stored under ``result_id``."""
+        with self._lock:
+            if result_id in self._results:
+                return True
+        if self._directory is not None:
+            return (self._directory / "results" / f"{result_id}.json").exists()
+        return False
+
+    def list_results(self) -> List[str]:
+        """Return the identifiers of all stored results, sorted."""
+        with self._lock:
+            identifiers = set(self._results)
+        if self._directory is not None:
+            identifiers.update(
+                path.stem for path in (self._directory / "results").glob("*.json")
+            )
+        return sorted(identifiers)
+
+    # ------------------------------------------------------------------ #
+    # logs
+    # ------------------------------------------------------------------ #
+    def append_log(self, log_id: str, message: str) -> None:
+        """Append one log line to the log stream ``log_id``."""
+        with self._lock:
+            self._logs.setdefault(log_id, []).append(message)
+        if self._directory is not None:
+            path = self._directory / "logs" / f"{log_id}.log"
+            try:
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(message + "\n")
+            except OSError as exc:
+                raise StorageError(f"cannot persist log {log_id!r}: {exc}") from exc
+
+    def get_logs(self, log_id: str) -> List[str]:
+        """Return every log line recorded for ``log_id`` (empty list if none)."""
+        with self._lock:
+            return list(self._logs.get(log_id, []))
+
+    def list_logs(self) -> List[str]:
+        """Return the identifiers of all log streams, sorted."""
+        with self._lock:
+            return sorted(self._logs)

@@ -1,0 +1,179 @@
+"""Executor (computational) nodes and the worker pool.
+
+The paper's computational nodes "are responsible for processing data
+requests and can be scaled up or down depending on the system's workload.
+They interact with the data stores to retrieve or store data and then return
+the results to the API gateway."
+
+:class:`ExecutorNode` runs a single query — fetch the dataset graph, run the
+algorithm, time it, log the milestones — and :class:`ExecutorPool` manages a
+configurable number of worker threads that execute queries concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from .._validation import require_positive_int
+from ..algorithms.registry import get_algorithm
+from ..exceptions import ExecutorError
+from ..graph.digraph import DirectedGraph
+from ..ranking.result import Ranking
+from .datastore import DataStore
+from .tasks import Query
+
+__all__ = ["ExecutionOutcome", "ExecutorNode", "ExecutorPool"]
+
+
+@dataclass
+class ExecutionOutcome:
+    """The result of executing one query on an executor node."""
+
+    query: Query
+    ranking: Ranking
+    elapsed_seconds: float
+    executor_name: str
+
+
+class ExecutorNode:
+    """One computational node: executes queries against datasets.
+
+    Parameters
+    ----------
+    datastore:
+        The datastore logs are appended to.
+    name:
+        Executor name used in log lines (``"executor-0"`` by default).
+    """
+
+    def __init__(self, datastore: DataStore, *, name: str = "executor-0") -> None:
+        self._datastore = datastore
+        self.name = name
+        self._executed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def executed_queries(self) -> int:
+        """Return how many queries this node has executed."""
+        with self._lock:
+            return self._executed
+
+    def execute(self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None) -> ExecutionOutcome:
+        """Run ``query`` against ``graph`` and return the outcome.
+
+        Raises
+        ------
+        ExecutorError
+            If the algorithm raises; the original error message is preserved
+            and also written to the task log.
+        """
+        log_id = log_id or "executor"
+        algorithm = get_algorithm(query.algorithm)
+        self._datastore.append_log(
+            log_id,
+            f"[{self.name}] start {algorithm.display_name} on {query.dataset_id} "
+            f"(source={query.source or '-'})",
+        )
+        started = time.perf_counter()
+        try:
+            ranking = algorithm.run(
+                graph, source=query.source, parameters=dict(query.parameters)
+            )
+        except Exception as exc:
+            self._datastore.append_log(
+                log_id, f"[{self.name}] FAILED {algorithm.display_name}: {exc}"
+            )
+            raise ExecutorError(
+                f"{algorithm.display_name} failed on {query.dataset_id}: {exc}"
+            ) from exc
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._executed += 1
+        self._datastore.append_log(
+            log_id,
+            f"[{self.name}] done {algorithm.display_name} on {query.dataset_id} "
+            f"in {elapsed:.3f}s",
+        )
+        return ExecutionOutcome(
+            query=query, ranking=ranking, elapsed_seconds=elapsed, executor_name=self.name
+        )
+
+
+class ExecutorPool:
+    """A scalable pool of executor nodes backed by a thread pool.
+
+    Parameters
+    ----------
+    datastore:
+        Shared datastore for logs.
+    num_workers:
+        Number of executor nodes (threads); can be changed later with
+        :meth:`scale_to`, reproducing the "scaled up or down depending on the
+        system's workload" property.
+    """
+
+    def __init__(self, datastore: DataStore, *, num_workers: int = 2) -> None:
+        require_positive_int(num_workers, "num_workers")
+        self._datastore = datastore
+        self._lock = threading.Lock()
+        self._num_workers = num_workers
+        self._nodes = [
+            ExecutorNode(datastore, name=f"executor-{index}") for index in range(num_workers)
+        ]
+        self._pool = ThreadPoolExecutor(max_workers=num_workers, thread_name_prefix="executor")
+        self._round_robin = 0
+
+    @property
+    def num_workers(self) -> int:
+        """Return the current number of executor nodes."""
+        with self._lock:
+            return self._num_workers
+
+    def scale_to(self, num_workers: int) -> None:
+        """Change the number of executor nodes (takes effect for new submissions)."""
+        require_positive_int(num_workers, "num_workers")
+        with self._lock:
+            old_pool = self._pool
+            self._num_workers = num_workers
+            self._nodes = [
+                ExecutorNode(self._datastore, name=f"executor-{index}")
+                for index in range(num_workers)
+            ]
+            self._pool = ThreadPoolExecutor(
+                max_workers=num_workers, thread_name_prefix="executor"
+            )
+        old_pool.shutdown(wait=True)
+
+    def submit(
+        self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None
+    ) -> "Future[ExecutionOutcome]":
+        """Submit a query for asynchronous execution; returns a future."""
+        with self._lock:
+            node = self._nodes[self._round_robin % len(self._nodes)]
+            self._round_robin += 1
+            pool = self._pool
+        return pool.submit(node.execute, query, graph, log_id=log_id)
+
+    def execute_sync(
+        self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None
+    ) -> ExecutionOutcome:
+        """Execute a query synchronously on the calling thread."""
+        with self._lock:
+            node = self._nodes[self._round_robin % len(self._nodes)]
+            self._round_robin += 1
+        return node.execute(query, graph, log_id=log_id)
+
+    def shutdown(self) -> None:
+        """Shut the thread pool down, waiting for in-flight queries."""
+        with self._lock:
+            pool = self._pool
+        pool.shutdown(wait=True)
+
+    def total_executed(self) -> int:
+        """Return the number of queries executed across all nodes."""
+        with self._lock:
+            return sum(node.executed_queries for node in self._nodes)

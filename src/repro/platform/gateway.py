@@ -1,0 +1,264 @@
+"""The API gateway: the single entry point the Web UI (and the CLI) talks to.
+
+The paper: "The API gateway acts as a mediator between the computational
+nodes and the web user interface.  It acts as entry point for all incoming
+requests from the Web UI and routes them to the relevant computational
+nodes."
+
+:class:`ApiGateway` wires the whole platform together (catalog, datastore,
+executor pool, scheduler, status component) and exposes the operations the
+demo's REST API offers: list datasets and algorithms, upload a dataset,
+build and submit a comparison, check its status, retrieve its results as a
+comparison table, and fetch its logs.  The comparison id returned by
+:meth:`submit_comparison` is the permalink of Figure 2.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..algorithms.registry import available_algorithms, get_algorithm
+from ..datasets.catalog import DatasetCatalog, default_catalog
+from ..graph.analysis import graph_summary
+from ..graph.digraph import DirectedGraph
+from ..ranking.comparison import ComparisonTable
+from ..ranking.result import Ranking
+from .datastore import DataStore
+from .executor import ExecutorPool
+from .scheduler import Scheduler
+from .status import StatusComponent, TaskProgress
+from .tasks import Query, QuerySet, Task, TaskBuilder
+
+__all__ = ["ApiGateway"]
+
+
+class ApiGateway:
+    """Facade over the whole platform.
+
+    Parameters
+    ----------
+    catalog:
+        Dataset catalog; defaults to the 50 pre-loaded datasets.
+    datastore:
+        Result/log storage; defaults to a fresh in-memory datastore.
+    num_workers:
+        Number of executor nodes in the pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        catalog: Optional[DatasetCatalog] = None,
+        datastore: Optional[DataStore] = None,
+        num_workers: int = 2,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.datastore = datastore if datastore is not None else DataStore()
+        self.executor_pool = ExecutorPool(self.datastore, num_workers=num_workers)
+        self.scheduler = Scheduler(self.datastore, self.catalog, self.executor_pool)
+        self.status = StatusComponent(self.scheduler, self.datastore)
+        self.task_builder = TaskBuilder(self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # discovery endpoints
+    # ------------------------------------------------------------------ #
+    def list_datasets(self, *, family: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Return the dataset picker payload: id, family, description, tags."""
+        return [
+            {
+                "dataset_id": descriptor.dataset_id,
+                "family": descriptor.family,
+                "description": descriptor.description,
+                "tags": dict(descriptor.tags),
+            }
+            for descriptor in self.catalog.list(family=family)
+        ]
+
+    def list_algorithms(self) -> List[Dict[str, Any]]:
+        """Return the algorithm picker payload: name, personalization, parameters."""
+        payload = []
+        for name in available_algorithms():
+            algorithm = get_algorithm(name)
+            payload.append(
+                {
+                    "name": algorithm.name,
+                    "display_name": algorithm.display_name,
+                    "personalized": algorithm.is_personalized,
+                    "description": algorithm.spec.description,
+                    "parameters": [
+                        {
+                            "name": spec.name,
+                            "kind": spec.kind,
+                            "default": spec.default,
+                            "description": spec.description,
+                        }
+                        for spec in algorithm.spec.parameters
+                    ],
+                }
+            )
+        return payload
+
+    def dataset_summary(self, dataset_id: str) -> Dict[str, Any]:
+        """Return the structural summary card of one dataset."""
+        graph = self.catalog.load(dataset_id)
+        return graph_summary(graph).as_dict()
+
+    # ------------------------------------------------------------------ #
+    # dataset upload
+    # ------------------------------------------------------------------ #
+    def upload_dataset(
+        self,
+        dataset_id: str,
+        source: Union[DirectedGraph, str, Path],
+        *,
+        format: Optional[str] = None,
+        description: str = "",
+        replace: bool = False,
+    ) -> Dict[str, Any]:
+        """Register a user-provided dataset (an in-memory graph or a file path)."""
+        if isinstance(source, DirectedGraph):
+            self.catalog.register_graph(
+                dataset_id, source, description=description, replace=replace
+            )
+        else:
+            self.catalog.register_file(
+                dataset_id, source, format=format, description=description, replace=replace
+            )
+        return self.dataset_summary(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # query sets and submission
+    # ------------------------------------------------------------------ #
+    def new_query_set(self) -> QuerySet:
+        """Return an empty query set (a fresh comparison with its permalink id)."""
+        return self.task_builder.new_query_set()
+
+    def add_query(
+        self,
+        query_set: QuerySet,
+        dataset_id: str,
+        algorithm: str,
+        *,
+        source: Optional[str] = None,
+        parameters: Optional[Mapping[str, Any]] = None,
+    ) -> Query:
+        """Validate and append one query to ``query_set``."""
+        query = self.task_builder.build_query(
+            dataset_id, algorithm, source=source, parameters=parameters
+        )
+        query_set.add(query)
+        return query
+
+    def submit_comparison(self, query_set: QuerySet, *, synchronous: bool = False) -> str:
+        """Submit a query set for execution and return its comparison id.
+
+        With ``synchronous=True`` the call blocks until every query has run
+        (useful for scripting); otherwise queries execute on the worker pool
+        and progress can be polled through :meth:`get_status`.
+        """
+        task = self.task_builder.build_task(query_set)
+        if synchronous:
+            self.scheduler.run_synchronously(task)
+        else:
+            self.scheduler.submit(task)
+        return task.task_id
+
+    def run_queries(
+        self,
+        queries: Sequence[Mapping[str, Any]],
+        *,
+        synchronous: bool = True,
+    ) -> str:
+        """Build a query set from plain dictionaries and submit it.
+
+        Each mapping must provide ``dataset_id`` and ``algorithm`` and may
+        provide ``source`` and ``parameters`` — the JSON body of the demo's
+        submission endpoint.
+        """
+        query_set = self.new_query_set()
+        for raw in queries:
+            self.add_query(
+                query_set,
+                raw["dataset_id"],
+                raw["algorithm"],
+                source=raw.get("source"),
+                parameters=raw.get("parameters"),
+            )
+        return self.submit_comparison(query_set, synchronous=synchronous)
+
+    # ------------------------------------------------------------------ #
+    # status / results
+    # ------------------------------------------------------------------ #
+    def get_status(self, comparison_id: str) -> TaskProgress:
+        """Return the progress snapshot of a submitted comparison."""
+        return self.status.poll(comparison_id)
+
+    def wait_for(self, comparison_id: str, *, timeout_seconds: float = 60.0) -> TaskProgress:
+        """Block until a comparison finishes; return the final progress."""
+        self.scheduler.wait(comparison_id, timeout=timeout_seconds)
+        return self.status.poll_until_done(comparison_id, timeout_seconds=timeout_seconds)
+
+    def get_task(self, comparison_id: str) -> Task:
+        """Return the underlying task object (mostly for tests and tooling)."""
+        return self.scheduler.get_task(comparison_id)
+
+    def get_rankings(self, comparison_id: str) -> List[Ranking]:
+        """Return the rankings of a finished comparison, in query order."""
+        rankings = self.scheduler.rankings_for(comparison_id)
+        return [rankings[index] for index in sorted(rankings)]
+
+    def get_logs(self, comparison_id: str) -> List[str]:
+        """Return the execution log of a comparison."""
+        return self.status.logs(comparison_id)
+
+    def get_comparison_table(
+        self,
+        comparison_id: str,
+        *,
+        k: int = 5,
+        title: str = "",
+    ) -> ComparisonTable:
+        """Assemble the top-k comparison table of a finished comparison.
+
+        Column headers combine the algorithm display name with the dataset
+        when the comparison spans several datasets (the dataset-comparison
+        use case) and just the display name otherwise (algorithm comparison).
+        """
+        task = self.scheduler.get_task(comparison_id)
+        rankings = self.scheduler.rankings_for(comparison_id)
+        queries = task.query_set.queries
+        datasets = {query.dataset_id for query in queries}
+        named: Dict[str, Ranking] = {}
+        for index in sorted(rankings):
+            query = queries[index]
+            algorithm = get_algorithm(query.algorithm)
+            header = algorithm.display_name
+            if len(datasets) > 1:
+                header = f"{header} @ {query.dataset_id}"
+            if header in named:
+                header = f"{header} #{index}"
+            named[header] = rankings[index]
+        return ComparisonTable.from_rankings(
+            named,
+            k=k,
+            title=title or f"Comparison {comparison_id}",
+            metadata={
+                "comparison_id": comparison_id,
+                "datasets": sorted(datasets),
+                "queries": [query.as_dict() for query in queries],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Shut down the executor pool (waits for in-flight queries)."""
+        self.executor_pool.shutdown()
+
+    def __enter__(self) -> "ApiGateway":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()

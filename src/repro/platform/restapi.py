@@ -1,0 +1,266 @@
+"""A small HTTP/JSON front-end for the API gateway.
+
+The paper's deployment exposes the gateway as a REST service that the
+browser-based Web UI calls.  This module reproduces that surface with the
+standard library only (``http.server``), so the platform can actually be
+driven over HTTP — by ``curl``, by the example client, or by a real web
+front-end — without any additional dependencies.
+
+Endpoints
+---------
+``GET  /``                                    minimal HTML index (dataset + algorithm pickers)
+``GET  /api/datasets``                        dataset picker payload
+``GET  /api/datasets/<id>/summary``           structural summary of one dataset
+``GET  /api/algorithms``                      algorithm picker payload
+``POST /api/comparisons``                     submit a comparison; body ``{"queries": [...], "synchronous": bool}``
+``GET  /api/comparisons/<id>/status``         progress snapshot
+``GET  /api/comparisons/<id>/results?k=5``    the top-k comparison table
+``GET  /api/comparisons/<id>/logs``           execution log lines
+
+Errors are returned as ``{"error": "..."}`` with an appropriate status code
+(400 for bad requests, 404 for unknown resources).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..exceptions import ReproError
+from .gateway import ApiGateway
+from .webui import WebUI
+
+__all__ = ["RestApiServer"]
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning :class:`RestApiServer`'s gateway."""
+
+    #: Set by :class:`RestApiServer` when the handler class is created.
+    server_wrapper: "RestApiServer"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        # Route access logs into the datastore instead of stderr so tests and
+        # the demo stay quiet; the log id mirrors the component name.
+        self.server_wrapper.gateway.datastore.append_log(
+            "restapi", f"{self.address_string()} {format % args}"
+        )
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, ensure_ascii=False, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, html: str, status: int = 200) -> None:
+        body = html.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("the request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        gateway = self.server_wrapper.gateway
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = parse_qs(parsed.query)
+        try:
+            if not parts:
+                self._send_html(self.server_wrapper.render_index())
+                return
+            if parts[:2] == ["api", "datasets"] and len(parts) == 2:
+                self._send_json(gateway.list_datasets())
+                return
+            if parts[:2] == ["api", "datasets"] and len(parts) == 4 and parts[3] == "summary":
+                self._send_json(gateway.dataset_summary(parts[2]))
+                return
+            if parts == ["api", "algorithms"]:
+                self._send_json(gateway.list_algorithms())
+                return
+            if parts[:2] == ["api", "comparisons"] and len(parts) == 4:
+                comparison_id = parts[2]
+                if parts[3] == "status":
+                    progress = gateway.get_status(comparison_id)
+                    self._send_json(
+                        {
+                            "comparison_id": comparison_id,
+                            "state": progress.state.value,
+                            "completed_queries": progress.completed_queries,
+                            "total_queries": progress.total_queries,
+                            "error": progress.error,
+                        }
+                    )
+                    return
+                if parts[3] == "results":
+                    k = int(query.get("k", ["5"])[0])
+                    table = gateway.get_comparison_table(comparison_id, k=k)
+                    self._send_json(table.as_dict())
+                    return
+                if parts[3] == "logs":
+                    self._send_json({"lines": gateway.get_logs(comparison_id)})
+                    return
+            self._send_error_json(f"unknown resource {parsed.path!r}", 404)
+        except KeyError as exc:
+            self._send_error_json(str(exc), 404)
+        except ReproError as exc:
+            self._send_error_json(str(exc), 404)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        gateway = self.server_wrapper.gateway
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["api", "comparisons"]:
+                payload = self._read_json_body()
+                queries = payload.get("queries")
+                if not isinstance(queries, list) or not queries:
+                    raise ValueError("the body must contain a non-empty 'queries' list")
+                synchronous = bool(payload.get("synchronous", False))
+                comparison_id = gateway.run_queries(queries, synchronous=synchronous)
+                self._send_json({"comparison_id": comparison_id}, status=201)
+                return
+            self._send_error_json(f"unknown resource {parsed.path!r}", 404)
+        except ReproError as exc:
+            self._send_error_json(str(exc), 400)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(str(exc), 400)
+
+
+class RestApiServer:
+    """Serve an :class:`ApiGateway` over HTTP on a background thread.
+
+    Parameters
+    ----------
+    gateway:
+        The gateway to expose; a default one (50 pre-loaded datasets) is
+        created when omitted.
+    host, port:
+        Bind address.  ``port=0`` (the default) picks a free port; read the
+        actual address from :attr:`address` after :meth:`start`.
+
+    Examples
+    --------
+    >>> from repro.platform.restapi import RestApiServer
+    >>> server = RestApiServer()            # doctest: +SKIP
+    >>> server.start()                      # doctest: +SKIP
+    >>> server.address                      # doctest: +SKIP
+    ('127.0.0.1', 54321)
+    >>> server.stop()                       # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        gateway: Optional[ApiGateway] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._owns_gateway = gateway is None
+        self.gateway = gateway if gateway is not None else ApiGateway()
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._webui = WebUI(self.gateway)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> Tuple[str, int]:
+        """Bind the socket, start serving on a daemon thread, return the address."""
+        if self._httpd is not None:
+            return self.address
+        handler_class = type(
+            "BoundGatewayRequestHandler", (_GatewayRequestHandler,), {"server_wrapper": self}
+        )
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler_class)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-restapi", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving and, if this server created the gateway, shut it down."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._owns_gateway:
+            self.gateway.shutdown()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Return the bound ``(host, port)``; raises if the server is not started."""
+        if self._httpd is None:
+            raise RuntimeError("the server is not running; call start() first")
+        return self._httpd.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        """Return the base URL of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "RestApiServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # HTML index
+    # ------------------------------------------------------------------ #
+    def render_index(self) -> str:
+        """Render the minimal HTML landing page (dataset and algorithm pickers)."""
+        dataset_items = "".join(
+            f"<li><code>{entry['dataset_id']}</code> — {entry['description']}</li>"
+            for entry in self.gateway.list_datasets()
+        )
+        algorithm_items = "".join(
+            f"<li><code>{entry['name']}</code> — {entry['display_name']}"
+            f" ({'personalized' if entry['personalized'] else 'global'})</li>"
+            for entry in self.gateway.list_algorithms()
+        )
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>Personalized relevance algorithms</title></head><body>"
+            "<h1>Comparing Personalized Relevance Algorithms for Directed Graphs</h1>"
+            "<p>POST a JSON body {\"queries\": [...]} to <code>/api/comparisons</code> "
+            "to run a comparison.</p>"
+            f"<h2>Datasets</h2><ul>{dataset_items}</ul>"
+            f"<h2>Algorithms</h2><ul>{algorithm_items}</ul>"
+            "</body></html>"
+        )

@@ -1,0 +1,200 @@
+"""The Scheduler: fetches datasets and dispatches queries to executor nodes.
+
+Section III, step 2: "when the Scheduler receives the task, it fetches the
+dataset and invokes an Executor node"; step 3: "the computation needed to
+perform the task is off-loaded to the worker nodes"; step 4: "when the
+computation is completed, results and logs are written to the datastore".
+
+The scheduler owns the task table (so the Status component and the gateway
+can look tasks up by id), materialises datasets from the catalog into the
+datastore on first use, submits every query of a task to the executor pool
+and, when the last query finishes, serialises the rankings into the
+datastore under the task's comparison id.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+from ..datasets.catalog import DatasetCatalog
+from ..exceptions import TaskNotFoundError
+from ..ranking.result import Ranking
+from .datastore import DataStore
+from .executor import ExecutionOutcome, ExecutorPool
+from .tasks import Task
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Dispatches tasks to the executor pool and records results.
+
+    Parameters
+    ----------
+    datastore:
+        Destination for results and logs (and cache for dataset graphs).
+    catalog:
+        Source of datasets referenced by task queries.
+    executor_pool:
+        The pool of computational nodes that actually run the algorithms.
+    """
+
+    def __init__(
+        self,
+        datastore: DataStore,
+        catalog: DatasetCatalog,
+        executor_pool: ExecutorPool,
+    ) -> None:
+        self._datastore = datastore
+        self._catalog = catalog
+        self._pool = executor_pool
+        self._tasks: Dict[str, Task] = {}
+        self._futures: Dict[str, List[Future]] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # task lookup
+    # ------------------------------------------------------------------ #
+    def get_task(self, task_id: str) -> Task:
+        """Return the task with identifier ``task_id`` (raises if unknown)."""
+        with self._lock:
+            task = self._tasks.get(task_id)
+        if task is None:
+            raise TaskNotFoundError(task_id)
+        return task
+
+    def list_tasks(self) -> List[Task]:
+        """Return every task the scheduler has seen, newest last."""
+        with self._lock:
+            return list(self._tasks.values())
+
+    # ------------------------------------------------------------------ #
+    # dataset materialisation
+    # ------------------------------------------------------------------ #
+    def _fetch_dataset(self, dataset_id: str):
+        """Return a dataset graph, materialising it into the datastore on first use."""
+        if self._datastore.has_dataset(dataset_id):
+            return self._datastore.fetch_dataset(dataset_id)
+        graph = self._catalog.load(dataset_id)
+        self._datastore.store_dataset(dataset_id, graph)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, task: Task) -> str:
+        """Schedule every query of ``task`` for asynchronous execution.
+
+        Returns the task id immediately; progress is observable through the
+        task object, the Status component, or :meth:`wait`.
+        """
+        with self._lock:
+            self._tasks[task.task_id] = task
+            self._futures[task.task_id] = []
+        task.mark_running()
+        self._datastore.append_log(
+            task.task_id,
+            f"[scheduler] task {task.task_id} accepted with {task.total_queries} queries",
+        )
+        for index, query in enumerate(task.query_set):
+            try:
+                graph = self._fetch_dataset(query.dataset_id)
+            except Exception as exc:
+                task.mark_failed(f"cannot load dataset {query.dataset_id!r}: {exc}")
+                self._datastore.append_log(
+                    task.task_id, f"[scheduler] FAILED to load {query.dataset_id}: {exc}"
+                )
+                return task.task_id
+            future = self._pool.submit(query, graph, log_id=task.task_id)
+            future.add_done_callback(
+                lambda finished, task=task, index=index: self._on_query_done(
+                    task, index, finished
+                )
+            )
+            with self._lock:
+                self._futures[task.task_id].append(future)
+        return task.task_id
+
+    def run_synchronously(self, task: Task) -> Task:
+        """Execute every query of ``task`` on the calling thread (no concurrency).
+
+        Useful for the CLI, for tests and for benchmarks where deterministic
+        single-threaded timing is preferable.
+        """
+        with self._lock:
+            self._tasks[task.task_id] = task
+        task.mark_running()
+        for index, query in enumerate(task.query_set):
+            try:
+                graph = self._fetch_dataset(query.dataset_id)
+                outcome = self._pool.execute_sync(query, graph, log_id=task.task_id)
+            except Exception as exc:
+                task.mark_failed(str(exc))
+                self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {exc}")
+                return task
+            task.record_query_result(index, outcome.ranking)
+        self._store_results(task)
+        return task
+
+    # ------------------------------------------------------------------ #
+    # completion handling
+    # ------------------------------------------------------------------ #
+    def _on_query_done(self, task: Task, index: int, future: Future) -> None:
+        error = future.exception()
+        if error is not None:
+            task.mark_failed(str(error))
+            self._datastore.append_log(
+                task.task_id, f"[scheduler] query {index} FAILED: {error}"
+            )
+            return
+        outcome: ExecutionOutcome = future.result()
+        task.record_query_result(index, outcome.ranking)
+        if task.is_done():
+            self._store_results(task)
+
+    def _store_results(self, task: Task) -> None:
+        rankings = task.rankings()
+        payload = {
+            "comparison_id": task.task_id,
+            "state": task.state.value,
+            "queries": [query.as_dict() for query in task.query_set],
+            "rankings": {
+                str(index): ranking.to_dict() for index, ranking in sorted(rankings.items())
+            },
+        }
+        self._datastore.put_result(task.task_id, payload)
+        self._datastore.append_log(
+            task.task_id,
+            f"[scheduler] task {task.task_id} {task.state.value}; results stored",
+        )
+
+    # ------------------------------------------------------------------ #
+    # waiting
+    # ------------------------------------------------------------------ #
+    def wait(self, task_id: str, *, timeout: Optional[float] = None) -> Task:
+        """Block until the task reaches a terminal state (or the timeout expires)."""
+        task = self.get_task(task_id)
+        with self._lock:
+            futures = list(self._futures.get(task_id, []))
+        for future in futures:
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                # The per-query error is already recorded on the task; waiting
+                # must not re-raise it.
+                pass
+        # The done-callbacks run on the worker threads and may still be
+        # persisting the final results when the futures unblock; wait for the
+        # stored result so callers observe the complete step-4 state.
+        if task.is_done() and task.error is None:
+            deadline = time.monotonic() + (timeout if timeout is not None else 30.0)
+            while not self._datastore.has_result(task_id) and time.monotonic() < deadline:
+                time.sleep(0.001)
+        return task
+
+    def rankings_for(self, task_id: str) -> Dict[int, Ranking]:
+        """Return the rankings computed so far for ``task_id``."""
+        return self.get_task(task_id).rankings()

@@ -1,0 +1,100 @@
+"""The Status component: polls running tasks and reports their progress.
+
+Section III, step 3: "while the computation is running, the Status component
+polls the Executor node to monitor its progress"; step 4: "the Status
+component can access [results and logs] in response to user requests."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..exceptions import TaskError
+from .datastore import DataStore
+from .scheduler import Scheduler
+from .tasks import TaskState
+
+__all__ = ["TaskProgress", "StatusComponent"]
+
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """A snapshot of one task's progress."""
+
+    task_id: str
+    state: TaskState
+    completed_queries: int
+    total_queries: int
+    error: Optional[str] = None
+
+    @property
+    def fraction_done(self) -> float:
+        """Return the completed fraction in [0, 1]."""
+        if self.total_queries == 0:
+            return 1.0
+        return self.completed_queries / self.total_queries
+
+    def describe(self) -> str:
+        """Return a one-line progress summary for the UI."""
+        line = (
+            f"task {self.task_id[:8]}: {self.state.value} "
+            f"({self.completed_queries}/{self.total_queries} queries)"
+        )
+        if self.error:
+            line += f" — error: {self.error}"
+        return line
+
+
+class StatusComponent:
+    """Polls the scheduler for task progress and exposes results and logs."""
+
+    def __init__(self, scheduler: Scheduler, datastore: DataStore) -> None:
+        self._scheduler = scheduler
+        self._datastore = datastore
+
+    def poll(self, task_id: str) -> TaskProgress:
+        """Return the current progress snapshot of ``task_id``."""
+        task = self._scheduler.get_task(task_id)
+        return TaskProgress(
+            task_id=task.task_id,
+            state=task.state,
+            completed_queries=task.completed_queries,
+            total_queries=task.total_queries,
+            error=task.error,
+        )
+
+    def poll_until_done(
+        self,
+        task_id: str,
+        *,
+        interval_seconds: float = 0.01,
+        timeout_seconds: float = 60.0,
+    ) -> TaskProgress:
+        """Poll repeatedly until the task reaches a terminal state.
+
+        Raises
+        ------
+        TaskError
+            If the timeout expires before the task finishes.
+        """
+        deadline = time.monotonic() + timeout_seconds
+        progress = self.poll(task_id)
+        while not progress.state.is_terminal():
+            if time.monotonic() > deadline:
+                raise TaskError(
+                    f"task {task_id} did not finish within {timeout_seconds} seconds "
+                    f"({progress.completed_queries}/{progress.total_queries} queries done)"
+                )
+            time.sleep(interval_seconds)
+            progress = self.poll(task_id)
+        return progress
+
+    def logs(self, task_id: str) -> List[str]:
+        """Return the log lines recorded for ``task_id``."""
+        return self._datastore.get_logs(task_id)
+
+    def stored_result(self, task_id: str) -> dict:
+        """Return the serialised results stored in the datastore for ``task_id``."""
+        return self._datastore.get_result(task_id)

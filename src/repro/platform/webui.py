@@ -1,0 +1,140 @@
+"""The Web UI, reproduced as a deterministic text/HTML renderer.
+
+The browser front-end of the demo collects user input and displays results.
+Its server-side counterpart here renders the same three views as strings:
+
+* the **dataset picker** (one card per catalog dataset),
+* the **task builder** view of Figure 2 (comparison id, one numbered row per
+  query, the per-row remove marker and the clear-all marker),
+* the **results view** (the top-k comparison table plus the execution log).
+
+Rendering to plain text keeps the platform fully testable offline while
+exercising exactly the same data the web front-end would receive from the
+API gateway; ``to_html`` variants are provided for embedding in notebooks or
+static pages.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from ..ranking.comparison import ComparisonTable
+from .gateway import ApiGateway
+from .tasks import QuerySet
+
+__all__ = ["WebUI"]
+
+
+class WebUI:
+    """Deterministic renderer of the demo's three main views."""
+
+    def __init__(self, gateway: ApiGateway) -> None:
+        self._gateway = gateway
+
+    # ------------------------------------------------------------------ #
+    # dataset picker
+    # ------------------------------------------------------------------ #
+    def render_dataset_picker(self, *, family: Optional[str] = None) -> str:
+        """Return the dataset picker as plain text, one line per dataset."""
+        lines = ["Available datasets", "=================="]
+        for entry in self._gateway.list_datasets(family=family):
+            lines.append(
+                f"- {entry['dataset_id']:28s} [{entry['family']:9s}] {entry['description']}"
+            )
+        return "\n".join(lines)
+
+    def render_algorithm_picker(self) -> str:
+        """Return the algorithm picker as plain text, one block per algorithm."""
+        lines = ["Available algorithms", "===================="]
+        for entry in self._gateway.list_algorithms():
+            personalized = "personalized" if entry["personalized"] else "global"
+            lines.append(f"- {entry['display_name']} ({entry['name']}, {personalized})")
+            lines.append(f"    {entry['description']}")
+            for parameter in entry["parameters"]:
+                lines.append(
+                    f"    · {parameter['name']} ({parameter['kind']}, "
+                    f"default {parameter['default']!r}): {parameter['description']}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # task builder (Figure 2)
+    # ------------------------------------------------------------------ #
+    def render_task_builder(self, query_set: QuerySet) -> str:
+        """Render the task-builder view: comparison id and the query rows."""
+        lines = [
+            f"Comparison id: {query_set.comparison_id}",
+            "Query Set                                                     [clear all 🗑]",
+            f"{'Id':<4}{'Dataset':<22}{'Algorithm':<26}{'Source':<26}Parameters",
+        ]
+        for index, query in enumerate(query_set):
+            parameters = ", ".join(
+                f"{key}={value}" for key, value in sorted(query.parameters.items())
+            )
+            lines.append(
+                f"{index:<4}{query.dataset_id:<22}{query.algorithm:<26}"
+                f"{(query.source or '-'):<26}{parameters or 'defaults'}  [✕]"
+            )
+        if len(query_set) == 0:
+            lines.append("(the query set is empty — add queries to build a comparison)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # results view
+    # ------------------------------------------------------------------ #
+    def render_results(
+        self,
+        comparison_id: str,
+        *,
+        k: int = 5,
+        show_scores: bool = False,
+        include_logs: bool = False,
+    ) -> str:
+        """Render the results view of a finished comparison."""
+        progress = self._gateway.get_status(comparison_id)
+        lines: List[str] = [progress.describe()]
+        if progress.state.is_terminal() and progress.error is None:
+            table = self._gateway.get_comparison_table(comparison_id, k=k)
+            lines.append("")
+            lines.append(table.to_text(show_scores=show_scores))
+        elif progress.error is not None:
+            lines.append(f"error: {progress.error}")
+        if include_logs:
+            lines.append("")
+            lines.append("Execution log")
+            lines.append("-------------")
+            lines.extend(self._gateway.get_logs(comparison_id))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # HTML variants
+    # ------------------------------------------------------------------ #
+    def render_table_html(self, table: ComparisonTable) -> str:
+        """Render a comparison table as a minimal HTML fragment."""
+        parts = []
+        if table.title:
+            parts.append(f"<h3>{html.escape(table.title)}</h3>")
+        parts.append("<table>")
+        parts.append(
+            "<tr><th>#</th>"
+            + "".join(f"<th>{html.escape(column)}</th>" for column in table.columns)
+            + "</tr>"
+        )
+        for position, row in enumerate(table.rows, start=1):
+            parts.append(
+                f"<tr><td>{position}</td>"
+                + "".join(f"<td>{html.escape(cell)}</td>" for cell in row)
+                + "</tr>"
+            )
+        parts.append("</table>")
+        return "".join(parts)
+
+    def render_results_html(self, comparison_id: str, *, k: int = 5) -> str:
+        """Render the results view as an HTML fragment."""
+        progress = self._gateway.get_status(comparison_id)
+        parts = [f"<p>{html.escape(progress.describe())}</p>"]
+        if progress.state.is_terminal() and progress.error is None:
+            table = self._gateway.get_comparison_table(comparison_id, k=k)
+            parts.append(self.render_table_html(table))
+        return "".join(parts)

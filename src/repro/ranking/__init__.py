@@ -1,0 +1,41 @@
+"""Ranking results and comparison utilities.
+
+Every relevance algorithm in :mod:`repro.algorithms` returns a
+:class:`~repro.ranking.result.Ranking`: an immutable mapping from node to
+score plus the provenance of the run (algorithm name, parameters, graph).
+On top of rankings, this package provides:
+
+* :mod:`~repro.ranking.metrics` — rank-agreement measures (overlap@k,
+  Jaccard@k, Kendall's tau, Spearman's rho, rank-biased overlap) used to
+  quantify how differently two algorithms order the same graph;
+* :mod:`~repro.ranking.comparison` — the side-by-side top-k tables of the
+  paper (Tables I, II, III) for both the *algorithm comparison* and the
+  *dataset comparison* use cases.
+"""
+
+from __future__ import annotations
+
+from .comparison import ComparisonTable, algorithm_comparison, dataset_comparison
+from .metrics import (
+    jaccard_at_k,
+    kendall_tau,
+    overlap_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    spearman_rho,
+)
+from .result import Ranking, ScoredNode
+
+__all__ = [
+    "Ranking",
+    "ScoredNode",
+    "overlap_at_k",
+    "jaccard_at_k",
+    "precision_at_k",
+    "kendall_tau",
+    "spearman_rho",
+    "rank_biased_overlap",
+    "ComparisonTable",
+    "algorithm_comparison",
+    "dataset_comparison",
+]

@@ -1,0 +1,243 @@
+"""Side-by-side comparison tables — the core of the demo's two use cases.
+
+* **Algorithm comparison** (Tables I and II of the paper): the same graph and
+  reference node, several algorithms, one column per algorithm, the top-k
+  labels in each column.
+* **Dataset comparison** (Table III): the same algorithm and conceptual
+  reference node, several datasets (e.g. Wikipedia language editions), one
+  column per dataset.
+
+:class:`ComparisonTable` is a thin, render-friendly container; it does not run
+algorithms itself — the platform's gateway and the convenience helpers
+:func:`algorithm_comparison` / :func:`dataset_comparison` assemble it from
+:class:`~repro.ranking.result.Ranking` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .result import Ranking
+
+__all__ = ["ComparisonTable", "algorithm_comparison", "dataset_comparison"]
+
+
+@dataclass
+class ComparisonTable:
+    """A top-k table with one column per ranking.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"Top-5 articles for 'Freddie Mercury'"``).
+    columns:
+        Column headers, in display order.
+    rows:
+        ``rows[i][j]`` is the label at rank ``i + 1`` in column ``j``.
+    scores:
+        Parallel structure to ``rows`` holding the scores (``None`` for
+        algorithms that only produce a ranking, like 2DRank).
+    metadata:
+        Free-form provenance (reference node, dataset ids, parameters).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]]
+    scores: List[List[Optional[float]]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_rankings(
+        cls,
+        rankings: Mapping[str, Ranking],
+        *,
+        k: int = 5,
+        title: str = "",
+        exclude_reference: bool = False,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> "ComparisonTable":
+        """Build a table with one column per named ranking.
+
+        Parameters
+        ----------
+        rankings:
+            Mapping from column header to ranking (insertion order is kept).
+        k:
+            Number of rows (top-k).
+        exclude_reference:
+            When ``True`` each column drops its own reference node before
+            taking the top-k.  The paper's tables keep the reference (it
+            appears at rank 1 for CycleRank and PPR), so the default is
+            ``False``.
+        """
+        columns = list(rankings)
+        per_column_entries = []
+        for column in columns:
+            ranking = rankings[column]
+            exclude = (
+                (ranking.reference,) if exclude_reference and ranking.reference else ()
+            )
+            per_column_entries.append(ranking.top(k, exclude=exclude))
+        rows: List[List[str]] = []
+        scores: List[List[Optional[float]]] = []
+        for position in range(k):
+            row: List[str] = []
+            score_row: List[Optional[float]] = []
+            for entries in per_column_entries:
+                if position < len(entries):
+                    row.append(entries[position].label)
+                    score_row.append(entries[position].score)
+                else:
+                    row.append("-")
+                    score_row.append(None)
+            rows.append(row)
+            scores.append(score_row)
+        return cls(
+            title=title,
+            columns=columns,
+            rows=rows,
+            scores=scores,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def column(self, header: str) -> List[str]:
+        """Return the labels of one column, top to bottom."""
+        index = self.columns.index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise the table to plain Python types (for the datastore / JSON)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "scores": [list(row) for row in self.scores],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ComparisonTable":
+        """Reconstruct a table serialised with :meth:`as_dict`."""
+        return cls(
+            title=str(payload.get("title", "")),
+            columns=list(payload.get("columns", [])),  # type: ignore[arg-type]
+            rows=[list(r) for r in payload.get("rows", [])],  # type: ignore[union-attr]
+            scores=[list(r) for r in payload.get("scores", [])],  # type: ignore[union-attr]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def to_text(self, *, show_scores: bool = False) -> str:
+        """Render the table as aligned plain text (the CLI / text UI view)."""
+        headers = ["#"] + list(self.columns)
+        body: List[List[str]] = []
+        for position, row in enumerate(self.rows, start=1):
+            rendered_row = [str(position)]
+            for column_index, label in enumerate(row):
+                cell = label
+                if show_scores and self.scores:
+                    score = self.scores[position - 1][column_index]
+                    if score is not None:
+                        cell = f"{label} ({score:.4g})"
+                rendered_row.append(cell)
+            body.append(rendered_row)
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for row in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        headers = ["#"] + list(self.columns)
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+        for position, row in enumerate(self.rows, start=1):
+            lines.append("| " + " | ".join([str(position)] + row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def algorithm_comparison(
+    rankings: Mapping[str, Ranking] | Sequence[Ranking],
+    *,
+    k: int = 5,
+    title: str = "",
+) -> ComparisonTable:
+    """Build an algorithm-comparison table (Tables I / II of the paper).
+
+    ``rankings`` may be a mapping from column header to ranking, or a sequence
+    of rankings whose headers are derived from the algorithm name and
+    reference node.
+    """
+    if not isinstance(rankings, Mapping):
+        named: Dict[str, Ranking] = {}
+        for ranking in rankings:
+            header = ranking.algorithm or "ranking"
+            if header in named:
+                header = f"{header} ({ranking.describe()})"
+            named[header] = ranking
+        rankings = named
+    references = {r.reference for r in rankings.values() if r.reference}
+    graph_names = {r.graph_name for r in rankings.values() if r.graph_name}
+    if not title:
+        reference_part = f" for {', '.join(sorted(references))}" if references else ""
+        title = f"Top-{k} results{reference_part}"
+    return ComparisonTable.from_rankings(
+        rankings,
+        k=k,
+        title=title,
+        metadata={
+            "use_case": "algorithm comparison",
+            "references": sorted(references),
+            "datasets": sorted(graph_names),
+        },
+    )
+
+
+def dataset_comparison(
+    rankings: Mapping[str, Ranking],
+    *,
+    k: int = 5,
+    title: str = "",
+) -> ComparisonTable:
+    """Build a dataset-comparison table (Table III of the paper).
+
+    Keys of ``rankings`` are dataset identifiers (e.g. ``"fake news (de)"``)
+    and every ranking is produced by the *same* algorithm with the same
+    parameters on a different dataset.
+    """
+    algorithms = {r.algorithm for r in rankings.values() if r.algorithm}
+    if not title:
+        algorithm_part = f" by {', '.join(sorted(algorithms))}" if algorithms else ""
+        title = f"Top-{k} results{algorithm_part} across datasets"
+    return ComparisonTable.from_rankings(
+        rankings,
+        k=k,
+        title=title,
+        metadata={
+            "use_case": "dataset comparison",
+            "algorithms": sorted(algorithms),
+            "datasets": list(rankings),
+        },
+    )

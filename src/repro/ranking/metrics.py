@@ -1,0 +1,149 @@
+"""Rank-agreement metrics between two rankings.
+
+The demo's *algorithm comparison* use case is qualitative (side-by-side
+top-5 tables); these metrics give it a quantitative counterpart used by the
+benchmarks and the ablation studies: how much do two algorithms agree on the
+head of the ranking, and how correlated are the full orders?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from .result import Ranking
+
+__all__ = [
+    "overlap_at_k",
+    "jaccard_at_k",
+    "precision_at_k",
+    "kendall_tau",
+    "spearman_rho",
+    "rank_biased_overlap",
+]
+
+
+def _top_label_set(ranking: Ranking, k: int) -> set:
+    return set(ranking.top_labels(k))
+
+
+def overlap_at_k(first: Ranking, second: Ranking, k: int = 10) -> float:
+    """Return ``|top_k(first) ∩ top_k(second)| / k``.
+
+    Both rankings should be over the same graph; labels are used for matching
+    so rankings from relabelled copies still compare correctly.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return len(_top_label_set(first, k) & _top_label_set(second, k)) / k
+
+
+def jaccard_at_k(first: Ranking, second: Ranking, k: int = 10) -> float:
+    """Return the Jaccard similarity of the two top-k label sets."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top_first = _top_label_set(first, k)
+    top_second = _top_label_set(second, k)
+    union = top_first | top_second
+    if not union:
+        return 1.0
+    return len(top_first & top_second) / len(union)
+
+
+def precision_at_k(ranking: Ranking, relevant: Sequence[str], k: int = 10) -> float:
+    """Return the fraction of the top-k labels that appear in ``relevant``.
+
+    Used by the approximate-PPR ablation, where ``relevant`` is the top-k of
+    the exact algorithm.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(relevant)
+    top = ranking.top_labels(k)
+    if not top:
+        return 0.0
+    return sum(1 for label in top if label in relevant_set) / len(top)
+
+
+def _common_label_ranks(first: Ranking, second: Ranking) -> List[tuple]:
+    """Return ``(rank_in_first, rank_in_second)`` for labels present in both."""
+    second_labels = set(second.as_label_dict())
+    pairs = []
+    for label, _ in first.as_label_dict().items():
+        if label in second_labels:
+            pairs.append((first.rank_of(label), second.rank_of(label)))
+    return pairs
+
+
+def kendall_tau(first: Ranking, second: Ranking) -> float:
+    """Return Kendall's tau-b rank correlation between two rankings.
+
+    Computed over the labels common to both rankings.  Returns 1.0 when fewer
+    than two common labels exist (there is nothing to disagree about).
+    """
+    pairs = _common_label_ranks(first, second)
+    if len(pairs) < 2:
+        return 1.0
+    from scipy.stats import kendalltau
+
+    ranks_first = [p[0] for p in pairs]
+    ranks_second = [p[1] for p in pairs]
+    tau, _ = kendalltau(ranks_first, ranks_second)
+    if math.isnan(tau):
+        return 1.0
+    return float(tau)
+
+
+def spearman_rho(first: Ranking, second: Ranking) -> float:
+    """Return Spearman's rho rank correlation between two rankings."""
+    pairs = _common_label_ranks(first, second)
+    if len(pairs) < 2:
+        return 1.0
+    from scipy.stats import spearmanr
+
+    ranks_first = [p[0] for p in pairs]
+    ranks_second = [p[1] for p in pairs]
+    rho, _ = spearmanr(ranks_first, ranks_second)
+    if isinstance(rho, np.ndarray):
+        rho = float(rho)
+    if math.isnan(rho):
+        return 1.0
+    return float(rho)
+
+
+def rank_biased_overlap(first: Ranking, second: Ranking, p: float = 0.9, depth: int = 50) -> float:
+    """Return the (truncated) rank-biased overlap of two rankings.
+
+    RBO is the standard top-weighted similarity for indefinite rankings
+    (Webber, Moffat & Zobel 2010).  ``p`` controls how top-heavy the measure
+    is; ``depth`` truncates the evaluation.  The result lies in [0, 1].
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    labels_first = first.top_labels(depth)
+    labels_second = second.top_labels(depth)
+    max_depth = min(depth, max(len(labels_first), len(labels_second)))
+    if max_depth == 0:
+        return 1.0
+    seen_first: set = set()
+    seen_second: set = set()
+    overlap_sum = 0.0
+    weight_sum = 0.0
+    agreement = 0.0
+    for d in range(1, max_depth + 1):
+        if d <= len(labels_first):
+            seen_first.add(labels_first[d - 1])
+        if d <= len(labels_second):
+            seen_second.add(labels_second[d - 1])
+        agreement = len(seen_first & seen_second) / d
+        weight = p ** (d - 1)
+        overlap_sum += agreement * weight
+        weight_sum += weight
+    # Extrapolate the tail with the last observed agreement, then normalise.
+    return float((1 - p) * overlap_sum + agreement * (p ** max_depth)) / float(
+        (1 - p) * weight_sum + (p ** max_depth)
+    )

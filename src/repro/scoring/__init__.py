@@ -1,0 +1,39 @@
+"""Scoring functions σ(n) used by CycleRank (Equation 1 of the paper).
+
+The CycleRank score of node ``i`` with respect to reference ``r`` is
+
+.. math::
+
+    CR_{r,K}(i) = \\sum_{n=2}^{K} \\sigma(n) \\cdot c_{r,n}(i)
+
+where ``c_{r,n}(i)`` counts the cycles of length ``n`` through both ``r`` and
+``i`` and σ weights shorter cycles more heavily.  The paper uses the
+exponential damping σ(n) = e⁻ⁿ ("experimentally found to be the best choice
+for Wikipedia"); this module also provides the linear, quadratic and constant
+alternatives studied in the original CycleRank article, and a registry so the
+scoring function can be selected by name from task parameters.
+"""
+
+from __future__ import annotations
+
+from .functions import (
+    ConstantScoring,
+    ExponentialScoring,
+    LinearScoring,
+    QuadraticScoring,
+    ScoringFunction,
+    available_scoring_functions,
+    get_scoring_function,
+    register_scoring_function,
+)
+
+__all__ = [
+    "ScoringFunction",
+    "ExponentialScoring",
+    "LinearScoring",
+    "QuadraticScoring",
+    "ConstantScoring",
+    "get_scoring_function",
+    "register_scoring_function",
+    "available_scoring_functions",
+]

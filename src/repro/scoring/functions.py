@@ -1,0 +1,154 @@
+"""Concrete scoring functions and their registry.
+
+Each scoring function maps a cycle length ``n >= 2`` to a positive weight.
+Shorter cycles indicate a tighter relationship between the reference node and
+the nodes on the cycle, so every provided function is non-increasing in ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ScoringFunction",
+    "ExponentialScoring",
+    "LinearScoring",
+    "QuadraticScoring",
+    "ConstantScoring",
+    "register_scoring_function",
+    "get_scoring_function",
+    "available_scoring_functions",
+]
+
+
+class ScoringFunction(ABC):
+    """Weight assigned to a cycle as a function of its length.
+
+    Subclasses implement :meth:`weight`; the instance is callable for
+    convenience (``sigma(n)``).
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def weight(self, cycle_length: int) -> float:
+        """Return the weight of a cycle of length ``cycle_length`` (>= 2)."""
+
+    def __call__(self, cycle_length: int) -> float:
+        if cycle_length < 2:
+            raise InvalidParameterError(
+                f"cycles have length >= 2, got {cycle_length}"
+            )
+        return self.weight(cycle_length)
+
+    def weights_up_to(self, max_length: int) -> List[float]:
+        """Return the weights for every length ``2 .. max_length`` (inclusive).
+
+        CycleRank precomputes this table once per run instead of calling the
+        scoring function on every enumerated cycle.
+        """
+        if max_length < 2:
+            raise InvalidParameterError(f"max_length must be >= 2, got {max_length}")
+        return [self.weight(n) for n in range(2, max_length + 1)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class ExponentialScoring(ScoringFunction):
+    """σ(n) = e⁻ⁿ — the paper's default (used in Tables I, II and III)."""
+
+    name = "exp"
+
+    def weight(self, cycle_length: int) -> float:
+        return math.exp(-cycle_length)
+
+
+class LinearScoring(ScoringFunction):
+    """σ(n) = 1 / n — linear damping of longer cycles."""
+
+    name = "lin"
+
+    def weight(self, cycle_length: int) -> float:
+        return 1.0 / cycle_length
+
+
+class QuadraticScoring(ScoringFunction):
+    """σ(n) = 1 / n² — quadratic damping of longer cycles."""
+
+    name = "quad"
+
+    def weight(self, cycle_length: int) -> float:
+        return 1.0 / (cycle_length * cycle_length)
+
+
+class ConstantScoring(ScoringFunction):
+    """σ(n) = 1 — pure cycle counting, no length damping."""
+
+    name = "const"
+
+    def weight(self, cycle_length: int) -> float:
+        return 1.0
+
+
+_REGISTRY: Dict[str, Type[ScoringFunction]] = {}
+
+
+def register_scoring_function(cls: Type[ScoringFunction]) -> Type[ScoringFunction]:
+    """Register a scoring-function class under its ``name`` attribute.
+
+    Can be used as a decorator for user-defined scoring functions::
+
+        @register_scoring_function
+        class MyScoring(ScoringFunction):
+            name = "mine"
+            def weight(self, cycle_length):
+                return 2.0 ** -cycle_length
+    """
+    if not cls.name:
+        raise InvalidParameterError(f"{cls.__name__} must define a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _builtin in (ExponentialScoring, LinearScoring, QuadraticScoring, ConstantScoring):
+    register_scoring_function(_builtin)
+
+
+def get_scoring_function(name_or_instance) -> ScoringFunction:
+    """Resolve a scoring function from a name, class, or instance.
+
+    Accepts the registry names (``"exp"``, ``"lin"``, ``"quad"``, ``"const"``),
+    an already-constructed :class:`ScoringFunction`, or a subclass of it.
+    """
+    if isinstance(name_or_instance, ScoringFunction):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(name_or_instance, ScoringFunction):
+        return name_or_instance()
+    if isinstance(name_or_instance, str):
+        cls = _REGISTRY.get(name_or_instance)
+        if cls is None:
+            raise InvalidParameterError(
+                f"unknown scoring function {name_or_instance!r}; "
+                f"available: {', '.join(sorted(_REGISTRY))}"
+            )
+        return cls()
+    raise InvalidParameterError(
+        f"cannot interpret {name_or_instance!r} as a scoring function"
+    )
+
+
+def available_scoring_functions() -> List[str]:
+    """Return the names of all registered scoring functions, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,7 @@
+"""Package version, exposed separately so the CLI can print it cheaply."""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.0.0"

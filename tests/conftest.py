@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small, fully-understood graphs (a triangle, a two-cycle
+star, a DAG, a planted-community graph) plus scaled-down instances of the
+synthetic datasets, so individual tests stay fast while still exercising the
+same code paths as the full-size benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amazon import generate_amazon_graph
+from repro.datasets.twitter import generate_twitter_graph
+from repro.datasets.wikipedia import generate_wikilink_graph
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import (
+    cycle_graph,
+    layered_dag,
+    reciprocal_communities_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> DirectedGraph:
+    """The directed triangle A -> B -> C -> A."""
+    graph = DirectedGraph(name="triangle")
+    graph.add_edge("A", "B")
+    graph.add_edge("B", "C")
+    graph.add_edge("C", "A")
+    return graph
+
+
+@pytest.fixture
+def two_triangles() -> DirectedGraph:
+    """Two directed triangles sharing the node R (so R lies on two 3-cycles)."""
+    graph = DirectedGraph(name="two-triangles")
+    graph.add_edge("R", "A")
+    graph.add_edge("A", "B")
+    graph.add_edge("B", "R")
+    graph.add_edge("R", "C")
+    graph.add_edge("C", "D")
+    graph.add_edge("D", "R")
+    return graph
+
+
+@pytest.fixture
+def reciprocal_star() -> DirectedGraph:
+    """A hub H with five leaves, all edges reciprocated (five 2-cycles)."""
+    graph = DirectedGraph(name="reciprocal-star")
+    for leaf in ["A", "B", "C", "D", "E"]:
+        graph.add_edge("H", leaf)
+        graph.add_edge(leaf, "H")
+    return graph
+
+
+@pytest.fixture
+def small_dag() -> DirectedGraph:
+    """A three-layer DAG: no cycles at all."""
+    return layered_dag([2, 3, 2], edge_probability=0.8, seed=7, name="small-dag")
+
+
+@pytest.fixture
+def mixed_graph() -> DirectedGraph:
+    """A graph combining a reciprocated core, a one-way chain and a dangling node."""
+    graph = DirectedGraph(name="mixed")
+    # Reciprocated core triangle.
+    for first, second in [("X", "Y"), ("Y", "Z"), ("Z", "X")]:
+        graph.add_edge(first, second)
+        graph.add_edge(second, first)
+    # One-way chain hanging off the core.
+    graph.add_edge("X", "P")
+    graph.add_edge("P", "Q")
+    # Dangling node reachable from the chain.
+    graph.add_edge("Q", "sink")
+    return graph
+
+
+@pytest.fixture
+def community_graph() -> DirectedGraph:
+    """A planted-community graph (4 communities of 8 nodes, reciprocated)."""
+    return reciprocal_communities_graph(4, 8, seed=11, name="communities")
+
+
+@pytest.fixture
+def simple_cycle_graph() -> DirectedGraph:
+    """The directed 6-cycle."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def hub_star() -> DirectedGraph:
+    """A star with reciprocated spokes (hub = node 0)."""
+    return star_graph(6, reciprocal=True)
+
+
+@pytest.fixture(scope="session")
+def small_enwiki() -> DirectedGraph:
+    """A scaled-down English wikilink graph (fast; session-scoped)."""
+    return generate_wikilink_graph("en", "2018-03-01", num_filler_articles=80, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_amazon() -> DirectedGraph:
+    """A scaled-down Amazon co-purchase graph (fast; session-scoped)."""
+    return generate_amazon_graph(num_filler_items=100, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_twitter() -> DirectedGraph:
+    """A scaled-down Twitter cop27 graph (fast; session-scoped)."""
+    return generate_twitter_graph("cop27", num_casual_users=60, seed=3)

@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.algorithms.base` and :mod:`repro.algorithms.registry`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Algorithm, AlgorithmSpec, ParameterSpec
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.registry import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+    run_algorithm,
+)
+from repro.exceptions import AlgorithmNotFoundError, InvalidParameterError
+from repro.ranking.result import Ranking
+
+
+class TestParameterSpec:
+    def test_coerce_float(self):
+        spec = ParameterSpec(name="alpha", kind="float", default=0.85, minimum=0.0, maximum=1.0)
+        assert spec.coerce("0.3") == pytest.approx(0.3)
+        assert spec.coerce(None) == 0.85
+
+    def test_coerce_int(self):
+        spec = ParameterSpec(name="k", kind="int", default=3, minimum=2)
+        assert spec.coerce("5") == 5
+        assert isinstance(spec.coerce("5"), int)
+
+    def test_coerce_str_with_choices(self):
+        spec = ParameterSpec(name="sigma", kind="str", default="exp", choices=("exp", "lin"))
+        assert spec.coerce("lin") == "lin"
+        with pytest.raises(InvalidParameterError):
+            spec.coerce("nope")
+
+    def test_bounds_enforced(self):
+        spec = ParameterSpec(name="alpha", kind="float", default=0.85, minimum=0.0, maximum=1.0)
+        with pytest.raises(InvalidParameterError):
+            spec.coerce(1.5)
+        with pytest.raises(InvalidParameterError):
+            spec.coerce(-0.5)
+
+    def test_type_error_reported(self):
+        spec = ParameterSpec(name="k", kind="int", default=3)
+        with pytest.raises(InvalidParameterError):
+            spec.coerce("three")
+
+    def test_unknown_kind_rejected(self):
+        spec = ParameterSpec(name="weird", kind="complex", default=None)
+        with pytest.raises(InvalidParameterError):
+            spec.coerce("1")
+
+
+class TestAlgorithmSpec:
+    def test_parameter_lookup(self):
+        algorithm = get_algorithm("cyclerank")
+        assert algorithm.spec.parameter("k").kind == "int"
+        with pytest.raises(InvalidParameterError):
+            algorithm.spec.parameter("unknown")
+
+    def test_defaults(self):
+        defaults = get_algorithm("cyclerank").spec.defaults()
+        assert defaults == {"k": 3, "sigma": "exp"}
+
+
+class TestRegistry:
+    def test_paper_algorithms_all_registered(self):
+        names = available_algorithms()
+        for name in PAPER_ALGORITHMS:
+            assert name in names
+        assert len(PAPER_ALGORITHMS) == 7
+
+    def test_lookup_is_case_and_separator_insensitive(self):
+        assert get_algorithm("CycleRank").name == "cyclerank"
+        assert get_algorithm("personalized_pagerank").name == "personalized-pagerank"
+        assert get_algorithm("  2DRANK ").name == "2drank"
+
+    def test_unknown_algorithm_fails(self):
+        with pytest.raises(AlgorithmNotFoundError):
+            get_algorithm("simrank")
+
+    def test_personalization_filter(self):
+        personalized = available_algorithms(personalized=True)
+        global_only = available_algorithms(personalized=False)
+        assert "cyclerank" in personalized
+        assert "pagerank" in global_only
+        assert set(personalized).isdisjoint(global_only)
+
+    def test_register_custom_algorithm_and_replace(self, triangle):
+        class InDegreeAlgorithm(Algorithm):
+            spec = AlgorithmSpec(
+                name="indegree-test",
+                display_name="In-degree",
+                personalized=False,
+                parameters=(),
+                description="rank by raw in-degree",
+            )
+
+            def _execute(self, graph, *, source, parameters):
+                return Ranking(
+                    [float(d) for d in graph.in_degrees()],
+                    labels=graph.labels(),
+                    algorithm=self.display_name,
+                    graph_name=graph.name,
+                )
+
+        from repro.algorithms import registry as registry_module
+
+        try:
+            register_algorithm(InDegreeAlgorithm())
+            assert "indegree-test" in available_algorithms()
+            ranking = run_algorithm("indegree-test", triangle)
+            assert ranking.algorithm == "In-degree"
+            with pytest.raises(InvalidParameterError):
+                register_algorithm(InDegreeAlgorithm())
+            register_algorithm(InDegreeAlgorithm(), replace=True)
+        finally:
+            registry_module._REGISTRY.pop("indegree-test", None)
+
+
+class TestAlgorithmRun:
+    def test_run_validates_source_requirements(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("cyclerank").run(triangle)  # missing source
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("pagerank").run(triangle, source="A")  # unexpected source
+
+    def test_run_rejects_unknown_parameters(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("pagerank").run(triangle, parameters={"beta": 1})
+
+    def test_run_coerces_string_parameters(self, two_triangles):
+        ranking = get_algorithm("cyclerank").run(
+            two_triangles, source="R", parameters={"k": "3", "sigma": "exp"}
+        )
+        direct = cyclerank(two_triangles, "R", max_cycle_length=3, scoring="exp")
+        assert np.allclose(ranking.scores, direct.scores)
+
+    def test_run_algorithm_shortcut(self, triangle):
+        ranking = run_algorithm("pagerank", triangle, parameters={"alpha": 0.5})
+        assert ranking.algorithm == "PageRank"
+        assert ranking.parameters["alpha"] == 0.5
+
+    @pytest.mark.parametrize("name", list(PAPER_ALGORITHMS))
+    def test_every_paper_algorithm_runs_on_a_dataset(self, small_enwiki, name):
+        algorithm = get_algorithm(name)
+        source = "Freddie Mercury" if algorithm.is_personalized else None
+        ranking = algorithm.run(small_enwiki, source=source)
+        assert len(ranking) == small_enwiki.number_of_nodes()
+
+    def test_describe_parameters_mentions_every_parameter(self):
+        algorithm = get_algorithm("cyclerank")
+        lines = algorithm.describe_parameters()
+        assert any(line.startswith("k ") for line in lines)
+        assert any(line.startswith("sigma ") for line in lines)
+
+    def test_repr(self):
+        assert "cyclerank" in repr(get_algorithm("cyclerank"))

@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.analysis.agreement`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.agreement import AGREEMENT_MEASURES, agreement_matrix
+from repro.algorithms.cheirank import cheirank
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.exceptions import InvalidParameterError
+from repro.ranking.result import Ranking
+
+
+def ranking_from_order(labels, name="r"):
+    return Ranking(list(range(len(labels), 0, -1)), labels=labels, algorithm=name)
+
+
+LABELS = [f"n{i}" for i in range(12)]
+
+
+class TestAgreementMatrix:
+    def test_matrix_is_symmetric_with_unit_diagonal(self):
+        matrix = agreement_matrix(
+            {
+                "a": ranking_from_order(LABELS),
+                "b": ranking_from_order(list(reversed(LABELS))),
+                "c": ranking_from_order(LABELS[6:] + LABELS[:6]),
+            },
+            measure="overlap",
+            k=5,
+        )
+        assert matrix.names == ["a", "b", "c"]
+        for i in range(3):
+            assert matrix.values[i][i] == 1.0
+            for j in range(3):
+                assert matrix.values[i][j] == pytest.approx(matrix.values[j][i])
+
+    def test_identical_rankings_have_full_agreement(self):
+        matrix = agreement_matrix(
+            {"a": ranking_from_order(LABELS), "b": ranking_from_order(LABELS)},
+            measure="jaccard",
+            k=5,
+        )
+        assert matrix.value("a", "b") == 1.0
+
+    @pytest.mark.parametrize("measure", sorted(AGREEMENT_MEASURES))
+    def test_every_measure_runs(self, measure):
+        matrix = agreement_matrix(
+            {
+                "same": ranking_from_order(LABELS),
+                "shifted": ranking_from_order(LABELS[3:] + LABELS[:3]),
+            },
+            measure=measure,
+            k=5,
+        )
+        value = matrix.value("same", "shifted")
+        assert -1.0 <= value <= 1.0
+
+    def test_pairs_and_extremes(self):
+        matrix = agreement_matrix(
+            {
+                "a": ranking_from_order(LABELS),
+                "b": ranking_from_order(LABELS),            # identical to a
+                "c": ranking_from_order(list(reversed(LABELS))),
+            },
+            measure="overlap",
+            k=5,
+        )
+        pairs = matrix.pairs_by_agreement()
+        assert len(pairs) == 3
+        assert matrix.most_similar_pair()[:2] == ("a", "b")
+        least = matrix.least_similar_pair()
+        assert "c" in least[:2]
+
+    def test_text_rendering_and_serialisation(self):
+        matrix = agreement_matrix(
+            {"a": ranking_from_order(LABELS), "b": ranking_from_order(LABELS)},
+            measure="overlap",
+            k=5,
+        )
+        text = matrix.to_text()
+        assert "overlap" in text
+        assert "a" in text and "b" in text
+        payload = matrix.as_dict()
+        assert payload["measure"] == "overlap"
+        assert payload["values"][0][1] == 1.0
+
+    def test_too_few_rankings_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            agreement_matrix({"only": ranking_from_order(LABELS)})
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            agreement_matrix(
+                {"a": ranking_from_order(LABELS), "b": ranking_from_order(LABELS)},
+                measure="cosine",
+            )
+
+
+class TestAgreementOnRealAlgorithms:
+    def test_ppr_agrees_more_with_global_pagerank_than_cyclerank_does(self, small_enwiki):
+        """The paper's observation, in matrix form."""
+        reference = "Freddie Mercury"
+        matrix = agreement_matrix(
+            {
+                "PageRank": pagerank(small_enwiki, alpha=0.85),
+                "CycleRank": cyclerank(small_enwiki, reference, max_cycle_length=3),
+                "PPR": personalized_pagerank(small_enwiki, reference, alpha=0.85),
+            },
+            measure="overlap",
+            k=10,
+        )
+        assert matrix.value("PPR", "PageRank") > matrix.value("CycleRank", "PageRank")
+
+    def test_cheirank_and_pagerank_disagree_on_asymmetric_graph(self, small_twitter):
+        matrix = agreement_matrix(
+            {
+                "PageRank": pagerank(small_twitter),
+                "CheiRank": cheirank(small_twitter),
+            },
+            measure="overlap",
+            k=10,
+        )
+        assert matrix.value("PageRank", "CheiRank") < 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.analysis.popularity`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.analysis.popularity import popularity_bias, popularity_bias_report
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import DirectedGraph
+from repro.ranking.result import Ranking
+
+
+def graph_with_popularity_gradient() -> DirectedGraph:
+    """A graph where node 'popular' has by far the largest in-degree."""
+    graph = DirectedGraph(name="gradient")
+    for index in range(10):
+        graph.add_edge(f"spoke{index}", "popular")
+    graph.add_edge("popular", "middling")
+    graph.add_edge("spoke0", "middling")
+    graph.add_edge("middling", "spoke0")
+    return graph
+
+
+class TestPopularityBias:
+    def test_head_of_popular_nodes_gives_high_bias(self):
+        graph = graph_with_popularity_gradient()
+        ranking = Ranking(
+            [1.0 if graph.label_of(node) == "popular" else 0.0 for node in graph.nodes()],
+            labels=graph.labels(),
+        )
+        bias = popularity_bias(ranking, graph, k=1, exclude_reference=False)
+        assert bias > 0.9
+
+    def test_head_of_unpopular_nodes_gives_low_bias(self):
+        graph = graph_with_popularity_gradient()
+        scores = [0.0] * graph.number_of_nodes()
+        scores[graph.resolve("spoke3")] = 1.0
+        scores[graph.resolve("spoke4")] = 0.9
+        ranking = Ranking(scores, labels=graph.labels())
+        bias = popularity_bias(ranking, graph, k=2, exclude_reference=False)
+        assert bias < 0.6
+
+    def test_reference_excluded_by_default(self):
+        graph = graph_with_popularity_gradient()
+        scores = [0.0] * graph.number_of_nodes()
+        scores[graph.resolve("popular")] = 1.0
+        scores[graph.resolve("spoke1")] = 0.5
+        ranking = Ranking(scores, labels=graph.labels(), reference="popular")
+        with_reference = popularity_bias(ranking, graph, k=1, exclude_reference=False)
+        without_reference = popularity_bias(ranking, graph, k=1)
+        assert with_reference > without_reference
+
+    def test_pagerank_measure_supported(self, small_enwiki):
+        ranking = personalized_pagerank(small_enwiki, "Pasta", alpha=0.3)
+        bias = popularity_bias(ranking, small_enwiki, k=5, measure="pagerank")
+        assert 0.0 <= bias <= 1.0
+
+    def test_unknown_measure_rejected(self, small_enwiki):
+        ranking = personalized_pagerank(small_enwiki, "Pasta", alpha=0.3)
+        with pytest.raises(InvalidParameterError):
+            popularity_bias(ranking, small_enwiki, measure="followers")
+
+    def test_invalid_k_rejected(self, small_enwiki):
+        ranking = personalized_pagerank(small_enwiki, "Pasta", alpha=0.3)
+        with pytest.raises(InvalidParameterError):
+            popularity_bias(ranking, small_enwiki, k=0)
+
+    def test_labels_missing_from_graph_rejected(self, triangle):
+        foreign = Ranking([1.0, 0.5], labels=["x", "y"])
+        with pytest.raises(InvalidParameterError):
+            popularity_bias(foreign, triangle, k=2, exclude_reference=False)
+
+    def test_empty_head_returns_nan(self, triangle):
+        empty = Ranking([0.0, 0.0, 0.0], labels=triangle.labels(), reference="A")
+        assert math.isnan(popularity_bias(empty, triangle, k=2))
+
+
+class TestPopularityBiasReport:
+    def test_ppr_is_more_biased_than_cyclerank(self, small_enwiki):
+        """The quantitative form of the paper's central claim."""
+        reference = "Freddie Mercury"
+        report = popularity_bias_report(
+            {
+                "Cyclerank": cyclerank(small_enwiki, reference, max_cycle_length=3),
+                "Pers. PageRank": personalized_pagerank(small_enwiki, reference, alpha=0.85),
+            },
+            small_enwiki,
+            k=5,
+        )
+        assert report.biases["Pers. PageRank"] > report.biases["Cyclerank"]
+        assert report.most_biased() == "Pers. PageRank"
+        assert report.least_biased() == "Cyclerank"
+
+    def test_text_and_dict_rendering(self, small_enwiki):
+        reference = "Pasta"
+        report = popularity_bias_report(
+            {
+                "Cyclerank": cyclerank(small_enwiki, reference, max_cycle_length=3),
+                "Pers. PageRank": personalized_pagerank(small_enwiki, reference, alpha=0.3),
+            },
+            small_enwiki,
+            k=5,
+        )
+        text = report.to_text()
+        assert "Cyclerank" in text
+        assert "Pers. PageRank" in text
+        payload = report.as_dict()
+        assert set(payload["biases"]) == {"Cyclerank", "Pers. PageRank"}
+        assert payload["k"] == 5
+
+    def test_empty_report_rejected(self, small_enwiki):
+        with pytest.raises(InvalidParameterError):
+            popularity_bias_report({}, small_enwiki)

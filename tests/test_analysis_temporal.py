@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.analysis.temporal`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.temporal import snapshot_comparison
+from repro.datasets.wikipedia import generate_wikilink_graph
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import DirectedGraph
+
+
+@pytest.fixture(scope="module")
+def yearly_snapshots():
+    """Three snapshots of the English edition, oldest to newest (small and fast)."""
+    return {
+        snapshot: generate_wikilink_graph("en", snapshot, num_filler_articles=size, seed=5)
+        for snapshot, size in [("2008-03-01", 30), ("2013-03-01", 60), ("2018-03-01", 90)]
+    }
+
+
+class TestSnapshotComparison:
+    def test_runs_the_query_on_every_snapshot(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            yearly_snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        assert comparison.snapshots == list(yearly_snapshots)
+        assert set(comparison.rankings) == set(yearly_snapshots)
+        for ranking in comparison.rankings.values():
+            assert ranking.top_labels(1) == ["Freddie Mercury"]
+
+    def test_graph_sizes_grow_over_time(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            yearly_snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        node_counts = [comparison.graph_sizes[s]["nodes"] for s in comparison.snapshots]
+        assert node_counts == sorted(node_counts)
+        assert node_counts[0] < node_counts[-1]
+
+    def test_table_has_one_column_per_snapshot(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            yearly_snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        table = comparison.table(k=5)
+        assert len(table.columns) == 3
+        assert len(table.rows) == 5
+
+    def test_head_stability_and_newcomers(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            yearly_snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        stability = comparison.head_stability(5)
+        assert len(stability) == 2
+        assert all(0.0 <= value <= 1.0 for value in stability.values())
+        newcomers = comparison.newcomers(5)
+        assert set(newcomers) == set(comparison.snapshots[1:])
+
+    def test_to_text_mentions_sizes_and_stability(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            yearly_snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        text = comparison.to_text(5)
+        assert "Snapshot sizes" in text
+        assert "Head stability" in text
+
+    def test_global_algorithm_without_source(self, yearly_snapshots):
+        comparison = snapshot_comparison(yearly_snapshots, "pagerank", parameters={"alpha": 0.85})
+        assert len(comparison.snapshots) == 3
+        assert comparison.reference is None
+
+    def test_labels_with_loader(self, yearly_snapshots):
+        comparison = snapshot_comparison(
+            list(yearly_snapshots),
+            "cyclerank",
+            source="Freddie Mercury",
+            parameters={"k": 3},
+            loader=lambda label: yearly_snapshots[label],
+        )
+        assert comparison.snapshots == list(yearly_snapshots)
+
+    def test_labels_without_loader_rejected(self, yearly_snapshots):
+        with pytest.raises(InvalidParameterError):
+            snapshot_comparison(list(yearly_snapshots), "pagerank")
+
+    def test_empty_snapshots_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            snapshot_comparison({}, "pagerank")
+
+    def test_snapshots_missing_the_reference_are_skipped(self, yearly_snapshots):
+        early = DirectedGraph(name="early")
+        early.add_edge("Some article", "Another article")
+        snapshots = {"1999": early, **yearly_snapshots}
+        comparison = snapshot_comparison(
+            snapshots, "cyclerank", source="Freddie Mercury", parameters={"k": 3}
+        )
+        assert "1999" not in comparison.snapshots
+        assert len(comparison.snapshots) == 3
+
+    def test_reference_absent_everywhere_rejected(self, yearly_snapshots):
+        with pytest.raises(InvalidParameterError):
+            snapshot_comparison(
+                yearly_snapshots, "cyclerank", source="Not An Article", parameters={"k": 3}
+            )

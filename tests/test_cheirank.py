@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.algorithms.cheirank`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cheirank import cheirank, personalized_cheirank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import star_graph
+
+
+class TestCheiRank:
+    def test_equals_pagerank_of_transpose(self, mixed_graph):
+        chei = cheirank(mixed_graph, alpha=0.85)
+        pr_transposed = pagerank(mixed_graph.transpose(), alpha=0.85)
+        assert np.allclose(chei.scores, pr_transposed.scores, atol=1e-12)
+
+    def test_equals_pagerank_of_transpose_on_dataset(self, small_amazon):
+        chei = cheirank(small_amazon, alpha=0.5)
+        pr_transposed = pagerank(small_amazon.transpose(), alpha=0.5)
+        assert np.allclose(chei.scores, pr_transposed.scores, atol=1e-12)
+
+    def test_rewards_outgoing_connections(self):
+        # The hub points at every leaf but receives nothing: CheiRank must
+        # favour it while PageRank must not.
+        graph = star_graph(8, reciprocal=False)
+        chei = cheirank(graph)
+        pr = pagerank(graph)
+        assert chei.rank_of(0) == 1
+        assert pr.rank_of(0) == len(graph)
+
+    def test_scores_sum_to_one(self, community_graph):
+        assert cheirank(community_graph).total() == pytest.approx(1.0)
+
+    def test_provenance(self, triangle):
+        ranking = cheirank(triangle, alpha=0.7)
+        assert ranking.algorithm == "CheiRank"
+        assert ranking.parameters["alpha"] == 0.7
+        assert ranking.graph_name == "triangle"
+
+    def test_symmetric_graph_cheirank_equals_pagerank(self, reciprocal_star):
+        chei = cheirank(reciprocal_star)
+        pr = pagerank(reciprocal_star)
+        assert np.allclose(chei.scores, pr.scores, atol=1e-9)
+
+
+class TestPersonalizedCheiRank:
+    def test_equals_ppr_on_transpose(self, mixed_graph):
+        pchei = personalized_cheirank(mixed_graph, "X", alpha=0.6)
+        ppr_transposed = personalized_pagerank(mixed_graph.transpose(), "X", alpha=0.6)
+        assert np.allclose(pchei.scores, ppr_transposed.scores, atol=1e-12)
+
+    def test_reference_recorded(self, mixed_graph):
+        ranking = personalized_cheirank(mixed_graph, "X")
+        assert ranking.algorithm == "Personalized CheiRank"
+        assert ranking.reference == "X"
+
+    def test_follows_outgoing_links_of_reference(self):
+        graph = DirectedGraph()
+        graph.add_edge("query", "cited")
+        graph.add_edge("citer", "query")
+        ranking = personalized_cheirank(graph, "query", alpha=0.85)
+        # Personalized CheiRank walks the reversed edges, so it flows towards
+        # the node that links *to* the query.
+        assert ranking.score_of("citer") > ranking.score_of("cited")
+
+    def test_scores_sum_to_one(self, small_twitter):
+        ranking = personalized_cheirank(small_twitter, "@climate_voice")
+        assert ranking.total() == pytest.approx(1.0)

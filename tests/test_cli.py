@@ -1,0 +1,132 @@
+"""Unit tests for :mod:`repro.cli`.
+
+The CLI commands that need a full-size catalog dataset would be slow to run
+repeatedly, so these tests register a small uploaded dataset through a
+monkeypatched default catalog where appropriate and otherwise exercise the
+commands against the smallest catalog datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import DEFAULT_COMPARISON_ALGORITHMS, build_parser, main
+from repro.datasets.catalog import DatasetCatalog
+
+
+@pytest.fixture
+def tiny_catalog(small_enwiki, small_amazon, two_triangles, monkeypatch) -> DatasetCatalog:
+    """Patch the gateway's default catalog with a small, fast one."""
+    from repro.datasets.wikipedia import generate_wikilink_graph
+
+    catalog = DatasetCatalog()
+    catalog.register_graph("enwiki-2018", small_enwiki, family="wikipedia",
+                           description="small synthetic enwiki")
+    catalog.register_graph(
+        "dewiki-2018",
+        generate_wikilink_graph("de", "2018-03-01", num_filler_articles=40, seed=3),
+        family="wikipedia",
+        description="small synthetic dewiki",
+    )
+    catalog.register_graph("amazon-copurchase", small_amazon, family="amazon",
+                           description="small synthetic amazon")
+    catalog.register_graph("toy", two_triangles, family="synthetic", description="toy")
+    monkeypatch.setattr("repro.platform.gateway.default_catalog", lambda: catalog)
+    return catalog
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_default_comparison_algorithms_match_paper_tables(self):
+        assert DEFAULT_COMPARISON_ALGORITHMS == (
+            "pagerank", "cyclerank", "personalized-pagerank"
+        )
+
+    def test_run_command_parsing(self):
+        arguments = build_parser().parse_args(
+            ["run", "enwiki-2018", "cyclerank", "--source", "Pasta", "--param", "k=3"]
+        )
+        assert arguments.command == "run"
+        assert arguments.param == ["k=3"]
+
+
+class TestCommands:
+    def test_datasets_command(self, tiny_catalog, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "enwiki-2018" in output
+        assert "amazon-copurchase" in output
+
+    def test_datasets_command_family_filter(self, tiny_catalog, capsys):
+        assert main(["datasets", "--family", "amazon"]) == 0
+        output = capsys.readouterr().out
+        assert "amazon-copurchase" in output
+        assert "enwiki-2018" not in output
+
+    def test_algorithms_command(self, tiny_catalog, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "Cyclerank" in output
+        assert "Pers. PageRank" in output
+
+    def test_summary_command(self, tiny_catalog, capsys):
+        assert main(["summary", "toy"]) == 0
+        output = capsys.readouterr().out
+        assert "num_nodes" in output
+        assert "reciprocity" in output
+
+    def test_run_command(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--param", "k=3", "--top", "3",
+             "--scores"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "CycleRank" in output
+        assert "R" in output
+
+    def test_run_command_unknown_dataset_reports_error(self, tiny_catalog, capsys):
+        exit_code = main(["run", "no-such-dataset", "pagerank"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_command_bad_param_format_exits(self, tiny_catalog):
+        with pytest.raises(SystemExit):
+            main(["run", "toy", "cyclerank", "--source", "R", "--param", "k3"])
+
+    def test_compare_command(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["compare", "enwiki-2018", "--source", "Freddie Mercury", "--top", "5", "--logs"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Cyclerank" in output
+        assert "PageRank" in output
+        assert "Freddie Mercury" in output
+        assert "[executor" in output or "scheduler" in output
+
+    def test_cross_language_command(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["cross-language", "--languages", "en", "de", "--snapshot-year", "2018",
+             "--top", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fake news (en)" in output
+        assert "Fake News (de)" in output
+
+    def test_cross_language_skips_unknown_language(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["cross-language", "--languages", "xx", "en", "--snapshot-year", "2018"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "skipping unknown language" in captured.err

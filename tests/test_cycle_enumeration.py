@@ -1,0 +1,166 @@
+"""Unit tests for :mod:`repro.algorithms.cycle_enumeration`."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms.cycle_enumeration import (
+    count_cycles_by_length,
+    enumerate_cycles_through,
+    simple_cycles_up_to_length,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import complete_graph, cycle_graph, layered_dag
+
+
+def brute_force_cycles_through(graph, reference, max_length):
+    """Reference implementation: try every node permutation up to max_length."""
+    root = graph.resolve(reference)
+    found = set()
+    other_nodes = [node for node in graph.nodes() if node != root]
+    for length in range(2, max_length + 1):
+        for middle in itertools.permutations(other_nodes, length - 1):
+            path = (root,) + middle
+            ok = all(graph.has_edge(path[i], path[i + 1]) for i in range(len(path) - 1))
+            if ok and graph.has_edge(path[-1], root):
+                found.add(path)
+    return found
+
+
+class TestEnumerateCyclesThrough:
+    def test_triangle_has_one_cycle(self, triangle):
+        cycles = list(enumerate_cycles_through(triangle, "A", 3))
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 3
+        assert cycles[0][0] == triangle.resolve("A")
+
+    def test_triangle_not_found_with_k_two(self, triangle):
+        assert list(enumerate_cycles_through(triangle, "A", 2)) == []
+
+    def test_two_cycles_through_shared_node(self, two_triangles):
+        cycles = list(enumerate_cycles_through(two_triangles, "R", 3))
+        assert len(cycles) == 2
+
+    def test_reciprocal_star_counts_two_cycles(self, reciprocal_star):
+        cycles = list(enumerate_cycles_through(reciprocal_star, "H", 2))
+        assert len(cycles) == 5
+        assert all(len(cycle) == 2 for cycle in cycles)
+
+    def test_leaf_of_reciprocal_star(self, reciprocal_star):
+        # From a leaf, K=2 sees one 2-cycle (leaf <-> hub); K=4 adds the
+        # 4-cycles leaf -> hub is not possible (hub-leaf-hub repeats hub), so
+        # still exactly one cycle.
+        assert len(list(enumerate_cycles_through(reciprocal_star, "A", 2))) == 1
+        assert len(list(enumerate_cycles_through(reciprocal_star, "A", 4))) == 1
+
+    def test_dag_has_no_cycles(self, small_dag):
+        assert list(enumerate_cycles_through(small_dag, 0, 5)) == []
+
+    def test_directed_cycle_found_only_at_full_length(self):
+        graph = cycle_graph(5)
+        assert list(enumerate_cycles_through(graph, 0, 4)) == []
+        cycles = list(enumerate_cycles_through(graph, 0, 5))
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 5
+
+    def test_cycles_are_simple(self, community_graph):
+        for cycle in enumerate_cycles_through(community_graph, 0, 4):
+            assert len(set(cycle)) == len(cycle)
+
+    def test_cycles_start_with_reference(self, community_graph):
+        for cycle in enumerate_cycles_through(community_graph, 3, 4):
+            assert cycle[0] == 3
+
+    def test_every_cycle_edge_exists(self, community_graph):
+        for cycle in enumerate_cycles_through(community_graph, 0, 4):
+            for first, second in zip(cycle, cycle[1:]):
+                assert community_graph.has_edge(first, second)
+            assert community_graph.has_edge(cycle[-1], cycle[0])
+
+    def test_no_duplicate_cycles(self, community_graph):
+        cycles = list(enumerate_cycles_through(community_graph, 0, 4))
+        assert len(cycles) == len(set(cycles))
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_brute_force_on_complete_graph(self, k):
+        graph = complete_graph(5)
+        expected = brute_force_cycles_through(graph, 0, k)
+        actual = set(enumerate_cycles_through(graph, 0, k))
+        assert actual == expected
+
+    def test_matches_brute_force_on_random_graph(self):
+        from repro.graph.generators import gnp_random_graph
+
+        graph = gnp_random_graph(9, 0.3, seed=13)
+        expected = brute_force_cycles_through(graph, 0, 4)
+        actual = set(enumerate_cycles_through(graph, 0, 4))
+        assert actual == expected
+
+    def test_complete_graph_cycle_counts(self):
+        # In K_n, the number of cycles of length L through a fixed node is
+        # P(n-1, L-1) = (n-1)! / (n-L)!.
+        graph = complete_graph(5)
+        counts = count_cycles_by_length(graph, 0, 4)
+        assert counts == {2: 4, 3: 12, 4: 24}
+
+    def test_self_loop_ignored(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "A")
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "A")
+        cycles = list(enumerate_cycles_through(graph, "A", 3))
+        assert all(len(cycle) >= 2 for cycle in cycles)
+        assert len(cycles) == 1
+
+    def test_invalid_max_length_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_cycles_through(triangle, "A", 1))
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_cycles_through(triangle, "A", 0))
+
+    def test_isolated_reference_yields_nothing(self):
+        graph = DirectedGraph()
+        graph.add_node("lonely")
+        graph.add_edge("A", "B")
+        assert list(enumerate_cycles_through(graph, "lonely", 4)) == []
+
+
+class TestCountCyclesByLength:
+    def test_counts_by_length(self, two_triangles):
+        assert count_cycles_by_length(two_triangles, "R", 3) == {3: 2}
+
+    def test_counts_accumulate_with_k(self, community_graph):
+        counts_small = count_cycles_by_length(community_graph, 0, 3)
+        counts_large = count_cycles_by_length(community_graph, 0, 4)
+        for length, count in counts_small.items():
+            assert counts_large[length] == count
+        assert sum(counts_large.values()) >= sum(counts_small.values())
+
+
+class TestSimpleCyclesUpToLength:
+    def test_whole_graph_enumeration_on_two_triangles(self, two_triangles):
+        cycles = simple_cycles_up_to_length(two_triangles, 3)
+        assert len(cycles) == 2
+
+    def test_whole_graph_enumeration_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.generators import gnp_random_graph
+
+        graph = gnp_random_graph(10, 0.25, seed=3)
+        ours = {frozenset(cycle) for cycle in simple_cycles_up_to_length(graph, 10)
+                if len(cycle) == len(frozenset(cycle))}
+        nx_graph = graph.to_networkx()
+        # Unlabelled nodes are exported to networkx as "#<id>" display labels.
+        theirs = {
+            frozenset(int(str(label).lstrip("#")) for label in cycle)
+            for cycle in nx.simple_cycles(nx_graph)
+        }
+        # Compare as node sets; both enumerate each simple cycle once.
+        assert ours == theirs
+
+    def test_dag_has_no_cycles_at_all(self):
+        graph = layered_dag([3, 3, 3], seed=2)
+        assert simple_cycles_up_to_length(graph, 6) == []

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.datasets.amazon` and :mod:`repro.datasets.twitter`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amazon import AMAZON_REFERENCE_ITEMS, generate_amazon_graph
+from repro.datasets.seeds import AMAZON_COMMUNITIES, AMAZON_POPULAR_ITEMS, TWITTER_COMMUNITIES
+from repro.datasets.twitter import TWITTER_DATASETS, generate_twitter_graph
+from repro.exceptions import InvalidParameterError
+from repro.graph.analysis import reciprocity
+
+
+class TestAmazonSeeds:
+    def test_table_two_reference_items_defined(self):
+        assert "1984" in AMAZON_REFERENCE_ITEMS
+        assert "The Fellowship of the Ring" in AMAZON_REFERENCE_ITEMS
+
+    def test_reference_items_belong_to_their_community(self):
+        for item, community in AMAZON_REFERENCE_ITEMS.items():
+            assert item in AMAZON_COMMUNITIES[community]
+
+    def test_harry_potter_is_popular_but_a_community_of_its_own(self):
+        assert any("Harry Potter" in item for item in AMAZON_POPULAR_ITEMS)
+        assert "harry-potter" in AMAZON_COMMUNITIES
+
+
+class TestAmazonGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_amazon_graph(num_filler_items=40, seed=1) == generate_amazon_graph(
+            num_filler_items=40, seed=1
+        )
+        assert generate_amazon_graph(num_filler_items=40, seed=1) != generate_amazon_graph(
+            num_filler_items=40, seed=2
+        )
+
+    def test_contains_all_community_items(self, small_amazon):
+        for members in AMAZON_COMMUNITIES.values():
+            for member in members:
+                assert small_amazon.has_label(member)
+
+    def test_tolkien_community_is_reciprocated(self, small_amazon):
+        assert small_amazon.has_edge("The Fellowship of the Ring", "The Two Towers")
+        assert small_amazon.has_edge("The Two Towers", "The Fellowship of the Ring")
+
+    def test_bestsellers_receive_cross_genre_links_without_returning(self, small_amazon):
+        tolkien = AMAZON_COMMUNITIES["tolkien"]
+        harry_potter = "Harry Potter (Book 1)"
+        incoming_from_tolkien = sum(
+            1 for member in tolkien if small_amazon.has_edge(member, harry_potter)
+        )
+        outgoing_to_tolkien = sum(
+            1 for member in tolkien if small_amazon.has_edge(harry_potter, member)
+        )
+        assert incoming_from_tolkien >= 2
+        assert outgoing_to_tolkien == 0
+
+    def test_bestsellers_have_top_in_degrees(self, small_amazon):
+        in_degrees = small_amazon.in_degrees()
+        median = sorted(in_degrees)[len(in_degrees) // 2]
+        for popular in AMAZON_POPULAR_ITEMS[:3]:
+            assert small_amazon.in_degree(popular) > 3 * max(median, 1)
+
+    def test_no_self_loops_and_named(self, small_amazon):
+        assert small_amazon.self_loops() == []
+        assert small_amazon.name == "amazon co-purchase"
+
+    def test_invalid_filler_count(self):
+        with pytest.raises(InvalidParameterError):
+            generate_amazon_graph(num_filler_items=-1)
+
+
+class TestTwitterGenerator:
+    def test_both_crawls_available(self):
+        assert set(TWITTER_DATASETS) == {"8m", "cop27"}
+
+    def test_deterministic_per_seed(self):
+        assert generate_twitter_graph("cop27", num_casual_users=30, seed=1) == \
+            generate_twitter_graph("cop27", num_casual_users=30, seed=1)
+
+    def test_contains_community_accounts(self, small_twitter):
+        for handles in TWITTER_COMMUNITIES["cop27"].values():
+            for handle in handles:
+                assert small_twitter.has_label(handle)
+
+    def test_celebrities_have_high_in_degree_low_reciprocity(self, small_twitter):
+        celebrity = "@global_celebrity"
+        in_degree = small_twitter.in_degree(celebrity)
+        out_degree = small_twitter.out_degree(celebrity)
+        assert in_degree > 2 * max(out_degree, 1)
+
+    def test_activist_community_is_reciprocated(self, small_twitter):
+        members = TWITTER_COMMUNITIES["cop27"]["climate-activists"]
+        reciprocated = sum(
+            1
+            for first in members
+            for second in members
+            if first != second
+            and small_twitter.has_edge(first, second)
+            and small_twitter.has_edge(second, first)
+        )
+        assert reciprocated >= len(members)
+
+    def test_topics_produce_different_graphs(self):
+        cop27 = generate_twitter_graph("cop27", num_casual_users=20, seed=0)
+        womens_day = generate_twitter_graph("8m", num_casual_users=20, seed=0)
+        assert cop27.has_label("@un_climate")
+        assert not womens_day.has_label("@un_climate")
+        assert womens_day.has_label("@ni_una_menos")
+
+    def test_overall_reciprocity_moderate(self, small_twitter):
+        assert 0.05 < reciprocity(small_twitter) < 0.9
+
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generate_twitter_graph("worldcup")
+
+    def test_invalid_casual_user_count(self):
+        with pytest.raises(InvalidParameterError):
+            generate_twitter_graph("cop27", num_casual_users=-3)

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.datasets.catalog`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog, DatasetDescriptor, default_catalog
+from repro.exceptions import DatasetError, DatasetNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.io.edgelist import write_edgelist
+
+
+@pytest.fixture(scope="module")
+def catalog() -> DatasetCatalog:
+    return default_catalog()
+
+
+class TestDefaultCatalog:
+    def test_fifty_preloaded_datasets(self, catalog):
+        assert len(catalog) == 50
+
+    def test_wikipedia_datasets_cover_languages_and_snapshots(self, catalog):
+        wikipedia = catalog.identifiers(family="wikipedia")
+        assert len(wikipedia) == 36
+        assert "enwiki-2018" in wikipedia
+        assert "svwiki-2003" in wikipedia
+
+    def test_other_families_present(self, catalog):
+        assert "amazon-copurchase" in catalog.identifiers(family="amazon")
+        assert "twitter-cop27" in catalog.identifiers(family="twitter")
+        assert "twitter-8m" in catalog.identifiers(family="twitter")
+        assert len(catalog.identifiers(family="synthetic")) >= 4
+
+    def test_families_listing(self, catalog):
+        assert set(catalog.families()) == {"wikipedia", "amazon", "twitter", "synthetic"}
+
+    def test_descriptors_have_descriptions_and_tags(self, catalog):
+        for descriptor in catalog:
+            assert descriptor.description
+        enwiki = catalog.describe("enwiki-2018")
+        assert enwiki.tags["language"] == "en"
+        assert enwiki.tags["snapshot"].startswith("2018")
+
+    def test_load_builds_and_caches(self, catalog):
+        first = catalog.load("twitter-cop27")
+        second = catalog.load("twitter-cop27")
+        assert first is second
+        assert first.number_of_nodes() > 0
+
+    def test_contains_and_membership(self, catalog):
+        assert "enwiki-2018" in catalog
+        assert "nonexistent" not in catalog
+
+    def test_unknown_dataset_fails(self, catalog):
+        with pytest.raises(DatasetNotFoundError):
+            catalog.describe("nonexistent")
+        with pytest.raises(DatasetNotFoundError):
+            catalog.load("nonexistent")
+
+
+class TestRegistration:
+    def test_register_graph(self, triangle):
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", triangle, description="uploaded triangle")
+        assert "mine" in catalog
+        assert catalog.load("mine") is triangle
+        assert catalog.describe("mine").family == "uploaded"
+
+    def test_register_duplicate_fails_without_replace(self, triangle):
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", triangle)
+        with pytest.raises(DatasetError):
+            catalog.register_graph("mine", triangle)
+        catalog.register_graph("mine", triangle.copy(), replace=True)
+
+    def test_register_file(self, tmp_path, mixed_graph):
+        path = tmp_path / "uploaded.csv"
+        write_edgelist(mixed_graph, path)
+        catalog = DatasetCatalog()
+        catalog.register_file("uploaded", path)
+        loaded = catalog.load("uploaded")
+        assert loaded.number_of_edges() == mixed_graph.number_of_edges()
+        assert catalog.describe("uploaded").tags["path"] == str(path)
+
+    def test_unregister(self, triangle):
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", triangle)
+        catalog.unregister("mine")
+        assert "mine" not in catalog
+        catalog.unregister("mine")  # no error when absent
+
+    def test_loader_returning_wrong_type_fails(self):
+        catalog = DatasetCatalog()
+        catalog.register(
+            DatasetDescriptor(
+                dataset_id="broken",
+                family="synthetic",
+                description="returns the wrong type",
+                loader=lambda: "not a graph",
+            )
+        )
+        with pytest.raises(DatasetError):
+            catalog.load("broken")
+
+    def test_list_is_sorted(self):
+        catalog = DatasetCatalog()
+        catalog.register_graph("zzz", DirectedGraph())
+        catalog.register_graph("aaa", DirectedGraph())
+        assert catalog.identifiers() == ["aaa", "zzz"]

@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.datasets.wikipedia` and :mod:`repro.datasets.seeds`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.seeds import (
+    FAKE_NEWS_TOPICS,
+    WIKIPEDIA_GLOBAL_HUBS,
+    WIKIPEDIA_LANGUAGES,
+    WIKIPEDIA_SNAPSHOTS,
+    WIKIPEDIA_TOPICS,
+    topics_for_language,
+)
+from repro.datasets.wikipedia import (
+    edition_size_factor,
+    generate_wikilink_graph,
+    snapshot_size_factor,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.analysis import reciprocity
+
+
+class TestSeeds:
+    def test_every_language_has_a_fake_news_topic(self):
+        for language in WIKIPEDIA_LANGUAGES:
+            assert language in FAKE_NEWS_TOPICS
+
+    def test_table_one_topics_present_in_english(self):
+        assert "Freddie Mercury" in WIKIPEDIA_TOPICS
+        assert "Pasta" in WIKIPEDIA_TOPICS
+        assert "Queen (band)" in WIKIPEDIA_TOPICS["Freddie Mercury"].core
+        assert "Italian cuisine" in WIKIPEDIA_TOPICS["Pasta"].core
+
+    def test_paper_pagerank_hubs_present(self):
+        for hub in ["United States", "Animal", "Arthropod", "Association football", "Insect"]:
+            assert hub in WIKIPEDIA_GLOBAL_HUBS
+
+    def test_topic_seed_all_nodes(self):
+        seed = WIKIPEDIA_TOPICS["Pasta"]
+        nodes = seed.all_nodes()
+        assert nodes[0] == "Pasta"
+        assert set(seed.core) <= set(nodes)
+        assert set(seed.satellites) <= set(nodes)
+
+    def test_topics_for_language_includes_fake_news_and_music(self):
+        topics = topics_for_language("de")
+        assert "Fake News" in topics
+        assert "Freddie Mercury" in topics
+
+    def test_fake_news_references_differ_across_languages(self):
+        references = {seed.reference for seed in FAKE_NEWS_TOPICS.values()}
+        assert len(references) >= 3  # e.g. "Fake News", "Nepnieuws", "Falska nyheter"
+
+    def test_fake_news_cores_differ_across_languages(self):
+        de_core = set(FAKE_NEWS_TOPICS["de"].core)
+        it_core = set(FAKE_NEWS_TOPICS["it"].core)
+        assert de_core != it_core
+
+
+class TestScaleFactors:
+    def test_english_2018_is_the_largest(self):
+        assert edition_size_factor("en") == 1.0
+        assert snapshot_size_factor("2018-03-01") == 1.0
+        for language in WIKIPEDIA_LANGUAGES:
+            assert 0 < edition_size_factor(language) <= 1.0
+        for snapshot in WIKIPEDIA_SNAPSHOTS:
+            assert 0 < snapshot_size_factor(snapshot) <= 1.0
+
+    def test_unknown_language_or_snapshot_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            edition_size_factor("xx")
+        with pytest.raises(InvalidParameterError):
+            snapshot_size_factor("2020-01-01")
+
+
+class TestGenerator:
+    def test_deterministic_per_arguments(self):
+        first = generate_wikilink_graph("en", "2018-03-01", num_filler_articles=50, seed=1)
+        second = generate_wikilink_graph("en", "2018-03-01", num_filler_articles=50, seed=1)
+        third = generate_wikilink_graph("en", "2018-03-01", num_filler_articles=50, seed=2)
+        assert first == second
+        assert first != third
+
+    def test_graph_name_encodes_language_and_snapshot(self):
+        graph = generate_wikilink_graph("fr", "2013-03-01", num_filler_articles=20)
+        assert graph.name == "frwiki 2013-03-01"
+
+    def test_contains_hubs_and_topic_nodes(self, small_enwiki):
+        for hub in WIKIPEDIA_GLOBAL_HUBS:
+            assert small_enwiki.has_label(hub)
+        assert small_enwiki.has_label("Freddie Mercury")
+        assert small_enwiki.has_label("Queen (band)")
+        assert small_enwiki.has_label("Pasta")
+
+    def test_hubs_have_highest_in_degree(self, small_enwiki):
+        hub_in_degrees = [small_enwiki.in_degree(hub) for hub in WIKIPEDIA_GLOBAL_HUBS[:5]]
+        in_degrees = small_enwiki.in_degrees()
+        median = sorted(in_degrees)[len(in_degrees) // 2]
+        assert min(hub_in_degrees) > 3 * max(median, 1)
+
+    def test_topic_core_is_reciprocated(self, small_enwiki):
+        assert small_enwiki.has_edge("Freddie Mercury", "Queen (band)")
+        assert small_enwiki.has_edge("Queen (band)", "Freddie Mercury")
+
+    def test_satellites_not_linking_back_to_reference(self, small_enwiki):
+        assert small_enwiki.has_edge("Freddie Mercury", "HIV/AIDS")
+        assert not small_enwiki.has_edge("HIV/AIDS", "Freddie Mercury")
+
+    def test_older_snapshots_are_smaller(self):
+        new = generate_wikilink_graph("en", "2018-03-01")
+        old = generate_wikilink_graph("en", "2003-03-01")
+        assert old.number_of_nodes() < new.number_of_nodes()
+        assert old.number_of_edges() < new.number_of_edges()
+
+    def test_smaller_editions_are_smaller(self):
+        english = generate_wikilink_graph("en", "2018-03-01")
+        swedish = generate_wikilink_graph("sv", "2018-03-01")
+        assert swedish.number_of_nodes() < english.number_of_nodes()
+
+    def test_language_editions_have_localised_fake_news(self):
+        italian = generate_wikilink_graph("it", "2018-03-01", num_filler_articles=30)
+        assert italian.has_label("Bufala")
+        assert italian.has_label("Disinformazione")
+        dutch = generate_wikilink_graph("nl", "2018-03-01", num_filler_articles=30)
+        assert dutch.has_label("Nepnieuws")
+
+    def test_no_self_loops(self, small_enwiki):
+        assert small_enwiki.self_loops() == []
+
+    def test_reciprocity_is_moderate(self, small_enwiki):
+        # Wikilink graphs are mostly one-directional with a reciprocated
+        # topical core; the synthetic stand-in should not be at either extreme.
+        value = reciprocity(small_enwiki)
+        assert 0.02 < value < 0.8
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generate_wikilink_graph("xx", "2018-03-01")
+        with pytest.raises(InvalidParameterError):
+            generate_wikilink_graph("en", "1999-01-01")
+        with pytest.raises(InvalidParameterError):
+            generate_wikilink_graph("en", "2018-03-01", num_filler_articles=-5)

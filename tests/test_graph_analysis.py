@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.graph.analysis`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.analysis import (
+    degree_histogram,
+    density,
+    graph_summary,
+    reciprocity,
+    top_nodes_by_degree,
+)
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestDensity:
+    def test_complete_graph_has_density_one(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_cycle_density(self):
+        graph = cycle_graph(10)
+        assert density(graph) == pytest.approx(10 / (10 * 9))
+
+    def test_tiny_graphs_have_zero_density(self):
+        assert density(DirectedGraph()) == 0.0
+        single = DirectedGraph()
+        single.add_node("A")
+        assert density(single) == 0.0
+
+
+class TestReciprocity:
+    def test_fully_reciprocated_graph(self, reciprocal_star):
+        assert reciprocity(reciprocal_star) == pytest.approx(1.0)
+
+    def test_one_way_graph(self):
+        assert reciprocity(path_graph(5)) == 0.0
+
+    def test_half_reciprocated(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "A")
+        graph.add_edge("A", "C")
+        graph.add_edge("C", "D")
+        assert reciprocity(graph) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        assert reciprocity(DirectedGraph()) == 0.0
+
+
+class TestDegreeStatistics:
+    def test_degree_histogram_in(self):
+        graph = star_graph(4)  # hub -> 4 leaves
+        histogram = degree_histogram(graph, direction="in")
+        assert histogram == {0: 1, 1: 4}
+
+    def test_degree_histogram_out(self):
+        graph = star_graph(4)
+        histogram = degree_histogram(graph, direction="out")
+        assert histogram == {0: 4, 4: 1}
+
+    def test_invalid_direction(self, triangle):
+        with pytest.raises(ValueError):
+            degree_histogram(triangle, direction="sideways")
+        with pytest.raises(ValueError):
+            top_nodes_by_degree(triangle, direction="sideways")
+
+    def test_top_nodes_by_degree(self):
+        graph = star_graph(4, reciprocal=True)
+        top = top_nodes_by_degree(graph, 1, direction="in")
+        assert top[0][1] == 4  # the hub receives 4 incoming edges
+
+    def test_top_nodes_respects_k(self, community_graph):
+        assert len(top_nodes_by_degree(community_graph, 3)) == 3
+
+
+class TestGraphSummary:
+    def test_summary_fields(self, two_triangles):
+        summary = graph_summary(two_triangles)
+        assert summary.num_nodes == 5
+        assert summary.num_edges == 6
+        assert summary.num_self_loops == 0
+        assert summary.num_strongly_connected_components == 1
+        assert summary.largest_scc_size == 5
+        assert summary.num_weakly_connected_components == 1
+
+    def test_summary_as_dict_round_trip(self, triangle):
+        payload = graph_summary(triangle).as_dict()
+        assert payload["num_nodes"] == 3
+        assert payload["num_edges"] == 3
+        assert 0.0 <= payload["density"] <= 1.0
+        assert set(payload) >= {"name", "reciprocity", "max_in_degree", "max_out_degree"}
+
+    def test_summary_of_empty_graph(self):
+        summary = graph_summary(DirectedGraph(name="empty"))
+        assert summary.num_nodes == 0
+        assert summary.max_in_degree == 0
+        assert summary.largest_scc_size == 0

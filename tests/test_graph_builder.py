@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.graph.builder`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import BuildReport, GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        builder = GraphBuilder(name="toy")
+        builder.add_edge("A", "B")
+        builder.add_edge("B", "A")
+        graph = builder.build()
+        assert graph.name == "toy"
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 2
+
+    def test_report_counts_nodes_and_edges(self):
+        builder = GraphBuilder()
+        builder.add_edge("A", "B")
+        builder.add_edge("A", "C")
+        report = builder.report
+        assert report.nodes_added == 3
+        assert report.edges_added == 2
+
+    def test_duplicate_edges_counted(self):
+        builder = GraphBuilder()
+        builder.add_edge("A", "B")
+        builder.add_edge("A", "B")
+        assert builder.report.duplicate_edges_skipped == 1
+        assert builder.build().number_of_edges() == 1
+
+    def test_self_loops_skipped_by_default(self):
+        builder = GraphBuilder()
+        builder.add_edge("A", "A")
+        assert builder.report.self_loops_skipped == 1
+        assert builder.build().number_of_edges() == 0
+
+    def test_self_loops_allowed_when_requested(self):
+        builder = GraphBuilder(allow_self_loops=True)
+        builder.add_edge("A", "A")
+        graph = builder.build()
+        assert graph.number_of_edges() == 1
+        assert graph.has_self_loop("A")
+
+    def test_add_edges_from(self):
+        builder = GraphBuilder()
+        builder.add_edges_from([("A", "B"), ("B", "C")])
+        assert builder.number_of_edges() == 2
+        assert builder.number_of_nodes() == 3
+
+    def test_explicit_add_node(self):
+        builder = GraphBuilder()
+        node = builder.add_node("A")
+        assert node == 0
+        assert builder.add_node("A") == 0
+        assert builder.report.nodes_added == 1
+
+    def test_skip_line_and_warnings(self):
+        builder = GraphBuilder()
+        builder.skip_line()
+        builder.skip_line("bad line 3")
+        builder.warn("something odd")
+        report = builder.report
+        assert report.lines_skipped == 2
+        assert "bad line 3" in report.warnings
+        assert "something odd" in report.warnings
+
+    def test_build_can_only_be_called_once(self):
+        builder = GraphBuilder()
+        builder.add_edge("A", "B")
+        builder.build()
+        with pytest.raises(GraphError):
+            builder.build()
+        with pytest.raises(GraphError):
+            builder.add_edge("B", "C")
+
+
+class TestBuildReport:
+    def test_merge_sums_fields(self):
+        first = BuildReport(nodes_added=2, edges_added=3, warnings=["a"])
+        second = BuildReport(nodes_added=1, duplicate_edges_skipped=4, warnings=["b"])
+        merged = first.merge(second)
+        assert merged.nodes_added == 3
+        assert merged.edges_added == 3
+        assert merged.duplicate_edges_skipped == 4
+        assert merged.warnings == ["a", "b"]

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.graph.components`."""
+
+from __future__ import annotations
+
+from repro.graph.components import (
+    condensation,
+    is_strongly_connected,
+    is_weakly_connected,
+    strongly_connected_component_of,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph, layered_dag, path_graph
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_component(self):
+        graph = cycle_graph(5)
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert components[0] == set(range(5))
+        assert is_strongly_connected(graph)
+
+    def test_path_is_all_singletons(self):
+        graph = path_graph(4)
+        components = strongly_connected_components(graph)
+        assert len(components) == 4
+        assert all(len(component) == 1 for component in components)
+        assert not is_strongly_connected(graph)
+
+    def test_two_cycles_joined_by_one_way_edge(self):
+        graph = DirectedGraph()
+        graph.add_edges_from([("A", "B"), ("B", "A"), ("C", "D"), ("D", "C"), ("B", "C")])
+        components = strongly_connected_components(graph)
+        assert len(components) == 2
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [2, 2]
+
+    def test_component_of_specific_node(self, two_triangles):
+        component = strongly_connected_component_of(two_triangles, "R")
+        labels = {two_triangles.label_of(node) for node in component}
+        assert labels == {"R", "A", "B", "C", "D"}
+
+    def test_empty_graph(self):
+        graph = DirectedGraph()
+        assert strongly_connected_components(graph) == []
+        assert is_strongly_connected(graph)
+        assert is_weakly_connected(graph)
+
+    def test_every_node_in_exactly_one_component(self, community_graph):
+        components = strongly_connected_components(community_graph)
+        seen = [node for component in components for node in component]
+        assert sorted(seen) == list(community_graph.nodes())
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        # 5000-node path: a recursive Tarjan would overflow Python's stack.
+        graph = path_graph(5000)
+        components = strongly_connected_components(graph)
+        assert len(components) == 5000
+
+    def test_reverse_topological_emission_order(self):
+        graph = DirectedGraph()
+        graph.add_edges_from([("A", "B"), ("B", "C")])
+        components = strongly_connected_components(graph)
+        # Tarjan emits a component only after everything it reaches; the sink
+        # C must therefore appear before A.
+        order = [graph.label_of(next(iter(component))) for component in components]
+        assert order.index("C") < order.index("A")
+
+
+class TestWeaklyConnectedComponents:
+    def test_direction_is_ignored(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("C", "B")
+        assert len(weakly_connected_components(graph)) == 1
+        assert is_weakly_connected(graph)
+
+    def test_disconnected_pieces(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("C", "D")
+        graph.add_node("isolated")
+        components = weakly_connected_components(graph)
+        assert len(components) == 3
+        assert not is_weakly_connected(graph)
+
+
+class TestCondensation:
+    def test_condensation_of_dag_is_isomorphic(self):
+        graph = layered_dag([2, 2], edge_probability=1.0, seed=0)
+        dag, membership = condensation(graph)
+        assert dag.number_of_nodes() == graph.number_of_nodes()
+        assert len(membership) == graph.number_of_nodes()
+
+    def test_condensation_contracts_cycles(self, two_triangles):
+        dag, membership = condensation(two_triangles)
+        assert dag.number_of_nodes() == 1
+        assert len(set(membership.values())) == 1
+
+    def test_condensation_is_acyclic(self, community_graph):
+        dag, _ = condensation(community_graph)
+        # An acyclic graph has no strongly connected component of size > 1.
+        assert all(len(c) == 1 for c in strongly_connected_components(dag))
+
+    def test_condensation_membership_consistent_with_edges(self, mixed_graph):
+        dag, membership = condensation(mixed_graph)
+        for edge in mixed_graph.edges():
+            source_component = membership[edge.source]
+            target_component = membership[edge.target]
+            if source_component != target_component:
+                assert dag.has_edge(source_component, target_component)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.graph.csr`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DirectedGraph
+
+
+class TestConstruction:
+    def test_from_directed_graph_preserves_edges(self, mixed_graph):
+        csr = CSRGraph.from_directed_graph(mixed_graph)
+        assert csr.number_of_nodes() == mixed_graph.number_of_nodes()
+        assert csr.number_of_edges() == mixed_graph.number_of_edges()
+        for edge in mixed_graph.edges():
+            assert csr.has_edge(edge.source, edge.target)
+
+    def test_from_edges_collapses_duplicates(self):
+        csr = CSRGraph.from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        assert csr.number_of_edges() == 2
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_from_edges_rejects_negative_node_count(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(-1, [])
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_indices_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1, 1]), np.array([1]), labels=["only-one"])
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_edges(0, [])
+        assert csr.number_of_nodes() == 0
+        assert csr.number_of_edges() == 0
+
+
+class TestAccessors:
+    def test_successors_and_degrees(self, reciprocal_star):
+        csr = reciprocal_star.to_csr()
+        hub = reciprocal_star.resolve("H")
+        assert set(csr.successors(hub).tolist()) == reciprocal_star.successors(hub)
+        assert csr.out_degree(hub) == 5
+        assert csr.out_degrees().sum() == csr.number_of_edges()
+        assert csr.in_degrees().sum() == csr.number_of_edges()
+
+    def test_out_of_range_node_raises(self, triangle):
+        csr = triangle.to_csr()
+        with pytest.raises(NodeNotFoundError):
+            csr.successors(10)
+        with pytest.raises(NodeNotFoundError):
+            csr.out_degree(-1)
+
+    def test_edges_listing(self, triangle):
+        csr = triangle.to_csr()
+        sources, targets = csr.edges()
+        assert len(sources) == len(targets) == 3
+        pairs = set(zip(sources.tolist(), targets.tolist()))
+        assert pairs == set(triangle.edge_list())
+
+    def test_labels_round_trip(self, triangle):
+        csr = triangle.to_csr()
+        assert csr.labels() == triangle.labels()
+        assert csr.label_of(0) == triangle.label_of(0)
+        assert csr.node_for_label("A") == triangle.node_for_label("A")
+        with pytest.raises(NodeNotFoundError):
+            csr.node_for_label("missing")
+
+    def test_labels_default_when_absent(self):
+        csr = CSRGraph.from_edges(2, [(0, 1)])
+        assert csr.labels() == ["#0", "#1"]
+        assert csr.label_of(1) == "#1"
+
+
+class TestConversions:
+    def test_round_trip_to_directed_graph(self, mixed_graph):
+        csr = mixed_graph.to_csr()
+        back = csr.to_directed_graph()
+        assert back == mixed_graph
+
+    def test_transpose_matches_digraph_transpose(self, mixed_graph):
+        csr_transposed = mixed_graph.to_csr().transpose()
+        expected = mixed_graph.transpose().to_csr()
+        assert csr_transposed == expected
+
+    def test_to_scipy_adjacency(self, triangle):
+        matrix = triangle.to_csr().to_scipy()
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 3
+        a, b = triangle.resolve("A"), triangle.resolve("B")
+        assert matrix[a, b] == 1.0
+        assert matrix[b, a] == 0.0
+
+    def test_equality_and_repr(self, triangle):
+        csr = triangle.to_csr()
+        assert csr == triangle.to_csr()
+        assert csr != CSRGraph.from_edges(3, [(0, 1)])
+        assert csr != object()
+        assert "3 nodes" in repr(csr)
+        assert len(csr) == 3
+
+    def test_csr_is_snapshot_not_view(self, triangle):
+        csr = triangle.to_csr()
+        triangle.add_edge("A", "C")
+        assert not csr.has_edge(triangle.resolve("A"), triangle.resolve("C"))

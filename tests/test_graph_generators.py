@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.graph.generators`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.analysis import reciprocity
+from repro.graph.components import is_strongly_connected, strongly_connected_components
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    hub_and_spoke_graph,
+    layered_dag,
+    path_graph,
+    preferential_attachment_graph,
+    reciprocal_communities_graph,
+    star_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 5
+        assert is_strongly_connected(graph)
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.number_of_edges() == 4
+        assert not is_strongly_connected(graph)
+
+    def test_star_graph(self):
+        graph = star_graph(4)
+        assert graph.number_of_nodes() == 5
+        assert graph.out_degree(0) == 4
+        assert graph.in_degree(0) == 0
+
+    def test_reciprocal_star_graph(self):
+        graph = star_graph(4, reciprocal=True)
+        assert graph.in_degree(0) == 4
+        assert reciprocity(graph) == pytest.approx(1.0)
+
+    def test_complete_graph(self):
+        graph = complete_graph(4)
+        assert graph.number_of_edges() == 12
+        assert not graph.has_self_loop(0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(0)
+        with pytest.raises(InvalidParameterError):
+            path_graph(-1)
+        with pytest.raises(InvalidParameterError):
+            star_graph(-2)
+
+
+class TestRandomFamilies:
+    def test_gnp_is_deterministic_per_seed(self):
+        first = gnp_random_graph(30, 0.1, seed=5)
+        second = gnp_random_graph(30, 0.1, seed=5)
+        third = gnp_random_graph(30, 0.1, seed=6)
+        assert first == second
+        assert first != third
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_random_graph(10, 0.0, seed=0).number_of_edges() == 0
+        assert gnp_random_graph(10, 1.0, seed=0).number_of_edges() == 90
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            gnp_random_graph(10, 1.5)
+
+    def test_preferential_attachment_heavy_tail(self):
+        graph = preferential_attachment_graph(200, 3, seed=1)
+        assert graph.number_of_nodes() == 200
+        in_degrees = sorted(graph.in_degrees(), reverse=True)
+        # The most popular node should dominate the median node.
+        assert in_degrees[0] >= 5 * max(in_degrees[len(in_degrees) // 2], 1)
+
+    def test_preferential_attachment_requires_enough_nodes(self):
+        with pytest.raises(InvalidParameterError):
+            preferential_attachment_graph(3, 3)
+
+    def test_hub_and_spoke_structure(self):
+        graph = hub_and_spoke_graph(3, 10, seed=2)
+        hub_in_degrees = [graph.in_degree(f"hub{i}") for i in range(3)]
+        spoke_in_degrees = [graph.in_degree(f"spoke0-{i}") for i in range(10)]
+        assert min(hub_in_degrees) > max(spoke_in_degrees)
+
+    def test_reciprocal_communities_reciprocity(self):
+        graph = reciprocal_communities_graph(3, 10, seed=4)
+        assert reciprocity(graph) > 0.5
+        assert graph.number_of_nodes() == 30
+
+    def test_reciprocal_communities_have_intra_cycles(self):
+        graph = reciprocal_communities_graph(2, 8, inter_probability=0.0, seed=4)
+        components = strongly_connected_components(graph)
+        large = [c for c in components if len(c) > 1]
+        assert len(large) == 2
+
+    def test_layered_dag_is_acyclic(self):
+        graph = layered_dag([3, 4, 3], seed=9)
+        assert all(len(c) == 1 for c in strongly_connected_components(graph))
+
+    def test_layered_dag_every_node_has_outgoing_except_last_layer(self):
+        graph = layered_dag([2, 2, 2], edge_probability=0.0, seed=1)
+        # With probability 0 a single fallback edge per node is still added.
+        for node in range(4):
+            assert graph.out_degree(node) >= 1
+
+    def test_layered_dag_requires_layers(self):
+        with pytest.raises(InvalidParameterError):
+            layered_dag([])

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.graph.traversal`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.traversal import (
+    ancestors,
+    bfs_order,
+    bfs_tree,
+    descendants,
+    dfs_order,
+    nodes_within_distance,
+    shortest_path_lengths,
+)
+
+
+class TestBfs:
+    def test_bfs_order_on_path(self):
+        graph = path_graph(5)
+        assert bfs_order(graph, 0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_order_only_reaches_descendants(self):
+        graph = path_graph(5)
+        assert bfs_order(graph, 3) == [3, 4]
+
+    def test_bfs_tree_parents(self):
+        graph = DirectedGraph()
+        graph.add_edges_from([("A", "B"), ("A", "C"), ("B", "D")])
+        parents = bfs_tree(graph, "A")
+        assert parents[graph.resolve("A")] is None
+        assert parents[graph.resolve("D")] == graph.resolve("B")
+        assert len(parents) == 4
+
+    def test_bfs_unknown_source_fails(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(triangle, "missing")
+
+
+class TestDfs:
+    def test_dfs_order_visits_all_reachable(self, two_triangles):
+        order = dfs_order(two_triangles, "R")
+        assert set(order) == set(two_triangles.nodes())
+        assert order[0] == two_triangles.resolve("R")
+
+    def test_dfs_prefers_smaller_ids(self):
+        graph = DirectedGraph()
+        graph.add_edges_from([("A", "B"), ("A", "C"), ("B", "D"), ("C", "E")])
+        order = dfs_order(graph, "A")
+        labels = [graph.label_of(node) for node in order]
+        assert labels == ["A", "B", "D", "C", "E"]
+
+
+class TestReachability:
+    def test_descendants_and_ancestors(self):
+        graph = path_graph(4)
+        assert descendants(graph, 0) == {1, 2, 3}
+        assert descendants(graph, 3) == set()
+        assert ancestors(graph, 3) == {0, 1, 2}
+        assert ancestors(graph, 0) == set()
+
+    def test_cycle_everything_reaches_everything(self):
+        graph = cycle_graph(4)
+        assert descendants(graph, 0) == {1, 2, 3}
+        assert ancestors(graph, 0) == {1, 2, 3}
+
+
+class TestShortestPaths:
+    def test_distances_on_cycle(self):
+        graph = cycle_graph(5)
+        distances = shortest_path_lengths(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_reverse_distances(self):
+        graph = cycle_graph(5)
+        distances = shortest_path_lengths(graph, 0, reverse=True)
+        assert distances == {0: 0, 4: 1, 3: 2, 2: 3, 1: 4}
+
+    def test_cutoff_limits_expansion(self):
+        graph = path_graph(10)
+        distances = shortest_path_lengths(graph, 0, cutoff=3)
+        assert max(distances.values()) == 3
+        assert len(distances) == 4
+
+    def test_unreachable_nodes_absent(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")
+        graph.add_node("island")
+        distances = shortest_path_lengths(graph, "A")
+        assert graph.resolve("island") not in distances
+
+    def test_nodes_within_distance(self):
+        graph = path_graph(10)
+        assert nodes_within_distance(graph, 0, 2) == {0, 1, 2}
+        assert nodes_within_distance(graph, 9, 2, reverse=True) == {9, 8, 7}
+
+    def test_shortest_paths_pick_minimum(self):
+        graph = DirectedGraph()
+        # Two routes A -> D: direct and through B, C.
+        graph.add_edges_from([("A", "D"), ("A", "B"), ("B", "C"), ("C", "D")])
+        distances = shortest_path_lengths(graph, "A")
+        assert distances[graph.resolve("D")] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.graph.views`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.views import relabeled, reversed_view, simplified, subgraph, transpose
+
+
+class TestTranspose:
+    def test_transpose_reverses_edges(self, triangle):
+        reversed_graph = transpose(triangle)
+        for edge in triangle.edges():
+            assert reversed_graph.has_edge(edge.target, edge.source)
+
+    def test_transpose_is_involution(self, mixed_graph):
+        assert transpose(transpose(mixed_graph)) == mixed_graph
+
+    def test_transpose_keeps_labels(self, triangle):
+        assert sorted(transpose(triangle).labels()) == sorted(triangle.labels())
+
+    def test_reversed_view_alias(self, triangle):
+        assert reversed_view(triangle) == transpose(triangle)
+
+    def test_transpose_custom_name(self, triangle):
+        assert transpose(triangle, name="rev").name == "rev"
+
+
+class TestSubgraph:
+    def test_induced_subgraph_keeps_internal_edges(self, mixed_graph):
+        induced, mapping = subgraph(mixed_graph, ["X", "Y", "Z"])
+        assert induced.number_of_nodes() == 3
+        # The X-Y-Z core is fully reciprocated: 6 internal edges.
+        assert induced.number_of_edges() == 6
+        assert set(mapping) == {mixed_graph.resolve(l) for l in ("X", "Y", "Z")}
+
+    def test_subgraph_drops_external_edges(self, mixed_graph):
+        induced, _ = subgraph(mixed_graph, ["X", "P"])
+        assert induced.number_of_edges() == 1  # only X -> P survives
+        assert induced.has_edge("X", "P")
+
+    def test_subgraph_deduplicates_input(self, triangle):
+        induced, _ = subgraph(triangle, ["A", "A", "B"])
+        assert induced.number_of_nodes() == 2
+
+    def test_subgraph_unknown_node_fails(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            subgraph(triangle, ["A", "missing"])
+
+    def test_subgraph_name(self, triangle):
+        induced, _ = subgraph(triangle, ["A"], name="piece")
+        assert induced.name == "piece"
+
+
+class TestRelabeled:
+    def test_relabeling_replaces_labels(self, triangle):
+        renamed = relabeled(triangle, {"A": "Alpha"})
+        assert renamed.has_label("Alpha")
+        assert not renamed.has_label("A")
+        assert renamed.number_of_edges() == triangle.number_of_edges()
+
+    def test_relabeling_that_merges_fails(self, triangle):
+        with pytest.raises(GraphError):
+            relabeled(triangle, {"A": "B"})
+
+    def test_relabeling_preserves_structure(self, two_triangles):
+        renamed = relabeled(two_triangles, {"R": "Root"})
+        assert renamed.has_edge("Root", "A")
+        assert renamed.has_edge("B", "Root")
+
+
+class TestSimplified:
+    def test_self_loops_removed(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "A")
+        graph.add_edge("A", "B")
+        cleaned = simplified(graph)
+        assert cleaned.number_of_edges() == 1
+        assert not cleaned.has_self_loop("A")
+
+    def test_simplified_without_self_loops_is_identity(self, triangle):
+        assert simplified(triangle) == triangle
+
+    def test_simplified_preserves_unlabelled_nodes(self):
+        graph = DirectedGraph()
+        graph.add_nodes(3)
+        graph.add_edge(0, 0)
+        graph.add_edge(0, 1)
+        cleaned = simplified(graph)
+        assert cleaned.number_of_nodes() == 3
+        assert cleaned.number_of_edges() == 1

@@ -1,0 +1,171 @@
+"""Unit tests for the extension algorithms: HITS and Katz (global + personalized)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hits import hits, personalized_hits
+from repro.algorithms.katz import katz_centrality, personalized_katz
+from repro.algorithms.registry import available_algorithms, run_algorithm
+from repro.exceptions import ConvergenceError, InvalidParameterError, NodeNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph, star_graph
+
+
+class TestHits:
+    def test_scores_form_distribution(self, community_graph):
+        ranking = hits(community_graph)
+        assert ranking.total() == pytest.approx(1.0)
+        assert all(score >= 0 for score in ranking.scores)
+
+    def test_star_authority_and_hub_sides(self):
+        graph = star_graph(6, reciprocal=False)  # hub 0 points at every leaf
+        authorities = hits(graph, scores="authority")
+        hubs = hits(graph, scores="hub")
+        # Node 0 emits everything: best hub, worthless authority.
+        assert hubs.rank_of(0) == 1
+        assert authorities.score_of(0) == pytest.approx(0.0, abs=1e-9)
+        leaf_scores = [authorities.score_of(leaf) for leaf in range(1, 7)]
+        assert max(leaf_scores) == pytest.approx(min(leaf_scores))
+
+    def test_symmetric_cycle_is_uniform(self):
+        ranking = hits(cycle_graph(6))
+        assert np.allclose(ranking.scores, 1 / 6, atol=1e-6)
+
+    def test_invalid_scores_argument(self, triangle):
+        with pytest.raises(ValueError):
+            hits(triangle, scores="authority-and-hub")
+
+    def test_provenance(self, triangle):
+        ranking = hits(triangle)
+        assert ranking.algorithm == "HITS"
+        assert ranking.parameters["iterations"] >= 1
+
+    def test_empty_graph(self):
+        ranking = hits(DirectedGraph())
+        assert len(ranking) == 0
+
+
+class TestPersonalizedHits:
+    def test_reference_neighbourhood_present_in_head(self, small_enwiki):
+        from repro.datasets.seeds import WIKIPEDIA_TOPICS
+
+        ranking = personalized_hits(small_enwiki, "Freddie Mercury", alpha=0.3)
+        top = ranking.top_labels(8)
+        assert "Freddie Mercury" in top
+        # Rooted HITS rewards the authorities of the query's neighbourhood, so
+        # the head must contain topical pages (satellites count), not only
+        # global hubs.
+        topical = set(WIKIPEDIA_TOPICS["Freddie Mercury"].all_nodes())
+        assert topical & set(top) - {"Freddie Mercury"}
+
+    def test_alpha_zero_concentrates_authority_on_reference(self, community_graph):
+        ranking = personalized_hits(community_graph, 0, alpha=0.0)
+        assert ranking.rank_of(0) == 1
+
+    def test_differs_from_global_hits(self, small_enwiki):
+        rooted = personalized_hits(small_enwiki, "Pasta", alpha=0.3)
+        unrooted = hits(small_enwiki)
+        assert rooted.top_labels(5) != unrooted.top_labels(5)
+
+    def test_reference_recorded(self, community_graph):
+        ranking = personalized_hits(community_graph, "c0-n0", alpha=0.5)
+        assert ranking.algorithm == "Personalized HITS"
+        assert ranking.reference == "c0-n0"
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            personalized_hits(triangle, "A", alpha=1.5)
+        with pytest.raises(NodeNotFoundError):
+            personalized_hits(triangle, "missing")
+        with pytest.raises(ValueError):
+            personalized_hits(triangle, "A", scores="both")
+
+
+class TestKatzCentrality:
+    def test_scores_form_distribution(self, community_graph):
+        ranking = katz_centrality(community_graph, beta=0.01)
+        assert ranking.total() == pytest.approx(1.0)
+        assert all(score >= 0 for score in ranking.scores)
+
+    def test_high_in_degree_wins(self):
+        graph = star_graph(8, reciprocal=False)
+        # Everything points at the leaves? No: hub points at leaves, so leaves
+        # have in-degree 1 and the hub 0; reverse the star to make a sink hub.
+        sink_star = graph.transpose()
+        ranking = katz_centrality(sink_star, beta=0.05)
+        assert ranking.rank_of(0) == 1
+
+    def test_symmetric_cycle_is_uniform(self):
+        ranking = katz_centrality(cycle_graph(5), beta=0.1)
+        assert np.allclose(ranking.scores, 0.2, atol=1e-9)
+
+    def test_divergent_beta_detected(self):
+        from repro.graph.generators import complete_graph
+
+        with pytest.raises(ConvergenceError):
+            katz_centrality(complete_graph(6), beta=0.5)
+
+    def test_invalid_beta(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            katz_centrality(triangle, beta=0.0)
+        with pytest.raises(InvalidParameterError):
+            katz_centrality(triangle, beta=-0.1)
+
+    def test_empty_graph(self):
+        assert len(katz_centrality(DirectedGraph())) == 0
+
+
+class TestPersonalizedKatz:
+    def test_reference_ranks_first(self, community_graph):
+        ranking = personalized_katz(community_graph, "c0-n0", beta=0.01)
+        assert ranking.top_labels(1) == ["c0-n0"]
+
+    def test_scores_decay_with_distance_on_a_path(self):
+        from repro.graph.generators import path_graph
+
+        graph = path_graph(5)
+        ranking = personalized_katz(graph, 0, beta=0.2)
+        scores = ranking.scores
+        assert scores[1] > scores[2] > scores[3] > scores[4]
+
+    def test_unreachable_nodes_score_zero(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")
+        graph.add_node("island")
+        ranking = personalized_katz(graph, "A", beta=0.2)
+        assert ranking.score_of("island") == 0.0
+
+    def test_counts_forward_walks_not_cycles(self, small_enwiki):
+        # Unlike CycleRank, a node linked from the reference scores even if it
+        # never links back (HIV/AIDS is a satellite of Freddie Mercury).
+        ranking = personalized_katz(small_enwiki, "Freddie Mercury", beta=0.05)
+        assert ranking.score_of("HIV/AIDS") > 0.0
+
+    def test_reference_recorded(self, community_graph):
+        ranking = personalized_katz(community_graph, "c1-n0", beta=0.01)
+        assert ranking.algorithm == "Personalized Katz"
+        assert ranking.reference == "c1-n0"
+
+    def test_unknown_reference_fails(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            personalized_katz(triangle, "missing")
+
+
+class TestRegistryIntegration:
+    def test_extensions_registered(self):
+        names = available_algorithms()
+        assert {"hits", "personalized-hits", "katz", "personalized-katz"} <= set(names)
+
+    def test_run_through_registry(self, community_graph):
+        authority = run_algorithm("hits", community_graph, parameters={"scores": "authority"})
+        assert authority.algorithm == "HITS"
+        rooted = run_algorithm(
+            "personalized-katz", community_graph, source="c0-n0", parameters={"beta": 0.01}
+        )
+        assert rooted.top_labels(1) == ["c0-n0"]
+
+    def test_parameter_validation_through_registry(self, community_graph):
+        with pytest.raises(InvalidParameterError):
+            run_algorithm("hits", community_graph, parameters={"scores": "neither"})

@@ -1,0 +1,186 @@
+"""Integration tests reproducing the *shape* of the paper's Tables I, II and III.
+
+These tests run the actual experiment pipelines (full-size synthetic
+datasets, the paper's parameters) and assert the qualitative claims the
+tables support — who wins, which algorithm over-promotes popular nodes —
+rather than the absolute scores, which depend on the synthetic substrate.
+They are the test-suite counterparts of the benchmarks in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.datasets.amazon import generate_amazon_graph
+from repro.datasets.seeds import (
+    AMAZON_COMMUNITIES,
+    FAKE_NEWS_TOPICS,
+    WIKIPEDIA_GLOBAL_HUBS,
+    WIKIPEDIA_TOPICS,
+)
+from repro.datasets.wikipedia import generate_wikilink_graph
+from repro.ranking.comparison import algorithm_comparison, dataset_comparison
+from repro.ranking.metrics import overlap_at_k
+
+
+@pytest.fixture(scope="module")
+def enwiki():
+    return generate_wikilink_graph("en", "2018-03-01")
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return generate_amazon_graph()
+
+
+class TestTableOneWikipedia:
+    """Table I: PR (alpha=0.85), CR (K=3, exp), PPR (alpha=0.3) on enwiki 2018."""
+
+    def test_pagerank_top5_are_global_hubs(self, enwiki):
+        top = pagerank(enwiki, alpha=0.85).top_labels(5)
+        assert set(top) <= set(WIKIPEDIA_GLOBAL_HUBS)
+
+    @pytest.mark.parametrize("reference", ["Freddie Mercury", "Pasta"])
+    def test_reference_ranks_first_for_both_personalized_algorithms(self, enwiki, reference):
+        assert cyclerank(enwiki, reference, max_cycle_length=3).top_labels(1) == [reference]
+        assert personalized_pagerank(enwiki, reference, alpha=0.3).top_labels(1) == [reference]
+
+    @pytest.mark.parametrize("reference", ["Freddie Mercury", "Pasta"])
+    def test_cyclerank_top5_is_topical(self, enwiki, reference):
+        seed = WIKIPEDIA_TOPICS[reference]
+        topical = set(seed.all_nodes())
+        top = cyclerank(enwiki, reference, max_cycle_length=3).top_labels(
+            5, exclude=(reference,)
+        )
+        assert set(top) <= topical
+
+    @pytest.mark.parametrize("reference", ["Freddie Mercury", "Pasta"])
+    def test_ppr_promotes_globally_popular_nodes(self, enwiki, reference):
+        """The paper's central claim: PPR's head contains nodes with very high
+        global in-degree that CycleRank does not promote."""
+        seed = WIKIPEDIA_TOPICS[reference]
+        ppr_top = personalized_pagerank(enwiki, reference, alpha=0.3).top_labels(
+            5, exclude=(reference,)
+        )
+        core = set(seed.core)
+        promoted_outside_core = [label for label in ppr_top if label not in core]
+        assert promoted_outside_core, "PPR should promote at least one non-core node"
+        in_degrees = enwiki.in_degrees()
+        median = sorted(in_degrees)[len(in_degrees) // 2]
+        assert any(
+            enwiki.in_degree(label) >= 5 * max(median, 1) for label in promoted_outside_core
+        )
+
+    @pytest.mark.parametrize("reference", ["Freddie Mercury", "Pasta"])
+    def test_cyclerank_and_ppr_disagree_but_not_completely(self, enwiki, reference):
+        cr = cyclerank(enwiki, reference, max_cycle_length=3)
+        ppr = personalized_pagerank(enwiki, reference, alpha=0.3)
+        overlap = overlap_at_k(cr, ppr, 5)
+        assert overlap < 1.0
+        assert overlap > 0.0  # they agree at least on the reference node
+
+    def test_table_renders_with_five_columns(self, enwiki):
+        rankings = {}
+        for reference in ["Freddie Mercury", "Pasta"]:
+            rankings[f"Cyclerank ({reference})"] = cyclerank(
+                enwiki, reference, max_cycle_length=3
+            )
+            rankings[f"Pers.PageRank ({reference})"] = personalized_pagerank(
+                enwiki, reference, alpha=0.3
+            )
+        rankings["PageRank"] = pagerank(enwiki, alpha=0.85)
+        table = algorithm_comparison(rankings, k=5, title="Table I")
+        assert len(table.columns) == 5
+        assert len(table.rows) == 5
+
+
+class TestTableTwoAmazon:
+    """Table II: PR (0.85), CR (K=5, exp), PPR (0.85) on the Amazon graph."""
+
+    def test_pagerank_top5_are_bestsellers(self, amazon):
+        from repro.datasets.seeds import AMAZON_POPULAR_ITEMS
+
+        top = pagerank(amazon, alpha=0.85).top_labels(5)
+        assert set(top) <= set(AMAZON_POPULAR_ITEMS)
+
+    @pytest.mark.parametrize("reference", ["1984", "The Fellowship of the Ring"])
+    def test_reference_ranks_first(self, amazon, reference):
+        assert cyclerank(amazon, reference, max_cycle_length=5).top_labels(1) == [reference]
+        assert personalized_pagerank(amazon, reference, alpha=0.85).top_labels(1) == [reference]
+
+    def test_cyclerank_keeps_tolkien_for_tolkien_query(self, amazon):
+        top = cyclerank(amazon, "The Fellowship of the Ring", max_cycle_length=5).top_labels(
+            5, exclude=("The Fellowship of the Ring",)
+        )
+        assert set(top) <= set(AMAZON_COMMUNITIES["tolkien"])
+
+    def test_cyclerank_keeps_dystopian_classics_for_1984(self, amazon):
+        top = cyclerank(amazon, "1984", max_cycle_length=5).top_labels(5, exclude=("1984",))
+        assert set(top) <= set(AMAZON_COMMUNITIES["dystopian-classics"])
+
+    def test_ppr_suggests_harry_potter_for_tolkien_query_cyclerank_does_not(self, amazon):
+        """Table II's headline observation."""
+        ppr_top = personalized_pagerank(
+            amazon, "The Fellowship of the Ring", alpha=0.85
+        ).top_labels(8, exclude=("The Fellowship of the Ring",))
+        cr_top = cyclerank(
+            amazon, "The Fellowship of the Ring", max_cycle_length=5
+        ).top_labels(8, exclude=("The Fellowship of the Ring",))
+        assert any("Harry Potter" in label for label in ppr_top)
+        assert not any("Harry Potter" in label for label in cr_top)
+
+
+class TestTableThreeCrossLanguage:
+    """Table III: CycleRank (K=3, exp) for "Fake news" across six editions."""
+
+    LANGUAGES = ("de", "en", "fr", "it", "nl", "pl")
+
+    @pytest.fixture(scope="class")
+    def per_language_rankings(self):
+        rankings = {}
+        for language in self.LANGUAGES:
+            graph = generate_wikilink_graph(language, "2018-03-01")
+            seed = FAKE_NEWS_TOPICS[language]
+            rankings[language] = (
+                seed,
+                cyclerank(graph, seed.reference, max_cycle_length=3),
+            )
+        return rankings
+
+    def test_reference_article_ranks_first_in_every_edition(self, per_language_rankings):
+        for seed, ranking in per_language_rankings.values():
+            assert ranking.top_labels(1) == [seed.reference]
+
+    def test_top5_is_dominated_by_language_specific_concepts(self, per_language_rankings):
+        for language, (seed, ranking) in per_language_rankings.items():
+            top = ranking.top_labels(5, exclude=(seed.reference,))
+            seed_nodes = set(seed.all_nodes())
+            matches = sum(1 for label in top if label in seed_nodes)
+            assert matches >= 4, f"{language}: {top}"
+
+    def test_editions_frame_the_topic_differently(self, per_language_rankings):
+        top_sets = {
+            language: frozenset(ranking.top_labels(5, exclude=(seed.reference,)))
+            for language, (seed, ranking) in per_language_rankings.items()
+        }
+        # Every pair of editions should disagree on at least one of the top-5
+        # concepts (cross-cultural framing differences).
+        languages = list(top_sets)
+        for i, first in enumerate(languages):
+            for second in languages[i + 1:]:
+                assert top_sets[first] != top_sets[second]
+
+    def test_dataset_comparison_table_has_six_columns(self, per_language_rankings):
+        table = dataset_comparison(
+            {
+                f"Fake news ({language})": ranking
+                for language, (_, ranking) in per_language_rankings.items()
+            },
+            k=5,
+            title="Table III",
+        )
+        assert len(table.columns) == 6
+        assert len(table.rows) == 5

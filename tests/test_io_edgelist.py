@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.io.edgelist`."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import DirectedGraph
+from repro.io.edgelist import format_edgelist, parse_edgelist, read_edgelist, write_edgelist
+
+
+class TestParsing:
+    def test_basic_csv(self):
+        graph, _ = parse_edgelist(["A,B", "B,C", "C,A"])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+
+    def test_integer_endpoints_become_ids(self):
+        graph, _ = parse_edgelist(["0,1", "1,2"])
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(0, 1)
+
+    def test_header_detected_and_skipped(self):
+        graph, builder = parse_edgelist(["source,target", "A,B"])
+        assert graph.number_of_edges() == 1
+        assert builder.report.lines_skipped == 1
+
+    def test_alternative_headers(self):
+        for header in ["from,to", "Src,Dst", "u,v"]:
+            graph, _ = parse_edgelist([header, "A,B"])
+            assert graph.number_of_edges() == 1
+
+    def test_comments_and_blank_lines_skipped(self):
+        graph, builder = parse_edgelist(["# comment", "", "A,B", "   "])
+        assert graph.number_of_edges() == 1
+        assert builder.report.lines_skipped >= 2
+
+    def test_custom_delimiter(self):
+        graph, _ = parse_edgelist(["A\tB", "B\tC"], delimiter="\t")
+        assert graph.number_of_edges() == 2
+
+    def test_extra_columns_ignored(self):
+        graph, _ = parse_edgelist(["A,B,0.7,ignored"])
+        assert graph.number_of_edges() == 1
+
+    def test_single_field_line_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_edgelist(["A,B", "C"])
+
+    def test_empty_endpoint_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_edgelist(["A,"])
+
+    def test_self_loops_dropped_by_default(self):
+        graph, builder = parse_edgelist(["A,A", "A,B"])
+        assert graph.number_of_edges() == 1
+        assert builder.report.self_loops_skipped == 1
+
+    def test_self_loops_kept_when_allowed(self):
+        graph, _ = parse_edgelist(["A,A"], allow_self_loops=True)
+        assert graph.number_of_edges() == 1
+
+
+class TestRoundTrip:
+    def test_format_and_reparse(self, two_triangles):
+        text = format_edgelist(two_triangles)
+        reparsed, _ = parse_edgelist(text.splitlines())
+        assert reparsed.number_of_edges() == two_triangles.number_of_edges()
+        assert sorted(reparsed.labels()) == sorted(two_triangles.labels())
+
+    def test_format_with_header_and_ids(self, triangle):
+        text = format_edgelist(triangle, use_labels=False, header=True)
+        lines = text.strip().splitlines()
+        assert lines[0] == "source,target"
+        assert all("," in line for line in lines[1:])
+
+    def test_file_round_trip(self, tmp_path, mixed_graph):
+        path = tmp_path / "graph.csv"
+        write_edgelist(mixed_graph, path)
+        loaded = read_edgelist(path)
+        assert loaded.number_of_edges() == mixed_graph.number_of_edges()
+        assert loaded.name == "graph"
+
+    def test_stream_round_trip(self, triangle):
+        buffer = io.StringIO()
+        write_edgelist(triangle, buffer)
+        buffer.seek(0)
+        loaded = read_edgelist(buffer, name="stream")
+        assert loaded.number_of_edges() == 3
+        assert loaded.name == "stream"
+
+    def test_unicode_labels_survive(self, tmp_path):
+        graph = DirectedGraph()
+        graph.add_edge("Ère post-vérité", "Désinformation")
+        path = tmp_path / "unicode.csv"
+        write_edgelist(graph, path)
+        loaded = read_edgelist(path)
+        assert loaded.has_label("Ère post-vérité")

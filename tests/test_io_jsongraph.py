@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.io.jsongraph`."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.io.jsongraph import (
+    format_json_graph,
+    parse_json_graph,
+    read_json_graph,
+    write_json_graph,
+)
+
+
+class TestParsing:
+    def test_canonical_document(self):
+        document = {
+            "directed": True,
+            "name": "toy",
+            "nodes": [{"id": "A"}, {"id": "B"}],
+            "links": [{"source": "A", "target": "B"}],
+        }
+        graph, _ = parse_json_graph(document)
+        assert graph.name == "toy"
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge("A", "B")
+
+    def test_parse_from_string(self):
+        text = json.dumps({"nodes": ["A", "B"], "links": [{"source": "A", "target": "B"}]})
+        graph, _ = parse_json_graph(text)
+        assert graph.number_of_edges() == 1
+
+    def test_nodes_as_strings_numbers_and_objects(self):
+        document = {
+            "nodes": ["A", 7, {"label": "C"}, {"name": "D"}],
+            "links": [],
+        }
+        graph, _ = parse_json_graph(document)
+        assert graph.has_label("A")
+        assert graph.has_label("7")
+        assert graph.has_label("C")
+        assert graph.has_label("D")
+
+    def test_integer_endpoints_index_into_nodes(self):
+        document = {"nodes": ["A", "B", "C"], "links": [{"source": 0, "target": 2}]}
+        graph, _ = parse_json_graph(document)
+        assert graph.has_edge("A", "C")
+
+    def test_edges_key_accepted(self):
+        document = {"nodes": ["A", "B"], "edges": [{"source": "A", "target": "B"}]}
+        graph, _ = parse_json_graph(document)
+        assert graph.number_of_edges() == 1
+
+    def test_links_may_create_nodes_by_label(self):
+        document = {"nodes": [], "links": [{"source": "A", "target": "B"}]}
+        graph, _ = parse_json_graph(document)
+        assert graph.number_of_nodes() == 2
+
+    def test_self_loops_dropped_by_default(self):
+        document = {"nodes": ["A"], "links": [{"source": "A", "target": "A"}]}
+        graph, builder = parse_json_graph(document)
+        assert graph.number_of_edges() == 0
+        assert builder.report.self_loops_skipped == 1
+
+    def test_invalid_json_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph("{not json")
+
+    def test_non_object_document_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph("[1, 2, 3]")
+
+    def test_undirected_document_rejected(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"directed": False, "nodes": [], "links": []})
+
+    def test_bad_nodes_container_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": "A,B", "links": []})
+
+    def test_bad_links_container_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": [], "links": {"source": "A"}})
+
+    def test_node_object_without_identifier_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": [{"weight": 3}], "links": []})
+
+    def test_link_without_endpoints_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": ["A"], "links": [{"source": "A"}]})
+
+    def test_link_index_out_of_range_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": ["A"], "links": [{"source": 0, "target": 5}]})
+
+    def test_boolean_endpoint_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_json_graph({"nodes": ["A"], "links": [{"source": True, "target": 0}]})
+
+
+class TestRoundTrip:
+    def test_format_and_reparse(self, two_triangles):
+        text = format_json_graph(two_triangles)
+        reparsed, _ = parse_json_graph(text)
+        assert reparsed.number_of_edges() == two_triangles.number_of_edges()
+        assert sorted(reparsed.labels()) == sorted(two_triangles.labels())
+
+    def test_file_round_trip(self, tmp_path, mixed_graph):
+        path = tmp_path / "graph.json"
+        write_json_graph(mixed_graph, path)
+        loaded = read_json_graph(path)
+        assert loaded.number_of_edges() == mixed_graph.number_of_edges()
+        assert loaded.name == "graph"
+
+    def test_stream_round_trip(self, triangle):
+        buffer = io.StringIO()
+        write_json_graph(triangle, buffer)
+        buffer.seek(0)
+        loaded = read_json_graph(buffer, name="stream")
+        assert loaded.number_of_edges() == 3
+        assert loaded.name == "stream"
+
+    def test_canonical_output_is_valid_json_with_expected_keys(self, triangle):
+        document = json.loads(format_json_graph(triangle))
+        assert document["directed"] is True
+        assert {entry["id"] for entry in document["nodes"]} == {"A", "B", "C"}
+        assert len(document["links"]) == 3
+
+    def test_unicode_labels_survive(self, tmp_path):
+        from repro.graph.digraph import DirectedGraph
+
+        graph = DirectedGraph()
+        graph.add_edge("Ère post-vérité", "Désinformation")
+        path = tmp_path / "unicode.json"
+        write_json_graph(graph, path)
+        assert read_json_graph(path).has_label("Ère post-vérité")

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.io.pajek`."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.io.pajek import format_pajek, parse_pajek, read_pajek, write_pajek
+
+
+class TestParsing:
+    def test_vertices_and_arcs(self):
+        lines = [
+            "*Vertices 3",
+            '1 "A"',
+            '2 "B"',
+            '3 "C"',
+            "*Arcs",
+            "1 2",
+            "2 3",
+        ]
+        graph, _ = parse_pajek(lines)
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge("A", "B")
+
+    def test_edges_section_is_bidirectional(self):
+        lines = ["*Vertices 2", '1 "A"', '2 "B"', "*Edges", "1 2"]
+        graph, _ = parse_pajek(lines)
+        assert graph.has_edge("A", "B")
+        assert graph.has_edge("B", "A")
+
+    def test_labels_with_spaces(self):
+        lines = ["*Vertices 2", '1 "United States"', '2 "New York"', "*Arcs", "2 1"]
+        graph, _ = parse_pajek(lines)
+        assert graph.has_label("United States")
+        assert graph.has_edge("New York", "United States")
+
+    def test_vertices_without_labels_get_default_names(self):
+        lines = ["*Vertices 2", "1", "2", "*Arcs", "1 2"]
+        graph, _ = parse_pajek(lines)
+        assert graph.has_label("v1")
+        assert graph.has_label("v2")
+
+    def test_implicit_vertices_in_arcs(self):
+        lines = ["*Vertices 2", "*Arcs", "1 2"]
+        graph, _ = parse_pajek(lines)
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+
+    def test_declared_isolated_vertices_padded(self):
+        lines = ["*Vertices 4", '1 "A"', "*Arcs"]
+        graph, _ = parse_pajek(lines)
+        assert graph.number_of_nodes() == 4
+
+    def test_comments_skipped(self):
+        lines = ["% a comment", "*Vertices 1", '1 "A"', "*Arcs"]
+        graph, _ = parse_pajek(lines)
+        assert graph.number_of_nodes() == 1
+
+    def test_case_insensitive_section_names(self):
+        lines = ["*VERTICES 2", '1 "A"', '2 "B"', "*arcs", "1 2"]
+        graph, _ = parse_pajek(lines)
+        assert graph.number_of_edges() == 1
+
+    def test_unknown_section_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_pajek(["*Vertices 1", '1 "A"', "*Matrix", "1"])
+
+    def test_data_before_section_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_pajek(["1 2"])
+
+    def test_invalid_vertex_count_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_pajek(["*Vertices three"])
+
+    def test_non_integer_endpoint_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_pajek(["*Vertices 2", '1 "A"', '2 "B"', "*Arcs", "1 B"])
+
+    def test_arc_line_with_single_token_fails(self):
+        with pytest.raises(GraphFormatError):
+            parse_pajek(["*Vertices 1", '1 "A"', "*Arcs", "1"])
+
+
+class TestRoundTrip:
+    def test_format_and_reparse(self, two_triangles):
+        text = format_pajek(two_triangles)
+        reparsed, _ = parse_pajek(text.splitlines())
+        assert reparsed.number_of_edges() == two_triangles.number_of_edges()
+        assert sorted(reparsed.labels()) == sorted(two_triangles.labels())
+
+    def test_file_round_trip(self, tmp_path, mixed_graph):
+        path = tmp_path / "graph.net"
+        write_pajek(mixed_graph, path)
+        loaded = read_pajek(path)
+        assert loaded.number_of_edges() == mixed_graph.number_of_edges()
+        assert loaded.name == "graph"
+
+    def test_stream_round_trip(self, triangle):
+        buffer = io.StringIO()
+        write_pajek(triangle, buffer)
+        buffer.seek(0)
+        loaded = read_pajek(buffer, name="stream")
+        assert loaded.number_of_edges() == 3
+
+    def test_quotes_in_labels_sanitised(self, tmp_path):
+        from repro.graph.digraph import DirectedGraph
+
+        graph = DirectedGraph()
+        graph.add_edge('The "Best" Book', "Other")
+        path = tmp_path / "quotes.net"
+        write_pajek(graph, path)
+        loaded = read_pajek(path)
+        assert loaded.number_of_edges() == 1

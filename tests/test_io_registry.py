@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.io.registry`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.io.registry import SUPPORTED_FORMATS, detect_format, read_graph, write_graph
+
+
+class TestFormatDetection:
+    @pytest.mark.parametrize(
+        "filename, expected",
+        [
+            ("graph.csv", "edgelist"),
+            ("graph.tsv", "edgelist"),
+            ("graph.edgelist", "edgelist"),
+            ("graph.edges", "edgelist"),
+            ("graph.net", "pajek"),
+            ("graph.pajek", "pajek"),
+            ("graph.asd", "asd"),
+            ("graph.json", "json"),
+            ("GRAPH.CSV", "edgelist"),
+        ],
+    )
+    def test_known_extensions(self, filename, expected):
+        assert detect_format(filename) == expected
+
+    def test_unknown_extension_fails(self):
+        with pytest.raises(GraphFormatError):
+            detect_format("graph.xyz")
+
+    def test_supported_formats_cover_the_paper_plus_json(self):
+        # The three formats of the paper's Instructions page, plus the JSON
+        # format added as the announced "new formats in the future".
+        assert {"edgelist", "pajek", "asd"} <= set(SUPPORTED_FORMATS)
+        assert "json" in SUPPORTED_FORMATS
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("extension", ["csv", "net", "asd", "json"])
+    def test_write_read_round_trip(self, tmp_path, mixed_graph, extension):
+        path = tmp_path / f"graph.{extension}"
+        write_graph(mixed_graph, path)
+        loaded = read_graph(path)
+        assert loaded.number_of_edges() == mixed_graph.number_of_edges()
+        assert sorted(loaded.labels()) == sorted(mixed_graph.labels())
+
+    def test_tsv_uses_tab_delimiter(self, tmp_path, triangle):
+        path = tmp_path / "graph.tsv"
+        write_graph(triangle, path)
+        content = path.read_text(encoding="utf-8")
+        assert "\t" in content
+        loaded = read_graph(path)
+        assert loaded.number_of_edges() == 3
+
+    def test_explicit_format_overrides_extension(self, tmp_path, triangle):
+        path = tmp_path / "graph.dat"
+        write_graph(triangle, path, format="edgelist")
+        loaded = read_graph(path, format="edgelist")
+        assert loaded.number_of_edges() == 3
+
+    def test_unsupported_explicit_format_fails(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError):
+            write_graph(triangle, tmp_path / "graph.csv", format="graphml")
+        with pytest.raises(GraphFormatError):
+            read_graph(tmp_path / "graph.csv", format="graphml")
+
+    def test_read_graph_sets_name(self, tmp_path, triangle):
+        path = tmp_path / "wikilinks.csv"
+        write_graph(triangle, path)
+        assert read_graph(path).name == "wikilinks"
+        assert read_graph(path, name="custom").name == "custom"

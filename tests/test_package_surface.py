@@ -1,0 +1,91 @@
+"""Tests of the public package surface: exports, version, CLI plumbing, HTML escaping."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import build_parser
+from repro.platform.gateway import ApiGateway
+from repro.platform.webui import WebUI
+from repro.ranking.comparison import ComparisonTable
+
+
+class TestPublicExports:
+    def test_every_name_in_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is missing"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.algorithms
+        import repro.analysis
+        import repro.datasets
+        import repro.graph
+        import repro.io
+        import repro.platform
+        import repro.ranking
+        import repro.scoring
+
+        for module in (
+            repro.algorithms, repro.analysis, repro.datasets, repro.graph,
+            repro.io, repro.platform, repro.ranking, repro.scoring,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.__all__ lists {name!r}"
+
+    def test_version_matches_pyproject(self):
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        content = pyproject.read_text(encoding="utf-8")
+        assert f'version = "{repro.__version__}"' in content
+
+    def test_paper_algorithm_count_is_seven(self):
+        from repro.algorithms.registry import PAPER_ALGORITHMS
+
+        assert len(PAPER_ALGORITHMS) == 7
+
+
+class TestCliParserSurface:
+    def test_serve_command_parses_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8080
+        assert arguments.workers == 2
+
+    def test_serve_command_parses_overrides(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0", "--workers", "5"]
+        )
+        assert arguments.port == 0
+        assert arguments.workers == 5
+
+    def test_every_command_has_a_handler(self):
+        from repro.cli import _COMMANDS
+
+        parser = build_parser()
+        subparser_action = next(
+            action for action in parser._actions if hasattr(action, "choices") and action.choices
+        )
+        assert set(subparser_action.choices) == set(_COMMANDS)
+
+
+class TestHtmlEscaping:
+    def test_labels_with_markup_are_escaped(self, two_triangles):
+        from repro.datasets.catalog import DatasetCatalog
+
+        catalog = DatasetCatalog()
+        catalog.register_graph("toy", two_triangles)
+        with ApiGateway(catalog=catalog, num_workers=1) as gateway:
+            ui = WebUI(gateway)
+            table = ComparisonTable(
+                title="<script>alert(1)</script>",
+                columns=["<b>col</b>"],
+                rows=[["<i>row</i>"]],
+            )
+            html = ui.render_table_html(table)
+            assert "<script>" not in html
+            assert "&lt;script&gt;" in html
+            assert "&lt;b&gt;col&lt;/b&gt;" in html
+            assert "&lt;i&gt;row&lt;/i&gt;" in html

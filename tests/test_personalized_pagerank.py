@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.algorithms.personalized_pagerank`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank, teleport_vector_for
+from repro.exceptions import InvalidParameterError, NodeNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph, star_graph
+
+
+class TestTeleportVector:
+    def test_single_reference_by_label(self, triangle):
+        teleport = teleport_vector_for(triangle, "A")
+        assert teleport[triangle.resolve("A")] == pytest.approx(1.0)
+        assert teleport.sum() == pytest.approx(1.0)
+
+    def test_single_reference_by_id(self, triangle):
+        teleport = teleport_vector_for(triangle, 1)
+        assert teleport[1] == pytest.approx(1.0)
+
+    def test_reference_set_uniform(self, triangle):
+        teleport = teleport_vector_for(triangle, ["A", "B"])
+        assert teleport[triangle.resolve("A")] == pytest.approx(0.5)
+        assert teleport[triangle.resolve("B")] == pytest.approx(0.5)
+
+    def test_weighted_reference_mapping(self, triangle):
+        teleport = teleport_vector_for(triangle, {"A": 3.0, "B": 1.0})
+        assert teleport[triangle.resolve("A")] == pytest.approx(0.75)
+
+    def test_unknown_reference_fails(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            teleport_vector_for(triangle, "missing")
+
+    def test_empty_reference_set_fails(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            teleport_vector_for(triangle, [])
+
+    def test_negative_weight_fails(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            teleport_vector_for(triangle, {"A": -1.0})
+
+    def test_unintelligible_reference_fails(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            teleport_vector_for(triangle, 3.14)
+
+
+class TestPersonalizedPageRank:
+    def test_scores_sum_to_one(self, mixed_graph):
+        ranking = personalized_pagerank(mixed_graph, "X")
+        assert ranking.total() == pytest.approx(1.0)
+
+    def test_reference_gets_top_score_with_low_alpha(self, small_enwiki):
+        ranking = personalized_pagerank(small_enwiki, "Freddie Mercury", alpha=0.3)
+        assert ranking.top_labels(1) == ["Freddie Mercury"]
+
+    def test_alpha_zero_concentrates_on_reference(self, triangle):
+        ranking = personalized_pagerank(triangle, "A", alpha=0.0)
+        assert ranking.score_of("A") == pytest.approx(1.0)
+        assert ranking.score_of("B") == pytest.approx(0.0)
+
+    def test_mass_decays_with_distance_on_cycle(self):
+        graph = cycle_graph(6)
+        ranking = personalized_pagerank(graph, 0, alpha=0.5)
+        scores = ranking.scores
+        # Moving away from the reference along the only path, scores decrease.
+        assert scores[0] > scores[1] > scores[2] > scores[3]
+
+    def test_uniform_teleport_recovers_global_pagerank(self, mixed_graph):
+        every_node = list(mixed_graph.nodes())
+        ppr = personalized_pagerank(mixed_graph, every_node, alpha=0.85)
+        pr = pagerank(mixed_graph, alpha=0.85)
+        assert np.allclose(ppr.scores, pr.scores, atol=1e-6)
+
+    def test_personalization_differs_from_global(self, small_enwiki):
+        ppr = personalized_pagerank(small_enwiki, "Pasta", alpha=0.3)
+        pr = pagerank(small_enwiki)
+        assert ppr.top_labels(5) != pr.top_labels(5)
+
+    def test_promotes_high_in_degree_nodes(self, small_enwiki):
+        """The shortcoming the paper describes: globally central nodes get
+        high PPR scores regardless of the query node."""
+        ranking = personalized_pagerank(small_enwiki, "Freddie Mercury", alpha=0.3)
+        in_degrees = small_enwiki.in_degrees()
+        median_in_degree = sorted(in_degrees)[len(in_degrees) // 2]
+        top_in_degrees = [
+            small_enwiki.in_degree(label) for label in ranking.top_labels(6, exclude=("Freddie Mercury",))
+        ]
+        assert max(top_in_degrees) >= 5 * max(median_in_degree, 1)
+
+    def test_unknown_reference_fails(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            personalized_pagerank(triangle, "missing")
+
+    def test_dangling_reference_handled(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")  # B is dangling
+        ranking = personalized_pagerank(graph, "B", alpha=0.85)
+        assert ranking.total() == pytest.approx(1.0)
+        assert ranking.score_of("B") > ranking.score_of("A")
+
+    def test_provenance_records_reference(self, triangle):
+        ranking = personalized_pagerank(triangle, "A", alpha=0.5)
+        assert ranking.algorithm == "Personalized PageRank"
+        assert ranking.reference == "A"
+        assert ranking.parameters["alpha"] == 0.5
+
+    def test_reference_set_has_no_single_label(self, triangle):
+        ranking = personalized_pagerank(triangle, ["A", "B"], alpha=0.5)
+        assert ranking.reference is None
+
+    def test_star_hub_query_spreads_to_leaves(self):
+        graph = star_graph(5, reciprocal=True)
+        ranking = personalized_pagerank(graph, 0, alpha=0.85)
+        leaf_scores = [ranking.score_of(leaf) for leaf in range(1, 6)]
+        assert max(leaf_scores) == pytest.approx(min(leaf_scores), rel=1e-6)

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.platform.datastore`."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.platform.datastore import DataStore
+
+
+class TestDatasets:
+    def test_store_fetch_round_trip(self, triangle):
+        store = DataStore()
+        store.store_dataset("tri", triangle)
+        assert store.has_dataset("tri")
+        assert store.fetch_dataset("tri") is triangle
+        assert store.list_datasets() == ["tri"]
+
+    def test_fetch_missing_dataset_fails(self):
+        with pytest.raises(StorageError):
+            DataStore().fetch_dataset("nope")
+
+    def test_drop_dataset(self, triangle):
+        store = DataStore()
+        store.store_dataset("tri", triangle)
+        store.drop_dataset("tri")
+        assert not store.has_dataset("tri")
+        store.drop_dataset("tri")  # dropping twice is fine
+
+
+class TestResults:
+    def test_put_get_round_trip(self):
+        store = DataStore()
+        store.put_result("r1", {"value": 42})
+        assert store.get_result("r1") == {"value": 42}
+        assert store.has_result("r1")
+        assert store.list_results() == ["r1"]
+
+    def test_get_returns_a_copy(self):
+        store = DataStore()
+        store.put_result("r1", {"value": [1, 2]})
+        fetched = store.get_result("r1")
+        fetched["value"] = "mutated"
+        assert store.get_result("r1")["value"] == [1, 2]
+
+    def test_missing_result_fails(self):
+        with pytest.raises(StorageError):
+            DataStore().get_result("missing")
+        assert not DataStore().has_result("missing")
+
+
+class TestLogs:
+    def test_append_and_get(self):
+        store = DataStore()
+        store.append_log("task", "line one")
+        store.append_log("task", "line two")
+        assert store.get_logs("task") == ["line one", "line two"]
+        assert store.list_logs() == ["task"]
+
+    def test_missing_log_is_empty(self):
+        assert DataStore().get_logs("nothing") == []
+
+
+class TestPersistence:
+    def test_results_persisted_to_directory(self, tmp_path):
+        store = DataStore(directory=tmp_path)
+        store.put_result("r1", {"answer": 42})
+        on_disk = json.loads((tmp_path / "results" / "r1.json").read_text(encoding="utf-8"))
+        assert on_disk == {"answer": 42}
+
+    def test_results_readable_by_a_new_datastore(self, tmp_path):
+        DataStore(directory=tmp_path).put_result("r1", {"answer": 42})
+        fresh = DataStore(directory=tmp_path)
+        assert fresh.has_result("r1")
+        assert fresh.get_result("r1") == {"answer": 42}
+        assert "r1" in fresh.list_results()
+
+    def test_logs_persisted_to_directory(self, tmp_path):
+        store = DataStore(directory=tmp_path)
+        store.append_log("task", "hello")
+        content = (tmp_path / "logs" / "task.log").read_text(encoding="utf-8")
+        assert "hello" in content
+
+    def test_unreadable_persisted_result_fails(self, tmp_path):
+        store = DataStore(directory=tmp_path)
+        (tmp_path / "results" / "bad.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(StorageError):
+            store.get_result("bad")
+
+
+class TestConcurrency:
+    def test_parallel_writes_are_all_recorded(self):
+        store = DataStore()
+
+        def writer(worker_id: int) -> None:
+            for i in range(50):
+                store.put_result(f"w{worker_id}-{i}", {"worker": worker_id, "i": i})
+                store.append_log("shared", f"w{worker_id}-{i}")
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store.list_results()) == 200
+        assert len(store.get_logs("shared")) == 200

@@ -1,0 +1,214 @@
+"""Unit tests for :mod:`repro.platform.executor`, ``scheduler`` and ``status``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.exceptions import ExecutorError, InvalidParameterError, TaskError, TaskNotFoundError
+from repro.platform.datastore import DataStore
+from repro.platform.executor import ExecutorNode, ExecutorPool
+from repro.platform.scheduler import Scheduler
+from repro.platform.status import StatusComponent
+from repro.platform.tasks import Query, QuerySet, Task, TaskBuilder, TaskState
+
+
+@pytest.fixture
+def catalog(triangle, community_graph, two_triangles) -> DatasetCatalog:
+    catalog = DatasetCatalog()
+    catalog.register_graph("triangle", triangle)
+    catalog.register_graph("communities", community_graph)
+    catalog.register_graph("two-triangles", two_triangles)
+    return catalog
+
+
+@pytest.fixture
+def platform(catalog):
+    datastore = DataStore()
+    pool = ExecutorPool(datastore, num_workers=2)
+    scheduler = Scheduler(datastore, catalog, pool)
+    status = StatusComponent(scheduler, datastore)
+    builder = TaskBuilder(catalog)
+    yield datastore, pool, scheduler, status, builder
+    pool.shutdown()
+
+
+def make_task(builder, *specs) -> Task:
+    query_set = builder.new_query_set()
+    for dataset_id, algorithm, source, parameters in specs:
+        query_set.add(
+            builder.build_query(dataset_id, algorithm, source=source, parameters=parameters)
+        )
+    return builder.build_task(query_set)
+
+
+class TestExecutorNode:
+    def test_execute_produces_ranking_and_logs(self, triangle):
+        datastore = DataStore()
+        node = ExecutorNode(datastore, name="executor-7")
+        outcome = node.execute(
+            Query("triangle", "pagerank", parameters={"alpha": 0.5}), triangle, log_id="t"
+        )
+        assert outcome.ranking.algorithm == "PageRank"
+        assert outcome.elapsed_seconds >= 0
+        assert outcome.executor_name == "executor-7"
+        assert node.executed_queries == 1
+        logs = datastore.get_logs("t")
+        assert any("start" in line for line in logs)
+        assert any("done" in line for line in logs)
+
+    def test_execute_failure_raises_and_logs(self, triangle):
+        datastore = DataStore()
+        node = ExecutorNode(datastore)
+        bad_query = Query("triangle", "cyclerank", source="not-a-node", parameters={"k": 3})
+        with pytest.raises(ExecutorError):
+            node.execute(bad_query, triangle, log_id="t")
+        assert any("FAILED" in line for line in datastore.get_logs("t"))
+        assert node.executed_queries == 0
+
+
+class TestExecutorPool:
+    def test_submit_and_result(self, triangle):
+        datastore = DataStore()
+        pool = ExecutorPool(datastore, num_workers=2)
+        try:
+            future = pool.submit(Query("triangle", "pagerank"), triangle)
+            outcome = future.result(timeout=30)
+            assert outcome.ranking.total() == pytest.approx(1.0)
+            assert pool.total_executed() == 1
+        finally:
+            pool.shutdown()
+
+    def test_scale_to_changes_worker_count(self, triangle):
+        datastore = DataStore()
+        pool = ExecutorPool(datastore, num_workers=1)
+        try:
+            assert pool.num_workers == 1
+            pool.scale_to(3)
+            assert pool.num_workers == 3
+            future = pool.submit(Query("triangle", "cheirank"), triangle)
+            assert future.result(timeout=30).ranking.algorithm == "CheiRank"
+        finally:
+            pool.shutdown()
+
+    def test_invalid_worker_count(self):
+        datastore = DataStore()
+        with pytest.raises(InvalidParameterError):
+            ExecutorPool(datastore, num_workers=0)
+        pool = ExecutorPool(datastore, num_workers=1)
+        try:
+            with pytest.raises(InvalidParameterError):
+                pool.scale_to(0)
+        finally:
+            pool.shutdown()
+
+    def test_execute_sync(self, triangle):
+        datastore = DataStore()
+        pool = ExecutorPool(datastore, num_workers=1)
+        try:
+            outcome = pool.execute_sync(Query("triangle", "pagerank"), triangle)
+            assert outcome.ranking.algorithm == "PageRank"
+        finally:
+            pool.shutdown()
+
+
+class TestScheduler:
+    def test_asynchronous_submission_completes(self, platform):
+        datastore, _, scheduler, status, builder = platform
+        task = make_task(
+            builder,
+            ("triangle", "pagerank", None, {"alpha": 0.85}),
+            ("two-triangles", "cyclerank", "R", {"k": 3}),
+        )
+        task_id = scheduler.submit(task)
+        scheduler.wait(task_id, timeout=30)
+        progress = status.poll_until_done(task_id, timeout_seconds=30)
+        assert progress.state is TaskState.COMPLETED
+        assert progress.completed_queries == 2
+        assert progress.fraction_done == 1.0
+        rankings = scheduler.rankings_for(task_id)
+        assert rankings[0].algorithm == "PageRank"
+        assert rankings[1].algorithm == "CycleRank"
+
+    def test_results_and_logs_written_to_datastore(self, platform):
+        datastore, _, scheduler, status, builder = platform
+        task = make_task(builder, ("triangle", "pagerank", None, None))
+        scheduler.submit(task)
+        scheduler.wait(task.task_id, timeout=30)
+        status.poll_until_done(task.task_id, timeout_seconds=30)
+        stored = datastore.get_result(task.task_id)
+        assert stored["comparison_id"] == task.task_id
+        assert stored["state"] == "completed"
+        assert "0" in stored["rankings"]
+        assert any("scheduler" in line for line in status.logs(task.task_id))
+
+    def test_stored_rankings_match_computed_ones(self, platform):
+        from repro.ranking.result import Ranking
+
+        datastore, _, scheduler, status, builder = platform
+        task = make_task(builder, ("two-triangles", "cyclerank", "R", {"k": 3}))
+        scheduler.run_synchronously(task)
+        stored = datastore.get_result(task.task_id)
+        restored = Ranking.from_dict(stored["rankings"]["0"])
+        live = task.rankings()[0]
+        assert restored.top_labels(5) == live.top_labels(5)
+
+    def test_synchronous_run(self, platform):
+        _, _, scheduler, _, builder = platform
+        task = make_task(builder, ("communities", "personalized-pagerank", "c0-n0", None))
+        finished = scheduler.run_synchronously(task)
+        assert finished.state is TaskState.COMPLETED
+        assert finished.rankings()[0].reference == "c0-n0"
+
+    def test_failing_query_marks_task_failed(self, platform):
+        _, _, scheduler, status, builder = platform
+        # Build a structurally valid task, then sabotage the catalog lookup by
+        # using a source node that does not exist in the dataset.
+        task = make_task(builder, ("triangle", "cyclerank", "ghost-node", {"k": 3}))
+        scheduler.submit(task)
+        scheduler.wait(task.task_id, timeout=30)
+        progress = status.poll_until_done(task.task_id, timeout_seconds=30)
+        assert progress.state is TaskState.FAILED
+        assert progress.error
+
+    def test_unknown_task_lookup_fails(self, platform):
+        _, _, scheduler, _, _ = platform
+        with pytest.raises(TaskNotFoundError):
+            scheduler.get_task("does-not-exist")
+
+    def test_list_tasks(self, platform):
+        _, _, scheduler, _, builder = platform
+        task = make_task(builder, ("triangle", "pagerank", None, None))
+        scheduler.run_synchronously(task)
+        assert task in scheduler.list_tasks()
+
+
+class TestStatusComponent:
+    def test_poll_reports_progress_fields(self, platform):
+        _, _, scheduler, status, builder = platform
+        task = make_task(builder, ("triangle", "pagerank", None, None))
+        scheduler.run_synchronously(task)
+        progress = status.poll(task.task_id)
+        assert progress.task_id == task.task_id
+        assert progress.total_queries == 1
+        assert "completed" in progress.describe()
+
+    def test_poll_until_done_times_out(self, platform):
+        _, _, scheduler, status, builder = platform
+        # A task that is registered but never scheduled stays pending forever.
+        task = make_task(builder, ("triangle", "pagerank", None, None))
+        scheduler._tasks[task.task_id] = task
+        with pytest.raises(TaskError):
+            status.poll_until_done(task.task_id, interval_seconds=0.01, timeout_seconds=0.05)
+
+    def test_stored_result_accessible_via_status(self, platform):
+        _, _, scheduler, status, builder = platform
+        task = make_task(builder, ("triangle", "cheirank", None, None))
+        scheduler.run_synchronously(task)
+        assert status.stored_result(task.task_id)["state"] == "completed"
+
+    def test_empty_task_progress_fraction(self):
+        from repro.platform.status import TaskProgress
+
+        progress = TaskProgress("id", TaskState.COMPLETED, 0, 0)
+        assert progress.fraction_done == 1.0

@@ -1,0 +1,202 @@
+"""Integration tests for the HTTP/JSON front-end (:mod:`repro.platform.restapi`)."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.platform.gateway import ApiGateway
+from repro.platform.restapi import RestApiServer
+
+
+@pytest.fixture(scope="module")
+def server(small_enwiki, small_amazon):
+    catalog = DatasetCatalog()
+    catalog.register_graph("enwiki-2018", small_enwiki, family="wikipedia",
+                           description="small synthetic enwiki")
+    catalog.register_graph("amazon-copurchase", small_amazon, family="amazon",
+                           description="small synthetic amazon")
+    gateway = ApiGateway(catalog=catalog, num_workers=2)
+    api = RestApiServer(gateway)
+    api.start()
+    yield api
+    api.stop()
+    gateway.shutdown()
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestDiscoveryEndpoints:
+    def test_index_page_lists_datasets_and_algorithms(self, server):
+        with urllib.request.urlopen(server.url + "/", timeout=10) as response:
+            html = response.read().decode("utf-8")
+        assert "enwiki-2018" in html
+        assert "cyclerank" in html
+
+    def test_list_datasets(self, server):
+        status, payload = get_json(server, "/api/datasets")
+        assert status == 200
+        assert {entry["dataset_id"] for entry in payload} == {
+            "enwiki-2018", "amazon-copurchase"
+        }
+
+    def test_dataset_summary(self, server):
+        status, payload = get_json(server, "/api/datasets/enwiki-2018/summary")
+        assert status == 200
+        assert payload["num_nodes"] > 0
+        assert "reciprocity" in payload
+
+    def test_list_algorithms(self, server):
+        status, payload = get_json(server, "/api/algorithms")
+        assert status == 200
+        names = {entry["name"] for entry in payload}
+        assert "cyclerank" in names
+        assert "personalized-pagerank" in names
+
+    def test_unknown_resource_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/api/nonsense")
+        assert excinfo.value.code == 404
+
+    def test_unknown_dataset_summary_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/api/datasets/never-heard-of-it/summary")
+        assert excinfo.value.code == 404
+
+
+class TestComparisonEndpoints:
+    def test_submit_and_fetch_results(self, server):
+        status, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [
+                    {"dataset_id": "enwiki-2018", "algorithm": "cyclerank",
+                     "source": "Freddie Mercury", "parameters": {"k": 3}},
+                    {"dataset_id": "enwiki-2018", "algorithm": "personalized-pagerank",
+                     "source": "Freddie Mercury", "parameters": {"alpha": 0.3}},
+                ],
+                "synchronous": True,
+            },
+        )
+        assert status == 201
+        comparison_id = created["comparison_id"]
+
+        status, progress = get_json(server, f"/api/comparisons/{comparison_id}/status")
+        assert status == 200
+        assert progress["state"] == "completed"
+        assert progress["completed_queries"] == 2
+
+        status, table = get_json(server, f"/api/comparisons/{comparison_id}/results?k=5")
+        assert status == 200
+        assert table["columns"] == ["Cyclerank", "Pers. PageRank"]
+        assert table["rows"][0] == ["Freddie Mercury", "Freddie Mercury"]
+
+        status, logs = get_json(server, f"/api/comparisons/{comparison_id}/logs")
+        assert status == 200
+        assert any("done" in line for line in logs["lines"])
+
+    def test_asynchronous_submission_with_polling(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [
+                    {"dataset_id": "amazon-copurchase", "algorithm": "cyclerank",
+                     "source": "1984", "parameters": {"k": 3}},
+                ],
+            },
+        )
+        comparison_id = created["comparison_id"]
+        deadline = time.monotonic() + 30
+        state = "pending"
+        while time.monotonic() < deadline:
+            _, progress = get_json(server, f"/api/comparisons/{comparison_id}/status")
+            state = progress["state"]
+            if state in ("completed", "failed"):
+                break
+            time.sleep(0.05)
+        assert state == "completed"
+        _, table = get_json(server, f"/api/comparisons/{comparison_id}/results?k=3")
+        assert table["rows"][0] == ["1984"]
+
+    def test_unknown_comparison_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/api/comparisons/not-a-comparison/status")
+        assert excinfo.value.code == 404
+
+    def test_invalid_query_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server,
+                "/api/comparisons",
+                {"queries": [{"dataset_id": "missing", "algorithm": "pagerank"}]},
+            )
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "error" in body
+
+    def test_empty_queries_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server, "/api/comparisons", {"queries": []})
+        assert excinfo.value.code == 400
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/api/comparisons",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_post_to_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server, "/api/not-a-thing", {})
+        assert excinfo.value.code == 404
+
+
+class TestServerLifecycle:
+    def test_context_manager_and_own_gateway(self, small_enwiki):
+        catalog = DatasetCatalog()
+        catalog.register_graph("enwiki-2018", small_enwiki)
+        gateway = ApiGateway(catalog=catalog, num_workers=1)
+        with RestApiServer(gateway) as api:
+            host, port = api.address
+            assert port > 0
+            assert api.url.startswith("http://")
+        gateway.shutdown()
+
+    def test_address_requires_started_server(self):
+        api = RestApiServer(ApiGateway(catalog=DatasetCatalog(), num_workers=1))
+        with pytest.raises(RuntimeError):
+            _ = api.address
+        api.gateway.shutdown()
+
+    def test_start_twice_is_idempotent(self, server):
+        assert server.start() == server.address
+
+    def test_access_log_recorded_in_datastore(self, server):
+        get_json(server, "/api/datasets")
+        assert server.gateway.datastore.get_logs("restapi")

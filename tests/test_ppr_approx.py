@@ -1,0 +1,110 @@
+"""Unit tests for the approximate PPR solvers (forward push and Monte Carlo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.ppr_montecarlo import ppr_montecarlo
+from repro.algorithms.ppr_push import ppr_push
+from repro.exceptions import InvalidParameterError, NodeNotFoundError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph
+from repro.ranking.metrics import precision_at_k
+
+
+class TestForwardPush:
+    def test_scores_form_distribution(self, community_graph):
+        ranking = ppr_push(community_graph, 0, alpha=0.85, epsilon=1e-6)
+        assert ranking.total() == pytest.approx(1.0)
+        assert all(score >= 0 for score in ranking.scores)
+
+    def test_close_to_exact_ppr(self, community_graph):
+        exact = personalized_pagerank(community_graph, 0, alpha=0.85)
+        approx = ppr_push(community_graph, 0, alpha=0.85, epsilon=1e-8)
+        assert np.abs(exact.scores - approx.scores).max() < 1e-3
+
+    def test_top_k_agrees_with_exact(self, small_enwiki):
+        exact = personalized_pagerank(small_enwiki, "Pasta", alpha=0.5)
+        approx = ppr_push(small_enwiki, "Pasta", alpha=0.5, epsilon=1e-8)
+        assert precision_at_k(approx, exact.top_labels(5), k=5) >= 0.8
+
+    def test_larger_epsilon_means_fewer_pushes(self, community_graph):
+        fine = ppr_push(community_graph, 0, alpha=0.85, epsilon=1e-8)
+        coarse = ppr_push(community_graph, 0, alpha=0.85, epsilon=1e-3)
+        assert coarse.parameters["pushes"] <= fine.parameters["pushes"]
+
+    def test_locality_support_is_small_for_coarse_epsilon(self, small_enwiki):
+        coarse = ppr_push(small_enwiki, "Pasta", alpha=0.5, epsilon=1e-2)
+        assert coarse.nonzero_count() < small_enwiki.number_of_nodes()
+
+    def test_dangling_reference(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")  # B dangles
+        ranking = ppr_push(graph, "B", alpha=0.85)
+        assert ranking.total() == pytest.approx(1.0)
+        assert ranking.score_of("B") > 0
+
+    def test_reference_recorded(self, triangle):
+        ranking = ppr_push(triangle, "A")
+        assert ranking.algorithm == "PPR (forward push)"
+        assert ranking.reference == "A"
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            ppr_push(triangle, "A", alpha=2.0)
+        with pytest.raises(InvalidParameterError):
+            ppr_push(triangle, "A", epsilon=0.0)
+        with pytest.raises(NodeNotFoundError):
+            ppr_push(triangle, "missing")
+
+
+class TestMonteCarlo:
+    def test_scores_form_distribution(self, community_graph):
+        ranking = ppr_montecarlo(community_graph, 0, alpha=0.85, num_walks=2000, seed=1)
+        assert ranking.total() == pytest.approx(1.0)
+        assert all(score >= 0 for score in ranking.scores)
+
+    def test_deterministic_per_seed(self, community_graph):
+        first = ppr_montecarlo(community_graph, 0, num_walks=500, seed=7)
+        second = ppr_montecarlo(community_graph, 0, num_walks=500, seed=7)
+        third = ppr_montecarlo(community_graph, 0, num_walks=500, seed=8)
+        assert np.array_equal(first.scores, second.scores)
+        assert not np.array_equal(first.scores, third.scores)
+
+    def test_reference_has_top_score(self, community_graph):
+        ranking = ppr_montecarlo(community_graph, 0, alpha=0.5, num_walks=2000, seed=2)
+        assert ranking.rank_of(0) == 1
+
+    def test_approximates_exact_ppr_on_cycle(self):
+        graph = cycle_graph(5)
+        exact = personalized_pagerank(graph, 0, alpha=0.5)
+        approx = ppr_montecarlo(graph, 0, alpha=0.5, num_walks=50_000, seed=3)
+        assert np.abs(exact.scores - approx.scores).max() < 0.02
+
+    def test_more_walks_reduce_error(self, community_graph):
+        exact = personalized_pagerank(community_graph, 0, alpha=0.85)
+        few = ppr_montecarlo(community_graph, 0, alpha=0.85, num_walks=200, seed=4)
+        many = ppr_montecarlo(community_graph, 0, alpha=0.85, num_walks=20_000, seed=4)
+        error_few = np.abs(exact.scores - few.scores).sum()
+        error_many = np.abs(exact.scores - many.scores).sum()
+        assert error_many < error_few
+
+    def test_alpha_zero_never_leaves_reference(self, community_graph):
+        ranking = ppr_montecarlo(community_graph, 0, alpha=0.0, num_walks=100, seed=5)
+        assert ranking.score_of(0) == pytest.approx(1.0)
+
+    def test_dangling_node_terminates_walks(self):
+        graph = DirectedGraph()
+        graph.add_edge("A", "B")  # B dangles: walks from A must stop there
+        ranking = ppr_montecarlo(graph, "A", alpha=0.9, num_walks=500, seed=6)
+        assert ranking.total() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            ppr_montecarlo(triangle, "A", num_walks=0)
+        with pytest.raises(InvalidParameterError):
+            ppr_montecarlo(triangle, "A", alpha=-0.5)
+        with pytest.raises(InvalidParameterError):
+            ppr_montecarlo(triangle, "A", max_walk_length=0)

@@ -1,0 +1,144 @@
+"""Hypothesis property tests for the relevance algorithms (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cheirank import cheirank
+from repro.algorithms.cycle_enumeration import enumerate_cycles_through
+from repro.algorithms.cyclerank import cyclerank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.twodrank import twodrank, two_dimensional_order
+from repro.graph.components import strongly_connected_component_of
+from repro.graph.digraph import DirectedGraph
+
+
+@st.composite
+def graphs_with_reference(draw, max_nodes: int = 10, max_edges: int = 35):
+    """Strategy: a small labelled directed graph plus a reference node in it."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                st.integers(min_value=0, max_value=num_nodes - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            max_size=max_edges,
+        )
+    )
+    graph = DirectedGraph(name="hypothesis")
+    for node in range(num_nodes):
+        graph.add_node(f"node-{node}")
+    graph.add_edges_from(edges)
+    reference = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+    return graph, reference
+
+
+@st.composite
+def alphas(draw):
+    return draw(st.floats(min_value=0.0, max_value=0.95, allow_nan=False))
+
+
+class TestPageRankFamilyInvariants:
+    @given(graphs_with_reference(), alphas())
+    @settings(max_examples=40, deadline=None)
+    def test_pagerank_is_a_distribution(self, graph_and_reference, alpha):
+        graph, _ = graph_and_reference
+        ranking = pagerank(graph, alpha=alpha)
+        assert np.all(ranking.scores >= 0)
+        assert ranking.total() == np.float64(1.0) or abs(ranking.total() - 1.0) < 1e-8
+
+    @given(graphs_with_reference(), alphas())
+    @settings(max_examples=40, deadline=None)
+    def test_ppr_is_a_distribution(self, graph_and_reference, alpha):
+        graph, reference = graph_and_reference
+        ranking = personalized_pagerank(graph, reference, alpha=alpha)
+        assert np.all(ranking.scores >= 0)
+        assert abs(ranking.total() - 1.0) < 1e-8
+
+    @given(graphs_with_reference(), alphas())
+    @settings(max_examples=40, deadline=None)
+    def test_cheirank_equals_pagerank_of_transpose(self, graph_and_reference, alpha):
+        graph, _ = graph_and_reference
+        chei = cheirank(graph, alpha=alpha)
+        pr_of_transpose = pagerank(graph.transpose(), alpha=alpha)
+        assert np.allclose(chei.scores, pr_of_transpose.scores, atol=1e-9)
+
+    @given(graphs_with_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_twodrank_is_a_permutation(self, graph_and_reference):
+        graph, _ = graph_and_reference
+        ranking = twodrank(graph, alpha=0.85)
+        assert sorted(ranking.ordered_nodes()) == list(graph.nodes())
+        order = two_dimensional_order(pagerank(graph), cheirank(graph))
+        assert sorted(order) == list(graph.nodes())
+
+
+class TestCycleRankInvariants:
+    @given(graphs_with_reference(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_reference_has_maximum_score(self, graph_and_reference, k):
+        graph, reference = graph_and_reference
+        ranking = cyclerank(graph, reference, max_cycle_length=k)
+        assert ranking.score_of(reference) == max(ranking.scores)
+
+    @given(graphs_with_reference(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_non_negative_and_zero_outside_scc(self, graph_and_reference, k):
+        graph, reference = graph_and_reference
+        ranking = cyclerank(graph, reference, max_cycle_length=k)
+        assert np.all(ranking.scores >= 0)
+        scc = strongly_connected_component_of(graph, reference)
+        for node in graph.nodes():
+            if node not in scc:
+                assert ranking.score_of(node) == 0.0
+
+    @given(graphs_with_reference(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_scores_monotone_in_k(self, graph_and_reference, k):
+        graph, reference = graph_and_reference
+        smaller = cyclerank(graph, reference, max_cycle_length=k)
+        larger = cyclerank(graph, reference, max_cycle_length=k + 1)
+        assert np.all(larger.scores >= smaller.scores - 1e-12)
+
+    @given(graphs_with_reference(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_score_iff_on_some_cycle(self, graph_and_reference, k):
+        graph, reference = graph_and_reference
+        ranking = cyclerank(graph, reference, max_cycle_length=k)
+        on_cycle = set()
+        for cycle in enumerate_cycles_through(graph, reference, k):
+            on_cycle.update(cycle)
+        for node in graph.nodes():
+            assert (ranking.score_of(node) > 0) == (node in on_cycle)
+
+    @given(graphs_with_reference(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_enumerated_cycles_are_simple_and_valid(self, graph_and_reference, k):
+        graph, reference = graph_and_reference
+        seen = set()
+        for cycle in enumerate_cycles_through(graph, reference, k):
+            assert 2 <= len(cycle) <= k
+            assert cycle[0] == reference
+            assert len(set(cycle)) == len(cycle)
+            assert cycle not in seen
+            seen.add(cycle)
+            for first, second in zip(cycle, cycle[1:]):
+                assert graph.has_edge(first, second)
+            assert graph.has_edge(cycle[-1], reference)
+
+    @given(graphs_with_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_cyclerank_symmetric_under_relabelling_of_k2(self, graph_and_reference):
+        # With K=2 the score of every non-reference node is sigma(2) times the
+        # indicator of a reciprocated edge with the reference.
+        graph, reference = graph_and_reference
+        ranking = cyclerank(graph, reference, max_cycle_length=2, scoring="const")
+        for node in graph.nodes():
+            if node == reference:
+                continue
+            reciprocated = graph.has_edge(reference, node) and graph.has_edge(node, reference)
+            assert ranking.score_of(node) == (1.0 if reciprocated else 0.0)

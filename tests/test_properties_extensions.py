@@ -1,0 +1,99 @@
+"""Hypothesis property tests for the extension algorithms (approximate PPR, HITS, Katz)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.hits import hits, personalized_hits
+from repro.algorithms.katz import personalized_katz
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.ppr_push import ppr_push
+from repro.graph.digraph import DirectedGraph
+from repro.graph.traversal import descendants
+
+
+@st.composite
+def graphs_with_reference(draw, max_nodes: int = 9, max_edges: int = 30):
+    """Strategy: a small labelled directed graph plus a reference node in it."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                st.integers(min_value=0, max_value=num_nodes - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            max_size=max_edges,
+        )
+    )
+    graph = DirectedGraph(name="hypothesis")
+    for node in range(num_nodes):
+        graph.add_node(f"node-{node}")
+    graph.add_edges_from(edges)
+    reference = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+    return graph, reference
+
+
+class TestPushPprInvariants:
+    @given(graphs_with_reference(), st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_push_is_a_distribution(self, graph_and_reference, alpha):
+        graph, reference = graph_and_reference
+        ranking = ppr_push(graph, reference, alpha=alpha, epsilon=1e-7)
+        assert np.all(ranking.scores >= 0)
+        assert abs(ranking.total() - 1.0) < 1e-8
+
+    @given(graphs_with_reference())
+    @settings(max_examples=25, deadline=None)
+    def test_push_top1_matches_exact_for_short_walks(self, graph_and_reference):
+        graph, reference = graph_and_reference
+        exact = personalized_pagerank(graph, reference, alpha=0.3)
+        approx = ppr_push(graph, reference, alpha=0.3, epsilon=1e-9)
+        assert np.abs(exact.scores - approx.scores).max() < 1e-3
+
+    @given(graphs_with_reference())
+    @settings(max_examples=25, deadline=None)
+    def test_push_support_limited_to_reachable_nodes(self, graph_and_reference):
+        graph, reference = graph_and_reference
+        ranking = ppr_push(graph, reference, alpha=0.85, epsilon=1e-7)
+        reachable = descendants(graph, reference) | {graph.resolve(reference)}
+        for node in graph.nodes():
+            if ranking.score_of(node) > 0:
+                assert node in reachable
+
+
+class TestHitsInvariants:
+    @given(graphs_with_reference())
+    @settings(max_examples=25, deadline=None)
+    def test_hits_scores_are_a_distribution(self, graph_and_reference):
+        graph, _ = graph_and_reference
+        ranking = hits(graph, tol=1e-7)
+        assert np.all(ranking.scores >= -1e-12)
+        assert ranking.total() == 0.0 or abs(ranking.total() - 1.0) < 1e-6
+
+    @given(graphs_with_reference())
+    @settings(max_examples=20, deadline=None)
+    def test_rooted_hits_with_full_restart_concentrates_on_reference(self, graph_and_reference):
+        graph, reference = graph_and_reference
+        ranking = personalized_hits(graph, reference, alpha=0.0, tol=1e-7)
+        assert ranking.rank_of(reference) == 1
+
+
+class TestPersonalizedKatzInvariants:
+    @given(graphs_with_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_reference_ranks_first_and_scores_non_negative(self, graph_and_reference):
+        graph, reference = graph_and_reference
+        ranking = personalized_katz(graph, reference, beta=0.05)
+        assert np.all(ranking.scores >= -1e-12)
+        assert ranking.rank_of(reference) == 1
+
+    @given(graphs_with_reference())
+    @settings(max_examples=30, deadline=None)
+    def test_support_equals_reachable_set(self, graph_and_reference):
+        graph, reference = graph_and_reference
+        ranking = personalized_katz(graph, reference, beta=0.05)
+        reachable = descendants(graph, reference) | {graph.resolve(reference)}
+        for node in graph.nodes():
+            assert (ranking.score_of(node) > 0) == (node in reachable)

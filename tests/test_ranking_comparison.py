@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.ranking.comparison`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ranking.comparison import ComparisonTable, algorithm_comparison, dataset_comparison
+from repro.ranking.result import Ranking
+
+
+def ranking(labels_in_order, *, algorithm="Algo", reference=None, graph_name="g"):
+    scores = list(range(len(labels_in_order), 0, -1))
+    return Ranking(
+        scores,
+        labels=labels_in_order,
+        algorithm=algorithm,
+        reference=reference,
+        graph_name=graph_name,
+    )
+
+
+class TestComparisonTable:
+    def test_from_rankings_basic_shape(self):
+        table = ComparisonTable.from_rankings(
+            {
+                "First": ranking(["a", "b", "c", "d"]),
+                "Second": ranking(["d", "c", "b", "a"]),
+            },
+            k=3,
+            title="demo",
+        )
+        assert table.columns == ["First", "Second"]
+        assert len(table.rows) == 3
+        assert table.column("First") == ["a", "b", "c"]
+        assert table.column("Second") == ["d", "c", "b"]
+        assert table.scores[0][0] == pytest.approx(4.0)
+
+    def test_exclude_reference(self):
+        table = ComparisonTable.from_rankings(
+            {"Col": ranking(["ref", "x", "y"], reference="ref")},
+            k=2,
+            exclude_reference=True,
+        )
+        assert table.column("Col") == ["x", "y"]
+
+    def test_short_rankings_padded_with_dash(self):
+        table = ComparisonTable.from_rankings({"Col": ranking(["a"])}, k=3)
+        assert table.column("Col") == ["a", "-", "-"]
+        assert table.scores[1][0] is None
+
+    def test_to_text_contains_every_cell(self):
+        table = ComparisonTable.from_rankings(
+            {"First": ranking(["a", "b"]), "Second": ranking(["b", "a"])}, k=2, title="T"
+        )
+        text = table.to_text()
+        assert "T" in text
+        assert "First" in text and "Second" in text
+        assert "a" in text and "b" in text
+
+    def test_to_text_with_scores(self):
+        table = ComparisonTable.from_rankings({"Col": ranking(["a", "b"])}, k=2)
+        text = table.to_text(show_scores=True)
+        assert "(" in text
+
+    def test_to_markdown_structure(self):
+        table = ComparisonTable.from_rankings({"Col": ranking(["a", "b"])}, k=2, title="T")
+        markdown = table.to_markdown()
+        assert markdown.count("|") >= 9
+        assert "**T**" in markdown
+
+    def test_str_is_text_rendering(self):
+        table = ComparisonTable.from_rankings({"Col": ranking(["a"])}, k=1)
+        assert str(table) == table.to_text()
+
+    def test_as_dict_round_trip(self):
+        table = ComparisonTable.from_rankings(
+            {"Col": ranking(["a", "b"])}, k=2, title="T", metadata={"x": 1}
+        )
+        restored = ComparisonTable.from_dict(table.as_dict())
+        assert restored.title == "T"
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows
+        assert restored.metadata == {"x": 1}
+
+    def test_unknown_column_fails(self):
+        table = ComparisonTable.from_rankings({"Col": ranking(["a"])}, k=1)
+        with pytest.raises(ValueError):
+            table.column("Other")
+
+
+class TestUseCaseHelpers:
+    def test_algorithm_comparison_from_mapping(self):
+        table = algorithm_comparison(
+            {
+                "Cyclerank": ranking(["r", "a"], algorithm="CycleRank", reference="r"),
+                "Pers.PageRank": ranking(["r", "b"], algorithm="PPR", reference="r"),
+            },
+            k=2,
+        )
+        assert table.metadata["use_case"] == "algorithm comparison"
+        assert "r" in table.title
+        assert table.rows[0] == ["r", "r"]
+
+    def test_algorithm_comparison_from_sequence_derives_headers(self):
+        table = algorithm_comparison(
+            [
+                ranking(["a"], algorithm="PageRank"),
+                ranking(["b"], algorithm="CheiRank"),
+            ],
+            k=1,
+        )
+        assert table.columns == ["PageRank", "CheiRank"]
+
+    def test_algorithm_comparison_duplicate_headers_disambiguated(self):
+        table = algorithm_comparison(
+            [
+                ranking(["a"], algorithm="PageRank"),
+                ranking(["b"], algorithm="PageRank"),
+            ],
+            k=1,
+        )
+        assert len(table.columns) == 2
+        assert len(set(table.columns)) == 2
+
+    def test_dataset_comparison_metadata(self):
+        table = dataset_comparison(
+            {
+                "fake news (de)": ranking(["x"], algorithm="CycleRank", graph_name="dewiki"),
+                "fake news (en)": ranking(["y"], algorithm="CycleRank", graph_name="enwiki"),
+            },
+            k=1,
+        )
+        assert table.metadata["use_case"] == "dataset comparison"
+        assert table.metadata["datasets"] == ["fake news (de)", "fake news (en)"]
+        assert "CycleRank" in table.title

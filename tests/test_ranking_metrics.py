@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.ranking.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ranking.metrics import (
+    jaccard_at_k,
+    kendall_tau,
+    overlap_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    spearman_rho,
+)
+from repro.ranking.result import Ranking
+
+
+def ranking_from_order(labels):
+    """Build a ranking whose order is exactly ``labels``."""
+    scores = list(range(len(labels), 0, -1))
+    return Ranking(scores, labels=labels)
+
+
+LABELS = [f"n{i}" for i in range(10)]
+
+
+class TestSetOverlapMetrics:
+    def test_identical_rankings(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(LABELS)
+        assert overlap_at_k(first, second, 5) == 1.0
+        assert jaccard_at_k(first, second, 5) == 1.0
+
+    def test_disjoint_top_k(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(LABELS[5:] + LABELS[:5])
+        assert overlap_at_k(first, second, 5) == 0.0
+        assert jaccard_at_k(first, second, 5) == 0.0
+
+    def test_partial_overlap(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(LABELS[3:] + LABELS[:3])
+        assert overlap_at_k(first, second, 5) == pytest.approx(2 / 5)
+
+    def test_invalid_k(self):
+        first = ranking_from_order(LABELS)
+        with pytest.raises(ValueError):
+            overlap_at_k(first, first, 0)
+        with pytest.raises(ValueError):
+            jaccard_at_k(first, first, -1)
+        with pytest.raises(ValueError):
+            precision_at_k(first, LABELS, 0)
+
+    def test_precision_at_k(self):
+        ranking = ranking_from_order(LABELS)
+        assert precision_at_k(ranking, LABELS[:5], 5) == 1.0
+        assert precision_at_k(ranking, LABELS[5:], 5) == 0.0
+        assert precision_at_k(ranking, LABELS[2:7], 5) == pytest.approx(3 / 5)
+
+    def test_precision_on_empty_ranking(self):
+        assert precision_at_k(Ranking([]), ["a"], 5) == 0.0
+
+
+class TestCorrelationMetrics:
+    def test_identical_orders_give_one(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(LABELS)
+        assert kendall_tau(first, second) == pytest.approx(1.0)
+        assert spearman_rho(first, second) == pytest.approx(1.0)
+
+    def test_reversed_orders_give_minus_one(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(list(reversed(LABELS)))
+        assert kendall_tau(first, second) == pytest.approx(-1.0)
+        assert spearman_rho(first, second) == pytest.approx(-1.0)
+
+    def test_partial_agreement_between_extremes(self):
+        first = ranking_from_order(LABELS)
+        shuffled = LABELS[:]
+        shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+        second = ranking_from_order(shuffled)
+        assert -1.0 < kendall_tau(first, second) < 1.0 or kendall_tau(first, second) == pytest.approx(
+            1 - 2 * (1 / 45)
+        )
+        assert spearman_rho(first, second) < 1.0
+
+    def test_disjoint_label_sets_default_to_one(self):
+        first = ranking_from_order(["a", "b"])
+        second = ranking_from_order(["c", "d"])
+        assert kendall_tau(first, second) == 1.0
+        assert spearman_rho(first, second) == 1.0
+
+
+class TestRankBiasedOverlap:
+    def test_identical_rankings(self):
+        first = ranking_from_order(LABELS)
+        assert rank_biased_overlap(first, first) == pytest.approx(1.0)
+
+    def test_disjoint_rankings_near_zero(self):
+        first = ranking_from_order([f"a{i}" for i in range(10)])
+        second = ranking_from_order([f"b{i}" for i in range(10)])
+        assert rank_biased_overlap(first, second, depth=10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_top_heavy_weighting(self):
+        base = ranking_from_order(LABELS)
+        # Swap at the head hurts more than a swap at the tail.
+        head_swapped = LABELS[:]
+        head_swapped[0], head_swapped[9] = head_swapped[9], head_swapped[0]
+        tail_swapped = LABELS[:]
+        tail_swapped[8], tail_swapped[9] = tail_swapped[9], tail_swapped[8]
+        assert rank_biased_overlap(base, ranking_from_order(head_swapped), depth=10) < \
+            rank_biased_overlap(base, ranking_from_order(tail_swapped), depth=10)
+
+    def test_result_in_unit_interval(self):
+        first = ranking_from_order(LABELS)
+        second = ranking_from_order(LABELS[5:] + LABELS[:5])
+        value = rank_biased_overlap(first, second)
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_parameters(self):
+        first = ranking_from_order(LABELS)
+        with pytest.raises(ValueError):
+            rank_biased_overlap(first, first, p=1.0)
+        with pytest.raises(ValueError):
+            rank_biased_overlap(first, first, p=0.0)
+        with pytest.raises(ValueError):
+            rank_biased_overlap(first, first, depth=0)

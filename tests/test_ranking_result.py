@@ -1,0 +1,163 @@
+"""Unit tests for :mod:`repro.ranking.result`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.ranking.result import Ranking, ScoredNode
+
+
+def make_ranking() -> Ranking:
+    return Ranking(
+        [0.1, 0.5, 0.2, 0.2],
+        labels=["a", "b", "c", "d"],
+        algorithm="Test",
+        parameters={"alpha": 0.5},
+        graph_name="toy",
+        reference="b",
+    )
+
+
+class TestConstruction:
+    def test_from_sequence(self):
+        ranking = make_ranking()
+        assert len(ranking) == 4
+        assert ranking.score_of("b") == pytest.approx(0.5)
+
+    def test_from_mapping(self):
+        ranking = Ranking({0: 1.0, 2: 3.0}, labels=["x", "y", "z"])
+        assert ranking.score_of("y") == 0.0
+        assert ranking.score_of("z") == 3.0
+
+    def test_from_numpy_array_is_copied(self):
+        scores = np.array([1.0, 2.0])
+        ranking = Ranking(scores)
+        scores[0] = 99.0
+        assert ranking.score_of(0) == 1.0
+
+    def test_negative_node_in_mapping_fails(self):
+        with pytest.raises(NodeNotFoundError):
+            Ranking({-1: 1.0})
+
+    def test_too_few_labels_fails(self):
+        with pytest.raises(ValueError):
+            Ranking([1.0, 2.0], labels=["only"])
+
+    def test_default_labels(self):
+        ranking = Ranking([1.0, 2.0])
+        assert ranking.label_of(0) == "#0"
+
+    def test_empty_ranking(self):
+        ranking = Ranking([])
+        assert len(ranking) == 0
+        assert ranking.top(5) == []
+        assert ranking.total() == 0.0
+
+
+class TestOrderingAndRanks:
+    def test_rank_follows_descending_score(self):
+        ranking = make_ranking()
+        assert ranking.rank_of("b") == 1
+        assert ranking.rank_of("a") == 4
+
+    def test_ties_broken_by_label(self):
+        ranking = make_ranking()
+        # c and d tie at 0.2; "c" < "d" lexicographically.
+        assert ranking.rank_of("c") == 2
+        assert ranking.rank_of("d") == 3
+
+    def test_top_k(self):
+        ranking = make_ranking()
+        top = ranking.top(2)
+        assert [entry.label for entry in top] == ["b", "c"]
+        assert all(isinstance(entry, ScoredNode) for entry in top)
+        assert top[0].rank == 1
+
+    def test_top_with_exclusion(self):
+        ranking = make_ranking()
+        assert ranking.top_labels(2, exclude=("b",)) == ["c", "d"]
+
+    def test_top_k_larger_than_size(self):
+        assert len(make_ranking().top(100)) == 4
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            make_ranking().top(-1)
+
+    def test_ordered_nodes_consistent_with_ranks(self):
+        ranking = make_ranking()
+        for position, node in enumerate(ranking.ordered_nodes(), start=1):
+            assert ranking.rank_of(node) == position
+
+    def test_iteration_yields_every_node_in_order(self):
+        entries = list(make_ranking())
+        assert [entry.rank for entry in entries] == [1, 2, 3, 4]
+
+    def test_scored_node_tuple(self):
+        entry = make_ranking().top(1)[0]
+        assert entry.as_tuple() == (1, "b", 0.5, 1)
+
+
+class TestLookups:
+    def test_score_and_rank_by_id_or_label(self):
+        ranking = make_ranking()
+        assert ranking.score_of(1) == ranking.score_of("b")
+        assert ranking.rank_of(1) == ranking.rank_of("b")
+
+    def test_unknown_lookups_fail(self):
+        ranking = make_ranking()
+        with pytest.raises(NodeNotFoundError):
+            ranking.score_of("missing")
+        with pytest.raises(NodeNotFoundError):
+            ranking.score_of(77)
+        with pytest.raises(NodeNotFoundError):
+            ranking.label_of(77)
+
+    def test_contains(self):
+        ranking = make_ranking()
+        assert "a" in ranking
+        assert 0 in ranking
+        assert "zz" not in ranking
+        assert 9 not in ranking
+        assert None not in ranking
+
+    def test_nonzero_count_and_total(self):
+        ranking = Ranking([0.0, 1.0, 2.0])
+        assert ranking.nonzero_count() == 2
+        assert ranking.total() == pytest.approx(3.0)
+
+    def test_as_dict_and_label_dict(self):
+        ranking = make_ranking()
+        assert ranking.as_dict()[1] == pytest.approx(0.5)
+        assert ranking.as_label_dict()["b"] == pytest.approx(0.5)
+
+
+class TestTransformsAndSerialisation:
+    def test_normalized(self):
+        ranking = Ranking([1.0, 3.0])
+        normalized = ranking.normalized()
+        assert normalized.total() == pytest.approx(1.0)
+        assert normalized.score_of(1) == pytest.approx(0.75)
+
+    def test_normalized_of_all_zero_is_noop(self):
+        ranking = Ranking([0.0, 0.0])
+        assert ranking.normalized().total() == 0.0
+
+    def test_describe_mentions_provenance(self):
+        text = make_ranking().describe()
+        assert "Test" in text
+        assert "alpha=0.5" in text
+        assert "toy" in text
+
+    def test_to_dict_from_dict_round_trip(self):
+        ranking = make_ranking()
+        restored = Ranking.from_dict(ranking.to_dict())
+        assert restored.algorithm == ranking.algorithm
+        assert restored.reference == ranking.reference
+        assert restored.top_labels(4) == ranking.top_labels(4)
+        assert np.allclose(restored.scores, ranking.scores)
+
+    def test_repr_contains_top_entries(self):
+        assert "b=" in repr(make_ranking())

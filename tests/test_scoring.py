@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.scoring`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.scoring import (
+    ConstantScoring,
+    ExponentialScoring,
+    LinearScoring,
+    QuadraticScoring,
+    ScoringFunction,
+    available_scoring_functions,
+    get_scoring_function,
+    register_scoring_function,
+)
+
+
+class TestBuiltinFunctions:
+    def test_exponential_values(self):
+        sigma = ExponentialScoring()
+        assert sigma(2) == pytest.approx(math.exp(-2))
+        assert sigma(5) == pytest.approx(math.exp(-5))
+
+    def test_linear_values(self):
+        sigma = LinearScoring()
+        assert sigma(2) == pytest.approx(0.5)
+        assert sigma(4) == pytest.approx(0.25)
+
+    def test_quadratic_values(self):
+        sigma = QuadraticScoring()
+        assert sigma(2) == pytest.approx(0.25)
+        assert sigma(3) == pytest.approx(1 / 9)
+
+    def test_constant_values(self):
+        sigma = ConstantScoring()
+        assert sigma(2) == 1.0
+        assert sigma(10) == 1.0
+
+    @pytest.mark.parametrize(
+        "sigma", [ExponentialScoring(), LinearScoring(), QuadraticScoring(), ConstantScoring()]
+    )
+    def test_non_increasing_in_length(self, sigma):
+        weights = sigma.weights_up_to(10)
+        assert all(earlier >= later for earlier, later in zip(weights, weights[1:]))
+        assert all(weight > 0 for weight in weights)
+
+    def test_cycle_length_below_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialScoring()(1)
+        with pytest.raises(InvalidParameterError):
+            ExponentialScoring().weights_up_to(1)
+
+    def test_weights_up_to_length(self):
+        weights = LinearScoring().weights_up_to(5)
+        assert len(weights) == 4  # lengths 2, 3, 4, 5
+        assert weights[0] == pytest.approx(0.5)
+
+    def test_equality_and_hash(self):
+        assert ExponentialScoring() == ExponentialScoring()
+        assert ExponentialScoring() != LinearScoring()
+        assert hash(ExponentialScoring()) == hash(ExponentialScoring())
+
+    def test_repr(self):
+        assert "ExponentialScoring" in repr(ExponentialScoring())
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_scoring_functions()
+        assert set(names) >= {"exp", "lin", "quad", "const"}
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_scoring_function("exp"), ExponentialScoring)
+        assert isinstance(get_scoring_function("const"), ConstantScoring)
+
+    def test_lookup_by_instance_and_class(self):
+        instance = LinearScoring()
+        assert get_scoring_function(instance) is instance
+        assert isinstance(get_scoring_function(QuadraticScoring), QuadraticScoring)
+
+    def test_unknown_name_fails(self):
+        with pytest.raises(InvalidParameterError):
+            get_scoring_function("does-not-exist")
+
+    def test_non_string_non_function_fails(self):
+        with pytest.raises(InvalidParameterError):
+            get_scoring_function(3.14)
+
+    def test_register_custom_function(self):
+        @register_scoring_function
+        class HalvingScoring(ScoringFunction):
+            name = "halving-test"
+
+            def weight(self, cycle_length: int) -> float:
+                return 2.0 ** -cycle_length
+
+        try:
+            sigma = get_scoring_function("halving-test")
+            assert sigma(3) == pytest.approx(0.125)
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.scoring import functions
+
+            functions._REGISTRY.pop("halving-test", None)
+
+    def test_register_without_name_fails(self):
+        class Nameless(ScoringFunction):
+            name = ""
+
+            def weight(self, cycle_length: int) -> float:
+                return 1.0
+
+        with pytest.raises(InvalidParameterError):
+            register_scoring_function(Nameless)

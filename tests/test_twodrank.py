@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.algorithms.twodrank`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.cheirank import cheirank, personalized_cheirank
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.twodrank import personalized_twodrank, twodrank, two_dimensional_order
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import star_graph
+
+
+class TestTwoDimensionalOrder:
+    def test_order_is_a_permutation(self, community_graph):
+        pr = pagerank(community_graph)
+        chei = cheirank(community_graph)
+        order = two_dimensional_order(pr, chei)
+        assert sorted(order) == list(range(len(pr)))
+
+    def test_node_best_in_both_dimensions_comes_first(self):
+        # A node that both receives and emits many links dominates both
+        # rankings, hence the 2DRank order.
+        graph = DirectedGraph()
+        for leaf in ["A", "B", "C", "D"]:
+            graph.add_edge("center", leaf)
+            graph.add_edge(leaf, "center")
+        graph.add_edge("A", "B")
+        pr = pagerank(graph)
+        chei = cheirank(graph)
+        order = two_dimensional_order(pr, chei)
+        assert graph.label_of(order[0]) == "center"
+
+    def test_mismatched_rankings_rejected(self, triangle, community_graph):
+        with pytest.raises(ValueError):
+            two_dimensional_order(pagerank(triangle), cheirank(community_graph))
+
+    def test_entry_order_follows_square_rule(self):
+        # Build rankings by hand: node 0 has (K=1, K*=3), node 1 has (2, 2),
+        # node 2 has (3, 1).  All enter at r = max(K, K*); ties broken by
+        # vertical side first (K = r), then horizontal (K* = r).
+        from repro.ranking.result import Ranking
+
+        pr = Ranking([3.0, 2.0, 1.0], labels=["n0", "n1", "n2"])  # ranks 1, 2, 3
+        chei = Ranking([1.0, 2.0, 3.0], labels=["n0", "n1", "n2"])  # ranks 3, 2, 1
+        order = two_dimensional_order(pr, chei)
+        # Node 1 enters at r=2 (corner), nodes 0 and 2 at r=3.
+        assert order[0] == 1
+        # At r=3: node 2 (K=3, the vertical side) precedes node 0 (K*=3).
+        assert order[1:] == [2, 0]
+
+
+class TestTwoDRank:
+    def test_produces_ranking_without_meaningful_scores(self, community_graph):
+        ranking = twodrank(community_graph)
+        assert ranking.algorithm == "2DRank"
+        # Scores encode only the position (1/position), so they are a strictly
+        # decreasing sequence over the ranking order.
+        ordered_scores = [ranking.score_of(node) for node in ranking.ordered_nodes()]
+        assert all(a > b for a, b in zip(ordered_scores, ordered_scores[1:]))
+
+    def test_balances_in_and_out_importance(self):
+        graph = star_graph(6, reciprocal=False)
+        # Add a node that both points to the hub and is pointed at by a leaf,
+        # making it decent in both dimensions.
+        graph.add_edge(1, 0)
+        ranking = twodrank(graph)
+        assert len(ranking) == len(graph)
+
+    def test_deterministic(self, community_graph):
+        assert twodrank(community_graph).ordered_nodes() == twodrank(community_graph).ordered_nodes()
+
+
+class TestPersonalizedTwoDRank:
+    def test_reference_recorded_and_ranked_first(self, small_enwiki):
+        ranking = personalized_twodrank(small_enwiki, "Freddie Mercury", alpha=0.3)
+        assert ranking.algorithm == "Personalized 2DRank"
+        assert ranking.reference == "Freddie Mercury"
+        assert ranking.top_labels(1) == ["Freddie Mercury"]
+
+    def test_consistent_with_component_rankings(self, mixed_graph):
+        ranking = personalized_twodrank(mixed_graph, "X", alpha=0.6)
+        ppr = personalized_pagerank(mixed_graph, "X", alpha=0.6)
+        pchei = personalized_cheirank(mixed_graph, "X", alpha=0.6)
+        order = two_dimensional_order(ppr, pchei)
+        assert ranking.ordered_nodes() == order
