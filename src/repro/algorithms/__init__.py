@@ -30,7 +30,7 @@ algorithms", as the paper puts it.
 from __future__ import annotations
 
 from .base import Algorithm, AlgorithmSpec, ParameterSpec
-from .cheirank import cheirank, personalized_cheirank
+from .cheirank import cheirank, personalized_cheirank, personalized_cheirank_batch
 from .cycle_enumeration import (
     count_cycles_by_length,
     enumerate_cycles_through,
@@ -39,36 +39,48 @@ from .cycle_enumeration import (
 from .cyclerank import cyclerank, CycleRankStatistics
 from .hits import hits, personalized_hits
 from .katz import katz_centrality, personalized_katz
-from .pagerank import pagerank, power_iteration
-from .personalized_pagerank import personalized_pagerank
-from .ppr_montecarlo import ppr_montecarlo
-from .ppr_push import ppr_push
+from .pagerank import pagerank, power_iteration, power_iteration_batch
+from .personalized_pagerank import personalized_pagerank, personalized_pagerank_batch
+from .ppr_montecarlo import ppr_montecarlo, ppr_montecarlo_batch
+from .ppr_push import ppr_push, ppr_push_batch
 from .registry import (
     available_algorithms,
     get_algorithm,
     register_algorithm,
     run_algorithm,
+    run_batch,
 )
-from .twodrank import personalized_twodrank, twodrank, two_dimensional_order
+from .twodrank import (
+    personalized_twodrank,
+    personalized_twodrank_batch,
+    twodrank,
+    two_dimensional_order,
+)
 
 __all__ = [
     # functional interface
     "pagerank",
     "personalized_pagerank",
+    "personalized_pagerank_batch",
     "cheirank",
     "personalized_cheirank",
+    "personalized_cheirank_batch",
     "twodrank",
     "personalized_twodrank",
+    "personalized_twodrank_batch",
     "two_dimensional_order",
     "cyclerank",
     "CycleRankStatistics",
     "ppr_push",
+    "ppr_push_batch",
     "ppr_montecarlo",
+    "ppr_montecarlo_batch",
     "hits",
     "personalized_hits",
     "katz_centrality",
     "personalized_katz",
     "power_iteration",
+    "power_iteration_batch",
     # cycle enumeration
     "enumerate_cycles_through",
     "count_cycles_by_length",
@@ -81,4 +93,5 @@ __all__ = [
     "get_algorithm",
     "available_algorithms",
     "run_algorithm",
+    "run_batch",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidParameterError
 from ..graph.digraph import DirectedGraph
@@ -153,6 +153,17 @@ class Algorithm(ABC):
         """``True`` if the algorithm requires a reference (source) node."""
         return self.spec.personalized
 
+    @property
+    def has_native_batch(self) -> bool:
+        """``True`` if the subclass provides a real batch kernel.
+
+        The scheduler uses this to decide between one grouped dispatch
+        (amortised per-graph work) and per-query dispatch across the pool
+        (the fallback loop would otherwise serialise independent queries on
+        a single worker).
+        """
+        return type(self)._execute_batch is not Algorithm._execute_batch
+
     def validate_parameters(self, parameters: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         """Validate a raw parameter mapping against the spec.
 
@@ -206,6 +217,57 @@ class Algorithm(ABC):
         validated = self.validate_parameters(parameters)
         return self._execute(graph, source=source, parameters=validated)
 
+    def run_batch(
+        self,
+        graph: DirectedGraph,
+        *,
+        sources: Sequence[Optional[str]],
+        parameters: Optional[Mapping[str, Any]] = None,
+    ) -> List[Ranking]:
+        """Execute the algorithm for many sources sharing one parameter set.
+
+        Parameters are validated once for the whole batch.  Algorithms with a
+        native batch kernel override :meth:`_execute_batch` to amortise the
+        per-graph work (CSR build, transition matrix, ...) across the batch;
+        the default falls back to one :meth:`_execute` call per source, so
+        ``run_batch`` is available for *every* registered algorithm.
+
+        Parameters
+        ----------
+        graph:
+            The graph to rank.
+        sources:
+            One reference node label per query for personalized algorithms;
+            must be all ``None`` for global ones (whose result is computed a
+            single time and shared).
+        parameters:
+            Raw parameter mapping applied to every query in the batch.
+
+        Returns
+        -------
+        list of Ranking
+            One ranking per source, in input order.
+        """
+        sources = list(sources)
+        if not sources:
+            return []
+        if self.is_personalized and not all(sources):
+            raise InvalidParameterError(
+                f"{self.display_name} is a personalized algorithm; every query in "
+                "a batch requires a source (reference) node"
+            )
+        if not self.is_personalized and any(sources):
+            raise InvalidParameterError(
+                f"{self.display_name} is a global algorithm and does not accept "
+                "source nodes in a batch"
+            )
+        validated = self.validate_parameters(parameters)
+        if not self.is_personalized:
+            # A global run is source-independent: compute once, share the result.
+            ranking = self._execute(graph, source=None, parameters=validated)
+            return [ranking] * len(sources)
+        return self._execute_batch(graph, sources=sources, parameters=validated)
+
     # ------------------------------------------------------------------ #
     # to implement
     # ------------------------------------------------------------------ #
@@ -218,6 +280,23 @@ class Algorithm(ABC):
         parameters: Dict[str, Any],
     ) -> Ranking:
         """Run the algorithm; ``parameters`` are already validated."""
+
+    def _execute_batch(
+        self,
+        graph: DirectedGraph,
+        *,
+        sources: List[str],
+        parameters: Dict[str, Any],
+    ) -> List[Ranking]:
+        """Run the algorithm for many sources; override for a native kernel.
+
+        The fallback loops :meth:`_execute` per source, which is correct for
+        any algorithm but amortises nothing.
+        """
+        return [
+            self._execute(graph, source=source, parameters=parameters)
+            for source in sources
+        ]
 
     # ------------------------------------------------------------------ #
     # misc

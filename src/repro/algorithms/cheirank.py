@@ -13,12 +13,27 @@ property test.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
+import numpy as np
+
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
-from .pagerank import DEFAULT_ALPHA, DEFAULT_MAX_ITER, DEFAULT_TOL, power_iteration
-from .personalized_pagerank import DEFAULT_PPR_ALPHA, ReferenceSpec, teleport_vector_for
+from .pagerank import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOL,
+    power_iteration,
+    power_iteration_batch,
+)
+from .personalized_pagerank import (
+    DEFAULT_PPR_ALPHA,
+    ReferenceSpec,
+    _reference_label_for,
+    teleport_vector_for,
+)
 
-__all__ = ["cheirank", "personalized_cheirank"]
+__all__ = ["cheirank", "personalized_cheirank", "personalized_cheirank_batch"]
 
 
 def cheirank(
@@ -66,9 +81,7 @@ def personalized_cheirank(
     scores, iterations = power_iteration(
         csr, alpha=alpha, teleport=teleport, tol=tol, max_iter=max_iter
     )
-    reference_label = None
-    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
-        reference_label = graph.label_of(graph.resolve(reference))
+    reference_label = _reference_label_for(graph, reference)
     return Ranking(
         scores,
         labels=graph.labels(),
@@ -77,3 +90,48 @@ def personalized_cheirank(
         graph_name=graph.name,
         reference=reference_label,
     )
+
+
+def personalized_cheirank_batch(
+    graph: DirectedGraph,
+    references: Sequence[ReferenceSpec],
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> List[Ranking]:
+    """Compute Personalized CheiRank for many references in one pass.
+
+    The graph is transposed and converted to CSR a single time; all teleport
+    vectors then power-iterate together (the batched analogue of
+    :func:`personalized_cheirank`).
+    """
+    references = list(references)
+    if not references:
+        return []
+    transposed = graph.transpose()
+    teleports = np.column_stack(
+        [teleport_vector_for(transposed, reference) for reference in references]
+    )
+    csr = transposed.to_csr()
+    scores, iterations = power_iteration_batch(
+        csr, alpha=alpha, teleports=teleports, tol=tol, max_iter=max_iter
+    )
+    # One shared label array for the whole batch (Ranking reuses it as-is).
+    labels = np.asarray(graph.labels(), dtype=str)
+    return [
+        Ranking(
+            scores[:, column],
+            labels=labels,
+            algorithm="Personalized CheiRank",
+            parameters={
+                "alpha": alpha,
+                "tol": tol,
+                "max_iter": max_iter,
+                "iterations": iterations,
+            },
+            graph_name=graph.name,
+            reference=_reference_label_for(graph, reference),
+        )
+        for column, reference in enumerate(references)
+    ]

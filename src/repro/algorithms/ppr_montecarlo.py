@@ -16,16 +16,21 @@ precision@k versus the exact power-iteration solver.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import List, Sequence
 
 import numpy as np
 
 from .._validation import require_positive_int, require_probability
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
-from .personalized_pagerank import DEFAULT_PPR_ALPHA, ReferenceSpec, teleport_vector_for
+from .personalized_pagerank import (
+    DEFAULT_PPR_ALPHA,
+    ReferenceSpec,
+    _reference_label_for,
+    teleport_vector_for,
+)
 
-__all__ = ["ppr_montecarlo"]
+__all__ = ["ppr_montecarlo", "ppr_montecarlo_batch"]
 
 DEFAULT_NUM_WALKS = 10_000
 DEFAULT_MAX_WALK_LENGTH = 100
@@ -67,14 +72,50 @@ def ppr_montecarlo(
     require_positive_int(num_walks, "num_walks")
     require_positive_int(max_walk_length, "max_walk_length")
 
-    n = graph.number_of_nodes()
     teleport = teleport_vector_for(graph, reference)
+    successor_lists = graph.successor_lists()
+    visits = _walk_visits(
+        teleport,
+        successor_lists,
+        alpha=alpha,
+        num_walks=num_walks,
+        max_walk_length=max_walk_length,
+        seed=seed,
+    )
+    return Ranking(
+        visits,
+        labels=graph.labels(),
+        algorithm="PPR (Monte Carlo)",
+        parameters={
+            "alpha": alpha,
+            "num_walks": num_walks,
+            "max_walk_length": max_walk_length,
+            "seed": seed,
+        },
+        graph_name=graph.name,
+        reference=_reference_label_for(graph, reference),
+    )
+
+
+def _walk_visits(
+    teleport: np.ndarray,
+    successor_lists,
+    *,
+    alpha: float,
+    num_walks: int,
+    max_walk_length: int,
+    seed: int,
+) -> np.ndarray:
+    """Simulate the restart walks for one teleport vector.
+
+    Shared by the single-query and the batched entry points; both seed a
+    fresh generator per reference, so the estimates are bit-identical.
+    """
     start_nodes = np.nonzero(teleport)[0]
     start_weights = teleport[start_nodes]
-    successor_lists = graph.successor_lists()
     rng = random.Random(seed)
 
-    visits = np.zeros(n, dtype=np.float64)
+    visits = np.zeros(teleport.size, dtype=np.float64)
     for _ in range(num_walks):
         if start_nodes.size == 1:
             node = int(start_nodes[0])
@@ -93,19 +134,58 @@ def ppr_montecarlo(
     total = visits.sum()
     if total > 0:
         visits = visits / total
-    reference_label: Optional[str] = None
-    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
-        reference_label = graph.label_of(graph.resolve(reference))
-    return Ranking(
-        visits,
-        labels=graph.labels(),
-        algorithm="PPR (Monte Carlo)",
-        parameters={
-            "alpha": alpha,
-            "num_walks": num_walks,
-            "max_walk_length": max_walk_length,
-            "seed": seed,
-        },
-        graph_name=graph.name,
-        reference=reference_label,
-    )
+    return visits
+
+
+def ppr_montecarlo_batch(
+    graph: DirectedGraph,
+    references: Sequence[ReferenceSpec],
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    num_walks: int = DEFAULT_NUM_WALKS,
+    max_walk_length: int = DEFAULT_MAX_WALK_LENGTH,
+    seed: int = 0,
+) -> List[Ranking]:
+    """Estimate Personalized PageRank by random walks for many references.
+
+    The successor lists — the expensive graph-shaped precomputation — are
+    built once and shared by every reference; each reference then simulates
+    its own walks with a generator seeded identically to the single-query
+    entry point, so results match :func:`ppr_montecarlo` exactly.
+    """
+    references = list(references)
+    if not references:
+        return []
+    alpha = require_probability(alpha, "alpha")
+    require_positive_int(num_walks, "num_walks")
+    require_positive_int(max_walk_length, "max_walk_length")
+
+    successor_lists = graph.successor_lists()
+    labels = np.asarray(graph.labels(), dtype=str)
+    results = []
+    for reference in references:
+        teleport = teleport_vector_for(graph, reference)
+        visits = _walk_visits(
+            teleport,
+            successor_lists,
+            alpha=alpha,
+            num_walks=num_walks,
+            max_walk_length=max_walk_length,
+            seed=seed,
+        )
+        results.append(
+            Ranking(
+                visits,
+                labels=labels,
+                algorithm="PPR (Monte Carlo)",
+                parameters={
+                    "alpha": alpha,
+                    "num_walks": num_walks,
+                    "max_walk_length": max_walk_length,
+                    "seed": seed,
+                },
+                graph_name=graph.name,
+                reference=_reference_label_for(graph, reference),
+            )
+        )
+    return results

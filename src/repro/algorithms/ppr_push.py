@@ -20,16 +20,21 @@ paper.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import require_positive_float, require_positive_int, require_probability
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
-from .personalized_pagerank import DEFAULT_PPR_ALPHA, ReferenceSpec, teleport_vector_for
+from .personalized_pagerank import (
+    DEFAULT_PPR_ALPHA,
+    ReferenceSpec,
+    _reference_label_for,
+    teleport_vector_for,
+)
 
-__all__ = ["ppr_push"]
+__all__ = ["ppr_push", "ppr_push_batch"]
 
 DEFAULT_EPSILON = 1e-6
 DEFAULT_MAX_PUSHES = 10_000_000
@@ -69,12 +74,45 @@ def ppr_push(
     epsilon = require_positive_float(epsilon, "epsilon")
     require_positive_int(max_pushes, "max_pushes")
 
-    n = graph.number_of_nodes()
     teleport = teleport_vector_for(graph, reference)
-    estimate = np.zeros(n, dtype=np.float64)
-    residual = teleport.copy()
     out_degrees = np.asarray(graph.out_degrees(), dtype=np.float64)
     successor_lists = graph.successor_lists()
+    estimate, pushes = _push_core(
+        teleport,
+        out_degrees,
+        successor_lists,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_pushes=max_pushes,
+    )
+    return Ranking(
+        estimate,
+        labels=graph.labels(),
+        algorithm="PPR (forward push)",
+        parameters={"alpha": alpha, "epsilon": epsilon, "pushes": pushes},
+        graph_name=graph.name,
+        reference=_reference_label_for(graph, reference),
+    )
+
+
+def _push_core(
+    teleport: np.ndarray,
+    out_degrees: np.ndarray,
+    successor_lists,
+    *,
+    alpha: float,
+    epsilon: float,
+    max_pushes: int,
+) -> Tuple[np.ndarray, int]:
+    """Run the forward-push loop for one teleport vector.
+
+    Shared by the single-query and the batched entry points so both produce
+    bit-identical estimates; returns the normalised estimate and the number
+    of pushes performed.
+    """
+    n = teleport.size
+    estimate = np.zeros(n, dtype=np.float64)
+    residual = teleport.copy()
 
     # Work queue of nodes whose residual may exceed the push threshold.
     queue = deque(int(node) for node in np.nonzero(residual)[0])
@@ -118,14 +156,53 @@ def ppr_push(
     total = estimate.sum()
     if total > 0:
         estimate = estimate / total
-    reference_label: Optional[str] = None
-    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
-        reference_label = graph.label_of(graph.resolve(reference))
-    return Ranking(
-        estimate,
-        labels=graph.labels(),
-        algorithm="PPR (forward push)",
-        parameters={"alpha": alpha, "epsilon": epsilon, "pushes": pushes},
-        graph_name=graph.name,
-        reference=reference_label,
-    )
+    return estimate, pushes
+
+
+def ppr_push_batch(
+    graph: DirectedGraph,
+    references: Sequence[ReferenceSpec],
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    epsilon: float = DEFAULT_EPSILON,
+    max_pushes: int = DEFAULT_MAX_PUSHES,
+) -> List[Ranking]:
+    """Approximate Personalized PageRank by forward push for many references.
+
+    The push loop is inherently per-reference, but the out-degree vector and
+    the successor lists (the expensive graph-shaped precomputation) are built
+    once and shared by the whole batch.  Each result is bit-identical to the
+    corresponding single :func:`ppr_push` call.
+    """
+    references = list(references)
+    if not references:
+        return []
+    alpha = require_probability(alpha, "alpha")
+    epsilon = require_positive_float(epsilon, "epsilon")
+    require_positive_int(max_pushes, "max_pushes")
+
+    out_degrees = np.asarray(graph.out_degrees(), dtype=np.float64)
+    successor_lists = graph.successor_lists()
+    labels = np.asarray(graph.labels(), dtype=str)
+    results = []
+    for reference in references:
+        teleport = teleport_vector_for(graph, reference)
+        estimate, pushes = _push_core(
+            teleport,
+            out_degrees,
+            successor_lists,
+            alpha=alpha,
+            epsilon=epsilon,
+            max_pushes=max_pushes,
+        )
+        results.append(
+            Ranking(
+                estimate,
+                labels=labels,
+                algorithm="PPR (forward push)",
+                parameters={"alpha": alpha, "epsilon": epsilon, "pushes": pushes},
+                graph_name=graph.name,
+                reference=_reference_label_for(graph, reference),
+            )
+        )
+    return results

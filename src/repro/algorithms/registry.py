@@ -9,28 +9,29 @@ become selectable from the task builder, the gateway API and the CLI.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..exceptions import AlgorithmNotFoundError, InvalidParameterError
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
 from ..scoring import available_scoring_functions
 from .base import Algorithm, AlgorithmSpec, ParameterSpec
-from .cheirank import cheirank, personalized_cheirank
+from .cheirank import cheirank, personalized_cheirank, personalized_cheirank_batch
 from .cyclerank import cyclerank
 from .hits import hits, personalized_hits
 from .katz import katz_centrality, personalized_katz
 from .pagerank import pagerank
-from .personalized_pagerank import personalized_pagerank
-from .ppr_montecarlo import ppr_montecarlo
-from .ppr_push import ppr_push
-from .twodrank import personalized_twodrank, twodrank
+from .personalized_pagerank import personalized_pagerank, personalized_pagerank_batch
+from .ppr_montecarlo import ppr_montecarlo, ppr_montecarlo_batch
+from .ppr_push import ppr_push, ppr_push_batch
+from .twodrank import personalized_twodrank, personalized_twodrank_batch, twodrank
 
 __all__ = [
     "register_algorithm",
     "get_algorithm",
     "available_algorithms",
     "run_algorithm",
+    "run_batch",
     "PAPER_ALGORITHMS",
 ]
 
@@ -83,6 +84,11 @@ class _PersonalizedPageRankAlgorithm(Algorithm):
             graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
         )
 
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return personalized_pagerank_batch(
+            graph, sources, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
 
 class _CheiRankAlgorithm(Algorithm):
     """Global CheiRank (registry name ``cheirank``)."""
@@ -115,6 +121,11 @@ class _PersonalizedCheiRankAlgorithm(Algorithm):
             graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
         )
 
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return personalized_cheirank_batch(
+            graph, sources, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
 
 class _TwoDRankAlgorithm(Algorithm):
     """Global 2DRank (registry name ``2drank``)."""
@@ -145,6 +156,11 @@ class _PersonalizedTwoDRankAlgorithm(Algorithm):
     def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
         return personalized_twodrank(
             graph, source, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
+        )
+
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return personalized_twodrank_batch(
+            graph, sources, alpha=parameters["alpha"], max_iter=parameters["max_iter"]
         )
 
 
@@ -206,6 +222,11 @@ class _PushPPRAlgorithm(Algorithm):
             graph, source, alpha=parameters["alpha"], epsilon=parameters["epsilon"]
         )
 
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return ppr_push_batch(
+            graph, sources, alpha=parameters["alpha"], epsilon=parameters["epsilon"]
+        )
+
 
 class _MonteCarloPPRAlgorithm(Algorithm):
     """Monte-Carlo approximate PPR (registry name ``ppr-montecarlo``, extension)."""
@@ -237,6 +258,15 @@ class _MonteCarloPPRAlgorithm(Algorithm):
         return ppr_montecarlo(
             graph,
             source,
+            alpha=parameters["alpha"],
+            num_walks=parameters["num_walks"],
+            seed=parameters["seed"],
+        )
+
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return ppr_montecarlo_batch(
+            graph,
+            sources,
             alpha=parameters["alpha"],
             num_walks=parameters["num_walks"],
             seed=parameters["seed"],
@@ -406,6 +436,22 @@ def run_algorithm(
 ) -> Ranking:
     """Look up ``name`` in the registry and run it on ``graph``."""
     return get_algorithm(name).run(graph, source=source, parameters=parameters)
+
+
+def run_batch(
+    name: str,
+    graph: DirectedGraph,
+    *,
+    sources: Sequence[Optional[str]],
+    parameters: Optional[Mapping[str, Any]] = None,
+) -> List[Ranking]:
+    """Run ``name`` for many sources sharing one parameter set.
+
+    Algorithms with a native batch kernel (the PageRank family and the PPR
+    approximations) amortise the per-graph work across the batch; every other
+    algorithm transparently falls back to a per-source loop.
+    """
+    return get_algorithm(name).run_batch(graph, sources=sources, parameters=parameters)
 
 
 for _algorithm_class in (

@@ -17,21 +17,27 @@ comparison machinery as the score-based algorithms.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
-from .cheirank import cheirank, personalized_cheirank
+from .cheirank import cheirank, personalized_cheirank, personalized_cheirank_batch
 from .pagerank import DEFAULT_ALPHA, DEFAULT_MAX_ITER, DEFAULT_TOL, pagerank
 from .personalized_pagerank import (
     DEFAULT_PPR_ALPHA,
     ReferenceSpec,
     personalized_pagerank,
+    personalized_pagerank_batch,
 )
 
-__all__ = ["twodrank", "personalized_twodrank", "two_dimensional_order"]
+__all__ = [
+    "twodrank",
+    "personalized_twodrank",
+    "personalized_twodrank_batch",
+    "two_dimensional_order",
+]
 
 
 def two_dimensional_order(pagerank_ranking: Ranking, cheirank_ranking: Ranking) -> List[int]:
@@ -135,3 +141,40 @@ def personalized_twodrank(
         parameters={"alpha": alpha, "tol": tol, "max_iter": max_iter},
         reference=ppr.reference,
     )
+
+
+def personalized_twodrank_batch(
+    graph: DirectedGraph,
+    references: Sequence[ReferenceSpec],
+    *,
+    alpha: float = DEFAULT_PPR_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> List[Ranking]:
+    """Compute personalized 2DRank for many references in one pass.
+
+    Both underlying rankings come from the batched kernels, so the graph and
+    its transpose are each converted to CSR once for the whole batch.
+    """
+    references = list(references)
+    if not references:
+        return []
+    pprs = personalized_pagerank_batch(
+        graph, references, alpha=alpha, tol=tol, max_iter=max_iter
+    )
+    pcrs = personalized_cheirank_batch(
+        graph, references, alpha=alpha, tol=tol, max_iter=max_iter
+    )
+    results = []
+    for ppr, pcr in zip(pprs, pcrs):
+        order = two_dimensional_order(ppr, pcr)
+        results.append(
+            _ranking_from_order(
+                order,
+                ppr,
+                algorithm="Personalized 2DRank",
+                parameters={"alpha": alpha, "tol": tol, "max_iter": max_iter},
+                reference=ppr.reference,
+            )
+        )
+    return results

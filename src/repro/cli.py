@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scores", action="store_true", help="print scores next to the labels"
     )
+    run_parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the result-cache and batch-dispatch counters after the run",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare several algorithms on the same dataset and reference"
@@ -93,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--k", type=int, default=3, help="CycleRank maximum cycle length")
     compare_parser.add_argument("--top", type=int, default=5, help="rows in the comparison table")
     compare_parser.add_argument("--logs", action="store_true", help="print the execution log")
+    compare_parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the result-cache and batch-dispatch counters after the comparison",
+    )
 
     cross_parser = subparsers.add_parser(
         "cross-language", help="run CycleRank on several Wikipedia language editions"
@@ -139,6 +149,22 @@ def _command_summary(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(gateway: ApiGateway) -> None:
+    """Print the platform serving counters (cache hits/misses, batch sizes)."""
+    stats = gateway.get_platform_stats()
+    cache = stats["cache"]
+    batches = stats["batches"]
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%}), {cache['size']}/{cache['capacity']} entries, "
+        f"{cache['evictions']} evictions, {cache['invalidations']} invalidations"
+    )
+    print(
+        f"batches: {batches['batches']} dispatched carrying "
+        f"{batches['batched_queries']} queries (largest {batches['largest_batch']})"
+    )
+
+
 def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
     """Print the task error and return an exit code if the comparison failed."""
     progress = gateway.get_status(comparison_id)
@@ -171,6 +197,8 @@ def _command_run(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
             print(f"{entry.rank:>3}. {entry.label}  ({entry.score:.6g})")
         else:
             print(f"{entry.rank:>3}. {entry.label}")
+    if arguments.cache_stats:
+        _print_cache_stats(gateway)
     return 0
 
 
@@ -205,6 +233,8 @@ def _command_compare(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
         print()
         for line in gateway.get_logs(comparison):
             print(line)
+    if arguments.cache_stats:
+        _print_cache_stats(gateway)
     return 0
 
 

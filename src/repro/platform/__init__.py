@@ -9,6 +9,9 @@ reproduces the same component decomposition with in-process equivalents:
 ``datastore``
     Stores datasets, results and logs; in-memory by default with optional
     directory persistence.
+``cache``
+    The platform-wide LRU :class:`ResultCache` of finished rankings, owned
+    by the datastore and consulted by the scheduler before any dispatch.
 ``tasks``
     :class:`Query`, :class:`QuerySet` and :class:`TaskBuilder` — the task
     builder of Figure 2, producing (dataset, algorithm, parameters) triples
@@ -31,8 +34,9 @@ reproduces the same component decomposition with in-process equivalents:
 
 from __future__ import annotations
 
+from .cache import ResultCache
 from .datastore import DataStore
-from .executor import ExecutionOutcome, ExecutorNode, ExecutorPool
+from .executor import BatchExecutionOutcome, ExecutionOutcome, ExecutorNode, ExecutorPool
 from .gateway import ApiGateway
 from .restapi import RestApiServer
 from .scheduler import Scheduler
@@ -42,6 +46,7 @@ from .webui import WebUI
 
 __all__ = [
     "DataStore",
+    "ResultCache",
     "Query",
     "QuerySet",
     "Task",
@@ -50,6 +55,7 @@ __all__ = [
     "ExecutorNode",
     "ExecutorPool",
     "ExecutionOutcome",
+    "BatchExecutionOutcome",
     "Scheduler",
     "StatusComponent",
     "TaskProgress",

@@ -1,0 +1,165 @@
+"""A platform-wide LRU cache for finished rankings.
+
+The dominant production workload (Tables I and II of the paper) is *many
+queries against the same dataset with the same parameters* — exactly the
+access pattern a result cache thrives on.  :class:`ResultCache` memoises
+finished :class:`~repro.ranking.result.Ranking` objects under a canonical
+``(dataset, algorithm, parameters, source)`` key, so a repeated query is
+served without dispatching an executor at all.
+
+The cache is size-bounded (least-recently-used eviction), thread-safe, keeps
+hit/miss/eviction/invalidation counters for observability, and supports
+explicit per-dataset invalidation — the datastore calls it whenever a dataset
+is re-uploaded or dropped, so no stale ranking can outlive its graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .._validation import require_positive_int
+from ..ranking.result import Ranking
+
+__all__ = ["CacheKey", "ResultCache"]
+
+#: The canonical cache key: (dataset id, algorithm name, sorted parameter
+#: items, source label or None, dataset version).  The version ties a cached
+#: ranking to the exact upload of the dataset it was computed on, so results
+#: of computations that were already in flight when a dataset was re-uploaded
+#: can never be served against the new graph.
+CacheKey = Tuple[str, str, Tuple[Tuple[str, Any], ...], Optional[str], int]
+
+DEFAULT_CAPACITY = 1024
+
+
+def _canonical_parameters(parameters: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Return the parameters as a sorted, hashable tuple of items."""
+    return tuple(sorted(parameters.items()))
+
+
+class ResultCache:
+    """Size-bounded LRU cache of finished rankings, keyed per query.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rankings retained; the least recently used entry is
+        evicted when the bound is exceeded.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        require_positive_int(capacity, "capacity")
+        self._capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Ranking]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(
+        dataset_id: str,
+        algorithm: str,
+        parameters: Mapping[str, Any],
+        source: Optional[str] = None,
+        *,
+        version: int = 0,
+    ) -> CacheKey:
+        """Build the canonical cache key of one query.
+
+        Parameter order does not matter; two queries with the same dataset,
+        algorithm, parameter values and source always map to the same key.
+        ``version`` is the datastore's upload counter for the dataset, so a
+        re-uploaded dataset starts from a fresh key space even if a stale
+        computation finishes (and caches its result) afterwards.
+        """
+        return (dataset_id, algorithm, _canonical_parameters(parameters), source, version)
+
+    # ------------------------------------------------------------------ #
+    # lookup / insertion
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Return the maximum number of retained rankings."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Ranking]:
+        """Return the cached ranking for ``key`` (marking it recently used)."""
+        with self._lock:
+            ranking = self._entries.get(key)
+            if ranking is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return ranking
+
+    def peek(self, key: CacheKey) -> Optional[Ranking]:
+        """Return the cached ranking without touching counters or LRU order."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: CacheKey, ranking: Ranking) -> None:
+        """Store a finished ranking, evicting the least recently used if full."""
+        with self._lock:
+            self._entries[key] = ranking
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate_dataset(self, dataset_id: str) -> int:
+        """Drop every cached ranking computed on ``dataset_id``.
+
+        Called on dataset re-upload so results can never outlive the graph
+        they were computed on.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == dataset_id]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached ranking (counters are preserved)."""
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Return a snapshot of the cache counters and occupancy."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<ResultCache {stats['size']}/{stats['capacity']} entries, "
+            f"{stats['hits']} hits / {stats['misses']} misses>"
+        )

@@ -22,12 +22,13 @@ from typing import Dict, List, Mapping, Optional
 
 from ..exceptions import StorageError
 from ..graph.digraph import DirectedGraph
+from .cache import ResultCache
 
 __all__ = ["DataStore"]
 
 
 class DataStore:
-    """Thread-safe storage for datasets, results and logs.
+    """Thread-safe storage for datasets, results, logs and cached rankings.
 
     Parameters
     ----------
@@ -36,13 +37,25 @@ class DataStore:
         are always kept in memory (they are either generated or uploaded as
         graphs); results and logs written while a directory is configured are
         additionally mirrored as ``results/<id>.json`` and ``logs/<id>.log``.
+    result_cache:
+        The platform-wide ranking cache; a fresh default-capacity
+        :class:`~repro.platform.cache.ResultCache` is created when omitted.
+        The datastore owns the cache so dataset replacement and removal can
+        invalidate the affected entries atomically with the dataset change.
     """
 
-    def __init__(self, directory: Optional[str | Path] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[str | Path] = None,
+        *,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._datasets: Dict[str, DirectedGraph] = {}
+        self._dataset_versions: Dict[str, int] = {}
         self._results: Dict[str, dict] = {}
         self._logs: Dict[str, List[str]] = {}
+        self.result_cache = result_cache if result_cache is not None else ResultCache()
         self._directory: Optional[Path] = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -55,9 +68,17 @@ class DataStore:
     # datasets
     # ------------------------------------------------------------------ #
     def store_dataset(self, dataset_id: str, graph: DirectedGraph) -> None:
-        """Store (or replace) a dataset graph under ``dataset_id``."""
+        """Store (or replace) a dataset graph under ``dataset_id``.
+
+        Replacing an existing dataset invalidates every cached ranking that
+        was computed on the previous graph.
+        """
         with self._lock:
+            replacing = dataset_id in self._datasets
             self._datasets[dataset_id] = graph
+            self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+        if replacing:
+            self.result_cache.invalidate_dataset(dataset_id)
 
     def fetch_dataset(self, dataset_id: str) -> DirectedGraph:
         """Return the stored dataset graph (raises :class:`StorageError` if absent)."""
@@ -66,6 +87,25 @@ class DataStore:
         if graph is None:
             raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
         return graph
+
+    def fetch_dataset_with_version(self, dataset_id: str) -> tuple[DirectedGraph, int]:
+        """Return ``(graph, version)`` as one consistent snapshot.
+
+        The version counts uploads of the dataset (1 for the first store);
+        cache keys embed it so a ranking can never outlive the exact graph it
+        was computed on, even across concurrent re-uploads.
+        """
+        with self._lock:
+            graph = self._datasets.get(dataset_id)
+            version = self._dataset_versions.get(dataset_id, 0)
+        if graph is None:
+            raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
+        return graph, version
+
+    def dataset_version(self, dataset_id: str) -> int:
+        """Return the upload counter of a dataset (0 if it was never stored)."""
+        with self._lock:
+            return self._dataset_versions.get(dataset_id, 0)
 
     def has_dataset(self, dataset_id: str) -> bool:
         """Return ``True`` if a dataset graph is stored under ``dataset_id``."""
@@ -78,9 +118,14 @@ class DataStore:
             return sorted(self._datasets)
 
     def drop_dataset(self, dataset_id: str) -> None:
-        """Remove a stored dataset (no error if absent)."""
+        """Remove a stored dataset (no error if absent).
+
+        Cached rankings computed on the dataset are invalidated alongside.
+        """
         with self._lock:
             self._datasets.pop(dataset_id, None)
+            self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+        self.result_cache.invalidate_dataset(dataset_id)
 
     # ------------------------------------------------------------------ #
     # results

@@ -16,7 +16,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
 from ..algorithms.registry import get_algorithm
@@ -26,7 +26,7 @@ from ..ranking.result import Ranking
 from .datastore import DataStore
 from .tasks import Query
 
-__all__ = ["ExecutionOutcome", "ExecutorNode", "ExecutorPool"]
+__all__ = ["BatchExecutionOutcome", "ExecutionOutcome", "ExecutorNode", "ExecutorPool"]
 
 
 @dataclass
@@ -35,6 +35,20 @@ class ExecutionOutcome:
 
     query: Query
     ranking: Ranking
+    elapsed_seconds: float
+    executor_name: str
+
+
+@dataclass
+class BatchExecutionOutcome:
+    """The result of executing one batched group of queries on a node.
+
+    ``rankings`` is aligned with ``queries``: the i-th ranking answers the
+    i-th query of the batch.
+    """
+
+    queries: List[Query]
+    rankings: List[Ranking]
     elapsed_seconds: float
     executor_name: str
 
@@ -102,6 +116,85 @@ class ExecutorNode:
             query=query, ranking=ranking, elapsed_seconds=elapsed, executor_name=self.name
         )
 
+    def execute_batch(
+        self,
+        queries: Sequence[Query],
+        graph: DirectedGraph,
+        *,
+        log_id: Optional[str] = None,
+    ) -> BatchExecutionOutcome:
+        """Run a group of same-(dataset, algorithm, parameters) queries at once.
+
+        The whole group is handed to the algorithm's
+        :meth:`~repro.algorithms.base.Algorithm.run_batch`, so algorithms with
+        a native batch kernel amortise the per-graph work across the group.
+
+        Raises
+        ------
+        ExecutorError
+            If the queries disagree on algorithm or parameters, or if the
+            algorithm raises (the original error message is preserved and
+            also written to the task log).
+        """
+        queries = list(queries)
+        if not queries:
+            raise ExecutorError("cannot execute an empty batch of queries")
+        log_id = log_id or "executor"
+        first = queries[0]
+        for query in queries[1:]:
+            if (
+                query.dataset_id != first.dataset_id
+                or query.algorithm != first.algorithm
+                or dict(query.parameters) != dict(first.parameters)
+            ):
+                raise ExecutorError(
+                    "batched queries must share one dataset, algorithm and parameter "
+                    f"set; got ({first.dataset_id!r}, {first.algorithm!r}) vs "
+                    f"({query.dataset_id!r}, {query.algorithm!r})"
+                )
+        algorithm = get_algorithm(first.algorithm)
+        self._datastore.append_log(
+            log_id,
+            f"[{self.name}] start batch of {len(queries)} x {algorithm.display_name} "
+            f"on {first.dataset_id}",
+        )
+        started = time.perf_counter()
+        try:
+            rankings = algorithm.run_batch(
+                graph,
+                sources=[query.source for query in queries],
+                parameters=dict(first.parameters),
+            )
+        except Exception as exc:
+            self._datastore.append_log(
+                log_id, f"[{self.name}] FAILED batch {algorithm.display_name}: {exc}"
+            )
+            raise ExecutorError(
+                f"{algorithm.display_name} batch failed on {first.dataset_id}: {exc}"
+            ) from exc
+        if len(rankings) != len(queries):
+            # A miscounting third-party batch kernel must surface as an error
+            # here; silently truncated results would leave scheduler waiters
+            # hanging on rankings that never arrive.
+            raise ExecutorError(
+                f"{algorithm.display_name} batch returned {len(rankings)} rankings "
+                f"for {len(queries)} queries"
+            )
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._executed += len(queries)
+        self._datastore.append_log(
+            log_id,
+            f"[{self.name}] done batch of {len(queries)} x {algorithm.display_name} "
+            f"on {first.dataset_id} in {elapsed:.3f}s",
+        )
+        return BatchExecutionOutcome(
+            queries=queries,
+            rankings=rankings,
+            elapsed_seconds=elapsed,
+            executor_name=self.name,
+        )
+
 
 class ExecutorPool:
     """A scalable pool of executor nodes backed by a thread pool.
@@ -148,24 +241,48 @@ class ExecutorPool:
             )
         old_pool.shutdown(wait=True)
 
+    def _next_node(self) -> "Tuple[ExecutorNode, ThreadPoolExecutor]":
+        """Pick the next node round-robin; returns it with the current pool."""
+        with self._lock:
+            node = self._nodes[self._round_robin % len(self._nodes)]
+            self._round_robin += 1
+            return node, self._pool
+
     def submit(
         self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None
     ) -> "Future[ExecutionOutcome]":
         """Submit a query for asynchronous execution; returns a future."""
-        with self._lock:
-            node = self._nodes[self._round_robin % len(self._nodes)]
-            self._round_robin += 1
-            pool = self._pool
+        node, pool = self._next_node()
         return pool.submit(node.execute, query, graph, log_id=log_id)
 
     def execute_sync(
         self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None
     ) -> ExecutionOutcome:
         """Execute a query synchronously on the calling thread."""
-        with self._lock:
-            node = self._nodes[self._round_robin % len(self._nodes)]
-            self._round_robin += 1
+        node, _ = self._next_node()
         return node.execute(query, graph, log_id=log_id)
+
+    def submit_batch(
+        self,
+        queries: Sequence[Query],
+        graph: DirectedGraph,
+        *,
+        log_id: Optional[str] = None,
+    ) -> "Future[BatchExecutionOutcome]":
+        """Submit a batched group of queries for asynchronous execution."""
+        node, pool = self._next_node()
+        return pool.submit(node.execute_batch, queries, graph, log_id=log_id)
+
+    def execute_batch_sync(
+        self,
+        queries: Sequence[Query],
+        graph: DirectedGraph,
+        *,
+        log_id: Optional[str] = None,
+    ) -> BatchExecutionOutcome:
+        """Execute a batched group synchronously on the calling thread."""
+        node, _ = self._next_node()
+        return node.execute_batch(queries, graph, log_id=log_id)
 
     def shutdown(self) -> None:
         """Shut the thread pool down, waiting for in-flight queries."""

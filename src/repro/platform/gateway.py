@@ -116,7 +116,12 @@ class ApiGateway:
         description: str = "",
         replace: bool = False,
     ) -> Dict[str, Any]:
-        """Register a user-provided dataset (an in-memory graph or a file path)."""
+        """Register a user-provided dataset (an in-memory graph or a file path).
+
+        Re-uploading (``replace=True``) drops the previously materialised
+        graph from the datastore and invalidates every cached ranking for the
+        dataset, so subsequent queries always run against the new upload.
+        """
         if isinstance(source, DirectedGraph):
             self.catalog.register_graph(
                 dataset_id, source, description=description, replace=replace
@@ -125,6 +130,7 @@ class ApiGateway:
             self.catalog.register_file(
                 dataset_id, source, format=format, description=description, replace=replace
             )
+        self.datastore.drop_dataset(dataset_id)
         return self.dataset_summary(dataset_id)
 
     # ------------------------------------------------------------------ #
@@ -193,6 +199,10 @@ class ApiGateway:
     def get_status(self, comparison_id: str) -> TaskProgress:
         """Return the progress snapshot of a submitted comparison."""
         return self.status.poll(comparison_id)
+
+    def get_platform_stats(self) -> Dict[str, Any]:
+        """Return the serving counters: result-cache stats and batch sizes."""
+        return self.status.platform_stats()
 
     def wait_for(self, comparison_id: str, *, timeout_seconds: float = 60.0) -> TaskProgress:
         """Block until a comparison finishes; return the final progress."""

@@ -16,6 +16,7 @@ Endpoints
 ``GET  /api/comparisons/<id>/status``         progress snapshot
 ``GET  /api/comparisons/<id>/results?k=5``    the top-k comparison table
 ``GET  /api/comparisons/<id>/logs``           execution log lines
+``GET  /api/stats``                           result-cache and batch-dispatch counters
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources).
@@ -102,6 +103,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 return
             if parts == ["api", "algorithms"]:
                 self._send_json(gateway.list_algorithms())
+                return
+            if parts == ["api", "stats"]:
+                self._send_json(gateway.get_platform_stats())
                 return
             if parts[:2] == ["api", "comparisons"] and len(parts) == 4:
                 comparison_id = parts[2]

@@ -7,26 +7,42 @@ computation is completed, results and logs are written to the datastore".
 
 The scheduler owns the task table (so the Status component and the gateway
 can look tasks up by id), materialises datasets from the catalog into the
-datastore on first use, submits every query of a task to the executor pool
-and, when the last query finishes, serialises the rankings into the
-datastore under the task's comparison id.
+datastore on first use and, when the last query finishes, serialises the
+rankings into the datastore under the task's comparison id.
+
+Dispatch is *batched and cached*: the queries of a task are grouped by
+``(dataset, algorithm, parameters)``, queries whose ranking is already in the
+platform-wide :class:`~repro.platform.cache.ResultCache` are answered without
+touching an executor, and the remainder of each group is submitted as one
+batched execution so the per-dataset work (CSR build, transition matrix) is
+paid once per group instead of once per query.  Identical queries that are
+in flight — whether from the same task or from concurrently submitted ones —
+are deduplicated through a single-flight table, so the platform never
+computes the same ranking twice concurrently.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
 from ..exceptions import TaskNotFoundError
 from ..ranking.result import Ranking
+from .cache import CacheKey, ResultCache, _canonical_parameters
 from .datastore import DataStore
-from .executor import ExecutionOutcome, ExecutorPool
-from .tasks import Task
+from .executor import BatchExecutionOutcome, ExecutorPool
+from .tasks import Query, QuerySet, Task
 
 __all__ = ["Scheduler"]
+
+#: A group of same-(dataset, algorithm, parameters) queries: the group key
+#: plus the (query index, query) members in task order.
+GroupKey = Tuple[str, str, Tuple[Tuple[str, Any], ...]]
 
 
 class Scheduler:
@@ -35,7 +51,9 @@ class Scheduler:
     Parameters
     ----------
     datastore:
-        Destination for results and logs (and cache for dataset graphs).
+        Destination for results and logs; also owns the platform-wide
+        :class:`~repro.platform.cache.ResultCache` consulted before any
+        dispatch.
     catalog:
         Source of datasets referenced by task queries.
     executor_pool:
@@ -51,9 +69,22 @@ class Scheduler:
         self._datastore = datastore
         self._catalog = catalog
         self._pool = executor_pool
+        self._cache = datastore.result_cache
         self._tasks: Dict[str, Task] = {}
         self._futures: Dict[str, List[Future]] = {}
+        #: Single-flight table: cache key -> future of the ranking being
+        #: computed right now, so concurrent identical queries never compute
+        #: twice.  Entries are published here before dispatch and moved into
+        #: the cache before removal, leaving no window to sneak a duplicate in.
+        self._inflight: Dict[CacheKey, "Future[Ranking]"] = {}
+        self._batches_dispatched = 0
+        self._queries_batched = 0
+        self._largest_batch = 0
         self._lock = threading.RLock()
+        # Serialises first-use dataset materialisation so concurrent cold
+        # starts don't double-store (store_dataset treats a re-store as a
+        # re-upload and would needlessly invalidate fresh cache entries).
+        self._materialise_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # task lookup
@@ -75,12 +106,29 @@ class Scheduler:
     # dataset materialisation
     # ------------------------------------------------------------------ #
     def _fetch_dataset(self, dataset_id: str):
-        """Return a dataset graph, materialising it into the datastore on first use."""
-        if self._datastore.has_dataset(dataset_id):
-            return self._datastore.fetch_dataset(dataset_id)
-        graph = self._catalog.load(dataset_id)
-        self._datastore.store_dataset(dataset_id, graph)
-        return graph
+        """Return ``(graph, version)``, materialising the dataset on first use."""
+        if not self._datastore.has_dataset(dataset_id):
+            with self._materialise_lock:
+                if not self._datastore.has_dataset(dataset_id):
+                    graph = self._catalog.load(dataset_id)
+                    self._datastore.store_dataset(dataset_id, graph)
+        return self._datastore.fetch_dataset_with_version(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # grouping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_queries(query_set: QuerySet) -> "OrderedDict[GroupKey, List[Tuple[int, Query]]]":
+        """Group a task's queries by (dataset, algorithm, canonical parameters)."""
+        groups: "OrderedDict[GroupKey, List[Tuple[int, Query]]]" = OrderedDict()
+        for index, query in enumerate(query_set):
+            group_key: GroupKey = (
+                query.dataset_id,
+                query.algorithm,
+                _canonical_parameters(query.parameters),
+            )
+            groups.setdefault(group_key, []).append((index, query))
+        return groups
 
     # ------------------------------------------------------------------ #
     # submission
@@ -89,7 +137,10 @@ class Scheduler:
         """Schedule every query of ``task`` for asynchronous execution.
 
         Returns the task id immediately; progress is observable through the
-        task object, the Status component, or :meth:`wait`.
+        task object, the Status component, or :meth:`wait`.  Cache hits are
+        recorded synchronously (a task made entirely of hits completes before
+        this method returns); the remaining queries of each group dispatch as
+        one batched execution.
         """
         with self._lock:
             self._tasks[task.task_id] = task
@@ -99,50 +150,257 @@ class Scheduler:
             task.task_id,
             f"[scheduler] task {task.task_id} accepted with {task.total_queries} queries",
         )
-        for index, query in enumerate(task.query_set):
+        for (dataset_id, algorithm, _), members in self._group_queries(task.query_set).items():
             try:
-                graph = self._fetch_dataset(query.dataset_id)
+                graph, version = self._fetch_dataset(dataset_id)
             except Exception as exc:
-                task.mark_failed(f"cannot load dataset {query.dataset_id!r}: {exc}")
+                task.mark_failed(f"cannot load dataset {dataset_id!r}: {exc}")
                 self._datastore.append_log(
-                    task.task_id, f"[scheduler] FAILED to load {query.dataset_id}: {exc}"
+                    task.task_id, f"[scheduler] FAILED to load {dataset_id}: {exc}"
                 )
                 return task.task_id
-            future = self._pool.submit(query, graph, log_id=task.task_id)
-            future.add_done_callback(
-                lambda finished, task=task, index=index: self._on_query_done(
-                    task, index, finished
-                )
-            )
+            hits: List[Tuple[int, Ranking]] = []
+            waiters: List[Tuple["Future[Ranking]", int]] = []
+            to_compute: List[Tuple[CacheKey, Query]] = []
             with self._lock:
-                self._futures[task.task_id].append(future)
+                for index, query in members:
+                    key = ResultCache.key_for(
+                        query.dataset_id, query.algorithm, query.parameters,
+                        query.source, version=version,
+                    )
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        hits.append((index, cached))
+                        continue
+                    future = self._inflight.get(key)
+                    if future is None:
+                        future = Future()
+                        self._inflight[key] = future
+                        to_compute.append((key, query))
+                    waiters.append((future, index))
+                    self._futures[task.task_id].append(future)
+            if hits:
+                self._datastore.append_log(
+                    task.task_id,
+                    f"[scheduler] served {len(hits)} cached result(s) for "
+                    f"{algorithm} on {dataset_id}",
+                )
+                for index, ranking in hits:
+                    self._record_ranking(task, index, ranking)
+            for future, index in waiters:
+                future.add_done_callback(
+                    lambda finished, task=task, index=index: self._on_ranking_ready(
+                        task, index, finished
+                    )
+                )
+            if to_compute:
+                keys = [key for key, _ in to_compute]
+                batch = [query for _, query in to_compute]
+                try:
+                    native_batch = get_algorithm(algorithm).has_native_batch
+                except Exception:
+                    # Let the executor's error machinery surface unknown
+                    # algorithms through the normal failure path.
+                    native_batch = True
+                if len(batch) > 1 and not native_batch:
+                    # Fallback algorithms (e.g. CycleRank) gain nothing from a
+                    # grouped dispatch — run_batch would loop the sources on
+                    # one worker; spread them across the pool instead.
+                    for key, query in to_compute:
+                        try:
+                            single = self._pool.submit_batch(
+                                [query], graph, log_id=task.task_id
+                            )
+                        except Exception as exc:
+                            self._settle_inflight([key], error=exc)
+                            continue
+                        self._note_batch(1)
+                        # Bind graph as a default: the loop variable is
+                        # reassigned per group, and the retry path must use
+                        # the graph this batch was dispatched with.
+                        single.add_done_callback(
+                            lambda finished, key=key, query=query, graph=graph:
+                                self._resolve_batch(
+                                    [key], [query], graph, task.task_id, finished
+                                )
+                        )
+                    continue
+                try:
+                    batch_future = self._pool.submit_batch(batch, graph, log_id=task.task_id)
+                except Exception as exc:
+                    # The single-flight entries were already published; settle
+                    # them so no waiter (this task's or a concurrent one's)
+                    # blocks on a computation that will never run.
+                    self._settle_inflight(keys, error=exc)
+                    continue
+                self._note_batch(len(batch))
+                batch_future.add_done_callback(
+                    lambda finished, keys=keys, batch=batch, graph=graph:
+                        self._resolve_batch(keys, batch, graph, task.task_id, finished)
+                )
         return task.task_id
 
     def run_synchronously(self, task: Task) -> Task:
         """Execute every query of ``task`` on the calling thread (no concurrency).
 
         Useful for the CLI, for tests and for benchmarks where deterministic
-        single-threaded timing is preferable.
+        single-threaded timing is preferable.  The result cache is consulted
+        and populated exactly as in :meth:`submit`, and each group's misses
+        run as one batched execution.
         """
         with self._lock:
             self._tasks[task.task_id] = task
         task.mark_running()
-        for index, query in enumerate(task.query_set):
+        for (dataset_id, algorithm, _), members in self._group_queries(task.query_set).items():
             try:
-                graph = self._fetch_dataset(query.dataset_id)
-                outcome = self._pool.execute_sync(query, graph, log_id=task.task_id)
+                graph, version = self._fetch_dataset(dataset_id)
             except Exception as exc:
-                task.mark_failed(str(exc))
+                task.mark_failed(f"cannot load dataset {dataset_id!r}: {exc}")
                 self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {exc}")
                 return task
-            task.record_query_result(index, outcome.ranking)
+            misses: "OrderedDict[CacheKey, Tuple[int, Query]]" = OrderedDict()
+            joins: List[Tuple["Future[Ranking]", int]] = []
+            with self._lock:
+                for index, query in members:
+                    key = ResultCache.key_for(
+                        query.dataset_id, query.algorithm, query.parameters,
+                        query.source, version=version,
+                    )
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        task.record_query_result(index, cached)
+                        continue
+                    inflight = self._inflight.get(key)
+                    if inflight is not None:
+                        # An identical query is already computing — either on
+                        # the pool (a concurrent task) or registered by this
+                        # very loop (an intra-task duplicate); join it instead
+                        # of recomputing.
+                        joins.append((inflight, index))
+                        continue
+                    misses[key] = (index, query)
+                    self._inflight[key] = Future()
+            keys = list(misses)
+            if keys:
+                batch = [query for _, query in misses.values()]
+                self._note_batch(len(batch))
+                results: Dict[CacheKey, Ranking] = {}
+                failure: Optional[BaseException] = None
+                try:
+                    outcome = self._pool.execute_batch_sync(batch, graph, log_id=task.task_id)
+                    results = dict(zip(keys, outcome.rankings))
+                except Exception as exc:
+                    if len(batch) == 1:
+                        failure = exc
+                    else:
+                        # Degrade to per-query execution so one bad query
+                        # cannot poison siblings joined by concurrent tasks.
+                        self._datastore.append_log(
+                            task.task_id,
+                            f"[scheduler] batch of {len(batch)} failed ({exc}); "
+                            "retrying queries individually",
+                        )
+                        for key, query in zip(keys, batch):
+                            try:
+                                single = self._pool.execute_batch_sync(
+                                    [query], graph, log_id=task.task_id
+                                )
+                                results[key] = single.rankings[0]
+                            except Exception as single_exc:
+                                self._settle_inflight([key], error=single_exc)
+                                if failure is None:
+                                    failure = single_exc
+                for key, ranking in results.items():
+                    self._cache.put(key, ranking)
+                    self._settle_inflight([key], rankings=[ranking])
+                    task.record_query_result(misses[key][0], ranking)
+                if failure is not None:
+                    unsettled = [key for key in keys if key not in results]
+                    self._settle_inflight(unsettled, error=failure)
+                    task.mark_failed(str(failure))
+                    self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {failure}")
+                    return task
+            for inflight, index in joins:
+                try:
+                    ranking = inflight.result()
+                except Exception as exc:
+                    task.mark_failed(str(exc))
+                    self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {exc}")
+                    return task
+                task.record_query_result(index, ranking)
         self._store_results(task)
         return task
 
     # ------------------------------------------------------------------ #
     # completion handling
     # ------------------------------------------------------------------ #
-    def _on_query_done(self, task: Task, index: int, future: Future) -> None:
+    def _settle_inflight(
+        self,
+        keys: List[CacheKey],
+        *,
+        rankings: Optional[List[Ranking]] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Remove single-flight entries and settle their per-key futures.
+
+        Callers populate the cache *before* settling on success; a concurrent
+        submitter checks the cache first, so every moment in time has each
+        key either cached or in flight.
+        """
+        with self._lock:
+            settled = [self._inflight.pop(key, None) for key in keys]
+        if error is not None:
+            for per_key in settled:
+                if per_key is not None:
+                    per_key.set_exception(error)
+            return
+        for per_key, ranking in zip(settled, rankings or []):
+            if per_key is not None:
+                per_key.set_result(ranking)
+
+    def _resolve_batch(
+        self,
+        keys: List[CacheKey],
+        queries: List[Query],
+        graph,
+        log_id: str,
+        future: Future,
+    ) -> None:
+        """Publish one finished batch: fill the cache, settle per-key futures.
+
+        A failed multi-query batch degrades to per-query execution instead of
+        settling every key with the same error: one bad query (e.g. an
+        unknown source node) must not poison sibling queries that concurrent
+        tasks may have joined through the single-flight table.
+        """
+        error = future.exception()
+        if error is None:
+            outcome: BatchExecutionOutcome = future.result()
+            for key, ranking in zip(keys, outcome.rankings):
+                self._cache.put(key, ranking)
+            self._settle_inflight(keys, rankings=outcome.rankings)
+            return
+        if len(keys) == 1:
+            self._settle_inflight(keys, error=error)
+            return
+        self._datastore.append_log(
+            log_id,
+            f"[scheduler] batch of {len(keys)} failed ({error}); "
+            "retrying queries individually",
+        )
+        for key, query in zip(keys, queries):
+            try:
+                single = self._pool.submit_batch([query], graph, log_id=log_id)
+            except Exception as exc:
+                self._settle_inflight([key], error=exc)
+                continue
+            single.add_done_callback(
+                lambda finished, key=key, query=query: self._resolve_batch(
+                    [key], [query], graph, log_id, finished
+                )
+            )
+
+    def _on_ranking_ready(self, task: Task, index: int, future: Future) -> None:
         error = future.exception()
         if error is not None:
             task.mark_failed(str(error))
@@ -150,8 +408,10 @@ class Scheduler:
                 task.task_id, f"[scheduler] query {index} FAILED: {error}"
             )
             return
-        outcome: ExecutionOutcome = future.result()
-        task.record_query_result(index, outcome.ranking)
+        self._record_ranking(task, index, future.result())
+
+    def _record_ranking(self, task: Task, index: int, ranking: Ranking) -> None:
+        task.record_query_result(index, ranking)
         if task.is_done():
             self._store_results(task)
 
@@ -170,6 +430,40 @@ class Scheduler:
             task.task_id,
             f"[scheduler] task {task.task_id} {task.state.value}; results stored",
         )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _note_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches_dispatched += 1
+            self._queries_batched += size
+            self._largest_batch = max(self._largest_batch, size)
+
+    def batch_stats(self) -> Dict[str, Any]:
+        """Return a snapshot of the batched-dispatch counters.
+
+        ``batches`` counts dispatched batch executions, ``batched_queries``
+        the queries they carried (cache hits never reach a batch), and
+        ``largest_batch``/``mean_batch_size`` summarise how much per-dataset
+        work the grouping amortised.
+        """
+        with self._lock:
+            batches = self._batches_dispatched
+            batched_queries = self._queries_batched
+            largest = self._largest_batch
+            inflight = len(self._inflight)
+        return {
+            "batches": batches,
+            "batched_queries": batched_queries,
+            "largest_batch": largest,
+            "mean_batch_size": (batched_queries / batches) if batches else 0.0,
+            "inflight_queries": inflight,
+        }
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Return the result-cache counters (delegates to the datastore's cache)."""
+        return self._cache.stats()
 
     # ------------------------------------------------------------------ #
     # waiting

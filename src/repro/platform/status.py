@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..exceptions import TaskError
 from .datastore import DataStore
@@ -94,6 +94,18 @@ class StatusComponent:
     def logs(self, task_id: str) -> List[str]:
         """Return the log lines recorded for ``task_id``."""
         return self._datastore.get_logs(task_id)
+
+    def platform_stats(self) -> Dict[str, Any]:
+        """Return the platform-wide serving counters.
+
+        ``cache`` holds the result-cache hit/miss/eviction counters and
+        ``batches`` the scheduler's batched-dispatch summary — together they
+        show how much of the workload was answered without recomputation.
+        """
+        return {
+            "cache": self._scheduler.cache_stats(),
+            "batches": self._scheduler.batch_stats(),
+        }
 
     def stored_result(self, task_id: str) -> dict:
         """Return the serialised results stored in the datastore for ``task_id``."""

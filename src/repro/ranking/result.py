@@ -79,24 +79,33 @@ class Ranking:
                 f"labels has length {len(labels)} but scores cover {dense.size} nodes"
             )
         self._scores = dense
-        self._labels = (
-            [str(label) for label in labels[: dense.size]]
-            if labels is not None
-            else [f"#{i}" for i in range(dense.size)]
-        )
+        label_array: Optional[np.ndarray] = None
+        if labels is None:
+            self._labels = [f"#{i}" for i in range(dense.size)]
+        elif isinstance(labels, np.ndarray):
+            # Batch producers pass one shared string array for many rankings;
+            # reuse it directly instead of re-converting per ranking.
+            label_array = np.asarray(labels[: dense.size], dtype=str)
+            self._labels = label_array.tolist()
+        else:
+            # str() of a str returns the same object, so this is a cheap
+            # copy-through for the common all-string case.
+            self._labels = list(map(str, labels[: dense.size]))
         self.algorithm = algorithm
         self.parameters = dict(parameters or {})
         self.graph_name = graph_name
         self.reference = reference
         # Deterministic order: descending score, then label, then node id.
-        order = sorted(
-            range(dense.size),
-            key=lambda node: (-dense[node], self._labels[node], node),
-        )
-        self._order = order
+        # lexsort keys are applied last-first and node ids are already the
+        # stable final tie-break, so sorting by (label, -score) stably over
+        # ascending ids reproduces the tuple ordering without a Python-level
+        # key callback (which dominates construction time for large batches).
+        if label_array is None:
+            label_array = np.asarray(self._labels, dtype=str)
+        order_array = np.lexsort((label_array, -dense))
+        self._order = order_array.tolist()
         ranks = np.empty(dense.size, dtype=np.int64)
-        for position, node in enumerate(order):
-            ranks[node] = position + 1
+        ranks[order_array] = np.arange(1, dense.size + 1)
         self._ranks = ranks
 
     # ------------------------------------------------------------------ #

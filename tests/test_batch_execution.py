@@ -1,0 +1,333 @@
+"""Acceptance tests for the batched execution engine and the result cache.
+
+Covers the PR's headline guarantees: batched PPR over 32 seeds on a
+10k-node generated graph is at least 5x faster than 32 sequential
+single-seed calls, a repeated identical query is served from the cache
+without re-invoking the algorithm (asserted via the cache counters), and the
+scheduler dispatches one batch per (dataset, algorithm, parameters) group.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.personalized_pagerank import (
+    personalized_pagerank,
+    personalized_pagerank_batch,
+)
+from repro.datasets.catalog import DatasetCatalog
+from repro.exceptions import ExecutorError
+from repro.graph.generators import preferential_attachment_graph
+from repro.platform.datastore import DataStore
+from repro.platform.executor import ExecutorNode
+from repro.platform.gateway import ApiGateway
+from repro.platform.tasks import Query
+
+NUM_SEEDS = 32
+NUM_NODES = 10_000
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    return preferential_attachment_graph(NUM_NODES, 3, seed=11, name="bench-10k")
+
+
+class TestBatchSpeedup:
+    # Wall-clock ratios are meaningless on oversubscribed shared CI runners;
+    # the guarantee is asserted on dedicated hardware (local / benchmark runs).
+    @pytest.mark.skipif(
+        os.environ.get("CI") == "true",
+        reason="timing ratio assertion is unreliable on shared CI runners",
+    )
+    def test_batched_ppr_is_at_least_5x_faster_than_sequential(self, large_graph):
+        seeds = list(range(0, NUM_SEEDS * 100, 100))
+        # Warm-up: pay scipy's lazy imports outside the timed sections.
+        personalized_pagerank(large_graph, seeds[0])
+
+        batch_times = []
+        for _ in range(3):
+            started = time.perf_counter()
+            batched = personalized_pagerank_batch(large_graph, seeds)
+            batch_times.append(time.perf_counter() - started)
+        sequential_times = []
+        for _ in range(2):
+            started = time.perf_counter()
+            singles = [personalized_pagerank(large_graph, seed) for seed in seeds]
+            sequential_times.append(time.perf_counter() - started)
+
+        speedup = min(sequential_times) / min(batch_times)
+        assert speedup >= 5.0, (
+            f"batched PPR over {NUM_SEEDS} seeds is only {speedup:.1f}x faster "
+            f"(batch {min(batch_times):.3f}s vs sequential {min(sequential_times):.3f}s)"
+        )
+        # The speedup must not come at the cost of accuracy.
+        for batch_ranking, single_ranking in zip(batched, singles):
+            assert np.allclose(batch_ranking.scores, single_ranking.scores, atol=1e-8)
+
+
+@pytest.fixture
+def toy_gateway(two_triangles):
+    catalog = DatasetCatalog()
+    catalog.register_graph("toy", two_triangles, description="two triangles")
+    with ApiGateway(catalog=catalog, num_workers=2) as gateway:
+        yield gateway
+
+
+class TestCachedRepeatQueries:
+    def test_repeat_query_is_served_from_cache_without_executing(self, toy_gateway):
+        query = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R"}
+        ]
+        first = toy_gateway.run_queries(query, synchronous=True)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["cache"]["misses"] >= 1
+        executed_after_first = toy_gateway.executor_pool.total_executed()
+        hits_before = stats["cache"]["hits"]
+
+        second = toy_gateway.run_queries(query, synchronous=True)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["cache"]["hits"] == hits_before + 1
+        assert toy_gateway.executor_pool.total_executed() == executed_after_first
+        assert np.array_equal(
+            toy_gateway.get_rankings(first)[0].scores,
+            toy_gateway.get_rankings(second)[0].scores,
+        )
+
+
+class TestSchedulerBatching:
+    def test_same_parameter_queries_dispatch_as_one_batch(self, toy_gateway):
+        sources = ["R", "A", "B", "C"]
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": source}
+            for source in sources
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=False)
+        toy_gateway.wait_for(comparison_id, timeout_seconds=30.0)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["batches"]["batches"] == 1
+        assert stats["batches"]["batched_queries"] == len(sources)
+        assert stats["batches"]["largest_batch"] == len(sources)
+        rankings = toy_gateway.get_rankings(comparison_id)
+        assert [ranking.reference for ranking in rankings] == sources
+
+    def test_duplicate_queries_within_a_task_compute_once(self, toy_gateway):
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R"}
+            for _ in range(4)
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=False)
+        toy_gateway.wait_for(comparison_id, timeout_seconds=30.0)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["batches"]["batched_queries"] == 1
+        rankings = toy_gateway.get_rankings(comparison_id)
+        assert len(rankings) == 4
+        reference_scores = rankings[0].scores
+        for ranking in rankings[1:]:
+            assert np.array_equal(ranking.scores, reference_scores)
+
+    def test_distinct_parameter_groups_get_distinct_batches(self, toy_gateway):
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R",
+             "parameters": {"alpha": 0.5}},
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "A",
+             "parameters": {"alpha": 0.5}},
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R",
+             "parameters": {"alpha": 0.9}},
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=False)
+        toy_gateway.wait_for(comparison_id, timeout_seconds=30.0)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["batches"]["batches"] == 2
+        assert stats["batches"]["batched_queries"] == 3
+
+    def test_synchronous_path_batches_too(self, toy_gateway):
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": source}
+            for source in ["R", "A", "B"]
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=True)
+        stats = toy_gateway.get_platform_stats()
+        assert stats["batches"]["batches"] == 1
+        assert stats["batches"]["largest_batch"] == 3
+        assert len(toy_gateway.get_rankings(comparison_id)) == 3
+
+
+class TestExecutorBatchValidation:
+    def test_mixed_algorithm_batches_are_rejected(self, two_triangles):
+        datastore = DataStore()
+        node = ExecutorNode(datastore)
+        queries = [
+            Query(dataset_id="toy", algorithm="personalized-pagerank", source="R"),
+            Query(dataset_id="toy", algorithm="cyclerank", source="R"),
+        ]
+        with pytest.raises(ExecutorError):
+            node.execute_batch(queries, two_triangles)
+
+    def test_empty_batch_is_rejected(self, two_triangles):
+        node = ExecutorNode(DataStore())
+        with pytest.raises(ExecutorError):
+            node.execute_batch([], two_triangles)
+
+
+class TestBatchFailureIsolation:
+    """One bad query in a batch must not poison its sibling queries."""
+
+    def test_async_batch_with_bad_source_degrades_to_per_query(self, toy_gateway):
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R"},
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "NoSuchNode"},
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=False)
+        toy_gateway.wait_for(comparison_id, timeout_seconds=30.0)
+        task = toy_gateway.get_task(comparison_id)
+        assert task.state.value == "failed"
+        assert "NoSuchNode" in (task.error or "")
+        # The healthy sibling was still computed and cached, so a follow-up
+        # task asking only for it completes from cache without dispatching.
+        executed = toy_gateway.executor_pool.total_executed()
+        follow_up = toy_gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "R"}],
+            synchronous=False,
+        )
+        toy_gateway.wait_for(follow_up, timeout_seconds=30.0)
+        assert toy_gateway.get_task(follow_up).state.value == "completed"
+        assert toy_gateway.executor_pool.total_executed() == executed
+        assert toy_gateway.get_rankings(follow_up)[0].reference == "R"
+
+    def test_sync_batch_with_bad_source_degrades_to_per_query(self, toy_gateway):
+        queries = [
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "A"},
+            {"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "AlsoMissing"},
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=True)
+        task = toy_gateway.get_task(comparison_id)
+        assert task.state.value == "failed"
+        executed = toy_gateway.executor_pool.total_executed()
+        follow_up = toy_gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "personalized-pagerank", "source": "A"}],
+            synchronous=True,
+        )
+        assert toy_gateway.get_task(follow_up).state.value == "completed"
+        assert toy_gateway.executor_pool.total_executed() == executed
+
+
+class TestFallbackParallelism:
+    def test_native_batch_flag_detects_overrides(self):
+        from repro.algorithms.registry import get_algorithm
+
+        assert get_algorithm("personalized-pagerank").has_native_batch
+        assert get_algorithm("personalized-cheirank").has_native_batch
+        assert not get_algorithm("cyclerank").has_native_batch
+        assert not get_algorithm("personalized-hits").has_native_batch
+
+    def test_fallback_algorithm_queries_spread_across_the_pool(self, toy_gateway):
+        # CycleRank has no native batch kernel: a grouped dispatch would
+        # serialise the queries on one worker, so the scheduler submits them
+        # individually (visible as N batches of size 1).
+        sources = ["R", "A", "B", "C"]
+        queries = [
+            {"dataset_id": "toy", "algorithm": "cyclerank", "source": source}
+            for source in sources
+        ]
+        comparison_id = toy_gateway.run_queries(queries, synchronous=False)
+        toy_gateway.wait_for(comparison_id, timeout_seconds=30.0)
+        assert toy_gateway.get_task(comparison_id).state.value == "completed"
+        stats = toy_gateway.get_platform_stats()
+        assert stats["batches"]["batches"] == len(sources)
+        assert stats["batches"]["largest_batch"] == 1
+        assert [r.reference for r in toy_gateway.get_rankings(comparison_id)] == sources
+
+
+class TestMiscountingBatchKernel:
+    def test_wrong_result_count_raises_instead_of_truncating(self, two_triangles):
+        from repro.algorithms.base import Algorithm, AlgorithmSpec
+        from repro.algorithms import registry as algorithm_registry
+
+        class _Miscounting(Algorithm):
+            spec = AlgorithmSpec(
+                name="miscounting-batch",
+                display_name="Miscounting",
+                personalized=True,
+                parameters=(),
+                description="test-only kernel returning too few rankings",
+            )
+
+            def _execute(self, graph, *, source, parameters):
+                raise AssertionError("unused")
+
+            def _execute_batch(self, graph, *, sources, parameters):
+                return []  # off by len(sources)
+
+        algorithm_registry.register_algorithm(_Miscounting(), replace=True)
+        try:
+            node = ExecutorNode(DataStore())
+            queries = [
+                Query(dataset_id="toy", algorithm="miscounting-batch", source="R"),
+                Query(dataset_id="toy", algorithm="miscounting-batch", source="A"),
+            ]
+            with pytest.raises(ExecutorError, match="returned 0 rankings"):
+                node.execute_batch(queries, two_triangles)
+        finally:
+            algorithm_registry._REGISTRY.pop("miscounting-batch", None)
+
+
+class TestRetryUsesTheRightGraph:
+    def test_failed_batch_retry_runs_against_its_own_dataset(self, two_triangles, triangle):
+        # A task spanning two datasets whose first group fails: the per-query
+        # retry must run against the group's own graph, not whatever graph
+        # the submit loop last fetched.  The kernel sleeps before failing so
+        # the batch deterministically fails *after* the submit loop has moved
+        # on to the second dataset (the exact window of the closure bug).
+        from repro.algorithms import registry as algorithm_registry
+        from repro.algorithms.base import Algorithm, AlgorithmSpec
+        from repro.algorithms.personalized_pagerank import personalized_pagerank
+        from repro.exceptions import NodeNotFoundError
+
+        class _SlowFailingPPR(Algorithm):
+            spec = AlgorithmSpec(
+                name="slow-failing-ppr",
+                display_name="Slow PPR",
+                personalized=True,
+                parameters=(),
+                description="test-only kernel that fails a batch slowly",
+            )
+
+            def _execute(self, graph, *, source, parameters):
+                return personalized_pagerank(graph, source)
+
+            def _execute_batch(self, graph, *, sources, parameters):
+                time.sleep(0.2)
+                for source in sources:
+                    if not graph.has_label(source):
+                        raise NodeNotFoundError(source)
+                return [self._execute(graph, source=s, parameters=parameters) for s in sources]
+
+        algorithm_registry.register_algorithm(_SlowFailingPPR(), replace=True)
+        try:
+            catalog = DatasetCatalog()
+            catalog.register_graph("first", two_triangles, description="two triangles")
+            catalog.register_graph("second", triangle, description="triangle")
+            with ApiGateway(catalog=catalog, num_workers=2) as gateway:
+                queries = [
+                    {"dataset_id": "first", "algorithm": "slow-failing-ppr", "source": "R"},
+                    {"dataset_id": "first", "algorithm": "slow-failing-ppr", "source": "Missing"},
+                    {"dataset_id": "second", "algorithm": "slow-failing-ppr", "source": "A"},
+                ]
+                comparison_id = gateway.run_queries(queries, synchronous=False)
+                gateway.wait_for(comparison_id, timeout_seconds=30.0)
+                task = gateway.get_task(comparison_id)
+                assert task.state.value == "failed"  # the Missing source
+                deadline = time.monotonic() + 10.0
+                while 0 not in task.rankings() and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                rankings = task.rankings()
+                # The healthy query of the failed group was retried on *its* graph.
+                assert 0 in rankings
+                assert rankings[0].graph_name == "two-triangles"
+                assert len(rankings[0]) == two_triangles.number_of_nodes()
+        finally:
+            algorithm_registry._REGISTRY.pop("slow-failing-ppr", None)

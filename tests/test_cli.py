@@ -130,3 +130,29 @@ class TestCommands:
         assert exit_code == 0
         captured = capsys.readouterr()
         assert "skipping unknown language" in captured.err
+
+
+class TestCacheStatsFlag:
+    def test_run_command_prints_cache_stats(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cache:" in output
+        assert "batches:" in output
+        assert "misses" in output
+
+    def test_compare_command_prints_cache_stats(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["compare", "toy", "--source", "R", "--algorithms",
+             "personalized-pagerank", "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cache:" in output
+        assert "1 dispatched" in output or "dispatched" in output
+
+    def test_stats_are_omitted_without_the_flag(self, tiny_catalog, capsys):
+        assert main(["run", "toy", "cyclerank", "--source", "R"]) == 0
+        assert "cache:" not in capsys.readouterr().out

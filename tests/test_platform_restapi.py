@@ -200,3 +200,34 @@ class TestServerLifecycle:
     def test_access_log_recorded_in_datastore(self, server):
         get_json(server, "/api/datasets")
         assert server.gateway.datastore.get_logs("restapi")
+
+
+class TestStatsEndpoint:
+    def test_stats_exposes_cache_and_batch_counters(self, server):
+        status, payload = get_json(server, "/api/stats")
+        assert status == 200
+        assert set(payload) == {"cache", "batches"}
+        for counter in ("capacity", "size", "hits", "misses", "hit_rate",
+                        "evictions", "invalidations"):
+            assert counter in payload["cache"]
+        for counter in ("batches", "batched_queries", "largest_batch",
+                        "mean_batch_size", "inflight_queries"):
+            assert counter in payload["batches"]
+
+    def test_stats_reflect_cache_hits_after_a_repeat_comparison(self, server):
+        body = {
+            "queries": [
+                {
+                    "dataset_id": "enwiki-2018",
+                    "algorithm": "personalized-pagerank",
+                    "source": "Pasta",
+                }
+            ],
+            "synchronous": True,
+        }
+        post_json(server, "/api/comparisons", body)
+        _, before = get_json(server, "/api/stats")
+        post_json(server, "/api/comparisons", body)
+        _, after = get_json(server, "/api/stats")
+        assert after["cache"]["hits"] == before["cache"]["hits"] + 1
+        assert after["batches"]["batches"] == before["batches"]["batches"]

@@ -1,0 +1,239 @@
+"""Cache semantics: counters, LRU eviction order, and dataset invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import DirectedGraph
+from repro.platform.cache import ResultCache
+from repro.platform.datastore import DataStore
+from repro.platform.gateway import ApiGateway
+from repro.ranking.result import Ranking
+
+
+def _ranking(score: float = 1.0) -> Ranking:
+    return Ranking([score, 1.0 - score], labels=["a", "b"], algorithm="test")
+
+
+def _key(dataset: str = "ds", source: str = "a", **parameters) -> tuple:
+    return ResultCache.key_for(dataset, "algo", parameters or {"alpha": 0.85}, source)
+
+
+class TestCounters:
+    def test_fresh_cache_is_empty_with_zeroed_counters(self):
+        cache = ResultCache(capacity=4)
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats == {
+            "capacity": 4,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+
+    def test_hits_and_misses_are_counted(self):
+        cache = ResultCache(capacity=4)
+        key = _key()
+        assert cache.get(key) is None
+        cache.put(key, _ranking())
+        assert cache.get(key) is not None
+        assert cache.get(key) is not None
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_peek_does_not_touch_counters(self):
+        cache = ResultCache(capacity=4)
+        key = _key()
+        cache.put(key, _ranking())
+        assert cache.peek(key) is not None
+        assert cache.peek(_key(source="b")) is None
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(capacity=0)
+
+
+class TestKeyCanonicalisation:
+    def test_parameter_order_does_not_matter(self):
+        first = ResultCache.key_for("ds", "algo", {"alpha": 0.85, "max_iter": 100}, "a")
+        second = ResultCache.key_for("ds", "algo", {"max_iter": 100, "alpha": 0.85}, "a")
+        assert first == second
+
+    def test_distinct_queries_get_distinct_keys(self):
+        base = _key()
+        assert _key(dataset="other") != base
+        assert _key(source="b") != base
+        assert _key(alpha=0.5) != base
+
+
+class TestLruEviction:
+    def test_least_recently_used_entry_is_evicted_first(self):
+        cache = ResultCache(capacity=2)
+        key_a, key_b, key_c = _key(source="a"), _key(source="b"), _key(source="c")
+        cache.put(key_a, _ranking(0.1))
+        cache.put(key_b, _ranking(0.2))
+        # Touch A so B becomes the least recently used entry.
+        assert cache.get(key_a) is not None
+        cache.put(key_c, _ranking(0.3))
+        assert cache.peek(key_b) is None
+        assert cache.peek(key_a) is not None
+        assert cache.peek(key_c) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        key_a, key_b, key_c = _key(source="a"), _key(source="b"), _key(source="c")
+        cache.put(key_a, _ranking(0.1))
+        cache.put(key_b, _ranking(0.2))
+        cache.put(key_a, _ranking(0.4))  # re-put: A is now most recent
+        cache.put(key_c, _ranking(0.3))
+        assert cache.peek(key_b) is None
+        assert cache.peek(key_a).score_of("a") == pytest.approx(0.4)
+
+    def test_eviction_keeps_size_bounded(self):
+        cache = ResultCache(capacity=3)
+        for index in range(10):
+            cache.put(_key(source=f"s{index}"), _ranking())
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 7
+
+
+class TestInvalidation:
+    def test_invalidate_dataset_drops_only_that_dataset(self):
+        cache = ResultCache(capacity=8)
+        cache.put(_key(dataset="one", source="a"), _ranking())
+        cache.put(_key(dataset="one", source="b"), _ranking())
+        cache.put(_key(dataset="two", source="a"), _ranking())
+        dropped = cache.invalidate_dataset("one")
+        assert dropped == 2
+        assert cache.peek(_key(dataset="one", source="a")) is None
+        assert cache.peek(_key(dataset="two", source="a")) is not None
+        assert cache.stats()["invalidations"] == 2
+
+    def test_clear_empties_the_cache(self):
+        cache = ResultCache(capacity=8)
+        cache.put(_key(), _ranking())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestDataStoreWiring:
+    def test_datastore_owns_a_default_cache(self):
+        assert isinstance(DataStore().result_cache, ResultCache)
+
+    def test_replacing_a_dataset_invalidates_its_entries(self, triangle):
+        datastore = DataStore()
+        datastore.store_dataset("toy", triangle)
+        datastore.result_cache.put(_key(dataset="toy"), _ranking())
+        datastore.result_cache.put(_key(dataset="other"), _ranking())
+        datastore.store_dataset("toy", triangle.copy())
+        assert datastore.result_cache.peek(_key(dataset="toy")) is None
+        assert datastore.result_cache.peek(_key(dataset="other")) is not None
+
+    def test_first_store_does_not_invalidate(self, triangle):
+        datastore = DataStore()
+        datastore.result_cache.put(_key(dataset="toy"), _ranking())
+        datastore.store_dataset("toy", triangle)
+        # A first materialisation is not a re-upload; the entry survives.
+        assert datastore.result_cache.peek(_key(dataset="toy")) is not None
+
+    def test_drop_dataset_invalidates(self, triangle):
+        datastore = DataStore()
+        datastore.store_dataset("toy", triangle)
+        datastore.result_cache.put(_key(dataset="toy"), _ranking())
+        datastore.drop_dataset("toy")
+        assert datastore.result_cache.peek(_key(dataset="toy")) is None
+
+
+class TestGatewayReupload:
+    def _uploaded_graph(self, *, with_z: bool) -> DirectedGraph:
+        graph = DirectedGraph(name="uploaded")
+        graph.add_edge("x", "y")
+        graph.add_edge("y", "x")
+        if with_z:
+            # The re-upload routes all of y's mass through a new node z, so
+            # the same query must produce visibly different scores.
+            graph.add_node("z")
+            graph.remove_edge("y", "x")
+            graph.add_edge("y", "z")
+            graph.add_edge("z", "x")
+        return graph
+
+    def test_reupload_through_gateway_invalidates_and_recomputes(self):
+        catalog = DatasetCatalog()
+        with ApiGateway(catalog=catalog, num_workers=1) as gateway:
+            gateway.upload_dataset("uploaded", self._uploaded_graph(with_z=False))
+            query = [
+                {
+                    "dataset_id": "uploaded",
+                    "algorithm": "personalized-pagerank",
+                    "source": "x",
+                }
+            ]
+            first = gateway.run_queries(query, synchronous=True)
+            first_scores = gateway.get_rankings(first)[0].scores
+
+            # The repeat is served from the cache: no executor dispatch.
+            executed = gateway.executor_pool.total_executed()
+            hits_before = gateway.datastore.result_cache.stats()["hits"]
+            repeat = gateway.run_queries(query, synchronous=True)
+            assert gateway.executor_pool.total_executed() == executed
+            assert gateway.datastore.result_cache.stats()["hits"] == hits_before + 1
+            assert np.array_equal(gateway.get_rankings(repeat)[0].scores, first_scores)
+
+            # Re-uploading the dataset invalidates the entry; the same query
+            # now recomputes against the new graph and yields new scores.
+            invalidations_before = gateway.datastore.result_cache.stats()["invalidations"]
+            gateway.upload_dataset(
+                "uploaded", self._uploaded_graph(with_z=True), replace=True
+            )
+            assert (
+                gateway.datastore.result_cache.stats()["invalidations"]
+                > invalidations_before
+            )
+            second = gateway.run_queries(query, synchronous=True)
+            second_scores = gateway.get_rankings(second)[0].scores
+            assert gateway.executor_pool.total_executed() == executed + 1
+            assert second_scores.size == 3  # the new upload's z node is ranked
+            assert not np.allclose(first_scores, second_scores[:2])
+
+
+class TestDatasetVersioning:
+    def test_versions_count_uploads_and_drops(self, triangle):
+        datastore = DataStore()
+        assert datastore.dataset_version("toy") == 0
+        datastore.store_dataset("toy", triangle)
+        assert datastore.dataset_version("toy") == 1
+        datastore.store_dataset("toy", triangle.copy())
+        assert datastore.dataset_version("toy") == 2
+        datastore.drop_dataset("toy")
+        assert datastore.dataset_version("toy") == 3
+
+    def test_fetch_with_version_is_consistent(self, triangle):
+        datastore = DataStore()
+        datastore.store_dataset("toy", triangle)
+        graph, version = datastore.fetch_dataset_with_version("toy")
+        assert graph is triangle
+        assert version == 1
+
+    def test_keys_from_different_versions_do_not_collide(self):
+        # A stale in-flight computation caches under the old version, so a
+        # re-uploaded dataset can never be served rankings of the old graph.
+        old = ResultCache.key_for("ds", "algo", {"alpha": 0.85}, "a", version=1)
+        new = ResultCache.key_for("ds", "algo", {"alpha": 0.85}, "a", version=2)
+        assert old != new
+        cache = ResultCache(capacity=4)
+        cache.put(old, _ranking())
+        assert cache.peek(new) is None
+        assert cache.invalidate_dataset("ds") == 1

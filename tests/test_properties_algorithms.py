@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,6 +12,7 @@ from repro.algorithms.cycle_enumeration import enumerate_cycles_through
 from repro.algorithms.cyclerank import cyclerank
 from repro.algorithms.pagerank import pagerank
 from repro.algorithms.personalized_pagerank import personalized_pagerank
+from repro.algorithms.registry import available_algorithms, get_algorithm, run_batch
 from repro.algorithms.twodrank import twodrank, two_dimensional_order
 from repro.graph.components import strongly_connected_component_of
 from repro.graph.digraph import DirectedGraph
@@ -142,3 +144,73 @@ class TestCycleRankInvariants:
                 continue
             reciprocated = graph.has_edge(reference, node) and graph.has_edge(node, reference)
             assert ranking.score_of(node) == (1.0 if reciprocated else 0.0)
+
+
+@st.composite
+def graphs_with_seed_sets(draw, max_nodes: int = 10, max_edges: int = 30, max_seeds: int = 4):
+    """Strategy: a small labelled directed graph plus 1..max_seeds seed labels.
+
+    Seeds may repeat, exercising the scheduler-style deduplicated workload.
+    """
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                st.integers(min_value=0, max_value=num_nodes - 1),
+            ).filter(lambda pair: pair[0] != pair[1]),
+            max_size=max_edges,
+        )
+    )
+    graph = DirectedGraph(name="hypothesis-batch")
+    for node in range(num_nodes):
+        graph.add_node(f"node-{node}")
+    graph.add_edges_from(edges)
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_nodes - 1),
+            min_size=1,
+            max_size=max_seeds,
+        )
+    )
+    return graph, [f"node-{seed}" for seed in seeds]
+
+
+#: Cheap parameter overrides so the batched property sweep stays fast.
+_BATCH_TEST_PARAMETERS = {
+    "ppr-montecarlo": {"num_walks": 200},
+    "hits": {"max_iter": 2000},
+    "personalized-hits": {"max_iter": 2000},
+}
+
+
+class TestRunBatchMatchesSingleRuns:
+    """`run_batch` must be observationally equivalent to per-seed `run` calls."""
+
+    @pytest.mark.parametrize("name", available_algorithms())
+    @given(graph_and_seeds=graphs_with_seed_sets())
+    @settings(max_examples=10, deadline=None)
+    def test_batch_equals_singles(self, name, graph_and_seeds):
+        graph, seeds = graph_and_seeds
+        algorithm = get_algorithm(name)
+        parameters = _BATCH_TEST_PARAMETERS.get(name)
+        sources = seeds if algorithm.is_personalized else [None] * len(seeds)
+        batched = run_batch(name, graph, sources=sources, parameters=parameters)
+        assert len(batched) == len(sources)
+        for source, batch_ranking in zip(sources, batched):
+            single = algorithm.run(graph, source=source, parameters=parameters)
+            assert batch_ranking.algorithm == single.algorithm
+            assert batch_ranking.reference == single.reference
+            if name in ("2drank", "personalized-2drank"):
+                # 2DRank encodes only an ordering; compare it directly.
+                assert batch_ranking.ordered_nodes() == single.ordered_nodes()
+            else:
+                assert np.allclose(
+                    batch_ranking.scores, single.scores, atol=1e-6
+                ), f"batch diverges from single run for {name} (source={source!r})"
+
+    @pytest.mark.parametrize("name", available_algorithms(personalized=True))
+    def test_empty_batch_returns_empty_list(self, name):
+        graph = DirectedGraph(name="empty-batch")
+        graph.add_node("only")
+        assert run_batch(name, graph, sources=[]) == []
