@@ -1,0 +1,122 @@
+"""CycleRank hot path: seed vs CSR-native, single vs batched.
+
+Times the three ways of answering the same 16-reference CycleRank workload
+(K=3) on a heavy-tailed generated graph:
+
+* ``seed``   — the dict-based enumeration looped per reference (the
+  pre-CSR implementation, kept as
+  :func:`~repro.algorithms.cycle_enumeration.enumerate_cycles_through_dict`);
+* ``single`` — the CSR-native :func:`~repro.algorithms.cyclerank.cyclerank`
+  looped per reference;
+* ``batch``  — one :func:`~repro.algorithms.cyclerank.cyclerank_batch` call
+  sharing the compiled structures across the whole batch.
+
+The measured trajectory is written to ``benchmarks/output/BENCH_cyclerank.json``
+so future PRs have a perf baseline to diff against.  Set
+``REPRO_BENCH_NODES`` to shrink the graph (the CI smoke run uses 1000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cyclerank import cyclerank, cyclerank_batch, cyclerank_reference
+from repro.graph.generators import preferential_attachment_graph
+from repro.version import __version__
+
+from _harness import write_report
+
+NUM_NODES = int(os.environ.get("REPRO_BENCH_NODES", "5000"))
+NUM_REFERENCES = 16
+K = 3
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def hotpath_graph():
+    return preferential_attachment_graph(
+        NUM_NODES, out_degree=10, reciprocation_probability=0.5, seed=11,
+        name=f"cyclerank-hotpath-{NUM_NODES}",
+    )
+
+
+@pytest.fixture(scope="module")
+def hub_references(hotpath_graph):
+    in_degrees = np.asarray(hotpath_graph.in_degrees())
+    return [int(node) for node in np.argsort(in_degrees)[::-1][:NUM_REFERENCES]]
+
+
+def _best_of(rounds, body):
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = body()
+        times.append(time.perf_counter() - started)
+    return min(times), times, result
+
+
+@pytest.mark.benchmark(group="cyclerank-hotpath")
+def test_bench_cyclerank_hotpath_trajectory(hotpath_graph, hub_references):
+    """Measure the three configurations and write BENCH_cyclerank.json."""
+    graph, references = hotpath_graph, hub_references
+    cyclerank_batch(graph, references[:1])  # warm-up
+
+    seed_best, seed_rounds, seed_rankings = _best_of(
+        ROUNDS,
+        lambda: [cyclerank_reference(graph, r, max_cycle_length=K) for r in references],
+    )
+    single_best, single_rounds, single_rankings = _best_of(
+        ROUNDS, lambda: [cyclerank(graph, r, max_cycle_length=K) for r in references]
+    )
+    batch_best, batch_rounds, batch_rankings = _best_of(
+        ROUNDS, lambda: cyclerank_batch(graph, references, max_cycle_length=K)
+    )
+
+    # Correctness before timing claims: batched == single bit for bit, and
+    # both agree with the seed scores to rounding.
+    for single_ranking, batch_ranking in zip(single_rankings, batch_rankings):
+        assert np.array_equal(single_ranking.scores, batch_ranking.scores)
+    for seed_ranking, batch_ranking in zip(seed_rankings, batch_rankings):
+        assert np.allclose(seed_ranking.scores, batch_ranking.scores, rtol=1e-12, atol=0)
+
+    payload = {
+        "benchmark": "cyclerank-hotpath",
+        "version": __version__,
+        "graph": {
+            "generator": "preferential_attachment_graph",
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+        },
+        "workload": {
+            "references": NUM_REFERENCES,
+            "reference_selection": "top in-degree (hubs)",
+            "k": K,
+            "sigma": "exp",
+            "rounds": ROUNDS,
+        },
+        "seconds": {
+            "seed_per_reference_loop": seed_best,
+            "csr_single_loop": single_best,
+            "csr_batch": batch_best,
+        },
+        "rounds_seconds": {
+            "seed_per_reference_loop": seed_rounds,
+            "csr_single_loop": single_rounds,
+            "csr_batch": batch_rounds,
+        },
+        "speedups_vs_seed": {
+            "csr_single_loop": seed_best / single_best if single_best else None,
+            "csr_batch": seed_best / batch_best if batch_best else None,
+        },
+    }
+    path = write_report("BENCH_cyclerank.json", json.dumps(payload, indent=2))
+    assert path.exists()
+    # The trajectory is informational only: this module also runs as a CI
+    # smoke step on shared runners, where wall-clock ratios are meaningless.
+    # The hard ratio gates live in tests/test_cyclerank_batch.py, which
+    # skips them when CI=true.

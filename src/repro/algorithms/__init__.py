@@ -32,13 +32,15 @@ from __future__ import annotations
 from .base import Algorithm, AlgorithmSpec, ParameterSpec
 from .cheirank import cheirank, personalized_cheirank, personalized_cheirank_batch
 from .cycle_enumeration import (
+    CycleSearchEngine,
     count_cycles_by_length,
     enumerate_cycles_through,
+    enumerate_cycles_through_dict,
     simple_cycles_up_to_length,
 )
-from .cyclerank import cyclerank, CycleRankStatistics
-from .hits import hits, personalized_hits
-from .katz import katz_centrality, personalized_katz
+from .cyclerank import cyclerank, cyclerank_batch, CycleRankStatistics
+from .hits import hits, personalized_hits, personalized_hits_batch
+from .katz import katz_centrality, personalized_katz, personalized_katz_batch
 from .pagerank import pagerank, power_iteration, power_iteration_batch
 from .personalized_pagerank import personalized_pagerank, personalized_pagerank_batch
 from .ppr_montecarlo import ppr_montecarlo, ppr_montecarlo_batch
@@ -70,6 +72,7 @@ __all__ = [
     "personalized_twodrank_batch",
     "two_dimensional_order",
     "cyclerank",
+    "cyclerank_batch",
     "CycleRankStatistics",
     "ppr_push",
     "ppr_push_batch",
@@ -77,12 +80,16 @@ __all__ = [
     "ppr_montecarlo_batch",
     "hits",
     "personalized_hits",
+    "personalized_hits_batch",
     "katz_centrality",
     "personalized_katz",
+    "personalized_katz_batch",
     "power_iteration",
     "power_iteration_batch",
     # cycle enumeration
+    "CycleSearchEngine",
     "enumerate_cycles_through",
+    "enumerate_cycles_through_dict",
     "count_cycles_by_length",
     "simple_cycles_up_to_length",
     # class-based interface / registry

@@ -16,23 +16,38 @@ directions — directly or through short indirect paths — are both related and
 relevant, and those are exactly the nodes lying on short cycles through the
 reference.  By construction the reference node participates in every counted
 cycle and therefore receives the maximum score.
+
+The enumeration runs on the CSR-native
+:class:`~repro.algorithms.cycle_enumeration.CycleSearchEngine`;
+:func:`cyclerank_batch` reuses one engine (and one shared label array) across
+a whole batch of references, so the per-graph conversion work is paid once
+per batch — per query group on the platform, whose scheduler feeds batches
+from its group-and-batch path.  A batched run produces bit-identical scores
+to per-reference :func:`cyclerank` calls: both walk the same engine in the
+same order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .._validation import require_positive_int
 from ..exceptions import InvalidParameterError
+from ..graph.compiled import compiled_of
 from ..graph.digraph import DirectedGraph, NodeRef
 from ..ranking.result import Ranking
 from ..scoring import ScoringFunction, get_scoring_function
-from .cycle_enumeration import enumerate_cycles_through
+from .cycle_enumeration import CycleSearchEngine, enumerate_cycles_through_dict
 
-__all__ = ["cyclerank", "CycleRankStatistics"]
+__all__ = [
+    "cyclerank",
+    "cyclerank_batch",
+    "cyclerank_reference",
+    "CycleRankStatistics",
+]
 
 #: Default maximum cycle length; the paper uses K=3 for Wikipedia and K=5 for
 #: the sparser Amazon co-purchase graph.
@@ -59,6 +74,187 @@ class CycleRankStatistics:
     nodes_on_cycles: int = 0
 
 
+def _validate_cyclerank_parameters(
+    max_cycle_length: int, scoring: ScoringFunction | str
+) -> Tuple[ScoringFunction, Dict[int, float]]:
+    """Validate K, resolve sigma and precompute its weight per cycle length."""
+    require_positive_int(max_cycle_length, "max_cycle_length")
+    if max_cycle_length < 2:
+        raise InvalidParameterError(
+            f"max_cycle_length must be >= 2, got {max_cycle_length}"
+        )
+    scoring_function = get_scoring_function(scoring)
+    weights = {
+        length: weight
+        for length, weight in zip(
+            range(2, max_cycle_length + 1),
+            scoring_function.weights_up_to(max_cycle_length),
+        )
+    }
+    return scoring_function, weights
+
+
+#: Up to this cycle length the per-reference counts come from the closed-form
+#: vectorised kernel instead of the DFS enumeration.
+_SHORT_KERNEL_MAX_K = 3
+
+
+def _cyclerank_scores_short(
+    compiled,
+    root: int,
+    max_cycle_length: int,
+    weights: Dict[int, float],
+    *,
+    track_nodes: bool = False,
+) -> Tuple[np.ndarray, Dict[int, int], int]:
+    """Closed-form Equation 1 for ``K <= 3`` — no cycle enumeration at all.
+
+    For the paper's flagship setting the per-node cycle counts have direct
+    set-intersection forms, evaluated here with pure array operations over
+    the compiled CSR and its transpose:
+
+    * a length-2 cycle through ``r`` is a reciprocated edge — one count per
+      node in ``succ(r) ∩ pred(r)``;
+    * a length-3 cycle ``r -> u -> v -> r`` pairs each ``u ∈ succ(r)`` with
+      ``v ∈ succ(u) ∩ pred(r)`` (``u``, ``v``, ``r`` pairwise distinct, which
+      already makes the cycle simple) — gathered for *all* ``u`` in one
+      concatenate/mask/bincount sweep.
+
+    Only local adjacency is needed: the formulas read ``succ(r)``, the rows
+    of its members, and ``pred(r)`` — never a full transpose.  When the
+    artifact's CSR is already compiled (a platform-cached artifact, or a
+    batch that built it once up front) rows come from the shared arrays;
+    otherwise they are gathered straight from the graph's adjacency sets, so
+    a one-off query never pays an O(m) conversion for an O(local) answer.
+    Both sources feed the same integer counting, so the resulting scores are
+    bit-identical either way.
+
+    Scores are ``weights[length] * count`` per node, so a single multiply
+    replaces the per-cycle float accumulation; results agree with the
+    enumeration kernel to one rounding of each weight sum.
+    """
+    num_nodes = compiled.number_of_nodes()
+    scores = np.zeros(num_nodes, dtype=np.float64)
+    cycles_by_length: Dict[int, int] = {}
+    on_cycle = np.zeros(num_nodes, dtype=bool) if track_nodes else None
+
+    use_csr = compiled.csr_ready
+    if use_csr:
+        csr = compiled.to_csr()
+        indptr, indices = csr.indptr, csr.indices
+        successors_of_root = indices[indptr[root] : indptr[root + 1]]
+    else:
+        root_successors = compiled.successors(root)
+        successors_of_root = np.sort(
+            np.fromiter(root_successors, dtype=np.int64, count=len(root_successors))
+        )
+    root_predecessors = compiled.predecessors(root)
+    predecessors_of_root = np.sort(
+        np.fromiter(root_predecessors, dtype=np.int64, count=len(root_predecessors))
+    )
+    # Length 2: reciprocated edges with the root (rows are sorted and unique).
+    reciprocal = np.intersect1d(
+        successors_of_root, predecessors_of_root, assume_unique=True
+    )
+    reciprocal = reciprocal[reciprocal != root]
+    root_score = 0.0
+    if reciprocal.size:
+        weight = weights[2]
+        cycles_by_length[2] = int(reciprocal.size)
+        scores[reciprocal] = weight
+        root_score += weight * reciprocal.size
+        if on_cycle is not None:
+            on_cycle[reciprocal] = True
+
+    if max_cycle_length >= 3:
+        middles = successors_of_root[successors_of_root != root]
+        if middles.size:
+            predecessor_mask = np.zeros(num_nodes, dtype=bool)
+            predecessor_mask[predecessors_of_root] = True
+            if use_csr:
+                rows = [indices[indptr[u] : indptr[u + 1]] for u in middles.tolist()]
+                owners = np.repeat(middles, indptr[middles + 1] - indptr[middles])
+            else:
+                graph = compiled.graph
+                rows = []
+                for u in middles.tolist():
+                    row = graph.successors(u)
+                    rows.append(np.fromiter(row, dtype=np.int64, count=len(row)))
+                owners = np.repeat(middles, [row.size for row in rows])
+            closing = (
+                np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+            )
+            keep = predecessor_mask[closing] & (closing != root) & (closing != owners)
+            last_nodes = closing[keep]
+            middle_nodes = owners[keep]
+            if last_nodes.size:
+                weight = weights[3]
+                cycles_by_length[3] = int(last_nodes.size)
+                scores += weight * (
+                    np.bincount(middle_nodes, minlength=num_nodes)
+                    + np.bincount(last_nodes, minlength=num_nodes)
+                )
+                root_score += weight * last_nodes.size
+                if on_cycle is not None:
+                    on_cycle[middle_nodes] = True
+                    on_cycle[last_nodes] = True
+
+    scores[root] = root_score
+    nodes_on_cycles = 0
+    if on_cycle is not None:
+        nodes_on_cycles = int(on_cycle.sum()) + (1 if cycles_by_length else 0)
+    return scores, cycles_by_length, nodes_on_cycles
+
+
+def _cyclerank_scores(
+    cycles: Iterable[Tuple[int, ...]],
+    num_nodes: int,
+    weights: Dict[int, float],
+    *,
+    track_nodes: bool = False,
+) -> Tuple[np.ndarray, Dict[int, int], int]:
+    """Accumulate Equation 1 over a stream of cycles.
+
+    The stream may come from a shared :class:`CycleSearchEngine` (batches,
+    warmed artifacts) or from the dictionary walk (one-off queries on a bare
+    graph); both enumerate the identical cycle sequence, so the accumulated
+    floats are bit-identical either way.  ``track_nodes`` additionally counts
+    the distinct nodes seen on cycles (for :class:`CycleRankStatistics`); it
+    costs one set insertion per cycle node, so the batch path leaves it off.
+    """
+    scores = np.zeros(num_nodes, dtype=np.float64)
+    cycles_by_length: Dict[int, int] = {}
+    touched: Set[int] = set()
+    if track_nodes:
+        for cycle in cycles:
+            length = len(cycle)
+            weight = weights[length]
+            cycles_by_length[length] = cycles_by_length.get(length, 0) + 1
+            for node in cycle:
+                scores[node] += weight
+                touched.add(node)
+    else:
+        for cycle in cycles:
+            length = len(cycle)
+            weight = weights[length]
+            cycles_by_length[length] = cycles_by_length.get(length, 0) + 1
+            for node in cycle:
+                scores[node] += weight
+    return scores, cycles_by_length, len(touched)
+
+
+def _fill_statistics(
+    statistics: Optional[CycleRankStatistics],
+    cycles_by_length: Dict[int, int],
+    nodes_on_cycles: int,
+) -> None:
+    if statistics is None:
+        return
+    statistics.cycles_by_length = dict(sorted(cycles_by_length.items()))
+    statistics.total_cycles = sum(cycles_by_length.values())
+    statistics.nodes_on_cycles = nodes_on_cycles
+
+
 def cyclerank(
     graph: DirectedGraph,
     reference: NodeRef,
@@ -72,7 +268,7 @@ def cyclerank(
     Parameters
     ----------
     graph:
-        The directed graph to rank.
+        The directed graph to rank (a compiled artifact is accepted too).
     reference:
         The reference (query) node, by id or label.
     max_cycle_length:
@@ -92,38 +288,136 @@ def cyclerank(
         Non-negative scores; nodes on no qualifying cycle score 0 and the
         reference node holds the maximum score.
     """
-    require_positive_int(max_cycle_length, "max_cycle_length")
-    if max_cycle_length < 2:
-        raise InvalidParameterError(
-            f"max_cycle_length must be >= 2, got {max_cycle_length}"
+    scoring_function, weights = _validate_cyclerank_parameters(max_cycle_length, scoring)
+    compiled = compiled_of(graph)
+    root = compiled.resolve(reference)
+    track_nodes = statistics is not None
+    if max_cycle_length <= _SHORT_KERNEL_MAX_K:
+        scores, cycles_by_length, nodes_on_cycles = _cyclerank_scores_short(
+            compiled, root, max_cycle_length, weights, track_nodes=track_nodes
         )
-    scoring_function = get_scoring_function(scoring)
-    # Precompute sigma for every admissible cycle length.
-    weights = {
-        length: weight
-        for length, weight in zip(
-            range(2, max_cycle_length + 1),
-            scoring_function.weights_up_to(max_cycle_length),
+    else:
+        if compiled.csr_ready:
+            # A warmed artifact (platform cache): reuse its compiled arrays.
+            cycles = CycleSearchEngine.for_graph(compiled).cycles_from(
+                root, max_cycle_length
+            )
+        else:
+            # One-off query on a bare graph: the dictionary walk touches only
+            # the reference's K-hop neighbourhood, so it beats paying an
+            # O(n + m) conversion; the cycle sequence is identical.
+            cycles = enumerate_cycles_through_dict(
+                compiled.graph, root, max_cycle_length
+            )
+        scores, cycles_by_length, nodes_on_cycles = _cyclerank_scores(
+            cycles, compiled.number_of_nodes(), weights, track_nodes=track_nodes
         )
-    }
+    _fill_statistics(statistics, cycles_by_length, nodes_on_cycles)
+    return Ranking(
+        scores,
+        labels=compiled.labels(),
+        algorithm="CycleRank",
+        parameters={
+            "k": max_cycle_length,
+            "sigma": scoring_function.name,
+        },
+        graph_name=compiled.name,
+        reference=compiled.label_of(root),
+    )
 
+
+def cyclerank_batch(
+    graph: DirectedGraph,
+    references: Sequence[NodeRef],
+    *,
+    max_cycle_length: int = DEFAULT_MAX_CYCLE_LENGTH,
+    scoring: ScoringFunction | str = "exp",
+) -> List[Ranking]:
+    """Compute CycleRank for many references against one graph.
+
+    The candidate-subgraph machinery — CSR adjacency and transpose in
+    flat-list form, the search engine's preallocated distance/on-path arrays,
+    and the shared label array — is built once and reused by every reference;
+    between references only the entries the previous search touched are
+    reset.  Scores are bit-identical to per-reference :func:`cyclerank`
+    calls.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to rank (a compiled artifact is accepted too).
+    references:
+        One reference node (id or label) per query.
+    max_cycle_length, scoring:
+        As in :func:`cyclerank`, shared by the whole batch.
+
+    Returns
+    -------
+    list of Ranking
+        One ranking per reference, in input order.
+    """
+    scoring_function, weights = _validate_cyclerank_parameters(max_cycle_length, scoring)
+    references = list(references)
+    if not references:
+        return []
+    compiled = compiled_of(graph)
+    roots = [compiled.resolve(reference) for reference in references]
+    num_nodes = compiled.number_of_nodes()
+    short_kernel = max_cycle_length <= _SHORT_KERNEL_MAX_K
+    if short_kernel:
+        # Compile the shared CSR up front: the whole batch reads rows from it.
+        compiled.to_csr()
+        engine = None
+    else:
+        engine = CycleSearchEngine.for_graph(compiled)
+    labels = compiled.labels_array()
+    rankings: List[Ranking] = []
+    for root in roots:
+        if short_kernel:
+            scores, _, _ = _cyclerank_scores_short(compiled, root, max_cycle_length, weights)
+        else:
+            scores, _, _ = _cyclerank_scores(
+                engine.cycles_from(root, max_cycle_length), num_nodes, weights
+            )
+        rankings.append(
+            Ranking(
+                scores,
+                labels=labels,
+                algorithm="CycleRank",
+                parameters={
+                    "k": max_cycle_length,
+                    "sigma": scoring_function.name,
+                },
+                graph_name=compiled.name,
+                reference=compiled.label_of(root),
+            )
+        )
+    return rankings
+
+
+def cyclerank_reference(
+    graph: DirectedGraph,
+    reference: NodeRef,
+    *,
+    max_cycle_length: int = DEFAULT_MAX_CYCLE_LENGTH,
+    scoring: ScoringFunction | str = "exp",
+) -> Ranking:
+    """The seed CycleRank implementation, kept as a comparison baseline.
+
+    Dictionary-based enumeration (:func:`enumerate_cycles_through_dict`) with
+    per-cycle score accumulation — exactly the pre-CSR code path.  The
+    equivalence tests and the hot-path benchmark
+    (``benchmarks/bench_cyclerank_hotpath.py``) measure the optimised
+    kernels against this single shared baseline; it is not meant for
+    production use.
+    """
+    scoring_function, weights = _validate_cyclerank_parameters(max_cycle_length, scoring)
     root = graph.resolve(reference)
     scores = np.zeros(graph.number_of_nodes(), dtype=np.float64)
-    cycles_by_length: Dict[int, int] = {}
-    touched = set()
-    for cycle in enumerate_cycles_through(graph, root, max_cycle_length):
-        length = len(cycle)
-        weight = weights[length]
-        cycles_by_length[length] = cycles_by_length.get(length, 0) + 1
+    for cycle in enumerate_cycles_through_dict(graph, root, max_cycle_length):
+        weight = weights[len(cycle)]
         for node in cycle:
             scores[node] += weight
-            touched.add(node)
-
-    if statistics is not None:
-        statistics.cycles_by_length = dict(sorted(cycles_by_length.items()))
-        statistics.total_cycles = sum(cycles_by_length.values())
-        statistics.nodes_on_cycles = len(touched)
-
     return Ranking(
         scores,
         labels=graph.labels(),

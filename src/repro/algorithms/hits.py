@@ -18,21 +18,33 @@ The personalized variant follows the rooted-HITS idea: at every iteration a
 fraction ``1 - alpha`` of the authority mass is re-concentrated on the
 reference node before normalisation, so the fixed point describes hubs and
 authorities *of the query's neighbourhood* rather than of the whole graph.
+
+The iteration core advances an ``n x k`` matrix of hub/authority columns
+(one per reference) and freezes each column the moment it converges, so a
+batch (:func:`personalized_hits_batch`) shares the adjacency build across
+references while every column follows exactly the update sequence a single
+run would: the single-reference entry points are the ``k = 1`` special case
+of the same kernel, which makes batched and per-reference results identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import require_positive_int, require_probability
 from ..exceptions import ConvergenceError
+from ..graph.compiled import compiled_of
 from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
-from .personalized_pagerank import ReferenceSpec, teleport_vector_for
+from .personalized_pagerank import (
+    ReferenceSpec,
+    _reference_label_for,
+    teleport_vector_for,
+)
 
-__all__ = ["hits", "personalized_hits"]
+__all__ = ["hits", "personalized_hits", "personalized_hits_batch"]
 
 # HITS contracts at (lambda_2 / lambda_1)^2 of A^T A per iteration, which can
 # be close to 1 on community-structured graphs, so the default tolerance is
@@ -41,61 +53,124 @@ DEFAULT_TOL = 1e-8
 DEFAULT_MAX_ITER = 5000
 
 
-def _hits_iteration(
+def _column_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-column sums, each over a contiguous copy of its column.
+
+    ``matrix.sum(axis=0)`` picks a different reduction tree depending on the
+    matrix width, so its per-column results are not bit-identical to the
+    ``k = 1`` case.  Summing each column as a contiguous 1-D array makes the
+    rounding of every column independent of how many other columns ride in
+    the batch — the property the exact batch-equals-single guarantee rests
+    on.  ``k`` is a batch size, so the Python-level loop is negligible.
+    """
+    return np.array(
+        [np.ascontiguousarray(matrix[:, j]).sum() for j in range(matrix.shape[1])]
+    )
+
+
+def _column_abs_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-column L1 norms with width-independent rounding (see `_column_sums`)."""
+    return np.array(
+        [np.abs(np.ascontiguousarray(matrix[:, j])).sum() for j in range(matrix.shape[1])]
+    )
+
+
+def _column_norms(matrix: np.ndarray) -> np.ndarray:
+    """Per-column L2 norms with width-independent rounding (see `_column_sums`)."""
+    return np.array(
+        [
+            np.sqrt(np.square(np.ascontiguousarray(matrix[:, j])).sum())
+            for j in range(matrix.shape[1])
+        ]
+    )
+
+
+def _hits_iteration_batch(
     adjacency,
+    adjacency_t,
     *,
-    teleport: Optional[np.ndarray],
+    teleports: Optional[np.ndarray],
+    num_columns: int,
     alpha: float,
     tol: float,
     max_iter: int,
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """Run the (optionally rooted) HITS power iteration.
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the (optionally rooted) HITS power iteration for ``k`` columns.
 
-    Returns ``(authorities, hubs, iterations)``; both vectors are normalised
-    to sum to 1 so they read as distributions like the PageRank family.
+    ``adjacency_t`` must be the materialised CSR of ``A^T`` (not a lazy
+    ``.T`` view), so every column's update is one CSR-times-dense product.
+    Each column freezes — final sum-to-1 normalisation applied, iteration
+    count recorded — the moment its residual drops below ``tol``; active
+    columns continue unperturbed, so every column traverses exactly the
+    sequence of updates a ``k = 1`` run would.
+
+    Returns ``(authorities, hubs, iterations)`` with matrix shapes
+    ``(n, k)`` and per-column iteration counts.
     """
     n = adjacency.shape[0]
-    if n == 0:
-        return np.zeros(0), np.zeros(0), 0
-    hubs = np.full(n, 1.0 / n, dtype=np.float64)
-    authorities = np.full(n, 1.0 / n, dtype=np.float64)
-    residual = 0.0
+    k = num_columns
+    iterations = np.zeros(k, dtype=np.int64)
+    if n == 0 or k == 0:
+        return np.zeros((n, k)), np.zeros((n, k)), iterations
+    hubs = np.full((n, k), 1.0 / n, dtype=np.float64)
+    authorities = np.full((n, k), 1.0 / n, dtype=np.float64)
+    active = np.arange(k)
+    worst_residual = 0.0
     for iteration in range(1, max_iter + 1):
-        new_authorities = np.asarray(adjacency.T @ hubs).ravel()
-        if teleport is not None:
-            total = new_authorities.sum()
-            if total > 0:
-                new_authorities = alpha * new_authorities + (1 - alpha) * total * teleport
-            else:
+        old_authorities = authorities[:, active]
+        old_hubs = hubs[:, active]
+        new_authorities = np.asarray(adjacency_t @ old_hubs)
+        if teleports is not None:
+            teleport_columns = teleports[:, active]
+            totals = _column_sums(new_authorities)
+            flowing = totals > 0
+            new_authorities = np.where(
+                flowing,
+                alpha * new_authorities + teleport_columns * ((1 - alpha) * totals),
                 # No authority mass flows at all (e.g. the reference has an
                 # empty neighbourhood): the rooted variant falls back to the
                 # restart distribution instead of an all-zero vector.
-                new_authorities = teleport.astype(np.float64).copy()
-        new_hubs = np.asarray(adjacency @ new_authorities).ravel()
-        authority_norm = np.linalg.norm(new_authorities)
-        hub_norm = np.linalg.norm(new_hubs)
-        if authority_norm > 0:
-            new_authorities = new_authorities / authority_norm
-        if hub_norm > 0:
-            new_hubs = new_hubs / hub_norm
-        residual = float(
-            np.abs(new_authorities - authorities).sum() + np.abs(new_hubs - hubs).sum()
+                teleport_columns,
+            )
+        new_hubs = np.asarray(adjacency @ new_authorities)
+        authority_norms = _column_norms(new_authorities)
+        hub_norms = _column_norms(new_hubs)
+        new_authorities = new_authorities / np.where(authority_norms > 0, authority_norms, 1.0)
+        new_hubs = new_hubs / np.where(hub_norms > 0, hub_norms, 1.0)
+        residuals = (
+            _column_abs_sums(new_authorities - old_authorities)
+            + _column_abs_sums(new_hubs - old_hubs)
         )
-        authorities, hubs = new_authorities, new_hubs
-        if residual < tol:
-            authority_total = authorities.sum()
-            hub_total = hubs.sum()
-            if authority_total > 0:
-                authorities = authorities / authority_total
-            if hub_total > 0:
-                hubs = hubs / hub_total
-            return authorities, hubs, iteration
+        authorities[:, active] = new_authorities
+        hubs[:, active] = new_hubs
+        converged = residuals < tol
+        if converged.any():
+            done = active[converged]
+            done_authorities = new_authorities[:, converged]
+            done_hubs = new_hubs[:, converged]
+            authority_totals = _column_sums(done_authorities)
+            hub_totals = _column_sums(done_hubs)
+            authorities[:, done] = done_authorities / np.where(
+                authority_totals > 0, authority_totals, 1.0
+            )
+            hubs[:, done] = done_hubs / np.where(hub_totals > 0, hub_totals, 1.0)
+            iterations[done] = iteration
+            active = active[~converged]
+            if active.size == 0:
+                return authorities, hubs, iterations
+        worst_residual = float(residuals[~converged].max()) if (~converged).any() else 0.0
     raise ConvergenceError(
         f"HITS did not converge within {max_iter} iterations "
-        f"(last residual {residual:.3e}, tol {tol:.3e})",
+        f"(last residual {worst_residual:.3e}, tol {tol:.3e})",
         iterations=max_iter,
-        residual=residual,
+        residual=worst_residual,
     )
+
+
+def _adjacency_pair(graph):
+    """Return ``(A, A^T)`` as CSR matrices, reusing a compiled artifact's cache."""
+    compiled = compiled_of(graph)
+    return compiled.adjacency(), compiled.adjacency_transpose()
 
 
 def hits(
@@ -120,17 +195,18 @@ def hits(
     require_positive_int(max_iter, "max_iter")
     if scores not in ("authority", "hub"):
         raise ValueError(f"scores must be 'authority' or 'hub', got {scores!r}")
-    adjacency = graph.to_csr().to_scipy()
-    authorities, hubs, iterations = _hits_iteration(
-        adjacency, teleport=None, alpha=1.0, tol=tol, max_iter=max_iter
+    adjacency, adjacency_t = _adjacency_pair(graph)
+    authorities, hubs, iterations = _hits_iteration_batch(
+        adjacency, adjacency_t, teleports=None, num_columns=1,
+        alpha=1.0, tol=tol, max_iter=max_iter,
     )
-    selected = authorities if scores == "authority" else hubs
+    selected = (authorities if scores == "authority" else hubs)[:, 0]
     return Ranking(
         selected,
         labels=graph.labels(),
         algorithm="HITS" if scores == "authority" else "HITS (hubs)",
         parameters={"scores": scores, "tol": tol, "max_iter": max_iter,
-                    "iterations": iterations},
+                    "iterations": int(iterations[0])},
         graph_name=graph.name,
     )
 
@@ -155,25 +231,69 @@ def personalized_hits(
     scores:
         ``"authority"`` (default) or ``"hub"``.
     """
+    return personalized_hits_batch(
+        graph, [reference], alpha=alpha, scores=scores, tol=tol, max_iter=max_iter
+    )[0]
+
+
+def personalized_hits_batch(
+    graph: DirectedGraph,
+    references: Sequence[ReferenceSpec],
+    *,
+    alpha: float = 0.85,
+    scores: str = "authority",
+    tol: float = DEFAULT_TOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> List[Ranking]:
+    """Compute rooted HITS for many references in one ``n x k`` iteration.
+
+    The adjacency matrices are built (or fetched from a compiled artifact)
+    once for the whole batch and the power iteration advances one column per
+    reference, freezing each column at its own convergence point — so the
+    returned rankings are identical to per-reference
+    :func:`personalized_hits` calls.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to rank.
+    references:
+        One reference spec per query (node, node set, or weighted mapping).
+    alpha, scores, tol, max_iter:
+        As in :func:`personalized_hits`, shared by the whole batch.
+
+    Returns
+    -------
+    list of Ranking
+        One ranking per reference, in input order.
+    """
     alpha = require_probability(alpha, "alpha")
     require_positive_int(max_iter, "max_iter")
     if scores not in ("authority", "hub"):
         raise ValueError(f"scores must be 'authority' or 'hub', got {scores!r}")
-    teleport = teleport_vector_for(graph, reference)
-    adjacency = graph.to_csr().to_scipy()
-    authorities, hubs, iterations = _hits_iteration(
-        adjacency, teleport=teleport, alpha=alpha, tol=tol, max_iter=max_iter
+    references = list(references)
+    if not references:
+        return []
+    compiled = compiled_of(graph)
+    teleports = np.column_stack(
+        [teleport_vector_for(compiled, reference) for reference in references]
+    )
+    authorities, hubs, iterations = _hits_iteration_batch(
+        compiled.adjacency(), compiled.adjacency_transpose(),
+        teleports=teleports, num_columns=len(references),
+        alpha=alpha, tol=tol, max_iter=max_iter,
     )
     selected = authorities if scores == "authority" else hubs
-    reference_label = None
-    if isinstance(reference, (str, int)) and not isinstance(reference, bool):
-        reference_label = graph.label_of(graph.resolve(reference))
-    return Ranking(
-        selected,
-        labels=graph.labels(),
-        algorithm="Personalized HITS",
-        parameters={"alpha": alpha, "scores": scores, "tol": tol, "max_iter": max_iter,
-                    "iterations": iterations},
-        graph_name=graph.name,
-        reference=reference_label,
-    )
+    labels = compiled.labels_array()
+    return [
+        Ranking(
+            selected[:, column],
+            labels=labels,
+            algorithm="Personalized HITS",
+            parameters={"alpha": alpha, "scores": scores, "tol": tol,
+                        "max_iter": max_iter, "iterations": int(iterations[column])},
+            graph_name=compiled.name,
+            reference=_reference_label_for(compiled, reference),
+        )
+        for column, reference in enumerate(references)
+    ]

@@ -17,9 +17,9 @@ from ..ranking.result import Ranking
 from ..scoring import available_scoring_functions
 from .base import Algorithm, AlgorithmSpec, ParameterSpec
 from .cheirank import cheirank, personalized_cheirank, personalized_cheirank_batch
-from .cyclerank import cyclerank
-from .hits import hits, personalized_hits
-from .katz import katz_centrality, personalized_katz
+from .cyclerank import cyclerank, cyclerank_batch
+from .hits import hits, personalized_hits, personalized_hits_batch
+from .katz import katz_centrality, personalized_katz, personalized_katz_batch
 from .pagerank import pagerank
 from .personalized_pagerank import personalized_pagerank, personalized_pagerank_batch
 from .ppr_montecarlo import ppr_montecarlo, ppr_montecarlo_batch
@@ -196,6 +196,11 @@ class _CycleRankAlgorithm(Algorithm):
             graph, source, max_cycle_length=parameters["k"], scoring=parameters["sigma"]
         )
 
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return cyclerank_batch(
+            graph, sources, max_cycle_length=parameters["k"], scoring=parameters["sigma"]
+        )
+
 
 class _PushPPRAlgorithm(Algorithm):
     """Forward-push approximate PPR (registry name ``ppr-push``, extension)."""
@@ -333,6 +338,12 @@ class _PersonalizedHitsAlgorithm(Algorithm):
             max_iter=parameters["max_iter"],
         )
 
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return personalized_hits_batch(
+            graph, sources, alpha=parameters["alpha"], scores=parameters["scores"],
+            max_iter=parameters["max_iter"],
+        )
+
 
 _BETA_SPEC = ParameterSpec(
     name="beta",
@@ -372,6 +383,11 @@ class _PersonalizedKatzAlgorithm(Algorithm):
     def _execute(self, graph: DirectedGraph, *, source, parameters) -> Ranking:
         return personalized_katz(
             graph, source, beta=parameters["beta"], max_iter=parameters["max_iter"]
+        )
+
+    def _execute_batch(self, graph: DirectedGraph, *, sources, parameters) -> List[Ranking]:
+        return personalized_katz_batch(
+            graph, sources, beta=parameters["beta"], max_iter=parameters["max_iter"]
         )
 
 

@@ -163,6 +163,12 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
         f"batches: {batches['batches']} dispatched carrying "
         f"{batches['batched_queries']} queries (largest {batches['largest_batch']})"
     )
+    artifacts = stats["artifacts"]
+    print(
+        f"artifacts: {artifacts['hits']} hits / {artifacts['misses']} misses "
+        f"(hit rate {artifacts['hit_rate']:.0%}), {artifacts['compiled']} compiled, "
+        f"{artifacts['invalidations']} invalidations"
+    )
 
 
 def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:

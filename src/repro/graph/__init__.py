@@ -41,6 +41,7 @@ from .components import (
     strongly_connected_components,
     weakly_connected_components,
 )
+from .compiled import CompiledGraph, compiled_of
 from .csr import CSRGraph
 from .digraph import DirectedGraph, Edge
 from .generators import (
@@ -74,6 +75,8 @@ __all__ = [
     "DirectedGraph",
     "Edge",
     "CSRGraph",
+    "CompiledGraph",
+    "compiled_of",
     "GraphBuilder",
     # views
     "transpose",

@@ -1,0 +1,211 @@
+"""Compiled graph artifact: every derived structure the executors need, built once.
+
+Each relevance algorithm derives the same handful of structures from a
+:class:`~repro.graph.digraph.DirectedGraph` before doing any real work — the
+CSR adjacency (and its transpose), the out-degree vector, the dangling-node
+mask, the :mod:`scipy.sparse` adjacency matrix, and (for CycleRank) flat
+adjacency lists the cycle-search engine can walk without per-node dict
+lookups.  Rebuilding them per query is pure overhead: on the platform's
+dominant workload (many queries against the same dataset) the conversions can
+cost more than the algorithms themselves.
+
+:class:`CompiledGraph` bundles those structures as a frozen, lazily-built,
+thread-safe artifact.  It is a drop-in stand-in for the source graph —
+attribute access falls through to the wrapped :class:`DirectedGraph`, and
+``to_csr()`` returns the cached snapshot — so every algorithm (including
+user-registered ones that know nothing about artifacts) runs unchanged while
+the ones on the hot path pick up the precompiled structures automatically.
+
+The platform caches one ``CompiledGraph`` per dataset version in the
+:class:`~repro.platform.datastore.DataStore`; mutating the source graph after
+compilation is not supported (take a new artifact instead, which is exactly
+what the datastore's version-keyed invalidation does).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+from .digraph import DirectedGraph
+
+__all__ = ["CompiledGraph", "compiled_of"]
+
+#: Flat adjacency lists: (indptr, indices) for the forward graph followed by
+#: (indptr, indices) for the transpose, all as plain Python int lists.
+AdjacencyLists = Tuple[List[int], List[int], List[int], List[int]]
+
+
+class CompiledGraph:
+    """Frozen, lazily-built bundle of the derived structures of one graph.
+
+    Every structure is computed at most once (under a lock, so concurrent
+    executor threads share a single build) and is immutable afterwards:
+
+    * :meth:`to_csr` — the CSR adjacency snapshot;
+    * :meth:`transpose_csr` — the CSR snapshot of the reversed graph;
+    * :meth:`out_degrees` / :meth:`dangling_mask` — degree structure used by
+      the power-iteration family;
+    * :meth:`adjacency` / :meth:`adjacency_transpose` — ``scipy.sparse``
+      matrices for the matrix-shaped kernels (HITS, Katz);
+    * :meth:`adjacency_lists` — flat Python-list CSR for the cycle engine.
+
+    Any other attribute (``resolve``, ``labels``, ``successors``, ...) is
+    delegated to the wrapped :class:`DirectedGraph`, so a ``CompiledGraph``
+    can be handed to any algorithm in place of the graph itself.
+    """
+
+    def __init__(self, graph: DirectedGraph) -> None:
+        self._graph = graph
+        self._build_lock = threading.Lock()
+        self._csr: Optional[CSRGraph] = None
+        self._transpose: Optional[CSRGraph] = None
+        self._out_degrees: Optional[np.ndarray] = None
+        self._dangling: Optional[np.ndarray] = None
+        self._scipy_adjacency = None
+        self._scipy_transpose = None
+        self._lists: Optional[AdjacencyLists] = None
+        self._labels_array: Optional[np.ndarray] = None
+
+    @property
+    def graph(self) -> DirectedGraph:
+        """Return the wrapped source graph."""
+        return self._graph
+
+    @property
+    def csr_ready(self) -> bool:
+        """Return ``True`` if the CSR snapshot has already been built.
+
+        Kernels with a cheaper direct-from-graph path for one-off queries
+        (e.g. CycleRank's short-cycle counting) use this to avoid forcing a
+        full compilation on a throwaway artifact while still reusing the CSR
+        when the platform hands them a warmed cached one.
+        """
+        return self._csr is not None
+
+    # ------------------------------------------------------------------ #
+    # compiled structures
+    # ------------------------------------------------------------------ #
+    def to_csr(self) -> CSRGraph:
+        """Return the (cached) CSR snapshot of the graph."""
+        if self._csr is None:
+            with self._build_lock:
+                if self._csr is None:
+                    self._csr = self._graph.to_csr()
+        return self._csr
+
+    def transpose_csr(self) -> CSRGraph:
+        """Return the (cached) CSR snapshot of the reversed graph."""
+        if self._transpose is None:
+            csr = self.to_csr()
+            with self._build_lock:
+                if self._transpose is None:
+                    self._transpose = csr.transpose()
+        return self._transpose
+
+    def out_degrees(self) -> np.ndarray:
+        """Return the out-degree of every node (cached, do not mutate)."""
+        if self._out_degrees is None:
+            csr = self.to_csr()
+            with self._build_lock:
+                if self._out_degrees is None:
+                    self._out_degrees = csr.out_degrees()
+        return self._out_degrees
+
+    def dangling_mask(self) -> np.ndarray:
+        """Return the float mask of dangling nodes (cached, do not mutate)."""
+        if self._dangling is None:
+            degrees = self.out_degrees()
+            with self._build_lock:
+                if self._dangling is None:
+                    self._dangling = np.asarray(degrees == 0, dtype=np.float64)
+        return self._dangling
+
+    def adjacency(self):
+        """Return the ``scipy.sparse.csr_matrix`` adjacency (cached, read-only)."""
+        if self._scipy_adjacency is None:
+            csr = self.to_csr()
+            with self._build_lock:
+                if self._scipy_adjacency is None:
+                    self._scipy_adjacency = csr.to_scipy()
+        return self._scipy_adjacency
+
+    def adjacency_transpose(self):
+        """Return the ``scipy.sparse.csr_matrix`` of the reversed graph (cached)."""
+        if self._scipy_transpose is None:
+            transpose = self.transpose_csr()
+            with self._build_lock:
+                if self._scipy_transpose is None:
+                    self._scipy_transpose = transpose.to_scipy()
+        return self._scipy_transpose
+
+    def adjacency_lists(self) -> AdjacencyLists:
+        """Return flat-list CSR arrays ``(indptr, indices, t_indptr, t_indices)``.
+
+        Plain Python lists index faster than NumPy scalars inside the cycle
+        engine's tight search loops; the one-off conversion is cached here so
+        a batch (or a cached artifact) pays it a single time.
+        """
+        if self._lists is None:
+            csr = self.to_csr()
+            transpose = self.transpose_csr()
+            with self._build_lock:
+                if self._lists is None:
+                    self._lists = (
+                        csr.indptr.tolist(),
+                        csr.indices.tolist(),
+                        transpose.indptr.tolist(),
+                        transpose.indices.tolist(),
+                    )
+        return self._lists
+
+    def labels_array(self) -> np.ndarray:
+        """Return the node labels as a (cached) NumPy string array.
+
+        Batch kernels attach this one shared array to every
+        :class:`~repro.ranking.result.Ranking` they produce instead of
+        rebuilding a per-query label list.
+        """
+        if self._labels_array is None:
+            labels = self._graph.labels()
+            with self._build_lock:
+                if self._labels_array is None:
+                    self._labels_array = np.asarray(labels, dtype=str)
+        return self._labels_array
+
+    # ------------------------------------------------------------------ #
+    # graph facade
+    # ------------------------------------------------------------------ #
+    def __getattr__(self, name: str):
+        # Fallback for everything DirectedGraph offers (resolve, labels,
+        # successors, number_of_nodes, name, ...): the artifact is usable
+        # wherever a graph is expected.
+        return getattr(self._graph, name)
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __contains__(self, ref: object) -> bool:
+        return ref in self._graph
+
+    def __iter__(self):
+        return iter(self._graph)
+
+    def __repr__(self) -> str:
+        return f"<CompiledGraph of {self._graph!r}>"
+
+
+def compiled_of(graph) -> CompiledGraph:
+    """Return ``graph`` as a :class:`CompiledGraph`, wrapping it if needed.
+
+    Algorithms call this on their ``graph`` argument: when the platform hands
+    them a cached artifact the precompiled structures are reused, and a bare
+    :class:`DirectedGraph` still works (a throwaway artifact is built for the
+    duration of the call).
+    """
+    if isinstance(graph, CompiledGraph):
+        return graph
+    return CompiledGraph(graph)

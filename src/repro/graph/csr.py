@@ -68,9 +68,9 @@ class CSRGraph:
                 f"labels has length {len(labels)} but the graph has {num_nodes} nodes"
             )
         self._labels: Optional[List[str]] = list(labels) if labels is not None else None
-        self._label_index = (
-            {label: i for i, label in enumerate(self._labels)} if self._labels else {}
-        )
+        # Built lazily on the first label lookup: most CSR snapshots are
+        # consumed by array kernels that never resolve a label.
+        self._label_index: Optional[dict] = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -78,17 +78,23 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_directed_graph(cls, graph) -> "CSRGraph":
-        """Build a CSR snapshot from a :class:`DirectedGraph`."""
+        """Build a CSR snapshot from a :class:`DirectedGraph`.
+
+        Rows are sorted with one stable lexsort over the flattened successor
+        lists instead of a per-node ``sorted(...)`` loop, so the conversion —
+        the setup cost of every array-based kernel — is O(m log m) with the
+        heavy lifting in NumPy.
+        """
         num_nodes = graph.number_of_nodes()
-        out_degrees = graph.out_degrees()
+        counts = np.asarray(graph.out_degrees(), dtype=np.int64)
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
-        np.cumsum(out_degrees, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        for node in graph.nodes():
-            start = indptr[node]
-            targets = sorted(graph.successors(node))
-            indices[start : start + len(targets)] = targets
-        return cls(indptr, indices, labels=graph.labels(), name=graph.name)
+        np.cumsum(counts, out=indptr[1:])
+        targets = np.asarray(graph.flattened_successors(), dtype=np.int64)
+        sources = np.repeat(np.arange(num_nodes, dtype=np.int64), counts)
+        # Sources are already grouped in ascending order; the stable sort on
+        # targets therefore yields each row's successors in ascending order.
+        order = np.lexsort((targets, sources))
+        return cls(indptr, targets[order], labels=graph.labels(), name=graph.name)
 
     @classmethod
     def from_edges(
@@ -186,6 +192,12 @@ class CSRGraph:
 
     def node_for_label(self, label: str) -> int:
         """Return the node id carrying ``label`` (raises if unknown)."""
+        if self._label_index is None:
+            self._label_index = (
+                {label: i for i, label in enumerate(self._labels)}
+                if self._labels
+                else {}
+            )
         node = self._label_index.get(label)
         if node is None:
             raise NodeNotFoundError(label)
@@ -201,11 +213,22 @@ class CSRGraph:
     # conversions
     # ------------------------------------------------------------------ #
     def transpose(self) -> "CSRGraph":
-        """Return a CSR graph with every edge reversed."""
-        sources, targets = self.edges()
-        return CSRGraph.from_edges(
-            self.number_of_nodes(),
-            list(zip(targets.tolist(), sources.tolist())),
+        """Return a CSR graph with every edge reversed.
+
+        Built entirely with array operations (counting sort on the target
+        ids), so transposing stays O(n + m) with no per-edge Python loop.
+        """
+        n = self.number_of_nodes()
+        sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        # Stable sort by target: within each target bucket the sources keep
+        # their ascending order, so every row of the transpose is sorted.
+        order = np.argsort(self._indices, kind="stable")
+        t_indices = sources[order]
+        t_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self._indices, minlength=n), out=t_indptr[1:])
+        return CSRGraph(
+            t_indptr,
+            t_indices,
             labels=self._labels,
             name=(self.name + "-transposed") if self.name else "",
         )

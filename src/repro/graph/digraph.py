@@ -215,7 +215,10 @@ class DirectedGraph:
 
     def labels(self) -> List[str]:
         """Return the display labels of all nodes, indexed by node id."""
-        return [self.label_of(i) for i in range(len(self._succ))]
+        return [
+            label if label is not None else f"#{node}"
+            for node, label in enumerate(self._labels)
+        ]
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -278,6 +281,17 @@ class DirectedGraph:
     def out_degrees(self) -> List[int]:
         """Return the out-degree of every node, indexed by node id."""
         return [len(s) for s in self._succ]
+
+    def flattened_successors(self) -> List[int]:
+        """Return every node's successors concatenated in node-id order.
+
+        Within one node's block the order is arbitrary (sets are unordered);
+        pair with :meth:`out_degrees` to recover the per-node boundaries.
+        This is the zero-copy-per-node feed for CSR conversion.
+        """
+        from itertools import chain
+
+        return list(chain.from_iterable(self._succ))
 
     def in_degrees(self) -> List[int]:
         """Return the in-degree of every node, indexed by node id."""

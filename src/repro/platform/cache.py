@@ -11,15 +11,26 @@ The cache is size-bounded (least-recently-used eviction), thread-safe, keeps
 hit/miss/eviction/invalidation counters for observability, and supports
 explicit per-dataset invalidation — the datastore calls it whenever a dataset
 is re-uploaded or dropped, so no stale ranking can outlive its graph.
+
+Two optional policies harden it for production traffic:
+
+* **Time-based expiry** (``ttl_seconds``): entries older than the TTL are
+  treated as misses and dropped lazily, for deployments where datasets
+  mutate outside the gateway's invalidation path.
+* **Admit on second miss** (``admit_on_second_miss``): a ranking is only
+  admitted once its key has been seen before, so a one-off scan over
+  thousands of distinct queries cannot evict the hot working set.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from .._validation import require_positive_int
+from ..exceptions import InvalidParameterError
 from ..ranking.result import Ranking
 
 __all__ = ["CacheKey", "ResultCache"]
@@ -47,17 +58,48 @@ class ResultCache:
     capacity:
         Maximum number of rankings retained; the least recently used entry is
         evicted when the bound is exceeded.
+    ttl_seconds:
+        Optional time-to-live: entries older than this count as misses and
+        are dropped (counted under ``expirations``).  ``None`` (the default)
+        disables expiry.
+    admit_on_second_miss:
+        When ``True``, the first :meth:`put` for a never-seen key is deferred
+        (counted under ``admissions_deferred``); only a key whose first put
+        was already witnessed is admitted.  Protects the LRU from one-off
+        scan workloads.  Defaults to ``False`` (admit everything).
+    clock:
+        Monotonic time source; injectable for tests.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        ttl_seconds: Optional[float] = None,
+        admit_on_second_miss: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         require_positive_int(capacity, "capacity")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise InvalidParameterError(
+                f"ttl_seconds must be positive (or None to disable), got {ttl_seconds!r}"
+            )
         self._capacity = capacity
-        self._entries: "OrderedDict[CacheKey, Ranking]" = OrderedDict()
+        self._ttl_seconds = ttl_seconds
+        self._admit_on_second_miss = admit_on_second_miss
+        self._clock = clock
+        #: key -> (ranking, insertion timestamp)
+        self._entries: "OrderedDict[CacheKey, Tuple[Ranking, float]]" = OrderedDict()
+        #: Keys whose first put was deferred by the admission policy, kept in
+        #: a bounded FIFO so the ghost list cannot itself grow unboundedly.
+        self._seen_once: "OrderedDict[CacheKey, None]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._expirations = 0
+        self._admissions_deferred = 0
 
     # ------------------------------------------------------------------ #
     # keys
@@ -89,15 +131,35 @@ class ResultCache:
         """Return the maximum number of retained rankings."""
         return self._capacity
 
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """Return the configured time-to-live (``None`` when disabled)."""
+        return self._ttl_seconds
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def _expired(self, inserted_at: float) -> bool:
+        return (
+            self._ttl_seconds is not None
+            and self._clock() - inserted_at > self._ttl_seconds
+        )
+
     def get(self, key: CacheKey) -> Optional[Ranking]:
-        """Return the cached ranking for ``key`` (marking it recently used)."""
+        """Return the cached ranking for ``key`` (marking it recently used).
+
+        An entry older than the TTL is dropped and reported as a miss.
+        """
         with self._lock:
-            ranking = self._entries.get(key)
-            if ranking is None:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            ranking, inserted_at = entry
+            if self._expired(inserted_at):
+                del self._entries[key]
+                self._expirations += 1
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -107,16 +169,33 @@ class ResultCache:
     def peek(self, key: CacheKey) -> Optional[Ranking]:
         """Return the cached ranking without touching counters or LRU order."""
         with self._lock:
-            return self._entries.get(key)
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry[1]):
+                return None
+            return entry[0]
 
-    def put(self, key: CacheKey, ranking: Ranking) -> None:
-        """Store a finished ranking, evicting the least recently used if full."""
+    def put(self, key: CacheKey, ranking: Ranking) -> bool:
+        """Store a finished ranking, evicting the least recently used if full.
+
+        Under the admit-on-second-miss policy the first put of a never-seen
+        key is deferred; returns ``True`` if the ranking was admitted.
+        """
         with self._lock:
-            self._entries[key] = ranking
+            if self._admit_on_second_miss and key not in self._entries:
+                if key not in self._seen_once:
+                    self._seen_once[key] = None
+                    # Bound the ghost list: remember at most 4x capacity keys.
+                    while len(self._seen_once) > 4 * self._capacity:
+                        self._seen_once.popitem(last=False)
+                    self._admissions_deferred += 1
+                    return False
+                del self._seen_once[key]
+            self._entries[key] = (ranking, self._clock())
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            return True
 
     # ------------------------------------------------------------------ #
     # invalidation
@@ -125,12 +204,16 @@ class ResultCache:
         """Drop every cached ranking computed on ``dataset_id``.
 
         Called on dataset re-upload so results can never outlive the graph
-        they were computed on.  Returns the number of entries dropped.
+        they were computed on.  Returns the number of entries dropped.  The
+        admission ghost list is purged alongside so a re-uploaded dataset
+        starts its admission accounting afresh.
         """
         with self._lock:
             stale = [key for key in self._entries if key[0] == dataset_id]
             for key in stale:
                 del self._entries[key]
+            for key in [key for key in self._seen_once if key[0] == dataset_id]:
+                del self._seen_once[key]
             self._invalidations += len(stale)
             return len(stale)
 
@@ -139,6 +222,7 @@ class ResultCache:
         with self._lock:
             self._invalidations += len(self._entries)
             self._entries.clear()
+            self._seen_once.clear()
 
     # ------------------------------------------------------------------ #
     # observability
@@ -155,6 +239,10 @@ class ResultCache:
                 "hit_rate": (self._hits / total) if total else 0.0,
                 "evictions": self._evictions,
                 "invalidations": self._invalidations,
+                "ttl_seconds": self._ttl_seconds,
+                "expirations": self._expirations,
+                "admit_on_second_miss": self._admit_on_second_miss,
+                "admissions_deferred": self._admissions_deferred,
             }
 
     def __repr__(self) -> str:

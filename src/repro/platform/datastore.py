@@ -1,4 +1,4 @@
-"""The Datastore component: datasets, results and logs.
+"""The Datastore component: datasets, results, logs and compiled artifacts.
 
 The paper's datastore "is responsible for storing and managing datasets" and
 "provides storage for results and logs produced by the system".  This
@@ -11,6 +11,22 @@ Results are stored as plain dictionaries (the serialised form of
 :class:`~repro.ranking.comparison.ComparisonTable`), so the datastore has no
 dependency on the algorithm layer and can be swapped for a real database
 without touching the rest of the platform.
+
+Compiled-artifact cache
+-----------------------
+Alongside each dataset graph the datastore caches one
+:class:`~repro.graph.compiled.CompiledGraph` — the frozen CSR adjacency, its
+transpose, out-degrees, dangling mask and flat adjacency lists that every
+executor dispatch would otherwise rebuild from the mutable
+:class:`DirectedGraph`.  The invalidation contract mirrors the result
+cache's: the artifact is keyed by the dataset's *upload version*, the entry
+is dropped whenever :meth:`DataStore.store_dataset` replaces or
+:meth:`DataStore.drop_dataset` removes the dataset, and
+:meth:`fetch_compiled_with_version` re-checks the version under the lock
+before serving — so a stale CSR can never be served for a re-uploaded graph,
+even if a compilation was racing the upload.  Hit/miss/invalidation counters
+are exposed through :meth:`artifact_stats` (and from there through
+``platform_stats()``, ``GET /api/stats`` and the CLI's ``--cache-stats``).
 """
 
 from __future__ import annotations
@@ -18,9 +34,10 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..exceptions import StorageError
+from ..exceptions import InvalidParameterError, StorageError
+from ..graph.compiled import CompiledGraph
 from ..graph.digraph import DirectedGraph
 from .cache import ResultCache
 
@@ -42,6 +59,11 @@ class DataStore:
         :class:`~repro.platform.cache.ResultCache` is created when omitted.
         The datastore owns the cache so dataset replacement and removal can
         invalidate the affected entries atomically with the dataset change.
+    cache_ttl_seconds, cache_admit_on_second_miss:
+        Policy knobs forwarded to the internally-built
+        :class:`~repro.platform.cache.ResultCache` (time-based expiry and
+        scan-resistant admission); only valid when ``result_cache`` is
+        omitted — a caller providing its own cache configures it directly.
     """
 
     def __init__(
@@ -49,13 +71,32 @@ class DataStore:
         directory: Optional[str | Path] = None,
         *,
         result_cache: Optional[ResultCache] = None,
+        cache_ttl_seconds: Optional[float] = None,
+        cache_admit_on_second_miss: bool = False,
     ) -> None:
         self._lock = threading.RLock()
         self._datasets: Dict[str, DirectedGraph] = {}
         self._dataset_versions: Dict[str, int] = {}
         self._results: Dict[str, dict] = {}
         self._logs: Dict[str, List[str]] = {}
-        self.result_cache = result_cache if result_cache is not None else ResultCache()
+        if result_cache is not None:
+            if cache_ttl_seconds is not None or cache_admit_on_second_miss:
+                raise InvalidParameterError(
+                    "cache_ttl_seconds / cache_admit_on_second_miss apply to the "
+                    "internally-built cache; configure the provided result_cache "
+                    "directly instead"
+                )
+            self.result_cache = result_cache
+        else:
+            self.result_cache = ResultCache(
+                ttl_seconds=cache_ttl_seconds,
+                admit_on_second_miss=cache_admit_on_second_miss,
+            )
+        #: dataset id -> (upload version the artifact was compiled from, artifact)
+        self._compiled: Dict[str, Tuple[int, CompiledGraph]] = {}
+        self._artifact_hits = 0
+        self._artifact_misses = 0
+        self._artifact_invalidations = 0
         self._directory: Optional[Path] = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -77,6 +118,8 @@ class DataStore:
             replacing = dataset_id in self._datasets
             self._datasets[dataset_id] = graph
             self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
         if replacing:
             self.result_cache.invalidate_dataset(dataset_id)
 
@@ -125,7 +168,62 @@ class DataStore:
         with self._lock:
             self._datasets.pop(dataset_id, None)
             self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
         self.result_cache.invalidate_dataset(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # compiled artifacts
+    # ------------------------------------------------------------------ #
+    def fetch_compiled_with_version(self, dataset_id: str) -> Tuple[CompiledGraph, int]:
+        """Return ``(compiled artifact, version)`` for a stored dataset.
+
+        The artifact is compiled on first use and cached keyed by the
+        dataset's upload version; a hit returns the cached instance, whose
+        lazily-built structures (CSR, transpose, dangling mask, adjacency
+        lists) are shared by every executor dispatch.  On re-upload the entry
+        is dropped and the version re-checked before a fresh artifact is
+        published, so a stale CSR is never served (see the module docstring
+        for the full invalidation contract).
+        """
+        with self._lock:
+            graph = self._datasets.get(dataset_id)
+            version = self._dataset_versions.get(dataset_id, 0)
+            entry = self._compiled.get(dataset_id)
+        if graph is None:
+            raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
+        if entry is not None and entry[0] == version:
+            with self._lock:
+                self._artifact_hits += 1
+            return entry[1], version
+        compiled = CompiledGraph(graph)
+        with self._lock:
+            self._artifact_misses += 1
+            # Publish only if the dataset was not re-uploaded while compiling;
+            # a racing upload wins and the stale artifact is discarded.
+            if self._dataset_versions.get(dataset_id, 0) == version:
+                current = self._compiled.get(dataset_id)
+                if current is not None and current[0] == version:
+                    # A concurrent fetch beat us to it — share its artifact.
+                    return current[1], version
+                self._compiled[dataset_id] = (version, compiled)
+        return compiled, version
+
+    def fetch_compiled(self, dataset_id: str) -> CompiledGraph:
+        """Return the compiled artifact of a stored dataset (see above)."""
+        return self.fetch_compiled_with_version(dataset_id)[0]
+
+    def artifact_stats(self) -> Dict[str, Any]:
+        """Return the compiled-artifact cache counters and occupancy."""
+        with self._lock:
+            total = self._artifact_hits + self._artifact_misses
+            return {
+                "compiled": len(self._compiled),
+                "hits": self._artifact_hits,
+                "misses": self._artifact_misses,
+                "hit_rate": (self._artifact_hits / total) if total else 0.0,
+                "invalidations": self._artifact_invalidations,
+            }
 
     # ------------------------------------------------------------------ #
     # results

@@ -16,7 +16,7 @@ Endpoints
 ``GET  /api/comparisons/<id>/status``         progress snapshot
 ``GET  /api/comparisons/<id>/results?k=5``    the top-k comparison table
 ``GET  /api/comparisons/<id>/logs``           execution log lines
-``GET  /api/stats``                           result-cache and batch-dispatch counters
+``GET  /api/stats``                           result-cache, batch-dispatch and compiled-artifact counters
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources).

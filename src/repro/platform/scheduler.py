@@ -106,13 +106,19 @@ class Scheduler:
     # dataset materialisation
     # ------------------------------------------------------------------ #
     def _fetch_dataset(self, dataset_id: str):
-        """Return ``(graph, version)``, materialising the dataset on first use."""
+        """Return ``(compiled graph, version)``, materialising on first use.
+
+        Executors receive the datastore's cached
+        :class:`~repro.graph.compiled.CompiledGraph` artifact rather than the
+        raw :class:`DirectedGraph`, so the CSR/transpose/dangling structures
+        are compiled once per dataset version instead of once per dispatch.
+        """
         if not self._datastore.has_dataset(dataset_id):
             with self._materialise_lock:
                 if not self._datastore.has_dataset(dataset_id):
                     graph = self._catalog.load(dataset_id)
                     self._datastore.store_dataset(dataset_id, graph)
-        return self._datastore.fetch_dataset_with_version(dataset_id)
+        return self._datastore.fetch_compiled_with_version(dataset_id)
 
     # ------------------------------------------------------------------ #
     # grouping
@@ -203,9 +209,11 @@ class Scheduler:
                     # algorithms through the normal failure path.
                     native_batch = True
                 if len(batch) > 1 and not native_batch:
-                    # Fallback algorithms (e.g. CycleRank) gain nothing from a
-                    # grouped dispatch — run_batch would loop the sources on
-                    # one worker; spread them across the pool instead.
+                    # Fallback algorithms (user-registered ones without a
+                    # batch kernel — every registry algorithm has one) gain
+                    # nothing from a grouped dispatch — run_batch would loop
+                    # the sources on one worker; spread them across the pool
+                    # instead.
                     for key, query in to_compute:
                         try:
                             single = self._pool.submit_batch(
@@ -464,6 +472,10 @@ class Scheduler:
     def cache_stats(self) -> Dict[str, Any]:
         """Return the result-cache counters (delegates to the datastore's cache)."""
         return self._cache.stats()
+
+    def artifact_stats(self) -> Dict[str, Any]:
+        """Return the compiled-artifact cache counters (delegates to the datastore)."""
+        return self._datastore.artifact_stats()
 
     # ------------------------------------------------------------------ #
     # waiting

@@ -98,13 +98,16 @@ class StatusComponent:
     def platform_stats(self) -> Dict[str, Any]:
         """Return the platform-wide serving counters.
 
-        ``cache`` holds the result-cache hit/miss/eviction counters and
-        ``batches`` the scheduler's batched-dispatch summary — together they
-        show how much of the workload was answered without recomputation.
+        ``cache`` holds the result-cache hit/miss/eviction counters,
+        ``batches`` the scheduler's batched-dispatch summary and
+        ``artifacts`` the compiled-graph artifact cache counters — together
+        they show how much of the workload was answered without
+        recomputation (of rankings and of graph structure alike).
         """
         return {
             "cache": self._scheduler.cache_stats(),
             "batches": self._scheduler.batch_stats(),
+            "artifacts": self._scheduler.artifact_stats(),
         }
 
     def stored_result(self, task_id: str) -> dict:

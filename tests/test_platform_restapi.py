@@ -206,13 +206,15 @@ class TestStatsEndpoint:
     def test_stats_exposes_cache_and_batch_counters(self, server):
         status, payload = get_json(server, "/api/stats")
         assert status == 200
-        assert set(payload) == {"cache", "batches"}
+        assert set(payload) == {"cache", "batches", "artifacts"}
         for counter in ("capacity", "size", "hits", "misses", "hit_rate",
                         "evictions", "invalidations"):
             assert counter in payload["cache"]
         for counter in ("batches", "batched_queries", "largest_batch",
                         "mean_batch_size", "inflight_queries"):
             assert counter in payload["batches"]
+        for counter in ("compiled", "hits", "misses", "hit_rate", "invalidations"):
+            assert counter in payload["artifacts"]
 
     def test_stats_reflect_cache_hits_after_a_repeat_comparison(self, server):
         body = {

@@ -35,6 +35,10 @@ class TestCounters:
             "hit_rate": 0.0,
             "evictions": 0,
             "invalidations": 0,
+            "ttl_seconds": None,
+            "expirations": 0,
+            "admit_on_second_miss": False,
+            "admissions_deferred": 0,
         }
 
     def test_hits_and_misses_are_counted(self):
@@ -237,3 +241,132 @@ class TestDatasetVersioning:
         cache.put(old, _ranking())
         assert cache.peek(new) is None
         assert cache.invalidate_dataset("ds") == 1
+
+
+class _FakeClock:
+    """Injectable monotonic clock for deterministic TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTimeToLive:
+    def test_entries_expire_after_the_ttl(self):
+        clock = _FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        key = _key()
+        cache.put(key, _ranking())
+        clock.advance(9.0)
+        assert cache.get(key) is not None
+        clock.advance(2.0)  # 11s since insertion
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 0
+
+    def test_put_refreshes_the_clock(self):
+        clock = _FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        key = _key()
+        cache.put(key, _ranking())
+        clock.advance(8.0)
+        cache.put(key, _ranking(0.5))  # re-insert restarts the TTL
+        clock.advance(8.0)
+        assert cache.get(key) is not None
+
+    def test_peek_does_not_serve_expired_entries(self):
+        clock = _FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=1.0, clock=clock)
+        key = _key()
+        cache.put(key, _ranking())
+        clock.advance(2.0)
+        assert cache.peek(key) is None
+        # peek never touches the counters.
+        assert cache.stats()["expirations"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = _FakeClock()
+        cache = ResultCache(capacity=4, clock=clock)
+        key = _key()
+        cache.put(key, _ranking())
+        clock.advance(1e9)
+        assert cache.get(key) is not None
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(capacity=4, ttl_seconds=0.0)
+        with pytest.raises(InvalidParameterError):
+            ResultCache(capacity=4, ttl_seconds=-1.0)
+
+
+class TestAdmitOnSecondMiss:
+    def test_first_put_is_deferred_second_is_admitted(self):
+        cache = ResultCache(capacity=4, admit_on_second_miss=True)
+        key = _key()
+        assert cache.put(key, _ranking()) is False
+        assert cache.get(key) is None  # not admitted yet
+        assert cache.put(key, _ranking()) is True
+        assert cache.get(key) is not None
+        stats = cache.stats()
+        assert stats["admit_on_second_miss"] is True
+        assert stats["admissions_deferred"] == 1
+
+    def test_scan_workload_does_not_evict_the_working_set(self):
+        cache = ResultCache(capacity=2, admit_on_second_miss=True)
+        hot_first, hot_second = _key(source="hot-1"), _key(source="hot-2")
+        for key in (hot_first, hot_second):
+            cache.put(key, _ranking())
+            cache.put(key, _ranking())
+        # A one-off scan over many distinct keys: none are admitted, so the
+        # hot entries survive untouched.
+        for index in range(50):
+            cache.put(_key(source=f"scan-{index}"), _ranking())
+        assert cache.peek(hot_first) is not None
+        assert cache.peek(hot_second) is not None
+        assert cache.stats()["evictions"] == 0
+
+    def test_admitted_entry_updates_normally(self):
+        cache = ResultCache(capacity=4, admit_on_second_miss=True)
+        key = _key()
+        cache.put(key, _ranking())
+        cache.put(key, _ranking())
+        # Once resident, a refresh put stores immediately.
+        assert cache.put(key, _ranking(0.25)) is True
+        assert cache.get(key).scores[0] == 0.25
+
+    def test_invalidation_purges_the_ghost_list(self):
+        cache = ResultCache(capacity=4, admit_on_second_miss=True)
+        key = _key(dataset="ds")
+        cache.put(key, _ranking())  # deferred; key sits in the ghost list
+        cache.invalidate_dataset("ds")
+        # After invalidation the admission accounting restarts: the next put
+        # is a first sighting again.
+        assert cache.put(key, _ranking()) is False
+
+    def test_default_policy_admits_immediately(self):
+        cache = ResultCache(capacity=4)
+        key = _key()
+        assert cache.put(key, _ranking()) is True
+        assert cache.get(key) is not None
+
+
+class TestDataStoreCacheKnobs:
+    def test_knobs_configure_the_internal_cache(self):
+        datastore = DataStore(cache_ttl_seconds=30.0, cache_admit_on_second_miss=True)
+        stats = datastore.result_cache.stats()
+        assert stats["ttl_seconds"] == 30.0
+        assert stats["admit_on_second_miss"] is True
+
+    def test_defaults_preserve_seed_behaviour(self):
+        datastore = DataStore()
+        stats = datastore.result_cache.stats()
+        assert stats["ttl_seconds"] is None
+        assert stats["admit_on_second_miss"] is False
