@@ -137,6 +137,7 @@ def power_iteration_batch(
     teleports: np.ndarray,
     tol: float = DEFAULT_TOL,
     max_iter: int = DEFAULT_MAX_ITER,
+    transition_t=None,
 ) -> Tuple[np.ndarray, int]:
     """Run the PageRank power iteration for ``k`` teleport vectors at once.
 
@@ -159,6 +160,12 @@ def power_iteration_batch(
     max_iter:
         Maximum number of iterations before raising
         :class:`~repro.exceptions.ConvergenceError`.
+    transition_t:
+        Optional prebuilt ``alpha * P^T`` in ``scipy.sparse`` CSR form — the
+        matrix a :class:`~repro.graph.compiled.CompiledGraph` caches per
+        alpha (:meth:`~repro.graph.compiled.CompiledGraph.folded_transition_transpose`),
+        so repeat batches on a cached artifact skip the rebuild.  Built from
+        ``csr`` when omitted; must correspond to the same graph and alpha.
 
     Returns
     -------
@@ -188,8 +195,9 @@ def power_iteration_batch(
     # `scores @ P` for a batch of columns is `P.T @ scores`; materialise the
     # transpose in CSR form once, with alpha folded into the matrix data so
     # the iteration body is one sparse-dense product plus in-place updates.
-    transition_t = transition_matrix(csr).transpose().tocsr()
-    transition_t.data *= alpha
+    if transition_t is None:
+        transition_t = transition_matrix(csr).transpose().tocsr()
+        transition_t.data = transition_t.data * alpha
     dangling_mask = np.asarray(csr.out_degrees() == 0, dtype=np.float64)
     has_dangling = bool(dangling_mask.any())
     scores = teleport_matrix.copy()

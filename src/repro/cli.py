@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result-cache and batch-dispatch counters after the run",
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="shard the storage layer across N consistent-hash backends",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare several algorithms on the same dataset and reference"
@@ -103,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result-cache and batch-dispatch counters after the comparison",
     )
+    compare_parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="shard the storage layer across N consistent-hash backends",
+    )
 
     cross_parser = subparsers.add_parser(
         "cross-language", help="run CycleRank on several Wikipedia language editions"
@@ -122,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--port", type=int, default=8080, help="bind port (0 = random)")
     serve_parser.add_argument(
         "--workers", type=int, default=2, help="number of executor nodes in the pool"
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="shard the storage layer across N consistent-hash backends",
     )
 
     return parser
@@ -169,6 +187,16 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
         f"(hit rate {artifacts['hit_rate']:.0%}), {artifacts['compiled']} compiled, "
         f"{artifacts['invalidations']} invalidations"
     )
+    shards = stats.get("shards")
+    if shards:
+        breakdown = ", ".join(
+            f"{shard_id}: {info['occupancy']['datasets']} dataset(s), "
+            f"{info['cache_hit_rate']:.0%} cache hits"
+            if info.get("healthy")
+            else f"{shard_id}: UNHEALTHY ({info.get('error', 'unknown')})"
+            for shard_id, info in sorted(shards["per_shard"].items())
+        )
+        print(f"shards: {shards['num_shards']} on the ring — {breakdown}")
 
 
 def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
@@ -307,8 +335,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     handler = _COMMANDS[arguments.command]
+    shards = getattr(arguments, "shards", None)
+    if shards is not None and shards < 1:
+        print(f"error: --shards must be a positive integer, got {shards}", file=sys.stderr)
+        return 2
     try:
-        with ApiGateway() as gateway:
+        with ApiGateway(shards=shards) as gateway:
             return handler(gateway, arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -25,6 +25,7 @@ what the datastore's version-keyed invalidation does).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,11 @@ from .csr import CSRGraph
 from .digraph import DirectedGraph
 
 __all__ = ["CompiledGraph", "compiled_of"]
+
+#: Distinct (alpha, direction) folded transition matrices retained per
+#: artifact; production traffic uses one or two alphas, so a handful covers
+#: every realistic workload while bounding an alpha-sweeping client.
+MAX_FOLDED_TRANSITIONS = 8
 
 #: Flat adjacency lists: (indptr, indices) for the forward graph followed by
 #: (indptr, indices) for the transpose, all as plain Python int lists.
@@ -51,7 +57,11 @@ class CompiledGraph:
       the power-iteration family;
     * :meth:`adjacency` / :meth:`adjacency_transpose` — ``scipy.sparse``
       matrices for the matrix-shaped kernels (HITS, Katz);
-    * :meth:`adjacency_lists` — flat Python-list CSR for the cycle engine.
+    * :meth:`adjacency_lists` — flat Python-list CSR for the cycle engine;
+    * :meth:`folded_transition_transpose` — the alpha-folded transposed
+      transition matrix the batched power iteration multiplies by, cached
+      per ``(alpha, direction)`` so repeat PPR/CheiRank groups skip the
+      rebuild.
 
     Any other attribute (``resolve``, ``labels``, ``successors``, ...) is
     delegated to the wrapped :class:`DirectedGraph`, so a ``CompiledGraph``
@@ -69,6 +79,12 @@ class CompiledGraph:
         self._scipy_transpose = None
         self._lists: Optional[AdjacencyLists] = None
         self._labels_array: Optional[np.ndarray] = None
+        #: (alpha, reverse) -> alpha-folded transposed transition matrix; the
+        #: batched power iteration fetches these instead of rebuilding per
+        #: query group.  Bounded LRU: each entry is an |E|-sized matrix and
+        #: the artifact lives as long as the dataset, so a client sweeping
+        #: alphas must not grow it without limit.
+        self._folded_transitions: "OrderedDict[Tuple[float, bool], object]" = OrderedDict()
 
     @property
     def graph(self) -> DirectedGraph:
@@ -161,6 +177,42 @@ class CompiledGraph:
                         transpose.indices.tolist(),
                     )
         return self._lists
+
+    def folded_transition_transpose(self, alpha: float, *, reverse: bool = False):
+        """Return ``alpha * P^T`` in CSR form, cached per ``(alpha, reverse)``.
+
+        ``P`` is the row-stochastic transition matrix of the graph (rows of
+        dangling nodes all-zero) — of the *reversed* graph when ``reverse``
+        is true, which is what personalized CheiRank iterates on.  The
+        batched power iteration multiplies by this transposed matrix every
+        step with the damping factor folded into the data, so caching it per
+        alpha lets repeat PPR/CheiRank groups on the platform skip the
+        rebuild entirely.  At most :data:`MAX_FOLDED_TRANSITIONS` distinct
+        matrices are retained (least recently used evicted), bounding the
+        artifact's footprint against alpha-sweeping clients.  The returned
+        matrix is shared: treat it as read-only.
+        """
+        key = (float(alpha), bool(reverse))
+        with self._build_lock:
+            cached = self._folded_transitions.get(key)
+            if cached is not None:
+                self._folded_transitions.move_to_end(key)
+                return cached
+        # Function-local import: repro.algorithms imports this module at
+        # package-init time, so a top-level import would be circular.  The
+        # shared builder keeps this cache exactly equivalent to the rebuild
+        # path in power_iteration_batch.
+        from ..algorithms.pagerank import transition_matrix
+
+        csr = self.transpose_csr() if reverse else self.to_csr()
+        folded = transition_matrix(csr).transpose().tocsr()
+        folded.data = folded.data * float(alpha)
+        with self._build_lock:
+            existing = self._folded_transitions.setdefault(key, folded)
+            self._folded_transitions.move_to_end(key)
+            while len(self._folded_transitions) > MAX_FOLDED_TRANSITIONS:
+                self._folded_transitions.popitem(last=False)
+            return existing
 
     def labels_array(self) -> np.ndarray:
         """Return the node labels as a (cached) NumPy string array.

@@ -9,6 +9,11 @@ reproduces the same component decomposition with in-process equivalents:
 ``datastore``
     Stores datasets, results and logs; in-memory by default with optional
     directory persistence.
+``sharding``
+    The consistent-hash storage layer: :class:`HashRing` and
+    :class:`ShardedDataStore`, which spreads datasets (with their result
+    caches and compiled artifacts) across N backend datastores while keeping
+    the scheduler and gateway oblivious.
 ``cache``
     The platform-wide LRU :class:`ResultCache` of finished rankings, owned
     by the datastore and consulted by the scheduler before any dispatch.
@@ -40,12 +45,16 @@ from .executor import BatchExecutionOutcome, ExecutionOutcome, ExecutorNode, Exe
 from .gateway import ApiGateway
 from .restapi import RestApiServer
 from .scheduler import Scheduler
+from .sharding import HashRing, ShardedDataStore, ShardedResultCache
 from .status import StatusComponent, TaskProgress
 from .tasks import Query, QuerySet, Task, TaskBuilder, TaskState
 from .webui import WebUI
 
 __all__ = [
     "DataStore",
+    "HashRing",
+    "ShardedDataStore",
+    "ShardedResultCache",
     "ResultCache",
     "Query",
     "QuerySet",

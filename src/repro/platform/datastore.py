@@ -108,16 +108,25 @@ class DataStore:
     # ------------------------------------------------------------------ #
     # datasets
     # ------------------------------------------------------------------ #
-    def store_dataset(self, dataset_id: str, graph: DirectedGraph) -> None:
+    def store_dataset(
+        self, dataset_id: str, graph: DirectedGraph, *, version_floor: int = 0
+    ) -> None:
         """Store (or replace) a dataset graph under ``dataset_id``.
 
         Replacing an existing dataset invalidates every cached ranking that
-        was computed on the previous graph.
+        was computed on the previous graph.  ``version_floor`` lets the
+        sharded store keep the upload counter monotonic across shard
+        boundaries: the new version always exceeds both this store's own
+        counter and the floor, so a cache key minted against any earlier
+        copy of the dataset — on any shard — can never collide with a later
+        upload's version.
         """
         with self._lock:
             replacing = dataset_id in self._datasets
             self._datasets[dataset_id] = graph
-            self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+            self._dataset_versions[dataset_id] = (
+                max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
+            )
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
         if replacing:
@@ -281,6 +290,21 @@ class DataStore:
             )
         return sorted(identifiers)
 
+    def drop_result(self, result_id: str) -> None:
+        """Remove a stored result (no error if absent).
+
+        Used by the sharded store when a result migrates to another backend;
+        a persisted file is removed alongside the in-memory copy.
+        """
+        with self._lock:
+            self._results.pop(result_id, None)
+        if self._directory is not None:
+            path = self._directory / "results" / f"{result_id}.json"
+            try:
+                path.unlink(missing_ok=True)
+            except OSError as exc:
+                raise StorageError(f"cannot remove persisted result {result_id!r}: {exc}") from exc
+
     # ------------------------------------------------------------------ #
     # logs
     # ------------------------------------------------------------------ #
@@ -305,3 +329,37 @@ class DataStore:
         """Return the identifiers of all log streams, sorted."""
         with self._lock:
             return sorted(self._logs)
+
+    def drop_logs(self, log_id: str) -> None:
+        """Remove a log stream (no error if absent); mirrors :meth:`drop_result`."""
+        with self._lock:
+            self._logs.pop(log_id, None)
+        if self._directory is not None:
+            path = self._directory / "logs" / f"{log_id}.log"
+            try:
+                path.unlink(missing_ok=True)
+            except OSError as exc:
+                raise StorageError(f"cannot remove persisted log {log_id!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # occupancy
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> Dict[str, int]:
+        """Return how much this store currently holds (one shard's health card).
+
+        The sharded store fans this out per backend on every stats poll, so
+        the counts come straight from the in-memory containers — no id
+        listings are materialised, sorted, or read from disk.  Results that
+        only exist as files persisted by an earlier process are not counted
+        here; they remain visible through :meth:`list_results` /
+        :meth:`get_result`.
+        """
+        with self._lock:
+            counts = {
+                "datasets": len(self._datasets),
+                "results": len(self._results),
+                "logs": len(self._logs),
+                "compiled_artifacts": len(self._compiled),
+            }
+        counts["cached_rankings"] = len(self.result_cache)
+        return counts

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..algorithms.registry import available_algorithms, get_algorithm
 from ..datasets.catalog import DatasetCatalog, default_catalog
+from ..exceptions import InvalidParameterError
 from ..graph.analysis import graph_summary
 from ..graph.digraph import DirectedGraph
 from ..ranking.comparison import ComparisonTable
@@ -27,6 +28,7 @@ from ..ranking.result import Ranking
 from .datastore import DataStore
 from .executor import ExecutorPool
 from .scheduler import Scheduler
+from .sharding import ShardedDataStore
 from .status import StatusComponent, TaskProgress
 from .tasks import Query, QuerySet, Task, TaskBuilder
 
@@ -41,9 +43,16 @@ class ApiGateway:
     catalog:
         Dataset catalog; defaults to the 50 pre-loaded datasets.
     datastore:
-        Result/log storage; defaults to a fresh in-memory datastore.
+        Result/log storage; defaults to a fresh in-memory datastore.  May be
+        a :class:`~repro.platform.sharding.ShardedDataStore` — the scheduler
+        and executors work against the abstract store either way.
     num_workers:
         Number of executor nodes in the pool.
+    shards:
+        Shard the storage layer: an integer builds that many in-memory
+        backends behind a consistent-hash ring, a sequence of
+        :class:`DataStore` instances shards across the provided backends.
+        Mutually exclusive with ``datastore``.
     """
 
     def __init__(
@@ -52,7 +61,18 @@ class ApiGateway:
         catalog: Optional[DatasetCatalog] = None,
         datastore: Optional[DataStore] = None,
         num_workers: int = 2,
+        shards: Optional[Union[int, Sequence[DataStore]]] = None,
     ) -> None:
+        if shards is not None:
+            if datastore is not None:
+                raise InvalidParameterError(
+                    "`shards` builds the datastore; provide either `shards` or "
+                    "`datastore`, not both"
+                )
+            if isinstance(shards, int):
+                datastore = ShardedDataStore(num_shards=shards)
+            else:
+                datastore = ShardedDataStore(shards=list(shards))
         self.catalog = catalog if catalog is not None else default_catalog()
         self.datastore = datastore if datastore is not None else DataStore()
         self.executor_pool = ExecutorPool(self.datastore, num_workers=num_workers)

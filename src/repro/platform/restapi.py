@@ -16,7 +16,9 @@ Endpoints
 ``GET  /api/comparisons/<id>/status``         progress snapshot
 ``GET  /api/comparisons/<id>/results?k=5``    the top-k comparison table
 ``GET  /api/comparisons/<id>/logs``           execution log lines
-``GET  /api/stats``                           result-cache, batch-dispatch and compiled-artifact counters
+``GET  /api/stats``                           result-cache, batch-dispatch and compiled-artifact counters;
+                                              on a sharded deployment also the shard topology, per-shard
+                                              health/occupancy and per-shard hit rates
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources).

@@ -102,13 +102,21 @@ class StatusComponent:
         ``batches`` the scheduler's batched-dispatch summary and
         ``artifacts`` the compiled-graph artifact cache counters — together
         they show how much of the workload was answered without
-        recomputation (of rankings and of graph structure alike).
+        recomputation (of rankings and of graph structure alike).  When the
+        platform runs on a :class:`~repro.platform.sharding.ShardedDataStore`
+        a ``shards`` section is added: ring topology, per-shard health,
+        occupancy and hit rates (the cache/artifact sections then aggregate
+        across shards and carry their own per-shard breakdowns).
         """
-        return {
+        stats = {
             "cache": self._scheduler.cache_stats(),
             "batches": self._scheduler.batch_stats(),
             "artifacts": self._scheduler.artifact_stats(),
         }
+        shard_stats = getattr(self._datastore, "shard_stats", None)
+        if callable(shard_stats):
+            stats["shards"] = shard_stats()
+        return stats
 
     def stored_result(self, task_id: str) -> dict:
         """Return the serialised results stored in the datastore for ``task_id``."""

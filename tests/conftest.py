@@ -8,6 +8,8 @@ same code paths as the full-size benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets.amazon import generate_amazon_graph
@@ -20,6 +22,33 @@ from repro.graph.generators import (
     reciprocal_communities_graph,
     star_graph,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sharded_default_datastore():
+    """Run every default-datastore gateway on an N-shard store when asked.
+
+    With ``REPRO_TEST_SHARDS=N`` in the environment, any
+    :class:`~repro.platform.gateway.ApiGateway` built without an explicit
+    ``datastore`` gets an N-shard
+    :class:`~repro.platform.sharding.ShardedDataStore` instead of a single
+    :class:`DataStore`.  CI runs the platform suite a second time with
+    ``REPRO_TEST_SHARDS=4`` so the single-store and sharded topologies both
+    stay green; locally the suite runs unsharded unless the variable is set.
+    """
+    num_shards = int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0)
+    if num_shards <= 0:
+        yield
+        return
+    from repro.platform import gateway as gateway_module
+    from repro.platform.sharding import ShardedDataStore
+
+    original = gateway_module.DataStore
+    gateway_module.DataStore = lambda: ShardedDataStore(num_shards=num_shards)
+    try:
+        yield
+    finally:
+        gateway_module.DataStore = original
 
 
 @pytest.fixture

@@ -8,6 +8,8 @@ commands against the smallest catalog datasets.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import DEFAULT_COMPARISON_ALGORITHMS, build_parser, main
@@ -156,3 +158,38 @@ class TestCacheStatsFlag:
     def test_stats_are_omitted_without_the_flag(self, tiny_catalog, capsys):
         assert main(["run", "toy", "cyclerank", "--source", "R"]) == 0
         assert "cache:" not in capsys.readouterr().out
+
+
+class TestShardsFlag:
+    def test_run_command_on_a_sharded_store(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--shards", "3",
+             "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "CycleRank" in output
+        assert "shards: 3 on the ring" in output
+        assert "shard-0" in output
+
+    def test_compare_command_on_a_sharded_store(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["compare", "toy", "--source", "R", "--algorithms",
+             "personalized-pagerank", "--shards", "2", "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Pers. PageRank" in output
+        assert "shards: 2 on the ring" in output
+
+    @pytest.mark.skipif(
+        bool(int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0)),
+        reason="the sharded-topology run makes every default gateway sharded",
+    )
+    def test_shard_line_is_omitted_on_a_single_store(self, tiny_catalog, capsys):
+        assert main(["run", "toy", "cyclerank", "--source", "R", "--cache-stats"]) == 0
+        assert "shards:" not in capsys.readouterr().out
+
+    def test_non_positive_shards_is_rejected(self, tiny_catalog, capsys):
+        assert main(["run", "toy", "cyclerank", "--source", "R", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err

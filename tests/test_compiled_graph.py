@@ -89,6 +89,37 @@ class TestGraphFacade:
         assert compiled.predecessors(0) == random_graph.predecessors(0)
         assert compiled.labels() == random_graph.labels()
 
+    def test_folded_transition_transpose_matches_direct_build(self, random_graph):
+        from repro.algorithms.pagerank import transition_matrix
+
+        compiled = CompiledGraph(random_graph)
+        for alpha in (0.3, 0.85):
+            expected = transition_matrix(random_graph.to_csr()).transpose().tocsr()
+            expected.data = expected.data * alpha
+            folded = compiled.folded_transition_transpose(alpha)
+            assert np.allclose((folded - expected).toarray(), 0.0)
+            # Cached: the same object comes back for the same alpha.
+            assert compiled.folded_transition_transpose(alpha) is folded
+        # The reversed direction is the transition of the transposed graph.
+        reverse_expected = (
+            transition_matrix(random_graph.transpose().to_csr()).transpose().tocsr()
+        )
+        reverse_expected.data = reverse_expected.data * 0.85
+        reverse_folded = compiled.folded_transition_transpose(0.85, reverse=True)
+        assert np.allclose((reverse_folded - reverse_expected).toarray(), 0.0)
+
+    def test_folded_transition_cache_is_bounded(self, random_graph):
+        from repro.graph.compiled import MAX_FOLDED_TRANSITIONS
+
+        compiled = CompiledGraph(random_graph)
+        sweep = np.linspace(0.05, 0.95, MAX_FOLDED_TRANSITIONS + 5)
+        for alpha in sweep:
+            compiled.folded_transition_transpose(float(alpha))
+        assert len(compiled._folded_transitions) == MAX_FOLDED_TRANSITIONS
+        # The most recent alpha survived the sweep; the earliest was evicted.
+        assert (float(sweep[-1]), False) in compiled._folded_transitions
+        assert (float(sweep[0]), False) not in compiled._folded_transitions
+
     def test_compiled_of_is_idempotent(self, random_graph):
         compiled = compiled_of(random_graph)
         assert compiled_of(compiled) is compiled

@@ -35,10 +35,23 @@ class TestPublicExports:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.__all__ lists {name!r}"
 
-    def test_version_matches_pyproject(self):
+    def test_version_is_single_sourced_from_version_py(self):
+        # pyproject.toml must not pin its own copy of the version: setuptools
+        # reads it dynamically from src/repro/version.py, so there is exactly
+        # one place to bump.
         pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
         content = pyproject.read_text(encoding="utf-8")
-        assert f'version = "{repro.__version__}"' in content
+        assert 'dynamic = ["version"]' in content
+        assert 'version = { attr = "repro.version.__version__" }' in content
+        assert f'version = "{repro.__version__}"' not in content
+
+    def test_cli_version_flag_prints_the_package_version(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
 
     def test_paper_algorithm_count_is_seven(self):
         from repro.algorithms.registry import PAPER_ALGORITHMS
