@@ -16,6 +16,38 @@ Sub-commands mirror the Web UI workflow:
 ``repro-relevance cross-language --topic fake-news [--languages de en fr]``
     Run CycleRank on several language editions (the dataset-comparison use
     case of Table III).
+
+``run`` and ``compare`` block by default; two flags tap the job/event
+subsystem instead:
+
+``--no-wait``
+    Submit the comparison and print only its permalink id instead of
+    rendering results.  Note the CLI builds an in-process gateway per
+    invocation: the submission itself is non-blocking, but the gateway
+    drains in-flight work on exit (results are discarded with the process
+    unless a persistent datastore backs it).  Against a served deployment
+    the id is the real permalink — POST ``/api/comparisons`` with
+    ``"synchronous": false`` and redeem it via the REST endpoints.
+
+    ::
+
+        $ repro-relevance compare enwiki-2018 --source Pasta --no-wait
+        b3c5e1f0-...-id
+
+``--follow``
+    Submit without blocking, then render the streamed per-query progress
+    events (one line per ``query_started``/``query_completed``/... event,
+    read from the job's event cursor) before printing the same results the
+    blocking path prints.
+
+    ::
+
+        $ repro-relevance run enwiki-2018 cyclerank --source Pasta --follow
+        comparison 6f0b...: submitted 1 queries
+        query 0 started: cyclerank on enwiki-2018
+        query 0 completed (1/1 done)
+        comparison done (1/1 queries)
+        ...top-k results...
 """
 
 from __future__ import annotations
@@ -47,6 +79,22 @@ def _parse_parameter_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, str]
         key, value = pair.split("=", 1)
         overrides[key.strip()] = value.strip()
     return overrides
+
+
+def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the non-blocking submission flags shared by run/compare."""
+    waiting = parser.add_mutually_exclusive_group()
+    waiting.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print only the comparison id instead of waiting to render results "
+        "(in-flight work still drains on exit)",
+    )
+    waiting.add_argument(
+        "--follow",
+        action="store_true",
+        help="submit without blocking and render streamed per-query progress",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard the storage layer across N consistent-hash backends",
     )
+    _add_wait_flags(run_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare several algorithms on the same dataset and reference"
@@ -115,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard the storage layer across N consistent-hash backends",
     )
+    _add_wait_flags(compare_parser)
 
     cross_parser = subparsers.add_parser(
         "cross-language", help="run CycleRank on several Wikipedia language editions"
@@ -199,6 +249,62 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
         print(f"shards: {shards['num_shards']} on the ring — {breakdown}")
 
 
+def _describe_event(event: Dict[str, object]) -> str:
+    """Render one job event as the ``--follow`` progress line."""
+    kind = event.get("type")
+    index = event.get("query")
+    if kind == "submitted":
+        return f"submitted {event.get('total_queries')} queries"
+    if kind == "query_started":
+        joined = " (joined in-flight twin)" if event.get("joined") else ""
+        return (
+            f"query {index} started: {event.get('algorithm')} "
+            f"on {event.get('dataset_id')}{joined}"
+        )
+    if kind == "query_cached":
+        return (
+            f"query {index} served from cache "
+            f"({event.get('completed_queries')}/{event.get('total_queries')} done)"
+        )
+    if kind == "query_completed":
+        return (
+            f"query {index} completed "
+            f"({event.get('completed_queries')}/{event.get('total_queries')} done)"
+        )
+    if kind == "query_failed":
+        return f"query {index} FAILED: {event.get('error')}"
+    if kind == "cancelled":
+        return "cancellation requested"
+    if kind == "task_done":
+        return (
+            f"comparison {event.get('state')} "
+            f"({event.get('completed_queries')}/{event.get('total_queries')} queries)"
+        )
+    return f"{kind}"
+
+
+def _submit_comparison(
+    gateway: ApiGateway, queries: List[dict], arguments: argparse.Namespace
+) -> Optional[str]:
+    """Submit ``queries`` honouring ``--no-wait``/``--follow``.
+
+    Returns the comparison id once it has finished, or ``None`` when the
+    caller should exit immediately (``--no-wait`` printed the permalink).
+    The default path blocks exactly like the pre-jobs CLI did.
+    """
+    if getattr(arguments, "no_wait", False):
+        comparison = gateway.run_queries(queries, synchronous=False)
+        print(comparison)
+        return None
+    if getattr(arguments, "follow", False):
+        comparison = gateway.run_queries(queries, synchronous=False)
+        print(f"comparison {comparison}:")
+        for event in gateway.stream_events(comparison):
+            print(_describe_event(event))
+        return comparison
+    return gateway.run_queries(queries, synchronous=True)
+
+
 def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
     """Print the task error and return an exit code if the comparison failed."""
     progress = gateway.get_status(comparison_id)
@@ -210,7 +316,8 @@ def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
 
 def _command_run(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
     parameters = _parse_parameter_overrides(arguments.param)
-    comparison = gateway.run_queries(
+    comparison = _submit_comparison(
+        gateway,
         [
             {
                 "dataset_id": arguments.dataset,
@@ -219,8 +326,10 @@ def _command_run(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
                 "parameters": parameters,
             }
         ],
-        synchronous=True,
+        arguments,
     )
+    if comparison is None:
+        return 0
     failure = _fail_if_errored(gateway, comparison)
     if failure is not None:
         return failure
@@ -253,7 +362,9 @@ def _command_compare(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
                 "parameters": parameters,
             }
         )
-    comparison = gateway.run_queries(queries, synchronous=True)
+    comparison = _submit_comparison(gateway, queries, arguments)
+    if comparison is None:
+        return 0
     failure = _fail_if_errored(gateway, comparison)
     if failure is not None:
         return failure

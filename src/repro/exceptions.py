@@ -23,6 +23,7 @@ __all__ = [
     "PlatformError",
     "TaskError",
     "TaskNotFoundError",
+    "JobCancelledError",
     "ExecutorError",
     "StorageError",
 ]
@@ -147,6 +148,19 @@ class TaskNotFoundError(TaskError, KeyError):
 
     def __str__(self) -> str:
         return f"task not found: {self.task_id!r}"
+
+
+class JobCancelledError(TaskError):
+    """Raised to settle work abandoned because its job was cancelled.
+
+    Queries whose single-flight future is exclusively owned by a cancelled
+    job are settled with this error; queries shared with other live jobs
+    keep computing and never see it.
+    """
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id!r} was cancelled")
+        self.job_id = job_id
 
 
 class ExecutorError(PlatformError):

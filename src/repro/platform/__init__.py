@@ -21,6 +21,11 @@ reproduces the same component decomposition with in-process equivalents:
     :class:`Query`, :class:`QuerySet` and :class:`TaskBuilder` — the task
     builder of Figure 2, producing (dataset, algorithm, parameters) triples
     identified by a permalink id.
+``jobs``
+    The job/event subsystem: :class:`JobRegistry` of :class:`JobRecord`\\ s,
+    each carrying an explicit lifecycle and an append-only event log with
+    blocking cursor reads — the seam the non-blocking submission, streamed
+    progress and cooperative cancellation are built on.
 ``executor``
     Executor (worker) nodes running queries on a thread pool that can be
     scaled up or down.
@@ -43,6 +48,7 @@ from .cache import ResultCache
 from .datastore import DataStore
 from .executor import BatchExecutionOutcome, ExecutionOutcome, ExecutorNode, ExecutorPool
 from .gateway import ApiGateway
+from .jobs import JobEvent, JobRecord, JobRegistry, JobState, QueryState
 from .restapi import RestApiServer
 from .scheduler import Scheduler
 from .sharding import HashRing, ShardedDataStore, ShardedResultCache
@@ -65,6 +71,11 @@ __all__ = [
     "ExecutorPool",
     "ExecutionOutcome",
     "BatchExecutionOutcome",
+    "JobEvent",
+    "JobRecord",
+    "JobRegistry",
+    "JobState",
+    "QueryState",
     "Scheduler",
     "StatusComponent",
     "TaskProgress",

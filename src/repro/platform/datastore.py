@@ -64,6 +64,12 @@ class DataStore:
         :class:`~repro.platform.cache.ResultCache` (time-based expiry and
         scan-resistant admission); only valid when ``result_cache`` is
         omitted — a caller providing its own cache configures it directly.
+    max_log_lines:
+        Per-key retention bound for :meth:`append_log`: only the newest N
+        lines of each log stream are kept in memory, so a long-lived server
+        whose access log appends on every request cannot grow memory
+        linearly with request count.  The default is generous (10000 lines
+        per key); a persistence directory still receives every line.
     """
 
     def __init__(
@@ -73,7 +79,13 @@ class DataStore:
         result_cache: Optional[ResultCache] = None,
         cache_ttl_seconds: Optional[float] = None,
         cache_admit_on_second_miss: bool = False,
+        max_log_lines: int = 10_000,
     ) -> None:
+        if max_log_lines < 1:
+            raise InvalidParameterError(
+                f"max_log_lines must be a positive integer, got {max_log_lines}"
+            )
+        self._max_log_lines = max_log_lines
         self._lock = threading.RLock()
         self._datasets: Dict[str, DirectedGraph] = {}
         self._dataset_versions: Dict[str, int] = {}
@@ -309,9 +321,17 @@ class DataStore:
     # logs
     # ------------------------------------------------------------------ #
     def append_log(self, log_id: str, message: str) -> None:
-        """Append one log line to the log stream ``log_id``."""
+        """Append one log line to the log stream ``log_id``.
+
+        In-memory retention is bounded per key (the newest ``max_log_lines``
+        lines are kept); a configured persistence directory receives every
+        line regardless, so the full history survives on disk.
+        """
         with self._lock:
-            self._logs.setdefault(log_id, []).append(message)
+            lines = self._logs.setdefault(log_id, [])
+            lines.append(message)
+            if len(lines) > self._max_log_lines:
+                del lines[: len(lines) - self._max_log_lines]
         if self._directory is not None:
             path = self._directory / "logs" / f"{log_id}.log"
             try:

@@ -255,6 +255,17 @@ class ExecutorPool:
         node, pool = self._next_node()
         return pool.submit(node.execute, query, graph, log_id=log_id)
 
+    def submit_work(self, fn, /, *args, **kwargs) -> Future:
+        """Run an arbitrary callable on the worker pool; returns a future.
+
+        Used by the scheduler to off-load whole group dispatches (dataset
+        materialisation, cache lookups, batched execution) so that task
+        submission returns immediately instead of pinning the caller.
+        """
+        with self._lock:
+            pool = self._pool
+        return pool.submit(fn, *args, **kwargs)
+
     def execute_sync(
         self, query: Query, graph: DirectedGraph, *, log_id: Optional[str] = None
     ) -> ExecutionOutcome:

@@ -11,12 +11,23 @@ demo's REST API offers: list datasets and algorithms, upload a dataset,
 build and submit a comparison, check its status, retrieve its results as a
 comparison table, and fetch its logs.  The comparison id returned by
 :meth:`submit_comparison` is the permalink of Figure 2.
+
+Submission is non-blocking by default: the scheduler registers a job (see
+:mod:`repro.platform.jobs`) and returns the comparison id immediately, and
+the gateway exposes the job-centric surface on top — list running and
+finished comparisons (:meth:`list_comparisons`), cancel one
+(:meth:`cancel_comparison`), and follow per-query progress either as one
+blocking cursor read (:meth:`get_events`, the REST long-poll) or as a
+generator that yields events until the job is terminal
+(:meth:`stream_events`, the SSE/CLI ``--follow`` feed).  The blocking
+helpers (:meth:`wait_for`, ``synchronous=True``) are implemented on the
+same event cursor.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..algorithms.registry import available_algorithms, get_algorithm
 from ..datasets.catalog import DatasetCatalog, default_catalog
@@ -220,13 +231,91 @@ class ApiGateway:
         """Return the progress snapshot of a submitted comparison."""
         return self.status.poll(comparison_id)
 
+    def list_comparisons(self) -> List[Dict[str, Any]]:
+        """Return one summary row per known comparison job, oldest first.
+
+        The listing is bounded: the registry retains every active job but
+        only the most recent finished ones (their results remain retrievable
+        by permalink after the row ages out).
+        """
+        return [record.summary() for record in self.scheduler.jobs.list_records()]
+
+    def cancel_comparison(self, comparison_id: str) -> Dict[str, Any]:
+        """Request cooperative cancellation of a running comparison.
+
+        Returns ``{"comparison_id", "cancelled", "state"}`` where
+        ``cancelled`` says whether the request was recorded (``False`` for
+        an already-finished job) and ``state`` is the state observed right
+        after the request.  Raises
+        :class:`~repro.exceptions.TaskNotFoundError` for unknown ids.
+        """
+        cancelled = self.scheduler.cancel(comparison_id)
+        progress = self.get_status(comparison_id)
+        return {
+            "comparison_id": comparison_id,
+            "cancelled": cancelled,
+            "state": progress.state.value,
+        }
+
+    def get_events(
+        self,
+        comparison_id: str,
+        *,
+        after: int = 0,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """One blocking cursor read over a comparison's event log.
+
+        Returns every event with ``seq > after`` as plain dictionaries,
+        blocking up to ``timeout`` seconds for the first new one (a finished
+        job returns immediately).  This is the REST long-poll primitive.
+        """
+        return [
+            event.as_dict()
+            for event in self.status.events_since(
+                comparison_id, after=after, timeout=timeout
+            )
+        ]
+
+    def stream_events(
+        self,
+        comparison_id: str,
+        *,
+        after: int = 0,
+        poll_timeout: float = 1.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield a comparison's events in ``seq`` order until it finishes.
+
+        The generator blocks on the event cursor between batches
+        (``poll_timeout`` bounds each wait) and terminates after yielding
+        the ``task_done`` event, so ``for event in stream_events(...)``
+        renders live progress and ends by itself — the SSE endpoint and the
+        CLI ``--follow`` flag are thin loops over this.
+        """
+        cursor = after
+        while True:
+            events = self.status.events_since(
+                comparison_id, after=cursor, timeout=poll_timeout
+            )
+            for event in events:
+                cursor = event.seq
+                yield event.as_dict()
+                if event.type == "task_done":
+                    return
+            if not events and self.get_status(comparison_id).state.is_terminal():
+                return
+
     def get_platform_stats(self) -> Dict[str, Any]:
         """Return the serving counters: result-cache stats and batch sizes."""
         return self.status.platform_stats()
 
     def wait_for(self, comparison_id: str, *, timeout_seconds: float = 60.0) -> TaskProgress:
-        """Block until a comparison finishes; return the final progress."""
-        self.scheduler.wait(comparison_id, timeout=timeout_seconds)
+        """Block until a comparison finishes; return the final progress.
+
+        Blocks on the job's event cursor (``task_done`` is emitted after the
+        results are persisted), so the pre-refactor contract — results are
+        readable the moment this returns — still holds.
+        """
         return self.status.poll_until_done(comparison_id, timeout_seconds=timeout_seconds)
 
     def get_task(self, comparison_id: str) -> Task:

@@ -1,0 +1,490 @@
+"""The job/event subsystem: explicit job lifecycles over an append-only event log.
+
+The demo is interactive — the Web UI submits a comparison, keeps the
+permalink and *watches* progress — so the platform needs a first-class
+notion of a long-running job that can be observed incrementally and
+cancelled, not just a counter that callers busy-poll.  This module provides
+that seam:
+
+:class:`JobRecord`
+    One submitted comparison (or any other long-running platform job, e.g. a
+    future replication or spill migration).  It carries an explicit
+    lifecycle (``QUEUED → RUNNING → DONE | FAILED | CANCELLED``), a
+    per-query sub-state vector, and an **append-only event log** of typed
+    :class:`JobEvent` entries with a per-job monotonic ``seq``.  Consumers
+    read the log either through callback subscription
+    (:meth:`JobRecord.subscribe`) or through blocking cursor reads
+    (:meth:`JobRecord.events_since`), which is what the Status component,
+    the REST long-poll/SSE endpoints and the CLI ``--follow`` renderer are
+    built on.  The record is itself a *projection* over its log: every
+    counter (completed queries, per-query states, terminal state) is
+    derived from the events as they are appended, so any other projection
+    reading the same log sees exactly the same history.
+
+:class:`JobRegistry`
+    A bounded registry of job records keyed by the comparison id.  Active
+    jobs are never evicted; once the number of *terminal* jobs exceeds the
+    bound, the oldest terminal records are dropped (their results remain in
+    the datastore — only the live event stream is bounded).
+
+Cancellation is cooperative: :meth:`JobRecord.request_cancel` raises a flag
+and appends a ``cancelled`` event; the scheduler checks the flag at every
+group-dispatch boundary and stops dispatching further work, after which the
+job is finished with state ``CANCELLED``.
+
+Event types
+-----------
+``submitted``        the job entered the registry (payload: total queries)
+``query_started``    a query was handed to an executor (or joined an
+                     in-flight identical computation, ``joined=True``)
+``query_cached``     a query was answered from the result cache
+``query_completed``  a query's ranking was recorded
+``query_failed``     a query raised (payload carries the error)
+``cancelled``        cancellation was requested
+``task_done``        the job reached a terminal state (payload: the state)
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..exceptions import TaskNotFoundError
+
+__all__ = [
+    "EVENT_TYPES",
+    "JobEvent",
+    "JobRecord",
+    "JobRegistry",
+    "JobState",
+    "QueryState",
+]
+
+#: The typed vocabulary of the per-job event log.
+EVENT_TYPES = frozenset(
+    {
+        "submitted",
+        "query_started",
+        "query_cached",
+        "query_completed",
+        "query_failed",
+        "task_done",
+        "cancelled",
+    }
+)
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job: ``QUEUED → RUNNING → DONE | FAILED | CANCELLED``."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def is_terminal(self) -> bool:
+        """Return ``True`` once the job can no longer change state."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class QueryState(enum.Enum):
+    """Per-query sub-state within a job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    CACHED = "cached"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def is_settled(self) -> bool:
+        """Return ``True`` once the query has an answer (or never will)."""
+        return self not in (QueryState.PENDING, QueryState.RUNNING)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One immutable entry of a job's append-only event log.
+
+    ``seq`` is monotonic *per job*, starting at 1; a consumer that remembers
+    the last ``seq`` it saw can resume the stream exactly where it left off
+    (``events_since(seq)``), which is what makes the REST long-poll and SSE
+    endpoints deliver every event exactly once.
+    """
+
+    seq: int
+    type: str
+    timestamp: float
+    payload: Mapping[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialise the event to plain Python types (the wire format)."""
+        return {
+            "seq": self.seq,
+            "type": self.type,
+            "timestamp": self.timestamp,
+            **dict(self.payload),
+        }
+
+
+#: Map an event type to the query sub-state it settles (if any).
+_QUERY_EVENT_STATES = {
+    "query_started": QueryState.RUNNING,
+    "query_cached": QueryState.CACHED,
+    "query_completed": QueryState.COMPLETED,
+    "query_failed": QueryState.FAILED,
+}
+
+#: Map a terminal ``task_done`` payload state to the job state.
+_TERMINAL_STATES = {
+    "done": JobState.DONE,
+    "failed": JobState.FAILED,
+    "cancelled": JobState.CANCELLED,
+}
+
+
+class JobRecord:
+    """One job: lifecycle, per-query sub-states and the append-only event log.
+
+    Parameters
+    ----------
+    job_id:
+        The comparison id (doubles as the permalink).
+    total_queries:
+        Number of queries the job carries; sizes the sub-state vector.
+    description:
+        Optional human-readable summary shown by job listings.
+    """
+
+    def __init__(self, job_id: str, total_queries: int, *, description: str = "") -> None:
+        self.job_id = job_id
+        self.total_queries = total_queries
+        self.description = description
+        self.created_at = time.time()
+        self._cond = threading.Condition()
+        self._events: List[JobEvent] = []
+        self._state = JobState.QUEUED
+        self._query_states = [QueryState.PENDING] * total_queries
+        self._completed = 0
+        self._error: Optional[str] = None
+        self._cancel_requested = False
+        self._finished_at: Optional[float] = None
+        self._callbacks: List[Callable[[JobEvent], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def append(self, event_type: str, **payload: Any) -> Optional[JobEvent]:
+        """Append one typed event, update the projection, wake cursor readers.
+
+        Appends after the job reached a terminal state are dropped (and
+        ``None`` is returned): ``task_done`` is always the last event of a
+        log, so a follower can stop reading the moment it sees one.
+
+        Subscribed callbacks run synchronously, in ``seq`` order, while the
+        record lock is held — they must be fast and must not block on the
+        record (cursor reads from a callback would deadlock).
+        """
+        if event_type not in EVENT_TYPES:
+            raise ValueError(f"unknown job event type {event_type!r}")
+        with self._cond:
+            if self._state.is_terminal():
+                return None
+            if event_type == "cancelled" and self._cancel_requested:
+                return None
+            event = JobEvent(
+                seq=len(self._events) + 1,
+                type=event_type,
+                timestamp=time.time(),
+                payload=dict(payload),
+            )
+            self._events.append(event)
+            self._apply(event)
+            self._cond.notify_all()
+            callbacks = list(self._callbacks)
+            for callback in callbacks:
+                callback(event)
+        return event
+
+    def _apply(self, event: JobEvent) -> None:
+        """Fold one event into the projected state (called under the lock)."""
+        query_state = _QUERY_EVENT_STATES.get(event.type)
+        if query_state is not None:
+            index = event.payload.get("query")
+            if isinstance(index, int) and 0 <= index < self.total_queries:
+                self._query_states[index] = query_state
+            if query_state in (QueryState.CACHED, QueryState.COMPLETED):
+                self._completed += 1
+                # Stamp the projected counter into the payload under the
+                # record lock: each completion event carries a unique,
+                # monotonic count (the caller's task-level counter can race
+                # between record and append), so exactly one event per job
+                # reports completed_queries == total_queries.
+                event.payload["completed_queries"] = self._completed  # type: ignore[index]
+            if query_state is QueryState.FAILED:
+                self._error = str(event.payload.get("error", "query failed"))
+            if self._state is JobState.QUEUED:
+                self._state = JobState.RUNNING
+        elif event.type == "cancelled":
+            self._cancel_requested = True
+        elif event.type == "task_done":
+            self._state = _TERMINAL_STATES.get(str(event.payload.get("state")), JobState.DONE)
+            if self._state is JobState.FAILED and self._error is None:
+                self._error = str(event.payload.get("error", "job failed"))
+            if self._state is JobState.CANCELLED:
+                for index, state in enumerate(self._query_states):
+                    if not state.is_settled():
+                        self._query_states[index] = QueryState.CANCELLED
+            self._finished_at = event.timestamp
+
+    def finish(self, state: JobState, *, error: Optional[str] = None) -> bool:
+        """Transition to a terminal state exactly once (emits ``task_done``).
+
+        Returns ``False`` when the job was already terminal — concurrent
+        finishers (e.g. a cancel racing the last group) settle on whichever
+        got there first, and the log carries exactly one ``task_done``.
+        """
+        if not state.is_terminal():
+            raise ValueError(f"finish() requires a terminal state, got {state}")
+        with self._cond:
+            if self._state.is_terminal():
+                return False
+            payload: Dict[str, Any] = {
+                "state": state.value,
+                "completed_queries": self._completed,
+                "total_queries": self.total_queries,
+            }
+            if error is not None:
+                payload["error"] = error
+        return self.append("task_done", **payload) is not None
+
+    # ------------------------------------------------------------------ #
+    # cancellation
+    # ------------------------------------------------------------------ #
+    def request_cancel(self) -> bool:
+        """Raise the cooperative cancel flag (idempotent).
+
+        Returns ``True`` if the request was recorded (the job was not yet
+        terminal and this was the first request).  The scheduler observes the
+        flag at its group-dispatch boundaries and finishes the job with
+        :attr:`JobState.CANCELLED` once outstanding work has stopped.
+        """
+        with self._cond:
+            if self._state.is_terminal() or self._cancel_requested:
+                return False
+        return self.append("cancelled") is not None
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Return ``True`` once cancellation has been requested."""
+        with self._cond:
+            return self._cancel_requested
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> JobState:
+        """Return the current lifecycle state."""
+        with self._cond:
+            return self._state
+
+    @property
+    def error(self) -> Optional[str]:
+        """Return the first recorded failure message, if any."""
+        with self._cond:
+            return self._error
+
+    @property
+    def completed_queries(self) -> int:
+        """Return how many queries have an answer (cached or computed)."""
+        with self._cond:
+            return self._completed
+
+    @property
+    def last_seq(self) -> int:
+        """Return the sequence number of the newest event (0 when empty)."""
+        with self._cond:
+            return len(self._events)
+
+    def query_states(self) -> List[QueryState]:
+        """Return a snapshot of the per-query sub-states."""
+        with self._cond:
+            return list(self._query_states)
+
+    def events(self) -> List[JobEvent]:
+        """Return a snapshot of the full event log."""
+        with self._cond:
+            return list(self._events)
+
+    def events_since(
+        self, after: int, *, timeout: Optional[float] = None
+    ) -> List[JobEvent]:
+        """Blocking cursor read: events with ``seq > after``.
+
+        Blocks until at least one newer event exists, the job is terminal
+        (terminal jobs return immediately — possibly with an empty list when
+        the cursor is already at the end), or ``timeout`` seconds elapsed
+        (returning an empty list).  ``timeout=None`` waits indefinitely for
+        a non-terminal job.
+        """
+        if after < 0:
+            raise ValueError(f"cursor must be >= 0, got {after}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._events) <= after and not self._state.is_terminal():
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                self._cond.wait(remaining)
+            return list(self._events[after:])
+
+    def wait_done(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; return whether it finished in time."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._state.is_terminal():
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------ #
+    # subscription
+    # ------------------------------------------------------------------ #
+    def subscribe(self, callback: Callable[[JobEvent], None]) -> Callable[[], None]:
+        """Register a callback invoked for every subsequent event, in order.
+
+        Returns an unsubscribe function.  Callbacks run under the record
+        lock (see :meth:`append`); use the cursor API for anything that
+        needs to block.
+        """
+        with self._cond:
+            self._callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            with self._cond:
+                try:
+                    self._callbacks.remove(callback)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Any]:
+        """Return the job-listing payload (one row of ``GET /api/comparisons``)."""
+        with self._cond:
+            return {
+                "comparison_id": self.job_id,
+                "state": self._state.value,
+                "completed_queries": self._completed,
+                "total_queries": self.total_queries,
+                "error": self._error,
+                "cancel_requested": self._cancel_requested,
+                "created_at": self.created_at,
+                "finished_at": self._finished_at,
+                "events": len(self._events),
+                "description": self.description,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<JobRecord {self.job_id[:8]} {self.state.value} "
+            f"{self.completed_queries}/{self.total_queries} events={self.last_seq}>"
+        )
+
+
+class JobRegistry:
+    """A bounded, thread-safe registry of :class:`JobRecord`\\ s.
+
+    Parameters
+    ----------
+    max_finished_jobs:
+        How many *terminal* jobs to retain.  Active jobs are never evicted;
+        when a new job is created and the number of terminal records exceeds
+        the bound, the oldest terminal records (insertion order) are
+        dropped.  Their stored results stay in the datastore — eviction only
+        bounds the in-memory event streams.
+    """
+
+    def __init__(self, *, max_finished_jobs: int = 256) -> None:
+        if max_finished_jobs < 1:
+            raise ValueError(
+                f"max_finished_jobs must be a positive integer, got {max_finished_jobs}"
+            )
+        self._max_finished = max_finished_jobs
+        self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._evicted = 0
+
+    def create(
+        self, job_id: str, total_queries: int, *, description: str = ""
+    ) -> JobRecord:
+        """Create and register a fresh record (replaces a stale same-id record)."""
+        record = JobRecord(job_id, total_queries, description=description)
+        with self._lock:
+            self._jobs.pop(job_id, None)
+            self._jobs[job_id] = record
+            self._evict_finished()
+        return record
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest terminal records beyond the bound (lock held)."""
+        terminal = [
+            job_id for job_id, record in self._jobs.items() if record.state.is_terminal()
+        ]
+        for job_id in terminal[: max(0, len(terminal) - self._max_finished)]:
+            del self._jobs[job_id]
+            self._evicted += 1
+
+    def find(self, job_id: str) -> Optional[JobRecord]:
+        """Return the record for ``job_id``, or ``None`` if absent/evicted."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def get(self, job_id: str) -> JobRecord:
+        """Return the record for ``job_id`` (raises :class:`TaskNotFoundError`)."""
+        record = self.find(job_id)
+        if record is None:
+            raise TaskNotFoundError(job_id)
+        return record
+
+    def list_records(self) -> List[JobRecord]:
+        """Return every registered record, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return self.find(job_id) is not None
+
+    def stats(self) -> Dict[str, Any]:
+        """Return registry occupancy counters (for ``platform_stats()``)."""
+        with self._lock:
+            records = list(self._jobs.values())
+            evicted = self._evicted
+        by_state: Dict[str, int] = {}
+        for record in records:
+            by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+        return {
+            "jobs": len(records),
+            "by_state": by_state,
+            "evicted": evicted,
+            "max_finished_jobs": self._max_finished,
+        }

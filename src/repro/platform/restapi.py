@@ -8,20 +8,41 @@ front-end — without any additional dependencies.
 
 Endpoints
 ---------
-``GET  /``                                    minimal HTML index (dataset + algorithm pickers)
-``GET  /api/datasets``                        dataset picker payload
-``GET  /api/datasets/<id>/summary``           structural summary of one dataset
-``GET  /api/algorithms``                      algorithm picker payload
-``POST /api/comparisons``                     submit a comparison; body ``{"queries": [...], "synchronous": bool}``
-``GET  /api/comparisons/<id>/status``         progress snapshot
-``GET  /api/comparisons/<id>/results?k=5``    the top-k comparison table
-``GET  /api/comparisons/<id>/logs``           execution log lines
-``GET  /api/stats``                           result-cache, batch-dispatch and compiled-artifact counters;
-                                              on a sharded deployment also the shard topology, per-shard
-                                              health/occupancy and per-shard hit rates
+``GET    /``                                    minimal HTML index (dataset + algorithm pickers)
+``GET    /api/datasets``                        dataset picker payload
+``GET    /api/datasets/<id>/summary``           structural summary of one dataset
+``GET    /api/algorithms``                      algorithm picker payload
+``POST   /api/comparisons``                     submit a comparison; body ``{"queries": [...], "synchronous": bool}``
+                                                (``"synchronous": false`` returns the permalink id immediately
+                                                while the comparison runs on the worker pool)
+``GET    /api/comparisons``                     job listing: one summary row per known comparison
+``GET    /api/comparisons/<id>/status``         progress snapshot
+``GET    /api/comparisons/<id>/events?after=N`` long-poll: blocks up to ``timeout`` seconds (default 10,
+                                                max 30) for events with ``seq > N``; returns
+                                                ``{"events": [...], "next_after": M, "state": ...}``
+``GET    /api/comparisons/<id>/events?stream=sse``
+                                                server-sent events (``text/event-stream``): one frame per
+                                                event (``id:`` = seq), ends after ``task_done``.  Works on
+                                                the stdlib ``ThreadingHTTPServer`` because each stream holds
+                                                one handler thread while submissions return immediately.
+``GET    /api/comparisons/<id>/results?k=5``    the top-k comparison table; ``409`` with the current job
+                                                state while the comparison is not completed
+``GET    /api/comparisons/<id>/logs``           execution log lines
+``DELETE /api/comparisons/<id>``                request cooperative cancellation of a running comparison
+``GET    /api/stats``                           result-cache, batch-dispatch, compiled-artifact and
+                                                job-registry counters; on a sharded deployment also the
+                                                shard topology, per-shard health/occupancy and hit rates
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
-(400 for bad requests, 404 for unknown resources).
+(400 for bad requests, 404 for unknown resources, 409 for results of an
+unfinished comparison).
+
+Example — submit without blocking, then follow the stream::
+
+    curl -X POST $URL/api/comparisons -d '{"queries": [...], "synchronous": false}'
+    curl "$URL/api/comparisons/$ID/events?after=0"            # long-poll
+    curl -N "$URL/api/comparisons/$ID/events?stream=sse"      # live stream
+    curl -X DELETE $URL/api/comparisons/$ID                   # cancel
 """
 
 from __future__ import annotations
@@ -34,6 +55,7 @@ from urllib.parse import parse_qs, urlparse
 
 from ..exceptions import ReproError
 from .gateway import ApiGateway
+from .tasks import TaskState
 from .webui import WebUI
 
 __all__ = ["RestApiServer"]
@@ -71,8 +93,43 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(self, message: str, status: int, **extra: Any) -> None:
+        self._send_json({"error": message, **extra}, status=status)
+
+    def _stream_sse(self, comparison_id: str, after: int) -> None:
+        """Stream a comparison's events as ``text/event-stream`` frames.
+
+        The handler thread is pinned for the duration of the stream — which
+        is exactly the deal the threading server offers: submissions return
+        immediately, observers each hold one thread.  The stream ends after
+        the ``task_done`` frame (or silently when the client disconnects).
+        """
+        gateway = self.server_wrapper.gateway
+        # Probe the event cursor itself before committing the response, so
+        # unknown (or registry-evicted) ids still 404: get_status would fall
+        # back to the permanent task table and let the stream raise *after*
+        # the 200 headers were sent.
+        gateway.get_events(comparison_id, after=after, timeout=0.0)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            for event in gateway.stream_events(comparison_id, after=after):
+                frame = (
+                    f"id: {event['seq']}\n"
+                    f"event: {event['type']}\n"
+                    f"data: {json.dumps(event, ensure_ascii=False, default=str)}\n\n"
+                )
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client went away; nothing to clean up
+        except ReproError:
+            # The record was evicted mid-stream (it had finished; only
+            # terminal jobs age out) — the response is already committed,
+            # so just end the stream.
+            return
 
     def _read_json_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", "0"))
@@ -109,6 +166,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             if parts == ["api", "stats"]:
                 self._send_json(gateway.get_platform_stats())
                 return
+            if parts == ["api", "comparisons"]:
+                self._send_json(gateway.list_comparisons())
+                return
             if parts[:2] == ["api", "comparisons"] and len(parts) == 4:
                 comparison_id = parts[2]
                 if parts[3] == "status":
@@ -123,8 +183,65 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                         }
                     )
                     return
+                if parts[3] == "events":
+                    after = int(query.get("after", ["0"])[0])
+                    if query.get("stream", [""])[0] == "sse":
+                        self._stream_sse(comparison_id, after)
+                        return
+                    timeout = min(float(query.get("timeout", ["10"])[0]), 30.0)
+                    events = gateway.get_events(
+                        comparison_id, after=after, timeout=max(timeout, 0.0)
+                    )
+                    progress = gateway.get_status(comparison_id)
+                    if progress.state.is_terminal():
+                        # The job finished between the events snapshot and
+                        # the status read: top the batch up with the (now
+                        # immediately available) tail so a terminal-state
+                        # response always carries the complete log through
+                        # task_done — clients may stop polling on `state`.
+                        cursor = events[-1]["seq"] if events else after
+                        events.extend(
+                            gateway.get_events(
+                                comparison_id, after=cursor, timeout=0.0
+                            )
+                        )
+                    self._send_json(
+                        {
+                            "comparison_id": comparison_id,
+                            "state": progress.state.value,
+                            "events": events,
+                            "next_after": events[-1]["seq"] if events else after,
+                        }
+                    )
+                    return
                 if parts[3] == "results":
                     k = int(query.get("k", ["5"])[0])
+                    progress = gateway.get_status(comparison_id)
+                    if progress.state is not TaskState.COMPLETED:
+                        if progress.state.is_terminal():
+                            # Failed/cancelled: results will never exist —
+                            # say so (with the failure detail) instead of
+                            # implying a retry might succeed.
+                            message = (
+                                f"comparison {comparison_id} finished "
+                                f"{progress.state.value} and has no results"
+                            )
+                            if progress.error:
+                                message += f": {progress.error}"
+                        else:
+                            message = (
+                                f"comparison {comparison_id} has no results yet "
+                                f"(state: {progress.state.value})"
+                            )
+                        self._send_error_json(
+                            message,
+                            409,
+                            state=progress.state.value,
+                            completed_queries=progress.completed_queries,
+                            total_queries=progress.total_queries,
+                            task_error=progress.error,
+                        )
+                        return
                     table = gateway.get_comparison_table(comparison_id, k=k)
                     self._send_json(table.as_dict())
                     return
@@ -157,6 +274,20 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(str(exc), 400)
         except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(str(exc), 400)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        gateway = self.server_wrapper.gateway
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts[:2] == ["api", "comparisons"] and len(parts) == 3:
+                self._send_json(gateway.cancel_comparison(parts[2]))
+                return
+            self._send_error_json(f"unknown resource {parsed.path!r}", 404)
+        except ReproError as exc:
+            self._send_error_json(str(exc), 404)
+        except ValueError as exc:
             self._send_error_json(str(exc), 400)
 
 
@@ -250,23 +381,5 @@ class RestApiServer:
     # HTML index
     # ------------------------------------------------------------------ #
     def render_index(self) -> str:
-        """Render the minimal HTML landing page (dataset and algorithm pickers)."""
-        dataset_items = "".join(
-            f"<li><code>{entry['dataset_id']}</code> — {entry['description']}</li>"
-            for entry in self.gateway.list_datasets()
-        )
-        algorithm_items = "".join(
-            f"<li><code>{entry['name']}</code> — {entry['display_name']}"
-            f" ({'personalized' if entry['personalized'] else 'global'})</li>"
-            for entry in self.gateway.list_algorithms()
-        )
-        return (
-            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
-            "<title>Personalized relevance algorithms</title></head><body>"
-            "<h1>Comparing Personalized Relevance Algorithms for Directed Graphs</h1>"
-            "<p>POST a JSON body {\"queries\": [...]} to <code>/api/comparisons</code> "
-            "to run a comparison.</p>"
-            f"<h2>Datasets</h2><ul>{dataset_items}</ul>"
-            f"<h2>Algorithms</h2><ul>{algorithm_items}</ul>"
-            "</body></html>"
-        )
+        """Render the HTML landing page (delegates to the Web UI renderer)."""
+        return self._webui.render_index()

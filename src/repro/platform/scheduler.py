@@ -19,6 +19,22 @@ paid once per group instead of once per query.  Identical queries that are
 in flight — whether from the same task or from concurrently submitted ones —
 are deduplicated through a single-flight table, so the platform never
 computes the same ranking twice concurrently.
+
+Dispatch is also *event-driven*: every submission registers a
+:class:`~repro.platform.jobs.JobRecord` in the scheduler's
+:class:`~repro.platform.jobs.JobRegistry` and emits a typed event at every
+state transition (``submitted``, ``query_started``, ``query_cached``,
+``query_completed``, ``query_failed``, ``cancelled``, ``task_done``), so the
+Status component, the REST long-poll/SSE endpoints and the CLI ``--follow``
+renderer observe progress by reading the append-only per-job event log
+instead of busy-polling counters.  :meth:`Scheduler.submit` returns as soon
+as the job is registered — dataset materialisation, cache lookup and batch
+execution all happen on the worker pool — and cancellation is cooperative:
+:meth:`Scheduler.cancel` raises the job's flag, which is checked before
+each batch group is dispatched.  A cancelled group's single-flight entries
+are only abandoned when no *other* live job has joined them; shared keys
+keep computing so one user's cancel can never poison a concurrent identical
+query.
 """
 
 from __future__ import annotations
@@ -27,16 +43,17 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
-from ..exceptions import TaskNotFoundError
+from ..exceptions import JobCancelledError, TaskNotFoundError
 from ..ranking.result import Ranking
 from .cache import CacheKey, ResultCache, _canonical_parameters
 from .datastore import DataStore
-from .executor import BatchExecutionOutcome, ExecutorPool
-from .tasks import Query, QuerySet, Task
+from .executor import ExecutorPool
+from .jobs import JobRecord, JobRegistry, JobState
+from .tasks import Query, QuerySet, Task, TaskState
 
 __all__ = ["Scheduler"]
 
@@ -61,6 +78,9 @@ class Scheduler:
         Source of datasets referenced by task queries.
     executor_pool:
         The pool of computational nodes that actually run the algorithms.
+    job_registry:
+        The registry job lifecycles and event logs live in; a fresh bounded
+        :class:`~repro.platform.jobs.JobRegistry` is created when omitted.
     """
 
     def __init__(
@@ -68,18 +88,27 @@ class Scheduler:
         datastore: DataStore,
         catalog: DatasetCatalog,
         executor_pool: ExecutorPool,
+        *,
+        job_registry: Optional[JobRegistry] = None,
     ) -> None:
         self._datastore = datastore
         self._catalog = catalog
         self._pool = executor_pool
         self._cache = datastore.result_cache
+        self.jobs = job_registry if job_registry is not None else JobRegistry()
         self._tasks: Dict[str, Task] = {}
-        self._futures: Dict[str, List[Future]] = {}
         #: Single-flight table: cache key -> future of the ranking being
         #: computed right now, so concurrent identical queries never compute
         #: twice.  Entries are published here before dispatch and moved into
         #: the cache before removal, leaving no window to sneak a duplicate in.
         self._inflight: Dict[CacheKey, "Future[Ranking]"] = {}
+        #: Which jobs are waiting on each single-flight key; consulted at the
+        #: cancellation boundary so only exclusively-owned keys are abandoned.
+        self._inflight_jobs: Dict[CacheKey, Set[str]] = {}
+        #: Outstanding work units (group dispatches + fallback sub-dispatches)
+        #: per job; when a cancelled job's count drains to zero it is
+        #: finalised with state CANCELLED.
+        self._outstanding: Dict[str, int] = {}
         self._batches_dispatched = 0
         self._queries_batched = 0
         self._largest_batch = 0
@@ -139,116 +168,38 @@ class Scheduler:
             groups.setdefault(group_key, []).append((index, query))
         return groups
 
+    def _register(self, task: Task) -> Tuple[JobRecord, "OrderedDict[GroupKey, List[Tuple[int, Query]]]"]:
+        """Create the job record, register the task and count its work units."""
+        job = self.jobs.create(task.task_id, task.total_queries)
+        groups = self._group_queries(task.query_set)
+        with self._lock:
+            self._tasks[task.task_id] = task
+            self._outstanding[task.task_id] = len(groups)
+        job.append("submitted", total_queries=task.total_queries)
+        task.mark_running()
+        return job, groups
+
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
     def submit(self, task: Task) -> str:
         """Schedule every query of ``task`` for asynchronous execution.
 
-        Returns the task id immediately; progress is observable through the
-        task object, the Status component, or :meth:`wait`.  Cache hits are
-        recorded synchronously (a task made entirely of hits completes before
-        this method returns); the remaining queries of each group dispatch as
-        one batched execution.
+        Returns the task id as soon as the job is registered: dataset
+        materialisation, cache lookups and batch execution all run on the
+        worker pool, so submission never blocks on the comparison itself.
+        Progress is observable through the job's event log (the Status
+        component, :meth:`events_since` cursors) or :meth:`wait`.
         """
-        with self._lock:
-            self._tasks[task.task_id] = task
-            self._futures[task.task_id] = []
-        task.mark_running()
+        job, groups = self._register(task)
         self._datastore.append_log(
             task.task_id,
             f"[scheduler] task {task.task_id} accepted with {task.total_queries} queries",
         )
-        for (dataset_id, algorithm, _), members in self._group_queries(task.query_set).items():
-            try:
-                graph, version = self._fetch_dataset(dataset_id)
-            except Exception as exc:
-                task.mark_failed(f"cannot load dataset {dataset_id!r}: {exc}")
-                self._datastore.append_log(
-                    task.task_id, f"[scheduler] FAILED to load {dataset_id}: {exc}"
-                )
-                return task.task_id
-            hits: List[Tuple[int, Ranking]] = []
-            waiters: List[Tuple["Future[Ranking]", int]] = []
-            to_compute: List[Tuple[CacheKey, Query]] = []
-            with self._lock:
-                for index, query in members:
-                    key = ResultCache.key_for(
-                        query.dataset_id, query.algorithm, query.parameters,
-                        query.source, version=version,
-                    )
-                    cached = self._cache.get(key)
-                    if cached is not None:
-                        hits.append((index, cached))
-                        continue
-                    future = self._inflight.get(key)
-                    if future is None:
-                        future = Future()
-                        self._inflight[key] = future
-                        to_compute.append((key, query))
-                    waiters.append((future, index))
-                    self._futures[task.task_id].append(future)
-            if hits:
-                self._datastore.append_log(
-                    task.task_id,
-                    f"[scheduler] served {len(hits)} cached result(s) for "
-                    f"{algorithm} on {dataset_id}",
-                )
-                for index, ranking in hits:
-                    self._record_ranking(task, index, ranking)
-            for future, index in waiters:
-                future.add_done_callback(
-                    lambda finished, task=task, index=index: self._on_ranking_ready(
-                        task, index, finished
-                    )
-                )
-            if to_compute:
-                keys = [key for key, _ in to_compute]
-                batch = [query for _, query in to_compute]
-                try:
-                    native_batch = get_algorithm(algorithm).has_native_batch
-                except Exception:
-                    # Let the executor's error machinery surface unknown
-                    # algorithms through the normal failure path.
-                    native_batch = True
-                if len(batch) > 1 and not native_batch:
-                    # Fallback algorithms (user-registered ones without a
-                    # batch kernel — every registry algorithm has one) gain
-                    # nothing from a grouped dispatch — run_batch would loop
-                    # the sources on one worker; spread them across the pool
-                    # instead.
-                    for key, query in to_compute:
-                        try:
-                            single = self._pool.submit_batch(
-                                [query], graph, log_id=task.task_id
-                            )
-                        except Exception as exc:
-                            self._settle_inflight([key], error=exc)
-                            continue
-                        self._note_batch(1)
-                        # Bind graph as a default: the loop variable is
-                        # reassigned per group, and the retry path must use
-                        # the graph this batch was dispatched with.
-                        single.add_done_callback(
-                            lambda finished, key=key, query=query, graph=graph:
-                                self._resolve_batch(
-                                    [key], [query], graph, task.task_id, finished
-                                )
-                        )
-                    continue
-                try:
-                    batch_future = self._pool.submit_batch(batch, graph, log_id=task.task_id)
-                except Exception as exc:
-                    # The single-flight entries were already published; settle
-                    # them so no waiter (this task's or a concurrent one's)
-                    # blocks on a computation that will never run.
-                    self._settle_inflight(keys, error=exc)
-                    continue
-                self._note_batch(len(batch))
-                batch_future.add_done_callback(
-                    lambda finished, keys=keys, batch=batch, graph=graph:
-                        self._resolve_batch(keys, batch, graph, task.task_id, finished)
-                )
+        for (dataset_id, algorithm, _), members in groups.items():
+            self._pool.submit_work(
+                self._run_group_async, job, task, dataset_id, algorithm, members
+            )
         return task.task_id
 
     def run_synchronously(self, task: Task) -> Task:
@@ -256,91 +207,263 @@ class Scheduler:
 
         Useful for the CLI, for tests and for benchmarks where deterministic
         single-threaded timing is preferable.  The result cache is consulted
-        and populated exactly as in :meth:`submit`, and each group's misses
-        run as one batched execution.
+        and populated exactly as in :meth:`submit`, each group's misses run
+        as one batched execution, and the same lifecycle events are emitted,
+        so a synchronous run is observable (and cancellable from another
+        thread) exactly like an asynchronous one.
         """
-        with self._lock:
-            self._tasks[task.task_id] = task
-        task.mark_running()
-        for (dataset_id, algorithm, _), members in self._group_queries(task.query_set).items():
-            try:
-                graph, version = self._fetch_dataset(dataset_id)
-            except Exception as exc:
-                task.mark_failed(f"cannot load dataset {dataset_id!r}: {exc}")
-                self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {exc}")
-                return task
-            misses: "OrderedDict[CacheKey, Tuple[int, Query]]" = OrderedDict()
-            joins: List[Tuple["Future[Ranking]", int]] = []
-            with self._lock:
-                for index, query in members:
-                    key = ResultCache.key_for(
-                        query.dataset_id, query.algorithm, query.parameters,
-                        query.source, version=version,
+        job, groups = self._register(task)
+        try:
+            for (dataset_id, algorithm, _), members in groups.items():
+                try:
+                    proceed = self._process_group(
+                        job, task, dataset_id, algorithm, members, synchronous=True
                     )
-                    cached = self._cache.get(key)
-                    if cached is not None:
-                        task.record_query_result(index, cached)
-                        continue
-                    inflight = self._inflight.get(key)
-                    if inflight is not None:
-                        # An identical query is already computing — either on
-                        # the pool (a concurrent task) or registered by this
-                        # very loop (an intra-task duplicate); join it instead
-                        # of recomputing.
-                        joins.append((inflight, index))
-                        continue
-                    misses[key] = (index, query)
-                    self._inflight[key] = Future()
-            keys = list(misses)
-            if keys:
-                batch = [query for _, query in misses.values()]
-                self._note_batch(len(batch))
-                results: Dict[CacheKey, Ranking] = {}
-                failure: Optional[BaseException] = None
-                try:
-                    outcome = self._pool.execute_batch_sync(batch, graph, log_id=task.task_id)
-                    results = dict(zip(keys, outcome.rankings))
-                except Exception as exc:
-                    if len(batch) == 1:
-                        failure = exc
-                    else:
-                        # Degrade to per-query execution so one bad query
-                        # cannot poison siblings joined by concurrent tasks.
-                        self._datastore.append_log(
-                            task.task_id,
-                            f"[scheduler] batch of {len(batch)} failed ({exc}); "
-                            "retrying queries individually",
-                        )
-                        for key, query in zip(keys, batch):
-                            try:
-                                single = self._pool.execute_batch_sync(
-                                    [query], graph, log_id=task.task_id
-                                )
-                                results[key] = single.rankings[0]
-                            except Exception as single_exc:
-                                self._settle_inflight([key], error=single_exc)
-                                if failure is None:
-                                    failure = single_exc
-                for key, ranking in results.items():
-                    self._cache.put(key, ranking)
-                    self._settle_inflight([key], rankings=[ranking])
-                    task.record_query_result(misses[key][0], ranking)
-                if failure is not None:
-                    unsettled = [key for key in keys if key not in results]
-                    self._settle_inflight(unsettled, error=failure)
-                    task.mark_failed(str(failure))
-                    self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {failure}")
-                    return task
-            for inflight, index in joins:
-                try:
-                    ranking = inflight.result()
-                except Exception as exc:
-                    task.mark_failed(str(exc))
-                    self._datastore.append_log(task.task_id, f"[scheduler] FAILED: {exc}")
-                    return task
-                task.record_query_result(index, ranking)
-        self._store_results(task)
+                finally:
+                    self._work_unit_done(job, task)
+                if not proceed or task.state is TaskState.FAILED:
+                    break
+        finally:
+            # Breaking out early (cancellation, failed dataset load) leaves
+            # the skipped groups' work units undrained — reconcile so a
+            # cancelled synchronous run still finalises to CANCELLED.
+            with self._lock:
+                self._outstanding.pop(task.task_id, None)
+            if job.cancel_requested and not job.state.is_terminal():
+                self._finalise_cancelled(job, task)
+        # The per-future waits inside the groups unblock on set_result,
+        # which *precedes* the done-callbacks that record rankings and
+        # persist results (they run on the settling thread).  Block on the
+        # job's terminal event — emitted after persistence — so a
+        # synchronous caller always returns with the step-4 state readable,
+        # exactly like wait_for.
+        job.wait_done()
         return task
+
+    def _run_group_async(
+        self,
+        job: JobRecord,
+        task: Task,
+        dataset_id: str,
+        algorithm: str,
+        members: List[Tuple[int, Query]],
+    ) -> None:
+        """Pool entry point for one group: process it, then settle the unit."""
+        try:
+            self._process_group(job, task, dataset_id, algorithm, members, synchronous=False)
+        finally:
+            self._work_unit_done(job, task)
+
+    def _process_group(
+        self,
+        job: JobRecord,
+        task: Task,
+        dataset_id: str,
+        algorithm: str,
+        members: List[Tuple[int, Query]],
+        *,
+        synchronous: bool,
+    ) -> bool:
+        """Serve one (dataset, algorithm, parameters) group of ``task``.
+
+        Cache hits are recorded immediately, identical in-flight queries are
+        joined, and the remaining misses execute as one batched run on the
+        current thread (a pool worker for :meth:`submit`, the caller for
+        :meth:`run_synchronously`).  The cooperative cancel flag is checked
+        at the two dispatch boundaries: before any work, and again after the
+        single-flight registration just before the batch executes.
+
+        Returns ``False`` when the remaining groups of the task should not
+        be processed (cancellation observed, the job already terminal —
+        e.g. a sibling group failed — or the dataset failed to load).
+        """
+        if job.cancel_requested or job.state.is_terminal():
+            return False
+        try:
+            graph, version = self._fetch_dataset(dataset_id)
+        except Exception as exc:
+            message = f"cannot load dataset {dataset_id!r}: {exc}"
+            task.mark_failed(message)
+            self._datastore.append_log(
+                task.task_id, f"[scheduler] FAILED to load {dataset_id}: {exc}"
+            )
+            job.finish(JobState.FAILED, error=message)
+            return False
+        hits: List[Tuple[int, Ranking]] = []
+        waiters: List[Tuple["Future[Ranking]", int, bool]] = []
+        to_compute: List[Tuple[CacheKey, Query, int]] = []
+        with self._lock:
+            for index, query in members:
+                key = ResultCache.key_for(
+                    query.dataset_id, query.algorithm, query.parameters,
+                    query.source, version=version,
+                )
+                cached = self._cache.get(key)
+                if cached is not None:
+                    hits.append((index, cached))
+                    continue
+                future = self._inflight.get(key)
+                joined = future is not None
+                if future is None:
+                    future = Future()
+                    self._inflight[key] = future
+                    to_compute.append((key, query, index))
+                self._inflight_jobs.setdefault(key, set()).add(job.job_id)
+                waiters.append((future, index, joined))
+        if hits:
+            self._datastore.append_log(
+                task.task_id,
+                f"[scheduler] served {len(hits)} cached result(s) for "
+                f"{algorithm} on {dataset_id}",
+            )
+            for index, ranking in hits:
+                self._record_ranking(job, task, index, ranking, event="query_cached")
+        for _, index, joined in waiters:
+            payload: Dict[str, Any] = {
+                "query": index, "algorithm": algorithm, "dataset_id": dataset_id,
+            }
+            if joined:
+                payload["joined"] = True
+            job.append("query_started", **payload)
+        for future, index, _ in waiters:
+            future.add_done_callback(
+                lambda finished, index=index: self._on_ranking_ready(
+                    job, task, index, finished
+                )
+            )
+        if to_compute:
+            # Second cancellation boundary: the single-flight entries are
+            # published, so a concurrent identical query may already depend
+            # on them — abandon only the keys no other job has joined.
+            if job.cancel_requested:
+                to_compute = self._abandon_exclusive_keys(job, to_compute)
+            if to_compute:
+                self._execute_group(job, task, to_compute, graph, algorithm)
+        if synchronous:
+            for future, _, _ in waiters:
+                try:
+                    future.result()
+                except Exception:
+                    # The per-query error was recorded by the done-callback;
+                    # a synchronous run reports it via the task state.
+                    pass
+        return True
+
+    def _abandon_exclusive_keys(
+        self,
+        job: JobRecord,
+        to_compute: List[Tuple[CacheKey, Query, int]],
+    ) -> List[Tuple[CacheKey, Query, int]]:
+        """Settle this job's exclusively-owned keys as cancelled; keep the rest.
+
+        The ownership decision and the removal from the single-flight table
+        happen under one lock acquisition: a concurrent identical query must
+        either join *before* (making the key shared, so it keeps computing)
+        or find the table empty *after* and compute it itself — there is no
+        window in which it can join a key that is about to be settled with
+        this job's cancellation.
+        """
+        keep: List[Tuple[CacheKey, Query, int]] = []
+        abandoned: List["Future[Ranking]"] = []
+        with self._lock:
+            for key, query, index in to_compute:
+                if self._inflight_jobs.get(key, set()) - {job.job_id}:
+                    keep.append((key, query, index))
+                    continue
+                future = self._inflight.pop(key, None)
+                self._inflight_jobs.pop(key, None)
+                if future is not None:
+                    abandoned.append(future)
+        error = JobCancelledError(job.job_id)
+        for future in abandoned:
+            future.set_exception(error)
+        return keep
+
+    def _execute_group(
+        self,
+        job: JobRecord,
+        task: Task,
+        to_compute: List[Tuple[CacheKey, Query, int]],
+        graph,
+        algorithm: str,
+    ) -> None:
+        """Execute one group's cache misses and publish their rankings.
+
+        Algorithms with a native batch kernel run as one batched execution on
+        the current thread; fallback algorithms (user-registered ones without
+        a kernel) gain nothing from a grouped dispatch, so their queries
+        spread across the pool as size-1 sub-batches instead.  A failed
+        multi-query batch degrades to per-query execution so one bad query
+        cannot poison siblings joined by concurrent tasks.
+        """
+        keys = [key for key, _, _ in to_compute]
+        batch = [query for _, query, _ in to_compute]
+        try:
+            native_batch = get_algorithm(algorithm).has_native_batch
+        except Exception:
+            # Let the executor's error machinery surface unknown algorithms
+            # through the normal failure path.
+            native_batch = True
+        if len(batch) > 1 and not native_batch:
+            with self._lock:
+                self._outstanding[task.task_id] = (
+                    self._outstanding.get(task.task_id, 0) + len(to_compute)
+                )
+            for key, query, _ in to_compute:
+                try:
+                    single = self._pool.submit_batch([query], graph, log_id=task.task_id)
+                except Exception as exc:
+                    self._settle_inflight([key], error=exc)
+                    self._work_unit_done(job, task)
+                    continue
+                self._note_batch(1)
+                single.add_done_callback(
+                    lambda finished, key=key: self._resolve_sub_batch(
+                        job, task, key, finished
+                    )
+                )
+            return
+        self._note_batch(len(batch))
+        try:
+            outcome = self._pool.execute_batch_sync(batch, graph, log_id=task.task_id)
+        except Exception as exc:
+            if len(batch) == 1:
+                self._settle_inflight(keys, error=exc)
+                return
+            self._datastore.append_log(
+                task.task_id,
+                f"[scheduler] batch of {len(batch)} failed ({exc}); "
+                "retrying queries individually",
+            )
+            for key, query, _ in to_compute:
+                try:
+                    single = self._pool.execute_batch_sync(
+                        [query], graph, log_id=task.task_id
+                    )
+                except Exception as single_exc:
+                    self._settle_inflight([key], error=single_exc)
+                    continue
+                self._cache.put(key, single.rankings[0])
+                self._settle_inflight([key], rankings=[single.rankings[0]])
+            return
+        for key, ranking in zip(keys, outcome.rankings):
+            self._cache.put(key, ranking)
+        self._settle_inflight(keys, rankings=outcome.rankings)
+
+    def _resolve_sub_batch(
+        self, job: JobRecord, task: Task, key: CacheKey, future: Future
+    ) -> None:
+        """Publish one finished size-1 sub-batch of a spread fallback group."""
+        try:
+            error = future.exception()
+            if error is not None:
+                self._settle_inflight([key], error=error)
+                return
+            ranking = future.result().rankings[0]
+            self._cache.put(key, ranking)
+            self._settle_inflight([key], rankings=[ranking])
+        finally:
+            self._work_unit_done(job, task)
 
     # ------------------------------------------------------------------ #
     # completion handling
@@ -360,6 +483,8 @@ class Scheduler:
         """
         with self._lock:
             settled = [self._inflight.pop(key, None) for key in keys]
+            for key in keys:
+                self._inflight_jobs.pop(key, None)
         if error is not None:
             for per_key in settled:
                 if per_key is not None:
@@ -369,62 +494,55 @@ class Scheduler:
             if per_key is not None:
                 per_key.set_result(ranking)
 
-    def _resolve_batch(
-        self,
-        keys: List[CacheKey],
-        queries: List[Query],
-        graph,
-        log_id: str,
-        future: Future,
+    def _on_ranking_ready(
+        self, job: JobRecord, task: Task, index: int, future: Future
     ) -> None:
-        """Publish one finished batch: fill the cache, settle per-key futures.
-
-        A failed multi-query batch degrades to per-query execution instead of
-        settling every key with the same error: one bad query (e.g. an
-        unknown source node) must not poison sibling queries that concurrent
-        tasks may have joined through the single-flight table.
-        """
         error = future.exception()
         if error is None:
-            outcome: BatchExecutionOutcome = future.result()
-            for key, ranking in zip(keys, outcome.rankings):
-                self._cache.put(key, ranking)
-            self._settle_inflight(keys, rankings=outcome.rankings)
+            self._record_ranking(job, task, index, future.result())
             return
-        if len(keys) == 1:
-            self._settle_inflight(keys, error=error)
+        if isinstance(error, JobCancelledError) and error.job_id == job.job_id:
+            # Our own cancellation abandoning the key; the finaliser settles
+            # the job and task state when the outstanding work drains.
             return
+        message = str(error)
+        task.mark_failed(message)
         self._datastore.append_log(
-            log_id,
-            f"[scheduler] batch of {len(keys)} failed ({error}); "
-            "retrying queries individually",
+            task.task_id, f"[scheduler] query {index} FAILED: {error}"
         )
-        for key, query in zip(keys, queries):
-            try:
-                single = self._pool.submit_batch([query], graph, log_id=log_id)
-            except Exception as exc:
-                self._settle_inflight([key], error=exc)
-                continue
-            single.add_done_callback(
-                lambda finished, key=key, query=query: self._resolve_batch(
-                    [key], [query], graph, log_id, finished
-                )
-            )
+        job.append("query_failed", query=index, error=message)
+        job.finish(JobState.FAILED, error=message)
 
-    def _on_ranking_ready(self, task: Task, index: int, future: Future) -> None:
-        error = future.exception()
-        if error is not None:
-            task.mark_failed(str(error))
-            self._datastore.append_log(
-                task.task_id, f"[scheduler] query {index} FAILED: {error}"
-            )
-            return
-        self._record_ranking(task, index, future.result())
-
-    def _record_ranking(self, task: Task, index: int, ranking: Ranking) -> None:
+    def _record_ranking(
+        self,
+        job: JobRecord,
+        task: Task,
+        index: int,
+        ranking: Ranking,
+        *,
+        event: str = "query_completed",
+    ) -> None:
         task.record_query_result(index, ranking)
-        if task.is_done():
+        appended = job.append(
+            event,
+            query=index,
+            completed_queries=task.completed_queries,
+            total_queries=task.total_queries,
+        )
+        # The job stamps its own projected counter into the event under the
+        # record lock, so exactly one completion event per job reports the
+        # full count — that appender (and only it) persists the results and
+        # finishes the job, after every sibling's event is already in the
+        # log.  Deciding on the task state alone would let a racing sibling
+        # finish the job before a slower thread's event was appended,
+        # silently dropping it from the stream.
+        if (
+            appended is not None
+            and appended.payload.get("completed_queries") == task.total_queries
+            and task.state is TaskState.COMPLETED
+        ):
             self._store_results(task)
+            job.finish(JobState.DONE)
 
     def _store_results(self, task: Task) -> None:
         rankings = task.rankings()
@@ -441,6 +559,55 @@ class Scheduler:
             task.task_id,
             f"[scheduler] task {task.task_id} {task.state.value}; results stored",
         )
+
+    # ------------------------------------------------------------------ #
+    # cancellation
+    # ------------------------------------------------------------------ #
+    def cancel(self, task_id: str) -> bool:
+        """Request cooperative cancellation of a submitted task.
+
+        Returns ``True`` if the request was recorded (the job was still
+        live).  Groups not yet dispatched are skipped at their next
+        boundary check; batches already executing run to completion (their
+        results still populate the cache), and the job is finished with
+        state ``CANCELLED`` once the outstanding work has drained.
+        """
+        task = self.get_task(task_id)
+        job = self.jobs.find(task_id)
+        if job is None:
+            return False
+        if not job.request_cancel():
+            return False
+        self._datastore.append_log(
+            task_id, f"[scheduler] cancellation requested for task {task_id}"
+        )
+        with self._lock:
+            outstanding = self._outstanding.get(task_id, 0)
+        if outstanding == 0:
+            # Nothing left on the pool (only joins on other jobs' in-flight
+            # computations, or nothing at all): finalise immediately.
+            self._finalise_cancelled(job, task)
+        return True
+
+    def _work_unit_done(self, job: JobRecord, task: Task) -> None:
+        """Settle one outstanding work unit; finalise a drained cancelled job."""
+        with self._lock:
+            remaining = self._outstanding.get(task.task_id, 0) - 1
+            if remaining > 0:
+                self._outstanding[task.task_id] = remaining
+            else:
+                self._outstanding.pop(task.task_id, None)
+        if remaining <= 0 and job.cancel_requested and not job.state.is_terminal():
+            self._finalise_cancelled(job, task)
+
+    def _finalise_cancelled(self, job: JobRecord, task: Task) -> None:
+        task.mark_cancelled()
+        if job.finish(JobState.CANCELLED):
+            self._datastore.append_log(
+                task.task_id,
+                f"[scheduler] task {task.task_id} cancelled with "
+                f"{task.completed_queries}/{task.total_queries} queries done",
+            )
 
     # ------------------------------------------------------------------ #
     # observability
@@ -484,24 +651,22 @@ class Scheduler:
     # waiting
     # ------------------------------------------------------------------ #
     def wait(self, task_id: str, *, timeout: Optional[float] = None) -> Task:
-        """Block until the task reaches a terminal state (or the timeout expires)."""
+        """Block until the task reaches a terminal state (or the timeout expires).
+
+        Implemented on the job's event cursor: ``task_done`` is emitted
+        *after* the results are persisted, so a caller unblocked here always
+        observes the complete step-4 state in the datastore.
+        """
         task = self.get_task(task_id)
-        with self._lock:
-            futures = list(self._futures.get(task_id, []))
-        for future in futures:
-            try:
-                future.result(timeout=timeout)
-            except Exception:
-                # The per-query error is already recorded on the task; waiting
-                # must not re-raise it.
-                pass
-        # The done-callbacks run on the worker threads and may still be
-        # persisting the final results when the futures unblock; wait for the
-        # stored result so callers observe the complete step-4 state.
-        if task.is_done() and task.error is None:
-            deadline = time.monotonic() + (timeout if timeout is not None else 30.0)
-            while not self._datastore.has_result(task_id) and time.monotonic() < deadline:
-                time.sleep(0.001)
+        job = self.jobs.find(task_id)
+        if job is not None:
+            job.wait_done(timeout)
+            return task
+        # The job record was evicted (long-finished task): nothing to wait on,
+        # but tolerate a result write that is still racing the eviction.
+        deadline = time.monotonic() + (timeout if timeout is not None else 30.0)
+        while not task.is_done() and time.monotonic() < deadline:
+            time.sleep(0.001)
         return task
 
     def rankings_for(self, task_id: str) -> Dict[int, Ranking]:

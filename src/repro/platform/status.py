@@ -1,8 +1,17 @@
-"""The Status component: polls running tasks and reports their progress.
+"""The Status component: a projection of job event logs into progress snapshots.
 
 Section III, step 3: "while the computation is running, the Status component
 polls the Executor node to monitor its progress"; step 4: "the Status
 component can access [results and logs] in response to user requests."
+
+Since the job/event refactor the component no longer busy-polls mutable
+counters: each submitted comparison owns an append-only event log (see
+:mod:`repro.platform.jobs`), and :meth:`StatusComponent.poll` *projects* the
+job record derived from that log into a :class:`TaskProgress` snapshot.
+:meth:`poll_until_done` blocks on the job's event cursor instead of
+sleeping in a poll loop, and :meth:`events_since` exposes the raw cursor
+read that the REST long-poll/SSE endpoints and the CLI ``--follow`` renderer
+consume.
 """
 
 from __future__ import annotations
@@ -13,10 +22,21 @@ from typing import Any, Dict, List, Optional
 
 from ..exceptions import TaskError
 from .datastore import DataStore
+from .jobs import JobEvent, JobRecord, JobState
 from .scheduler import Scheduler
 from .tasks import TaskState
 
 __all__ = ["TaskProgress", "StatusComponent"]
+
+#: Projection of job lifecycle states onto the task-level states the
+#: gateway, REST layer and CLI have always reported.
+_JOB_TO_TASK_STATE = {
+    JobState.QUEUED: TaskState.PENDING,
+    JobState.RUNNING: TaskState.RUNNING,
+    JobState.DONE: TaskState.COMPLETED,
+    JobState.FAILED: TaskState.FAILED,
+    JobState.CANCELLED: TaskState.CANCELLED,
+}
 
 
 @dataclass(frozen=True)
@@ -48,14 +68,36 @@ class TaskProgress:
 
 
 class StatusComponent:
-    """Polls the scheduler for task progress and exposes results and logs."""
+    """Projects job event logs into progress snapshots, results and logs."""
 
     def __init__(self, scheduler: Scheduler, datastore: DataStore) -> None:
         self._scheduler = scheduler
         self._datastore = datastore
+        self._registry = scheduler.jobs
+
+    # ------------------------------------------------------------------ #
+    # progress
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _project(job: JobRecord) -> TaskProgress:
+        """Fold one job record (itself a fold of its event log) into a snapshot."""
+        summary = job.summary()
+        return TaskProgress(
+            task_id=job.job_id,
+            state=_JOB_TO_TASK_STATE[JobState(summary["state"])],
+            completed_queries=summary["completed_queries"],
+            total_queries=summary["total_queries"],
+            error=summary["error"],
+        )
 
     def poll(self, task_id: str) -> TaskProgress:
         """Return the current progress snapshot of ``task_id``."""
+        job = self._registry.find(task_id)
+        if job is not None:
+            return self._project(job)
+        # The job record was evicted from the bounded registry (or the task
+        # was registered without going through submission): fall back to the
+        # task table, which the scheduler keeps for permalink lookups.
         task = self._scheduler.get_task(task_id)
         return TaskProgress(
             task_id=task.task_id,
@@ -72,13 +114,26 @@ class StatusComponent:
         interval_seconds: float = 0.01,
         timeout_seconds: float = 60.0,
     ) -> TaskProgress:
-        """Poll repeatedly until the task reaches a terminal state.
+        """Block until the task reaches a terminal state.
+
+        Blocks on the job's event cursor (no busy-waiting); the poll loop
+        with ``interval_seconds`` survives only as the fallback for records
+        that were evicted from the bounded registry.
 
         Raises
         ------
         TaskError
             If the timeout expires before the task finishes.
         """
+        job = self._registry.find(task_id)
+        if job is not None:
+            if not job.wait_done(timeout_seconds):
+                progress = self._project(job)
+                raise TaskError(
+                    f"task {task_id} did not finish within {timeout_seconds} seconds "
+                    f"({progress.completed_queries}/{progress.total_queries} queries done)"
+                )
+            return self._project(job)
         deadline = time.monotonic() + timeout_seconds
         progress = self.poll(task_id)
         while not progress.state.is_terminal():
@@ -91,6 +146,22 @@ class StatusComponent:
             progress = self.poll(task_id)
         return progress
 
+    # ------------------------------------------------------------------ #
+    # event cursors
+    # ------------------------------------------------------------------ #
+    def events_since(
+        self, task_id: str, *, after: int = 0, timeout: Optional[float] = None
+    ) -> List[JobEvent]:
+        """Blocking cursor read over a job's event log (``seq > after``).
+
+        Raises :class:`~repro.exceptions.TaskNotFoundError` when the job is
+        unknown or its record was evicted from the bounded registry.
+        """
+        return self._registry.get(task_id).events_since(after, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # results and logs
+    # ------------------------------------------------------------------ #
     def logs(self, task_id: str) -> List[str]:
         """Return the log lines recorded for ``task_id``."""
         return self._datastore.get_logs(task_id)
@@ -99,8 +170,9 @@ class StatusComponent:
         """Return the platform-wide serving counters.
 
         ``cache`` holds the result-cache hit/miss/eviction counters,
-        ``batches`` the scheduler's batched-dispatch summary and
-        ``artifacts`` the compiled-graph artifact cache counters — together
+        ``batches`` the scheduler's batched-dispatch summary,
+        ``artifacts`` the compiled-graph artifact cache counters and
+        ``jobs`` the job-registry occupancy (states, evictions) — together
         they show how much of the workload was answered without
         recomputation (of rankings and of graph structure alike).  When the
         platform runs on a :class:`~repro.platform.sharding.ShardedDataStore`
@@ -112,6 +184,7 @@ class StatusComponent:
             "cache": self._scheduler.cache_stats(),
             "batches": self._scheduler.batch_stats(),
             "artifacts": self._scheduler.artifact_stats(),
+            "jobs": self._registry.stats(),
         }
         shard_stats = getattr(self._datastore, "shard_stats", None)
         if callable(shard_stats):

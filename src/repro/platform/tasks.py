@@ -124,10 +124,11 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     def is_terminal(self) -> bool:
         """Return ``True`` once the task can no longer change state."""
-        return self in (TaskState.COMPLETED, TaskState.FAILED)
+        return self in (TaskState.COMPLETED, TaskState.FAILED, TaskState.CANCELLED)
 
 
 class Task:
@@ -156,14 +157,24 @@ class Task:
         with self._lock:
             self._rankings[index] = ranking
             self._completed_queries += 1
-            if self._completed_queries >= len(self.query_set) and self._state is not TaskState.FAILED:
+            if (
+                self._completed_queries >= len(self.query_set)
+                and not self._state.is_terminal()
+            ):
                 self._state = TaskState.COMPLETED
 
     def mark_failed(self, error: str) -> None:
         """Transition to FAILED with an error message."""
         with self._lock:
-            self._state = TaskState.FAILED
-            self._error = error
+            if self._state is not TaskState.CANCELLED:
+                self._state = TaskState.FAILED
+                self._error = error
+
+    def mark_cancelled(self) -> None:
+        """Transition to CANCELLED (a no-op once the task is terminal)."""
+        with self._lock:
+            if not self._state.is_terminal():
+                self._state = TaskState.CANCELLED
 
     # ------------------------------------------------------------------ #
     # inspection

@@ -6,7 +6,11 @@ Its server-side counterpart here renders the same three views as strings:
 * the **dataset picker** (one card per catalog dataset),
 * the **task builder** view of Figure 2 (comparison id, one numbered row per
   query, the per-row remove marker and the clear-all marker),
-* the **results view** (the top-k comparison table plus the execution log).
+* the **results view** (the top-k comparison table plus the execution log),
+* the **job listing** (one row per known comparison with its lifecycle
+  state) and the per-comparison **progress fragment** the browser polls or
+  streams while a comparison runs,
+* the **HTML index** served at ``/`` by the REST front-end.
 
 Rendering to plain text keeps the platform fully testable offline while
 exercising exactly the same data the web front-end would receive from the
@@ -106,6 +110,95 @@ class WebUI:
             lines.append("-------------")
             lines.extend(self._gateway.get_logs(comparison_id))
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # job listing and progress (the "watch it run" half of the demo)
+    # ------------------------------------------------------------------ #
+    def render_job_list(self) -> str:
+        """Render the job listing: one line per known comparison, oldest first."""
+        lines = [
+            "Comparisons",
+            "===========",
+            f"{'Comparison id':<38}{'State':<12}{'Progress':<10}Error",
+        ]
+        jobs = self._gateway.list_comparisons()
+        for job in jobs:
+            progress = f"{job['completed_queries']}/{job['total_queries']}"
+            lines.append(
+                f"{job['comparison_id']:<38}{job['state']:<12}{progress:<10}"
+                f"{job['error'] or '-'}"
+            )
+        if not jobs:
+            lines.append("(no comparisons submitted yet)")
+        return "\n".join(lines)
+
+    def render_job_list_html(self) -> str:
+        """Render the job listing as an HTML fragment (one table row per job)."""
+        parts = [
+            "<table class='jobs'>",
+            "<tr><th>Comparison</th><th>State</th><th>Progress</th></tr>",
+        ]
+        for job in self._gateway.list_comparisons():
+            parts.append(
+                f"<tr data-state='{html.escape(job['state'])}'>"
+                f"<td><code>{html.escape(job['comparison_id'])}</code></td>"
+                f"<td>{html.escape(job['state'])}</td>"
+                f"<td>{job['completed_queries']}/{job['total_queries']}</td></tr>"
+            )
+        parts.append("</table>")
+        return "".join(parts)
+
+    def render_progress_html(self, comparison_id: str) -> str:
+        """Render one comparison's live-progress fragment.
+
+        The fragment carries the state as a data attribute and a native
+        ``<progress>`` element, so a browser long-polling the events
+        endpoint can swap it in place on every update.
+        """
+        progress = self._gateway.get_status(comparison_id)
+        percent = int(progress.fraction_done * 100)
+        parts = [
+            f"<div class='job-progress' data-comparison='{html.escape(comparison_id)}' "
+            f"data-state='{html.escape(progress.state.value)}'>",
+            f"<progress max='{progress.total_queries}' "
+            f"value='{progress.completed_queries}'></progress> ",
+            f"<span>{progress.completed_queries}/{progress.total_queries} "
+            f"queries ({percent}%) — {html.escape(progress.state.value)}</span>",
+        ]
+        if progress.error:
+            parts.append(f"<span class='error'>{html.escape(progress.error)}</span>")
+        parts.append("</div>")
+        return "".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # HTML index (served at / by the REST front-end)
+    # ------------------------------------------------------------------ #
+    def render_index(self) -> str:
+        """Render the minimal HTML landing page (dataset and algorithm pickers)."""
+        dataset_items = "".join(
+            f"<li><code>{html.escape(entry['dataset_id'])}</code> — "
+            f"{html.escape(entry['description'])}</li>"
+            for entry in self._gateway.list_datasets()
+        )
+        algorithm_items = "".join(
+            f"<li><code>{html.escape(entry['name'])}</code> — "
+            f"{html.escape(entry['display_name'])}"
+            f" ({'personalized' if entry['personalized'] else 'global'})</li>"
+            for entry in self._gateway.list_algorithms()
+        )
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>Personalized relevance algorithms</title></head><body>"
+            "<h1>Comparing Personalized Relevance Algorithms for Directed Graphs</h1>"
+            "<p>POST a JSON body {\"queries\": [...]} to <code>/api/comparisons</code> "
+            "to run a comparison (<code>\"synchronous\": false</code> returns the "
+            "permalink immediately); follow progress via "
+            "<code>/api/comparisons/&lt;id&gt;/events</code>.</p>"
+            f"<h2>Datasets</h2><ul>{dataset_items}</ul>"
+            f"<h2>Algorithms</h2><ul>{algorithm_items}</ul>"
+            f"<h2>Comparisons</h2>{self.render_job_list_html()}"
+            "</body></html>"
+        )
 
     # ------------------------------------------------------------------ #
     # HTML variants

@@ -140,3 +140,45 @@ def small_amazon() -> DirectedGraph:
 def small_twitter() -> DirectedGraph:
     """A scaled-down Twitter cop27 graph (fast; session-scoped)."""
     return generate_twitter_graph("cop27", num_casual_users=60, seed=3)
+
+
+def register_gated_algorithm(name: str):
+    """Register a personalized test algorithm whose executions block on a gate.
+
+    Returns ``(started, release)`` events: ``started`` fires when the first
+    execution reaches an executor, ``release`` lets every execution proceed.
+    Callers must ``release.set()`` and pop the name from the registry when
+    done (see the ``gated_algorithm`` fixtures in the jobs/REST suites).
+    """
+    import threading
+
+    from repro.algorithms import registry as algorithm_registry
+    from repro.algorithms.base import Algorithm, AlgorithmSpec
+    from repro.algorithms.personalized_pagerank import personalized_pagerank
+
+    started = threading.Event()
+    release = threading.Event()
+
+    class _Gated(Algorithm):
+        spec = AlgorithmSpec(
+            name=name,
+            display_name="Gated PPR",
+            personalized=True,
+            parameters=(),
+            description="test-only algorithm blocking on a gate",
+        )
+
+        def _execute(self, graph, *, source, parameters):
+            started.set()
+            if not release.wait(timeout=30.0):
+                raise TimeoutError("test gate never released")
+            return personalized_pagerank(graph, source)
+
+        def _execute_batch(self, graph, *, sources, parameters):
+            started.set()
+            if not release.wait(timeout=30.0):
+                raise TimeoutError("test gate never released")
+            return [personalized_pagerank(graph, source) for source in sources]
+
+    algorithm_registry.register_algorithm(_Gated(), replace=True)
+    return started, release

@@ -193,3 +193,72 @@ class TestShardsFlag:
     def test_non_positive_shards_is_rejected(self, tiny_catalog, capsys):
         assert main(["run", "toy", "cyclerank", "--source", "R", "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err
+
+
+class TestWaitFlags:
+    def test_no_wait_prints_only_the_comparison_id(self, tiny_catalog, capsys):
+        exit_code = main(["run", "toy", "cyclerank", "--source", "R", "--no-wait"])
+        assert exit_code == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 1
+        # The only line is the permalink id (a UUID).
+        import uuid
+
+        uuid.UUID(output[0])
+
+    def test_follow_streams_progress_then_prints_results(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--param", "k=3",
+             "--top", "3", "--follow"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "submitted 1 queries" in output
+        assert "query 0 started: cyclerank on toy" in output
+        assert "query 0 completed (1/1 done)" in output
+        assert "comparison done (1/1 queries)" in output
+        assert "CycleRank" in output  # the normal results still print
+
+    def test_follow_and_no_wait_are_mutually_exclusive(self, tiny_catalog):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "toy", "pagerank", "--no-wait", "--follow"]
+            )
+
+    def test_follow_output_matches_the_blocking_results(self, tiny_catalog, capsys):
+        blocking_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--param", "k=3",
+             "--top", "5", "--scores"]
+        )
+        blocking_output = capsys.readouterr().out
+        follow_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--param", "k=3",
+             "--top", "5", "--scores", "--follow"]
+        )
+        follow_output = capsys.readouterr().out
+        assert blocking_code == follow_code == 0
+        # Strip the streamed progress prologue: everything from the ranking
+        # header onwards must be bit-identical to the blocking run.
+        marker = blocking_output.splitlines()[0]
+        assert marker in follow_output
+        follow_results = follow_output[follow_output.index(marker):]
+        assert follow_results == blocking_output
+
+    def test_compare_follow_renders_per_query_lines(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["compare", "toy", "--source", "R", "--algorithms", "pagerank",
+             "cyclerank", "--follow"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "query 0 started" in output
+        assert "query 1 started" in output
+        assert "comparison done (2/2 queries)" in output
+        assert "Cyclerank" in output
+
+    def test_compare_no_wait_prints_the_id(self, tiny_catalog, capsys):
+        exit_code = main(["compare", "toy", "--source", "R", "--no-wait"])
+        assert exit_code == 0
+        import uuid
+
+        uuid.UUID(capsys.readouterr().out.strip())

@@ -107,3 +107,40 @@ class TestConcurrency:
             thread.join()
         assert len(store.list_results()) == 200
         assert len(store.get_logs("shared")) == 200
+
+
+class TestLogRetention:
+    def test_append_log_keeps_only_the_newest_lines(self):
+        store = DataStore(max_log_lines=5)
+        for index in range(12):
+            store.append_log("restapi", f"line {index}")
+        lines = store.get_logs("restapi")
+        assert lines == [f"line {index}" for index in range(7, 12)]
+
+    def test_retention_is_per_key(self):
+        store = DataStore(max_log_lines=3)
+        for index in range(5):
+            store.append_log("busy", f"busy {index}")
+        store.append_log("quiet", "only line")
+        assert len(store.get_logs("busy")) == 3
+        assert store.get_logs("quiet") == ["only line"]
+
+    def test_default_bound_is_generous(self):
+        store = DataStore()
+        for index in range(100):
+            store.append_log("task", f"line {index}")
+        assert len(store.get_logs("task")) == 100
+
+    def test_rejects_a_nonpositive_bound(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            DataStore(max_log_lines=0)
+
+    def test_persisted_file_keeps_the_full_history(self, tmp_path):
+        store = DataStore(tmp_path, max_log_lines=2)
+        for index in range(6):
+            store.append_log("task", f"line {index}")
+        assert store.get_logs("task") == ["line 4", "line 5"]
+        persisted = (tmp_path / "logs" / "task.log").read_text().splitlines()
+        assert persisted == [f"line {index}" for index in range(6)]

@@ -235,3 +235,237 @@ class TestStatsEndpoint:
         _, after = get_json(server, "/api/stats")
         assert after["cache"]["hits"] == before["cache"]["hits"] + 1
         assert after["batches"]["batches"] == before["batches"]["batches"]
+
+
+def delete_json(server, path):
+    request = urllib.request.Request(server.url + path, method="DELETE")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+@pytest.fixture
+def gate_pair():
+    from repro.algorithms import registry as algorithm_registry
+
+    from conftest import register_gated_algorithm
+
+    gates = [register_gated_algorithm("gated-a"), register_gated_algorithm("gated-b")]
+    try:
+        yield gates
+    finally:
+        for _, release in gates:
+            release.set()
+        algorithm_registry._REGISTRY.pop("gated-a", None)
+        algorithm_registry._REGISTRY.pop("gated-b", None)
+
+
+class TestJobEndpoints:
+    def test_job_listing_reports_submitted_comparisons(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [{"dataset_id": "enwiki-2018", "algorithm": "pagerank"}],
+                "synchronous": True,
+            },
+        )
+        status, listing = get_json(server, "/api/comparisons")
+        assert status == 200
+        rows = {row["comparison_id"]: row for row in listing}
+        assert created["comparison_id"] in rows
+        row = rows[created["comparison_id"]]
+        assert row["state"] == "done"
+        assert row["completed_queries"] == row["total_queries"] == 1
+
+    def test_results_of_unfinished_comparison_is_409(self, server, gate_pair):
+        # Both executor workers are pinned by gated comparisons, so a third
+        # submission stays queued: its results endpoint must say so instead
+        # of assembling a partial/empty table.
+        (started_a, release_a), (started_b, release_b) = gate_pair
+        running = []
+        for name, started in (("gated-a", started_a), ("gated-b", started_b)):
+            _, created = post_json(
+                server,
+                "/api/comparisons",
+                {
+                    "queries": [
+                        {"dataset_id": "enwiki-2018", "algorithm": name,
+                         "source": "Pasta"},
+                    ],
+                    "synchronous": False,
+                },
+            )
+            running.append(created["comparison_id"])
+            assert started.wait(timeout=10.0)
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [{"dataset_id": "enwiki-2018", "algorithm": "cheirank"}],
+                "synchronous": False,
+            },
+        )
+        queued_id = created["comparison_id"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, f"/api/comparisons/{queued_id}/results")
+        assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["state"] == "pending"
+        assert body["completed_queries"] == 0
+        assert body["total_queries"] == 1
+        # A running (gated) comparison 409s with its own state too.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, f"/api/comparisons/{running[0]}/results")
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read().decode("utf-8"))["state"] == "running"
+        release_a.set()
+        release_b.set()
+        for comparison_id in running + [queued_id]:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, progress = get_json(server, f"/api/comparisons/{comparison_id}/status")
+                if progress["state"] in ("completed", "failed"):
+                    break
+                time.sleep(0.05)
+            assert progress["state"] == "completed"
+
+    def test_delete_cancels_a_running_comparison(self, server, gate_pair):
+        # Three distinct dispatch groups on a two-worker pool: two occupy
+        # the workers (blocked on their gates), the third sits queued — the
+        # cancel must stop it at the dispatch boundary.
+        (started_a, release_a), (started_b, release_b) = gate_pair
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [
+                    # Sources unique to this test: a cache hit from an
+                    # earlier module test would skip the gate entirely.
+                    {"dataset_id": "enwiki-2018", "algorithm": "gated-a",
+                     "source": "London", "parameters": {}},
+                    {"dataset_id": "amazon-copurchase", "algorithm": "gated-b",
+                     "source": "1984", "parameters": {}},
+                    {"dataset_id": "enwiki-2018", "algorithm": "gated-b",
+                     "source": "France", "parameters": {}},
+                ],
+                "synchronous": False,
+            },
+        )
+        comparison_id = created["comparison_id"]
+        assert started_a.wait(timeout=10.0)
+        assert started_b.wait(timeout=10.0)
+        status, outcome = delete_json(server, f"/api/comparisons/{comparison_id}")
+        assert status == 200
+        assert outcome["cancelled"] is True
+        release_a.set()
+        release_b.set()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, progress = get_json(server, f"/api/comparisons/{comparison_id}/status")
+            if progress["state"] in ("completed", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert progress["state"] == "cancelled"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, f"/api/comparisons/{comparison_id}/results")
+        assert excinfo.value.code == 409
+
+    def test_delete_of_finished_comparison_reports_not_cancelled(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [{"dataset_id": "enwiki-2018", "algorithm": "pagerank"}],
+                "synchronous": True,
+            },
+        )
+        status, outcome = delete_json(server, f"/api/comparisons/{created['comparison_id']}")
+        assert status == 200
+        assert outcome["cancelled"] is False
+        assert outcome["state"] == "completed"
+
+    def test_delete_unknown_comparison_is_404(self, server):
+        request = urllib.request.Request(
+            server.url + "/api/comparisons/never-submitted", method="DELETE"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_long_poll_delivers_the_event_log(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [
+                    {"dataset_id": "enwiki-2018", "algorithm": "personalized-pagerank",
+                     "source": "Freddie Mercury"},
+                ],
+                "synchronous": True,
+            },
+        )
+        comparison_id = created["comparison_id"]
+        status, payload = get_json(server, f"/api/comparisons/{comparison_id}/events?after=0")
+        assert status == 200
+        assert payload["state"] == "completed"
+        types = [event["type"] for event in payload["events"]]
+        assert types[0] == "submitted"
+        assert types[-1] == "task_done"
+        assert payload["next_after"] == payload["events"][-1]["seq"]
+        # Resuming past the end returns immediately with no events.
+        status, tail = get_json(
+            server,
+            f"/api/comparisons/{comparison_id}/events?after={payload['next_after']}",
+        )
+        assert tail["events"] == []
+        assert tail["next_after"] == payload["next_after"]
+
+    def test_event_stream_sse_content_type_and_frames(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [{"dataset_id": "enwiki-2018", "algorithm": "2drank"}],
+                "synchronous": False,
+            },
+        )
+        comparison_id = created["comparison_id"]
+        url = f"{server.url}/api/comparisons/{comparison_id}/events?stream=sse"
+        frames = []
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.headers["Content-Type"].startswith("text/event-stream")
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data: "):
+                    frames.append(json.loads(line[len("data: "):]))
+        assert frames[0]["type"] == "submitted"
+        assert frames[-1]["type"] == "task_done"
+        assert [frame["seq"] for frame in frames] == list(range(1, len(frames) + 1))
+
+    def test_sse_of_unknown_comparison_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/api/comparisons/never-submitted/events?stream=sse")
+        assert excinfo.value.code == 404
+
+
+class TestResultsOfTerminalFailures:
+    def test_failed_comparison_results_409_carries_the_error(self, server):
+        _, created = post_json(
+            server,
+            "/api/comparisons",
+            {
+                "queries": [
+                    {"dataset_id": "enwiki-2018", "algorithm": "cyclerank",
+                     "source": "No Such Article", "parameters": {"k": 3}},
+                ],
+                "synchronous": True,
+            },
+        )
+        comparison_id = created["comparison_id"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, f"/api/comparisons/{comparison_id}/results")
+        assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["state"] == "failed"
+        assert "finished failed" in body["error"]
+        assert body["task_error"]

@@ -1,0 +1,139 @@
+"""Unit tests for the Web UI renderer (:mod:`repro.platform.webui`).
+
+The renderer is deterministic (plain text and HTML fragments over gateway
+payloads), so these tests pin the three classic views (pickers, task
+builder, results), the HTML index served at ``/``, and the job-centric
+views added with the event-driven lifecycle: the job listing and the
+per-comparison progress fragment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.platform.gateway import ApiGateway
+from repro.platform.webui import WebUI
+
+
+@pytest.fixture
+def gateway(two_triangles, small_enwiki):
+    catalog = DatasetCatalog()
+    catalog.register_graph("toy", two_triangles, family="synthetic",
+                           description="two triangles sharing R")
+    catalog.register_graph("enwiki-small", small_enwiki, family="wikipedia",
+                           description="small synthetic enwiki")
+    with ApiGateway(catalog=catalog, num_workers=2) as gateway:
+        yield gateway
+
+
+@pytest.fixture
+def ui(gateway):
+    return WebUI(gateway)
+
+
+class TestPickers:
+    def test_dataset_picker_lists_datasets(self, ui):
+        rendered = ui.render_dataset_picker()
+        assert "Available datasets" in rendered
+        assert "toy" in rendered
+        assert "two triangles sharing R" in rendered
+
+    def test_dataset_picker_filters_by_family(self, ui):
+        rendered = ui.render_dataset_picker(family="wikipedia")
+        assert "enwiki-small" in rendered
+        assert "two triangles sharing R" not in rendered
+
+    def test_algorithm_picker_lists_parameters(self, ui):
+        rendered = ui.render_algorithm_picker()
+        assert "Cyclerank" in rendered
+        assert "personalized" in rendered
+        assert "· k" in rendered
+
+
+class TestTaskBuilder:
+    def test_render_task_builder_rows(self, ui, gateway):
+        query_set = gateway.new_query_set()
+        gateway.add_query(query_set, "toy", "cyclerank", source="R",
+                          parameters={"k": 3})
+        rendered = ui.render_task_builder(query_set)
+        assert query_set.comparison_id in rendered
+        assert "cyclerank" in rendered
+        assert "[✕]" in rendered
+
+    def test_render_empty_task_builder(self, ui, gateway):
+        rendered = ui.render_task_builder(gateway.new_query_set())
+        assert "query set is empty" in rendered
+
+
+class TestResultsView:
+    def test_render_results_of_finished_comparison(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "cyclerank", "source": "R",
+              "parameters": {"k": 3}}],
+            synchronous=True,
+        )
+        rendered = ui.render_results(comparison, k=3, include_logs=True)
+        assert "completed" in rendered
+        assert "Execution log" in rendered
+        html_fragment = ui.render_results_html(comparison, k=3)
+        assert "<table>" in html_fragment
+
+
+class TestJobListing:
+    def test_empty_job_list(self, ui):
+        rendered = ui.render_job_list()
+        assert "no comparisons submitted yet" in rendered
+
+    def test_job_list_reports_states_and_progress(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+        )
+        rendered = ui.render_job_list()
+        assert comparison in rendered
+        assert "done" in rendered
+        assert "1/1" in rendered
+
+    def test_job_list_html_rows(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+        )
+        fragment = ui.render_job_list_html()
+        assert "<table class='jobs'>" in fragment
+        assert comparison in fragment
+        assert "data-state='done'" in fragment
+
+
+class TestProgressFragment:
+    def test_progress_fragment_of_finished_comparison(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+        )
+        fragment = ui.render_progress_html(comparison)
+        assert f"data-comparison='{comparison}'" in fragment
+        assert "data-state='completed'" in fragment
+        assert "<progress max='1' value='1'>" in fragment
+        assert "(100%)" in fragment
+
+    def test_progress_fragment_carries_errors(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "cyclerank", "source": "ghost",
+              "parameters": {"k": 3}}],
+            synchronous=True,
+        )
+        fragment = ui.render_progress_html(comparison)
+        assert "data-state='failed'" in fragment
+        assert "class='error'" in fragment
+
+
+class TestIndex:
+    def test_index_lists_datasets_algorithms_and_jobs(self, ui, gateway):
+        comparison = gateway.run_queries(
+            [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+        )
+        page = ui.render_index()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "toy" in page
+        assert "cyclerank" in page
+        assert "synchronous" in page  # documents the non-blocking submission
+        assert comparison in page  # the job listing fragment is embedded
