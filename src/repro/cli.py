@@ -81,6 +81,29 @@ def _parse_parameter_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, str]
     return overrides
 
 
+def _add_storage_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the storage-topology flags shared by run/compare/serve."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="shard the storage layer across N consistent-hash backends",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        metavar="R",
+        help="keep R copies of every dataset/result (quorum-acked writes, "
+        "failover reads); implies a sharded store",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        help="directory of the cold file tier cold datasets spill to "
+        "(its contents survive restarts)",
+    )
+
+
 def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the non-blocking submission flags shared by run/compare."""
     waiting = parser.add_mutually_exclusive_group()
@@ -130,12 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result-cache and batch-dispatch counters after the run",
     )
-    run_parser.add_argument(
-        "--shards",
-        type=int,
-        metavar="N",
-        help="shard the storage layer across N consistent-hash backends",
-    )
+    _add_storage_flags(run_parser)
     _add_wait_flags(run_parser)
 
     compare_parser = subparsers.add_parser(
@@ -158,12 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result-cache and batch-dispatch counters after the comparison",
     )
-    compare_parser.add_argument(
-        "--shards",
-        type=int,
-        metavar="N",
-        help="shard the storage layer across N consistent-hash backends",
-    )
+    _add_storage_flags(compare_parser)
     _add_wait_flags(compare_parser)
 
     cross_parser = subparsers.add_parser(
@@ -185,12 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--workers", type=int, default=2, help="number of executor nodes in the pool"
     )
-    serve_parser.add_argument(
-        "--shards",
-        type=int,
-        metavar="N",
-        help="shard the storage layer across N consistent-hash backends",
-    )
+    _add_storage_flags(serve_parser)
 
     return parser
 
@@ -243,10 +251,28 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
             f"{shard_id}: {info['occupancy']['datasets']} dataset(s), "
             f"{info['cache_hit_rate']:.0%} cache hits"
             if info.get("healthy")
-            else f"{shard_id}: UNHEALTHY ({info.get('error', 'unknown')})"
+            else f"{shard_id}: "
+            + ("MARKED DOWN" if info.get("marked_down")
+               else f"UNHEALTHY ({info.get('error', 'unknown')})")
             for shard_id, info in sorted(shards["per_shard"].items())
         )
         print(f"shards: {shards['num_shards']} on the ring — {breakdown}")
+        replication = shards.get("replication")
+        if replication:
+            lag = replication["underreplicated"]
+            print(
+                f"replication: R={replication['replicas']} "
+                f"(quorum {replication['quorum']}), "
+                f"{replication['failover_reads']} failover reads, "
+                f"{replication['degraded_writes']} degraded writes, "
+                f"lag {'unknown' if lag is None else lag}"
+            )
+        spill = shards.get("spill")
+        if spill and spill.get("enabled"):
+            print(
+                f"spill: {spill.get('spilled_datasets', 0)} dataset(s) on the "
+                f"file tier ({spill.get('spills', 0)} demotions)"
+            )
 
 
 def _describe_event(event: Dict[str, object]) -> str:
@@ -273,6 +299,11 @@ def _describe_event(event: Dict[str, object]) -> str:
         )
     if kind == "query_failed":
         return f"query {index} FAILED: {event.get('error')}"
+    if kind == "progress":
+        return (
+            f"{event.get('kind')}: {event.get('item')} "
+            f"({event.get('completed')}/{event.get('total')})"
+        )
     if kind == "cancelled":
         return "cancellation requested"
     if kind == "task_done":
@@ -450,8 +481,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if shards is not None and shards < 1:
         print(f"error: --shards must be a positive integer, got {shards}", file=sys.stderr)
         return 2
+    replicas = getattr(arguments, "replicas", None)
+    if replicas is not None and replicas < 1:
+        print(
+            f"error: --replicas must be a positive integer, got {replicas}",
+            file=sys.stderr,
+        )
+        return 2
+    spill_dir = getattr(arguments, "spill_dir", None)
     try:
-        with ApiGateway(shards=shards) as gateway:
+        with ApiGateway(shards=shards, replicas=replicas, spill_dir=spill_dir) as gateway:
             return handler(gateway, arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

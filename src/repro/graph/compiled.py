@@ -68,10 +68,12 @@ class CompiledGraph:
     can be handed to any algorithm in place of the graph itself.
     """
 
-    def __init__(self, graph: DirectedGraph) -> None:
+    def __init__(self, graph: DirectedGraph, *, csr: Optional[CSRGraph] = None) -> None:
         self._graph = graph
         self._build_lock = threading.Lock()
-        self._csr: Optional[CSRGraph] = None
+        #: ``csr`` pre-seeds the snapshot — file-backed datastores recover a
+        #: persisted CSR on restart instead of reconverting the graph.
+        self._csr: Optional[CSRGraph] = csr
         self._transpose: Optional[CSRGraph] = None
         self._out_degrees: Optional[np.ndarray] = None
         self._dangling: Optional[np.ndarray] = None

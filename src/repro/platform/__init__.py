@@ -14,6 +14,12 @@ reproduces the same component decomposition with in-process equivalents:
     :class:`ShardedDataStore`, which spreads datasets (with their result
     caches and compiled artifacts) across N backend datastores while keeping
     the scheduler and gateway oblivious.
+``replication``
+    The fault-tolerant storage tier: :class:`ReplicatedShardedDataStore`
+    writes every key to R ring successors (quorum-acked), reads with
+    transparent failover, spills cold datasets to a file-backed tier
+    (:class:`FileBackedDataStore`), and runs replicate/spill/rebalance as
+    cancellable jobs on the job registry.
 ``cache``
     The platform-wide LRU :class:`ResultCache` of finished rankings, owned
     by the datastore and consulted by the scheduler before any dispatch.
@@ -45,10 +51,11 @@ reproduces the same component decomposition with in-process equivalents:
 from __future__ import annotations
 
 from .cache import ResultCache
-from .datastore import DataStore
+from .datastore import DataStore, FileBackedDataStore
 from .executor import BatchExecutionOutcome, ExecutionOutcome, ExecutorNode, ExecutorPool
 from .gateway import ApiGateway
 from .jobs import JobEvent, JobRecord, JobRegistry, JobState, QueryState
+from .replication import ReplicatedResultCache, ReplicatedShardedDataStore
 from .restapi import RestApiServer
 from .scheduler import Scheduler
 from .sharding import HashRing, ShardedDataStore, ShardedResultCache
@@ -58,9 +65,12 @@ from .webui import WebUI
 
 __all__ = [
     "DataStore",
+    "FileBackedDataStore",
     "HashRing",
     "ShardedDataStore",
     "ShardedResultCache",
+    "ReplicatedResultCache",
+    "ReplicatedShardedDataStore",
     "ResultCache",
     "Query",
     "QuerySet",

@@ -32,16 +32,22 @@ are exposed through :meth:`artifact_stats` (and from there through
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from urllib.parse import quote, unquote
+
+import numpy as np
 
 from ..exceptions import InvalidParameterError, StorageError
 from ..graph.compiled import CompiledGraph
+from ..graph.csr import CSRGraph
 from ..graph.digraph import DirectedGraph
 from .cache import ResultCache
 
-__all__ = ["DataStore"]
+__all__ = ["DataStore", "FileBackedDataStore"]
 
 
 class DataStore:
@@ -89,6 +95,9 @@ class DataStore:
         self._lock = threading.RLock()
         self._datasets: Dict[str, DirectedGraph] = {}
         self._dataset_versions: Dict[str, int] = {}
+        #: dataset id -> monotonic timestamp of the last store/fetch; the
+        #: replicated store's spill policy demotes the coldest datasets first.
+        self._dataset_access: Dict[str, float] = {}
         self._results: Dict[str, dict] = {}
         self._logs: Dict[str, List[str]] = {}
         if result_cache is not None:
@@ -139,6 +148,7 @@ class DataStore:
             self._dataset_versions[dataset_id] = (
                 max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
             )
+            self._dataset_access[dataset_id] = time.monotonic()
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
         if replacing:
@@ -148,6 +158,8 @@ class DataStore:
         """Return the stored dataset graph (raises :class:`StorageError` if absent)."""
         with self._lock:
             graph = self._datasets.get(dataset_id)
+            if graph is not None:
+                self._dataset_access[dataset_id] = time.monotonic()
         if graph is None:
             raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
         return graph
@@ -162,6 +174,8 @@ class DataStore:
         with self._lock:
             graph = self._datasets.get(dataset_id)
             version = self._dataset_versions.get(dataset_id, 0)
+            if graph is not None:
+                self._dataset_access[dataset_id] = time.monotonic()
         if graph is None:
             raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
         return graph, version
@@ -170,6 +184,15 @@ class DataStore:
         """Return the upload counter of a dataset (0 if it was never stored)."""
         with self._lock:
             return self._dataset_versions.get(dataset_id, 0)
+
+    def dataset_last_access(self, dataset_id: str) -> float:
+        """Return the monotonic timestamp of the dataset's last store/fetch.
+
+        Returns ``0.0`` for datasets never touched through this store — which
+        sorts them coldest, exactly what the spill policy wants.
+        """
+        with self._lock:
+            return self._dataset_access.get(dataset_id, 0.0)
 
     def has_dataset(self, dataset_id: str) -> bool:
         """Return ``True`` if a dataset graph is stored under ``dataset_id``."""
@@ -188,6 +211,7 @@ class DataStore:
         """
         with self._lock:
             self._datasets.pop(dataset_id, None)
+            self._dataset_access.pop(dataset_id, None)
             self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
@@ -257,15 +281,20 @@ class DataStore:
         already see the result is guaranteed to also find it on disk.
         """
         serialisable = dict(payload)
-        if self._directory is not None:
-            path = self._directory / "results" / f"{result_id}.json"
-            try:
-                path.write_text(json.dumps(serialisable, indent=2, default=str),
-                                encoding="utf-8")
-            except (OSError, TypeError) as exc:
-                raise StorageError(f"cannot persist result {result_id!r}: {exc}") from exc
+        self._persist_result(result_id, serialisable)
         with self._lock:
             self._results[result_id] = serialisable
+
+    def _persist_result(self, result_id: str, serialisable: dict) -> None:
+        """Write the result file (no-op without a persistence directory)."""
+        if self._directory is None:
+            return
+        path = self._directory / "results" / f"{result_id}.json"
+        try:
+            path.write_text(json.dumps(serialisable, indent=2, default=str),
+                            encoding="utf-8")
+        except (OSError, TypeError) as exc:
+            raise StorageError(f"cannot persist result {result_id!r}: {exc}") from exc
 
     def get_result(self, result_id: str) -> dict:
         """Return a stored result payload (raises :class:`StorageError` if absent)."""
@@ -381,5 +410,322 @@ class DataStore:
                 "logs": len(self._logs),
                 "compiled_artifacts": len(self._compiled),
             }
+        counts["cached_rankings"] = len(self.result_cache)
+        return counts
+
+
+class FileBackedDataStore(DataStore):
+    """A :class:`DataStore` whose datasets, results and artifacts live on disk.
+
+    Where the base store keeps dataset graphs in memory (mirroring only
+    results and logs to an optional directory), this store persists
+    *everything* under ``directory`` and keeps no graph resident:
+
+    * datasets as ``datasets/<id>.json`` (node labels + edge list + upload
+      version — enough to rebuild the graph with identical node ids, so a
+      restart recovers it bit-identical);
+    * results as ``results/<id>.json`` (the base store's format);
+    * the compiled CSR of each dataset as ``artifacts/<id>.npz``, reloaded
+      into the :class:`~repro.graph.compiled.CompiledGraph` on first use
+      after a restart instead of reconverting the graph;
+    * upload counters in ``dataset_versions.json`` at the directory root —
+      outside ``datasets/``, so no user-chosen dataset id can collide with
+      it — keeping version-keyed cache entries safe across drop/re-upload
+      cycles spanning restarts.
+
+    A fresh instance pointed at an existing directory recovers the previous
+    instance's state (:meth:`fetch_dataset` returns graphs equal to what was
+    stored, results round-trip verbatim), which is what makes this store both
+    the platform's cold *spill tier* and a restart-safe ring shard.
+    """
+
+    def __init__(self, directory: str | Path, **kwargs: Any) -> None:
+        if directory is None:
+            raise InvalidParameterError("FileBackedDataStore requires a directory")
+        super().__init__(directory, **kwargs)
+        assert self._directory is not None
+        try:
+            (self._directory / "datasets").mkdir(parents=True, exist_ok=True)
+            (self._directory / "artifacts").mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create datastore directory: {exc}") from exc
+        #: dataset ids currently stored on disk (the in-memory index of the
+        #: datasets directory; versions for dropped ids stay in
+        #: ``_dataset_versions`` so counters never move backwards).
+        self._stored: Set[str] = set()
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # recovery and file layout
+    # ------------------------------------------------------------------ #
+    def _dataset_path(self, dataset_id: str) -> Path:
+        return self._directory / "datasets" / f"{quote(dataset_id, safe='')}.json"
+
+    def _artifact_path(self, dataset_id: str) -> Path:
+        return self._directory / "artifacts" / f"{quote(dataset_id, safe='')}.npz"
+
+    def _versions_path(self) -> Path:
+        # Lives *outside* datasets/ so no user-chosen dataset id (which is
+        # quoted into that directory's namespace) can collide with it.
+        return self._directory / "dataset_versions.json"
+
+    def _recover(self) -> None:
+        """Rebuild the in-memory index from the directory contents."""
+        versions: Dict[str, int] = {}
+        versions_path = self._versions_path()
+        if versions_path.exists():
+            try:
+                versions = {
+                    key: int(value)
+                    for key, value in json.loads(
+                        versions_path.read_text(encoding="utf-8")
+                    ).items()
+                }
+            except (OSError, json.JSONDecodeError, ValueError) as exc:
+                raise StorageError(f"cannot recover dataset versions: {exc}") from exc
+        stored: Set[str] = set()
+        for path in (self._directory / "datasets").glob("*.json"):
+            dataset_id = unquote(path.stem)
+            stored.add(dataset_id)
+            if dataset_id not in versions:
+                # The counter file lagged the dataset write (e.g. a crash in
+                # between): recover the version from the dataset file itself.
+                try:
+                    versions[dataset_id] = int(
+                        json.loads(path.read_text(encoding="utf-8")).get("version", 1)
+                    )
+                except (OSError, json.JSONDecodeError, ValueError) as exc:
+                    raise StorageError(
+                        f"cannot recover dataset {dataset_id!r}: {exc}"
+                    ) from exc
+        with self._lock:
+            self._stored = stored
+            self._dataset_versions.update(versions)
+
+    def _flush_versions(self) -> None:
+        """Persist the upload counters (caller holds the lock)."""
+        path = self._versions_path()
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(self._dataset_versions), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise StorageError(f"cannot persist dataset versions: {exc}") from exc
+
+    @staticmethod
+    def _serialise_graph(graph: DirectedGraph, version: int) -> str:
+        return json.dumps(
+            {
+                "version": version,
+                "name": graph.name,
+                "nodes": [graph.raw_label_of(node) for node in graph.nodes()],
+                "edges": graph.edge_list(),
+            }
+        )
+
+    @staticmethod
+    def _deserialise_graph(document: Mapping[str, Any]) -> DirectedGraph:
+        graph = DirectedGraph(name=str(document.get("name", "")))
+        for label in document["nodes"]:
+            graph.add_node(label)
+        graph.add_edges_from(
+            (int(source), int(target)) for source, target in document["edges"]
+        )
+        return graph
+
+    def _read_dataset_file(self, dataset_id: str) -> Dict[str, Any]:
+        path = self._dataset_path(dataset_id)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StorageError(
+                f"dataset {dataset_id!r} is not stored in the datastore"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"cannot read dataset {dataset_id!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # datasets (disk-resident)
+    # ------------------------------------------------------------------ #
+    def store_dataset(
+        self, dataset_id: str, graph: DirectedGraph, *, version_floor: int = 0
+    ) -> None:
+        """Persist (or replace) a dataset; the graph is not kept in memory."""
+        with self._lock:
+            replacing = dataset_id in self._stored
+            version = max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
+            path = self._dataset_path(dataset_id)
+            tmp = path.with_suffix(".tmp")
+            try:
+                tmp.write_text(self._serialise_graph(graph, version), encoding="utf-8")
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot persist dataset {dataset_id!r}: {exc}"
+                ) from exc
+            self._dataset_versions[dataset_id] = version
+            self._dataset_access[dataset_id] = time.monotonic()
+            self._stored.add(dataset_id)
+            self._flush_versions()
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
+            try:
+                self._artifact_path(dataset_id).unlink(missing_ok=True)
+            except OSError:
+                pass  # a stale artifact is harmless: it is version-checked on load
+        if replacing:
+            self.result_cache.invalidate_dataset(dataset_id)
+
+    def fetch_dataset(self, dataset_id: str) -> DirectedGraph:
+        """Load and rebuild the dataset graph from its file."""
+        return self.fetch_dataset_with_version(dataset_id)[0]
+
+    def fetch_dataset_with_version(self, dataset_id: str) -> tuple[DirectedGraph, int]:
+        """Return ``(graph, version)`` rebuilt from the dataset file."""
+        with self._lock:
+            if dataset_id not in self._stored:
+                raise StorageError(
+                    f"dataset {dataset_id!r} is not stored in the datastore"
+                )
+            document = self._read_dataset_file(dataset_id)
+            self._dataset_access[dataset_id] = time.monotonic()
+        return self._deserialise_graph(document), int(document["version"])
+
+    def has_dataset(self, dataset_id: str) -> bool:
+        with self._lock:
+            return dataset_id in self._stored
+
+    def list_datasets(self) -> List[str]:
+        with self._lock:
+            return sorted(self._stored)
+
+    def drop_dataset(self, dataset_id: str) -> None:
+        with self._lock:
+            self._stored.discard(dataset_id)
+            self._dataset_access.pop(dataset_id, None)
+            self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
+            self._flush_versions()
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
+            try:
+                self._dataset_path(dataset_id).unlink(missing_ok=True)
+                self._artifact_path(dataset_id).unlink(missing_ok=True)
+            except OSError as exc:
+                raise StorageError(f"cannot remove dataset {dataset_id!r}: {exc}") from exc
+        self.result_cache.invalidate_dataset(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # compiled artifacts (persisted next to their dataset)
+    # ------------------------------------------------------------------ #
+    def _load_artifact(self, dataset_id: str, version: int) -> Optional[CSRGraph]:
+        path = self._artifact_path(dataset_id)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if int(payload["version"]) != version:
+                    return None
+                labels = payload["labels"].tolist()
+                return CSRGraph(
+                    payload["indptr"],
+                    payload["indices"],
+                    labels=labels if labels else None,
+                    name=str(payload["name"]),
+                )
+        except Exception:
+            return None  # a corrupt artifact is recompiled, never fatal
+
+    def _store_artifact(self, dataset_id: str, version: int, csr: CSRGraph) -> None:
+        path = self._artifact_path(dataset_id)
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    version=np.int64(version),
+                    indptr=csr.indptr,
+                    indices=csr.indices,
+                    labels=np.asarray(csr.labels() or [], dtype=str),
+                    name=np.str_(csr.name),
+                )
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # persistence is best-effort; memory copy serves
+
+    def fetch_compiled_with_version(self, dataset_id: str) -> Tuple[CompiledGraph, int]:
+        """Return ``(compiled artifact, version)``, recovering a persisted CSR.
+
+        The in-memory artifact cache works exactly like the base store's;
+        on a miss the CSR snapshot is reloaded from ``artifacts/<id>.npz``
+        when one matching the dataset version exists (a restart survivor),
+        otherwise it is compiled and persisted for the next restart.
+        """
+        with self._lock:
+            version = self._dataset_versions.get(dataset_id, 0)
+            entry = self._compiled.get(dataset_id)
+            present = dataset_id in self._stored
+        if not present:
+            raise StorageError(f"dataset {dataset_id!r} is not stored in the datastore")
+        if entry is not None and entry[0] == version:
+            with self._lock:
+                self._artifact_hits += 1
+            return entry[1], version
+        graph, version = self.fetch_dataset_with_version(dataset_id)
+        csr = self._load_artifact(dataset_id, version)
+        compiled = CompiledGraph(graph, csr=csr)
+        if csr is None:
+            self._store_artifact(dataset_id, version, compiled.to_csr())
+        with self._lock:
+            self._artifact_misses += 1
+            if self._dataset_versions.get(dataset_id, 0) == version:
+                current = self._compiled.get(dataset_id)
+                if current is not None and current[0] == version:
+                    return current[1], version
+                self._compiled[dataset_id] = (version, compiled)
+        return compiled, version
+
+    # ------------------------------------------------------------------ #
+    # results (disk-only; reads fall back to the files via the base class)
+    # ------------------------------------------------------------------ #
+    def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
+        """Persist a result payload to disk without keeping an in-memory copy."""
+        self._persist_result(result_id, dict(payload))
+
+    # ------------------------------------------------------------------ #
+    # logs (bounded memory; reads recover from the file after a restart)
+    # ------------------------------------------------------------------ #
+    def get_logs(self, log_id: str) -> List[str]:
+        lines = super().get_logs(log_id)
+        if lines:
+            return lines
+        path = self._directory / "logs" / f"{log_id}.log"
+        if path.exists():
+            try:
+                recovered = path.read_text(encoding="utf-8").splitlines()
+            except OSError as exc:
+                raise StorageError(f"cannot read persisted log {log_id!r}: {exc}") from exc
+            return recovered[-self._max_log_lines:]
+        return []
+
+    def list_logs(self) -> List[str]:
+        identifiers = set(super().list_logs())
+        identifiers.update(
+            path.stem for path in (self._directory / "logs").glob("*.log")
+        )
+        return sorted(identifiers)
+
+    # ------------------------------------------------------------------ #
+    # occupancy
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> Dict[str, int]:
+        """Count disk-resident datasets/results alongside the memory tiers."""
+        with self._lock:
+            counts = {
+                "datasets": len(self._stored),
+                "results": 0,
+                "logs": len(self._logs),
+                "compiled_artifacts": len(self._compiled),
+            }
+        counts["results"] = sum(1 for _ in (self._directory / "results").glob("*.json"))
         counts["cached_rankings"] = len(self.result_cache)
         return counts

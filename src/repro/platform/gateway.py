@@ -26,18 +26,21 @@ same event cursor.
 
 from __future__ import annotations
 
+import uuid
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..algorithms.registry import available_algorithms, get_algorithm
 from ..datasets.catalog import DatasetCatalog, default_catalog
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, TaskNotFoundError
 from ..graph.analysis import graph_summary
 from ..graph.digraph import DirectedGraph
 from ..ranking.comparison import ComparisonTable
 from ..ranking.result import Ranking
 from .datastore import DataStore
 from .executor import ExecutorPool
+from .jobs import JobRecord, JobState
+from .replication import ReplicatedShardedDataStore
 from .scheduler import Scheduler
 from .sharding import ShardedDataStore
 from .status import StatusComponent, TaskProgress
@@ -64,6 +67,20 @@ class ApiGateway:
         backends behind a consistent-hash ring, a sequence of
         :class:`DataStore` instances shards across the provided backends.
         Mutually exclusive with ``datastore``.
+    replicas:
+        Keep R copies of every dataset and result on the ring (quorum-acked
+        writes, failover reads) by building a
+        :class:`~repro.platform.replication.ReplicatedShardedDataStore`.
+        Combines with ``shards`` (defaulting to ``replicas + 1`` backends
+        when ``shards`` is omitted); mutually exclusive with ``datastore``.
+    spill_dir:
+        Directory of the cold file tier: :meth:`spill_storage` demotes cold
+        datasets there, reads fail over to it transparently, and its content
+        survives restarts.  Implies a replicated store (``replicas=1`` when
+        not given).
+    max_finished_tasks:
+        Retention bound of the scheduler's terminal task table (old
+        permalinks fall back to the persisted result payloads).
     """
 
     def __init__(
@@ -73,8 +90,30 @@ class ApiGateway:
         datastore: Optional[DataStore] = None,
         num_workers: int = 2,
         shards: Optional[Union[int, Sequence[DataStore]]] = None,
+        replicas: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        max_finished_tasks: Optional[int] = None,
     ) -> None:
-        if shards is not None:
+        if replicas is not None or spill_dir is not None:
+            if datastore is not None:
+                raise InvalidParameterError(
+                    "`replicas`/`spill_dir` build the datastore; provide either "
+                    "them or `datastore`, not both"
+                )
+            resolved_replicas = replicas if replicas is not None else 1
+            spill = str(spill_dir) if spill_dir is not None else None
+            if shards is None or isinstance(shards, int):
+                num_shards = shards if isinstance(shards, int) else max(
+                    resolved_replicas + 1, 2
+                )
+                datastore = ReplicatedShardedDataStore(
+                    num_shards=num_shards, replicas=resolved_replicas, spill_dir=spill
+                )
+            else:
+                datastore = ReplicatedShardedDataStore(
+                    shards=list(shards), replicas=resolved_replicas, spill_dir=spill
+                )
+        elif shards is not None:
             if datastore is not None:
                 raise InvalidParameterError(
                     "`shards` builds the datastore; provide either `shards` or "
@@ -87,7 +126,12 @@ class ApiGateway:
         self.catalog = catalog if catalog is not None else default_catalog()
         self.datastore = datastore if datastore is not None else DataStore()
         self.executor_pool = ExecutorPool(self.datastore, num_workers=num_workers)
-        self.scheduler = Scheduler(self.datastore, self.catalog, self.executor_pool)
+        self.scheduler = Scheduler(
+            self.datastore,
+            self.catalog,
+            self.executor_pool,
+            max_finished_tasks=max_finished_tasks,
+        )
         self.status = StatusComponent(self.scheduler, self.datastore)
         self.task_builder = TaskBuilder(self.catalog)
 
@@ -309,6 +353,107 @@ class ApiGateway:
         """Return the serving counters: result-cache stats and batch sizes."""
         return self.status.platform_stats()
 
+    # ------------------------------------------------------------------ #
+    # storage maintenance jobs (replication / spill / rebalance)
+    # ------------------------------------------------------------------ #
+    def _replicated_store(self) -> ReplicatedShardedDataStore:
+        if not isinstance(self.datastore, ReplicatedShardedDataStore):
+            raise InvalidParameterError(
+                "this operation requires a replicated datastore; build the "
+                "gateway with replicas=R (and optionally spill_dir=...)"
+            )
+        return self.datastore
+
+    def _launch_storage_job(
+        self, kind: str, runner: Callable[[JobRecord], Any], *, wait: bool
+    ) -> str:
+        """Register a maintenance job and run ``runner`` on the worker pool.
+
+        The job lives in the same registry as comparison jobs, so the whole
+        observation surface comes for free: it shows up in
+        :meth:`list_comparisons`, streams ``progress`` events over
+        :meth:`get_events`/:meth:`stream_events` (REST long-poll and SSE),
+        and :meth:`cancel_comparison` requests cooperative cancellation —
+        the migration loop stops at its next item boundary and the job
+        finishes ``CANCELLED``.
+        """
+        job_id = str(uuid.uuid4())
+        job = self.scheduler.jobs.create(job_id, 0, description=f"storage {kind}")
+        job.append("submitted", total_queries=0, kind=kind)
+
+        def body() -> None:
+            try:
+                runner(job)
+            except Exception as exc:
+                job.finish(JobState.FAILED, error=str(exc))
+                return
+            if job.cancel_requested:
+                job.finish(JobState.CANCELLED)
+            else:
+                job.finish(JobState.DONE)
+
+        self.executor_pool.submit_work(body)
+        if wait:
+            job.wait_done()
+        return job_id
+
+    def replicate_storage(self, *, wait: bool = False) -> str:
+        """Start a replication-repair job; return its job id.
+
+        The job scans the ring and restores R copies of every dataset and
+        result (after a shard outage or a topology change), updating the
+        replication-lag figure in :meth:`get_platform_stats`.
+        """
+        store = self._replicated_store()
+        return self._launch_storage_job(
+            "replicate", lambda job: store.replicate(job=job), wait=wait
+        )
+
+    def spill_storage(
+        self,
+        *,
+        max_resident: Optional[int] = None,
+        dataset_ids: Optional[Sequence[str]] = None,
+        wait: bool = False,
+    ) -> str:
+        """Start a spill job demoting cold datasets to the file tier.
+
+        Provide exactly one of ``max_resident`` (keep at most that many
+        datasets on the memory shards; coldest spill first) or
+        ``dataset_ids`` (explicit victims).
+        """
+        store = self._replicated_store()
+        if store.spill_store is None:
+            raise InvalidParameterError(
+                "no spill tier is configured; build the gateway with spill_dir=..."
+            )
+        if (max_resident is None) == (dataset_ids is None):
+            raise InvalidParameterError(
+                "provide exactly one of `max_resident` or `dataset_ids`"
+            )
+        victims = list(dataset_ids) if dataset_ids is not None else None
+        return self._launch_storage_job(
+            "spill",
+            lambda job: store.spill(
+                max_resident=max_resident, dataset_ids=victims, job=job
+            ),
+            wait=wait,
+        )
+
+    def rebalance_storage(self, *, wait: bool = False) -> str:
+        """Start a rebalance job restoring canonical placement (and R copies)."""
+        store = self.datastore
+        if isinstance(store, ReplicatedShardedDataStore):
+            runner: Callable[[JobRecord], Any] = lambda job: store.rebalance(job=job)
+        elif isinstance(store, ShardedDataStore):
+            runner = lambda job: store.rebalance()
+        else:
+            raise InvalidParameterError(
+                "rebalance requires a sharded datastore; build the gateway "
+                "with shards=N (optionally replicas=R)"
+            )
+        return self._launch_storage_job("rebalance", runner, wait=wait)
+
     def wait_for(self, comparison_id: str, *, timeout_seconds: float = 60.0) -> TaskProgress:
         """Block until a comparison finishes; return the final progress.
 
@@ -343,10 +488,30 @@ class ApiGateway:
         Column headers combine the algorithm display name with the dataset
         when the comparison spans several datasets (the dataset-comparison
         use case) and just the display name otherwise (algorithm comparison).
+
+        A comparison whose task aged out of the scheduler's bounded table is
+        reassembled from the result payload persisted in the datastore, so
+        permalinks outlive the in-memory task record.
         """
-        task = self.scheduler.get_task(comparison_id)
-        rankings = self.scheduler.rankings_for(comparison_id)
-        queries = task.query_set.queries
+        try:
+            task = self.scheduler.get_task(comparison_id)
+            queries = task.query_set.queries
+            rankings = task.rankings()
+        except TaskNotFoundError:
+            payload = self.scheduler.stored_result(comparison_id)
+            queries = [
+                Query(
+                    dataset_id=raw["dataset_id"],
+                    algorithm=raw["algorithm"],
+                    source=raw.get("source"),
+                    parameters=raw.get("parameters") or {},
+                )
+                for raw in payload.get("queries", [])
+            ]
+            rankings = {
+                int(index): Ranking.from_dict(serialised)
+                for index, serialised in payload.get("rankings", {}).items()
+            }
         datasets = {query.dataset_id for query in queries}
         named: Dict[str, Ranking] = {}
         for index in sorted(rankings):

@@ -40,6 +40,9 @@ Event types
 ``query_cached``     a query was answered from the result cache
 ``query_completed``  a query's ranking was recorded
 ``query_failed``     a query raised (payload carries the error)
+``progress``         incremental progress of a storage maintenance job
+                     (replicate / spill / rebalance; payload: kind, item,
+                     completed, total)
 ``cancelled``        cancellation was requested
 ``task_done``        the job reached a terminal state (payload: the state)
 """
@@ -72,6 +75,7 @@ EVENT_TYPES = frozenset(
         "query_cached",
         "query_completed",
         "query_failed",
+        "progress",
         "task_done",
         "cancelled",
     }
@@ -230,6 +234,19 @@ class JobRecord:
                 self._error = str(event.payload.get("error", "query failed"))
             if self._state is JobState.QUEUED:
                 self._state = JobState.RUNNING
+        elif event.type == "progress":
+            if self._state is JobState.QUEUED:
+                self._state = JobState.RUNNING
+            # Storage maintenance jobs register with total_queries=0 and
+            # report their work-item counts through the event payload; fold
+            # them into the projected counters so listings and progress
+            # fragments show real x/y progress instead of 0/0.
+            completed = event.payload.get("completed")
+            total = event.payload.get("total")
+            if isinstance(completed, int) and completed >= 0:
+                self._completed = completed
+            if isinstance(total, int) and total >= 0:
+                self.total_queries = max(self.total_queries, total)
         elif event.type == "cancelled":
             self._cancel_requested = True
         elif event.type == "task_done":

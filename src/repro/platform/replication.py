@@ -1,0 +1,1035 @@
+"""R-way replicated, file-backed shard tier with failover reads and migrations.
+
+The consistent-hash sharded store (:mod:`repro.platform.sharding`) scales the
+storage layer *out*; this module makes it survive a shard loss and overflow
+one machine's memory:
+
+:class:`ReplicatedShardedDataStore`
+    Extends :class:`~repro.platform.sharding.ShardedDataStore` so every
+    dataset-keyed write lands on the ``R`` distinct ring *successors* of its
+    key (the primary plus ``R - 1`` replicas) and is acknowledged only once a
+    **write quorum** (``R // 2 + 1``) of replicas accepted it — so a single
+    shard loss can never destroy an acked dataset or result.  Reads prefer
+    the primary and transparently fail over: a replica that raises or is
+    marked down is skipped and the next successor (then the spill tier, then
+    a full shard scan bridging in-flight migrations) answers instead.
+
+Sloppy placement under failure
+    When a canonical replica is down, writes slide to the next live ring
+    successor (a hinted handoff) so the quorum still reflects *distinct live
+    copies*; :meth:`ReplicatedShardedDataStore.replicate` later repairs
+    canonical placement and copy counts.  Version counters stay consistent
+    across replicas because every copy of one write stores with the same
+    global ``version_floor`` — all replicas agree on the dataset version, so
+    the version-keyed result cache behaves exactly as on the plain sharded
+    store.
+
+Spill tier
+    With ``spill_dir=...`` (or an explicit ``spill_store``) the store gains a
+    cold :class:`~repro.platform.datastore.FileBackedDataStore` tier off the
+    ring.  :meth:`ReplicatedShardedDataStore.spill` demotes the coldest
+    datasets (least recently fetched) from the memory shards to the file
+    tier; reads fail over to it transparently and a re-upload promotes the
+    dataset back onto the ring.  File shards recover their datasets, results
+    and compiled artifacts bit-identical on restart.
+
+Maintenance as jobs
+    :meth:`replicate`, :meth:`spill` and :meth:`rebalance` all accept a
+    ``job`` (:class:`~repro.platform.jobs.JobRecord`): they emit a typed
+    ``progress`` event per migrated item and stop at the next item boundary
+    once cancellation is requested — which is how the gateway runs them as
+    cancellable jobs whose progress streams over long-poll/SSE and the CLI.
+
+Known limitations: there are no deletion tombstones — a dataset dropped
+while one of its replicas is unreachable can resurrect when that shard
+recovers — and reads trust the ring primary without a cross-replica version
+check, so a replica that missed a re-upload while it was erroring (its purge
+is skipped) can serve the stale pre-outage graph after it recovers, until
+``replicate()``/``rebalance()`` reconverges the copies.  Run a repair job
+after returning a shard to service (``mark_up``); the version counters
+protect the result cache from stale rankings in the meantime — a stale
+graph can be *read*, but never populates a fresh version's cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .._validation import require_positive_int
+from ..exceptions import InvalidParameterError, StorageError
+from ..graph.digraph import DirectedGraph
+from .cache import CacheKey
+from .datastore import DataStore, FileBackedDataStore
+from .jobs import JobRecord
+from .sharding import DEFAULT_VIRTUAL_NODES, ShardedDataStore, ShardedResultCache
+
+__all__ = ["ReplicatedResultCache", "ReplicatedShardedDataStore"]
+
+
+class ReplicatedResultCache(ShardedResultCache):
+    """Routing cache view that follows the replicated store's health map.
+
+    Keys route to the cache of the first *live* ring successor of their
+    dataset (the shard failover reads prefer), and every operation is
+    best-effort: a raising backend makes ``get`` report a miss and ``put``
+    decline the entry instead of failing the query — the cache must never
+    take serving down with a shard.  Invalidation fans out to every shard
+    (replica copies mean derived entries can exist anywhere).
+    """
+
+    def get(self, key: CacheKey):
+        try:
+            return self._cache_for(key[0]).get(key)
+        except Exception:
+            return None
+
+    def peek(self, key: CacheKey):
+        try:
+            return self._cache_for(key[0]).peek(key)
+        except Exception:
+            return None
+
+    def put(self, key: CacheKey, ranking) -> bool:
+        try:
+            return self._cache_for(key[0]).put(key, ranking)
+        except Exception:
+            return False
+
+    def _cache_for(self, dataset_id: str):
+        return self._store._cache_backend_for(dataset_id).result_cache
+
+    def invalidate_dataset(self, dataset_id: str) -> int:
+        dropped = 0
+        for backend in self._store.shard_stores().values():
+            try:
+                dropped += backend.result_cache.invalidate_dataset(dataset_id)
+            except Exception:
+                continue
+        return dropped
+
+    def clear(self) -> None:
+        for backend in self._store.shard_stores().values():
+            try:
+                backend.result_cache.clear()
+            except Exception:
+                continue
+
+    def __len__(self) -> int:
+        total = 0
+        for backend in self._store.shard_stores().values():
+            try:
+                total += len(backend.result_cache)
+            except Exception:
+                continue
+        return total
+
+    def _per_shard_stats(self) -> Dict[str, Any]:
+        """Tolerant collection: a dead shard becomes an ``error`` entry.
+
+        The base class's aggregation skips error entries, so a stats poll
+        keeps working through an outage.
+        """
+        per_shard: Dict[str, Any] = {}
+        for shard_id, backend in self._store.shard_stores().items():
+            try:
+                per_shard[shard_id] = backend.result_cache.stats()
+            except Exception as exc:
+                per_shard[shard_id] = {"error": str(exc)}
+        return per_shard
+
+
+class ReplicatedShardedDataStore(ShardedDataStore):
+    """A sharded datastore replicating every key to R ring successors.
+
+    Parameters
+    ----------
+    shards, num_shards, virtual_nodes, cache_ttl_seconds, cache_admit_on_second_miss:
+        As on :class:`~repro.platform.sharding.ShardedDataStore`.  Backends
+        may be :class:`~repro.platform.datastore.FileBackedDataStore`
+        instances — a file-backed ring shard recovers its slice of the data
+        on restart.
+    replicas:
+        Copies per key (``R``).  ``1`` reproduces the unreplicated store's
+        placement; the write quorum is ``R // 2 + 1``, so ``R >= 2`` keeps
+        every acked write on at least two shards.
+    spill_dir, spill_store:
+        Configure the cold file tier (mutually exclusive; ``spill_dir``
+        builds a :class:`FileBackedDataStore` under the directory).
+    """
+
+    def __init__(
+        self,
+        shards: Optional[Sequence[DataStore]] = None,
+        *,
+        num_shards: Optional[int] = None,
+        replicas: int = 2,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        spill_dir: Optional[str] = None,
+        spill_store: Optional[DataStore] = None,
+        cache_ttl_seconds: Optional[float] = None,
+        cache_admit_on_second_miss: bool = False,
+    ) -> None:
+        require_positive_int(replicas, "replicas")
+        super().__init__(
+            shards,
+            num_shards=num_shards,
+            virtual_nodes=virtual_nodes,
+            cache_ttl_seconds=cache_ttl_seconds,
+            cache_admit_on_second_miss=cache_admit_on_second_miss,
+        )
+        if replicas > self.num_shards:
+            raise InvalidParameterError(
+                f"replicas ({replicas}) cannot exceed the number of shards "
+                f"({self.num_shards})"
+            )
+        if spill_dir is not None and spill_store is not None:
+            raise InvalidParameterError(
+                "provide at most one of `spill_dir` and `spill_store`"
+            )
+        self._replicas = replicas
+        self._quorum = replicas // 2 + 1
+        self._spill: Optional[DataStore] = (
+            spill_store if spill_store is not None
+            else (FileBackedDataStore(spill_dir) if spill_dir is not None else None)
+        )
+        #: Shards the operator (or a failure detector) declared unreachable:
+        #: reads and writes skip them, the next ring successor takes over.
+        self._down: set = set()
+        self._shard_errors: Dict[str, int] = {}
+        self._failover_reads = 0
+        self._degraded_writes = 0
+        self._spills = 0
+        self._repairs = 0
+        self._last_underreplicated: Optional[int] = None
+        self.result_cache = ReplicatedResultCache(self)
+
+    # ------------------------------------------------------------------ #
+    # topology, health and placement
+    # ------------------------------------------------------------------ #
+    @property
+    def replicas(self) -> int:
+        """Return R, the number of copies kept per key."""
+        return self._replicas
+
+    @property
+    def quorum(self) -> int:
+        """Return the write quorum (acks required before a write succeeds)."""
+        return self._quorum
+
+    @property
+    def spill_store(self) -> Optional[DataStore]:
+        """Return the cold file tier, if one is configured."""
+        return self._spill
+
+    def mark_down(self, shard_id: str) -> None:
+        """Declare a shard unreachable: reads and writes skip it from now on."""
+        with self._lock:
+            if shard_id not in self._backends:
+                raise InvalidParameterError(f"shard {shard_id!r} does not exist")
+            self._down.add(shard_id)
+            self._epoch += 1
+
+    def mark_up(self, shard_id: str) -> None:
+        """Return a shard to service (idempotent)."""
+        with self._lock:
+            self._down.discard(shard_id)
+            self._epoch += 1
+
+    def marked_down(self) -> List[str]:
+        """Return the shards currently marked down, sorted."""
+        with self._lock:
+            return sorted(self._down)
+
+    def replica_shards_for(self, key: str) -> List[str]:
+        """Return the canonical R-successor placement of ``key`` (health-blind)."""
+        with self._lock:
+            return self._ring.successors(key, self._replicas)
+
+    def _placement_locked(self, key: str) -> Tuple[List[str], List[str]]:
+        """Return ``(live successors, down successors)`` in ring order."""
+        order = self._ring.successors(key, len(self._backends))
+        live = [sid for sid in order if sid not in self._down]
+        down = [sid for sid in order if sid in self._down]
+        return live, down
+
+    def _note_shard_error_locked(self, shard_id: Optional[str]) -> None:
+        if shard_id is not None:
+            self._shard_errors[shard_id] = self._shard_errors.get(shard_id, 0) + 1
+
+    def _cache_backend_for(self, dataset_id: str) -> DataStore:
+        """Return the backend whose cache owns ``dataset_id``'s entries."""
+        with self._lock:
+            live, down = self._placement_locked(dataset_id)
+            preferred = live[0] if live else down[0]
+            return self._backends[preferred]
+
+    def _version_floor(self, dataset_id: str) -> int:
+        """Global version high-water mark, tolerant of failing shards."""
+        floor = 0
+        backends = list(self._backends.values())
+        if self._spill is not None:
+            backends.append(self._spill)
+        for backend in backends:
+            try:
+                floor = max(floor, backend.dataset_version(dataset_id))
+            except Exception:
+                continue
+        return floor
+
+    # ------------------------------------------------------------------ #
+    # replicated reads
+    # ------------------------------------------------------------------ #
+    def _route_read(self, key: str, operation, *, missed=None):
+        """Read with failover: replicas in ring order, spill tier, full scan.
+
+        The primary answers on the fast path.  A replica that raises a
+        :class:`StorageError` simply does not hold the key (normal during
+        migrations and after a spill); any other exception is an
+        infrastructure failure and is counted against the shard.  Either way
+        the next source is consulted: the remaining R-successors, the spill
+        tier, then every other shard (bridging in-flight moves exactly like
+        the base class's fan-out scan).  ``missed`` covers readers that
+        signal absence with a value (``has_*``, ``dataset_version``,
+        ``get_logs``).
+        """
+        with self._lock:
+            live, down = self._placement_locked(key)
+            primary = self._ring.successors(key, 1)[0]
+            plan = [(sid, self._backends[sid]) for sid in live[: self._replicas]]
+            tail = [
+                (sid, self._backends[sid])
+                for sid in live[self._replicas:] + down
+            ]
+        sources: List[Tuple[Optional[str], DataStore]] = list(plan)
+        if self._spill is not None:
+            sources.append((None, self._spill))
+        sources.extend(tail)
+        missing = object()
+        fallback = missing
+        first_error: Optional[BaseException] = None
+        for shard_id, backend in sources:
+            try:
+                value = operation(backend)
+            except StorageError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+                continue
+            if missed is not None and missed(value):
+                if fallback is missing:
+                    fallback = value
+                continue
+            if shard_id != primary:
+                # Answered by a replica, the spill tier or the scan — the
+                # canonical primary was down, erroring, or missing the key.
+                with self._lock:
+                    self._failover_reads += 1
+            return value
+        if missed is not None and fallback is not missing:
+            return fallback
+        if isinstance(first_error, StorageError):
+            raise first_error
+        if first_error is not None:
+            raise StorageError(
+                f"no shard could answer the read for {key!r}: {first_error}"
+            ) from first_error
+        raise StorageError(f"key {key!r} is not stored on any shard")
+
+    # ------------------------------------------------------------------ #
+    # replicated writes
+    # ------------------------------------------------------------------ #
+    def store_dataset(self, dataset_id: str, graph: DirectedGraph) -> None:
+        """Write a dataset to its R live ring successors, quorum-acknowledged.
+
+        Every replica stores with the same global ``version_floor``, so all
+        copies agree on the new upload version.  When a canonical replica is
+        down or fails, the write slides to the next live successor (hinted
+        handoff) — fewer than quorum acks raise :class:`StorageError` and the
+        write is not acknowledged.  Copies on shards outside the acked set
+        are purged (the write-time authority rule of the base class), and a
+        spilled copy is superseded: a re-upload promotes the dataset back to
+        the memory tier.
+        """
+        with self._lock:
+            floor = self._version_floor(dataset_id)
+            live, _ = self._placement_locked(dataset_id)
+            acked: List[str] = []
+            for shard_id in live:
+                if len(acked) == self._replicas:
+                    break
+                backend = self._backends[shard_id]
+                try:
+                    owner_had_dataset = backend.has_dataset(dataset_id)
+                    backend.store_dataset(dataset_id, graph, version_floor=floor)
+                    if not owner_had_dataset:
+                        backend.result_cache.invalidate_dataset(dataset_id)
+                    acked.append(shard_id)
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+            if len(acked) < self._quorum:
+                raise StorageError(
+                    f"dataset {dataset_id!r} write reached {len(acked)} of the "
+                    f"{self._quorum} replica acks the quorum requires"
+                )
+            if len(acked) < self._replicas:
+                self._degraded_writes += 1
+            acked_set = set(acked)
+            for shard_id, backend in self._backends.items():
+                if shard_id in acked_set:
+                    continue
+                try:
+                    if backend.has_dataset(dataset_id):
+                        backend.drop_dataset(dataset_id)
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                if self._spill.has_dataset(dataset_id):
+                    self._spill.drop_dataset(dataset_id)
+            except Exception:
+                pass
+
+    def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
+        """Store a result on its R live successors with quorum acknowledgement."""
+        self._replicated_write(
+            result_id, lambda backend: backend.put_result(result_id, payload)
+        )
+
+    def _replicated_write(self, key: str, operation) -> None:
+        """Write to R live successors outside the lock, epoch-validated.
+
+        Mirrors the base class's optimistic scheme for IO-heavy writes
+        (results may persist to disk on file-backed shards): the plan is
+        snapshotted under the lock, the writes run outside it, and if a
+        topology change moved the key's replica set underneath, the write is
+        repeated against the fresh owners (results are written once per id,
+        so a duplicate send is idempotent).
+        """
+        while True:
+            with self._lock:
+                epoch = self._epoch
+                live, _ = self._placement_locked(key)
+                plan = [(sid, self._backends[sid]) for sid in live]
+            acked: List[Tuple[str, DataStore]] = []
+            for shard_id, backend in plan:
+                if len(acked) == self._replicas:
+                    break
+                try:
+                    operation(backend)
+                    acked.append((shard_id, backend))
+                except Exception:
+                    with self._lock:
+                        self._note_shard_error_locked(shard_id)
+            if len(acked) < self._quorum:
+                raise StorageError(
+                    f"write of {key!r} reached {len(acked)} of the "
+                    f"{self._quorum} replica acks the quorum requires"
+                )
+            with self._lock:
+                if len(acked) < self._replicas:
+                    self._degraded_writes += 1
+                if self._epoch == epoch:
+                    return
+                live, _ = self._placement_locked(key)
+                current_owners = {
+                    self._backends[sid] for sid in live[: self._replicas]
+                }
+                if current_owners <= {backend for _, backend in acked}:
+                    return
+
+    def append_log(self, log_id: str, message: str) -> None:
+        """Append a log line on the first live successor that accepts it.
+
+        Log streams are single-copy diagnostics: the line lands on the
+        preferred live shard, failing over down the successor list.  When no
+        shard can take it the line is dropped — logging must never take
+        query serving down with a shard.
+        """
+        with self._lock:
+            live, down = self._placement_locked(log_id)
+            plan = [(sid, self._backends[sid]) for sid in live + down]
+        for shard_id, backend in plan:
+            try:
+                backend.append_log(log_id, message)
+                return
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+
+    # ------------------------------------------------------------------ #
+    # tolerant fan-out surfaces
+    # ------------------------------------------------------------------ #
+    def _tolerant_union(self, lister) -> List[str]:
+        identifiers: set = set()
+        for shard_id, backend in self.shard_stores().items():
+            try:
+                identifiers.update(lister(backend))
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                identifiers.update(lister(self._spill))
+            except Exception:
+                pass
+        return sorted(identifiers)
+
+    def list_datasets(self) -> List[str]:
+        """Dataset ids across every shard and the spill tier (deduplicated)."""
+        return self._tolerant_union(lambda backend: backend.list_datasets())
+
+    def list_results(self) -> List[str]:
+        """Result ids across every shard and the spill tier (deduplicated)."""
+        return self._tolerant_union(lambda backend: backend.list_results())
+
+    def list_logs(self) -> List[str]:
+        """Log stream ids across every shard and the spill tier (deduplicated)."""
+        return self._tolerant_union(lambda backend: backend.list_logs())
+
+    def _tolerant_drop(self, dropper) -> None:
+        for shard_id, backend in self.shard_stores().items():
+            try:
+                dropper(backend)
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                dropper(self._spill)
+            except Exception:
+                pass
+
+    def drop_dataset(self, dataset_id: str) -> None:
+        """Drop every copy of a dataset — all shards plus the spill tier.
+
+        A copy on an unreachable shard cannot be dropped and may resurrect
+        when the shard recovers (see the module docstring); the version
+        counters keep cached rankings safe regardless.
+        """
+        self._tolerant_drop(
+            lambda backend: backend.has_dataset(dataset_id)
+            and backend.drop_dataset(dataset_id)
+        )
+
+    def drop_result(self, result_id: str) -> None:
+        """Drop every copy of a result — all shards plus the spill tier."""
+        self._tolerant_drop(lambda backend: backend.drop_result(result_id))
+
+    def drop_logs(self, log_id: str) -> None:
+        """Drop a log stream from every shard and the spill tier."""
+        self._tolerant_drop(lambda backend: backend.drop_logs(log_id))
+
+    def _per_shard_artifact_stats(self) -> Dict[str, Any]:
+        """Tolerant artifact-counter collection, mirroring the cache view's."""
+        per_shard: Dict[str, Any] = {}
+        for shard_id, backend in self.shard_stores().items():
+            try:
+                per_shard[shard_id] = backend.artifact_stats()
+            except Exception as exc:
+                per_shard[shard_id] = {"error": str(exc)}
+        return per_shard
+
+    def occupancy(self) -> Dict[str, int]:
+        """Summed occupancy across reachable shards (the spill tier reports
+        separately through :meth:`spill_stats`)."""
+        totals: Dict[str, int] = {}
+        for shard_id, backend in self.shard_stores().items():
+            try:
+                for key, value in backend.occupancy().items():
+                    totals[key] = totals.get(key, 0) + value
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # maintenance migrations (run inline or as cancellable jobs)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _cancelled(job: Optional[JobRecord]) -> bool:
+        return job is not None and job.cancel_requested
+
+    @staticmethod
+    def _progress(
+        job: Optional[JobRecord], kind: str, item: str, completed: int, total: int
+    ) -> None:
+        if job is not None:
+            job.append(
+                "progress", kind=kind, item=item, completed=completed, total=total
+            )
+
+    def _ring_ids(self, lister) -> List[str]:
+        """Union of ids over the ring shards only (the spill tier excluded)."""
+        identifiers: set = set()
+        with self._lock:
+            backends = dict(self._backends)
+        for shard_id, backend in backends.items():
+            try:
+                identifiers.update(lister(backend))
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+        return sorted(identifiers)
+
+    def replicate(self, *, job: Optional[JobRecord] = None) -> Dict[str, int]:
+        """Restore R copies of every dataset and result; return repair counts.
+
+        Scans the ring, copies each under-replicated key from its freshest
+        reachable holder onto the live successors missing it, and records how
+        many keys remain under-replicated (the replication lag reported by
+        :meth:`replication_stats`).  Emits one ``progress`` event per key on
+        ``job`` and stops at the next key boundary once the job's
+        cancellation flag is raised.
+        """
+        repaired_datasets = 0
+        repaired_results = 0
+        with self._topology_lock:
+            dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
+            result_ids = self._ring_ids(lambda backend: backend.list_results())
+            total = len(dataset_ids) + len(result_ids)
+            done = 0
+            for dataset_id in dataset_ids:
+                if self._cancelled(job):
+                    break
+                repaired_datasets += self._ensure_dataset_replicas(dataset_id)
+                done += 1
+                self._progress(job, "replicate", dataset_id, done, total)
+            for result_id in result_ids:
+                if self._cancelled(job):
+                    break
+                repaired_results += self._ensure_result_replicas(result_id)
+                done += 1
+                self._progress(job, "replicate", result_id, done, total)
+            underreplicated = self._count_underreplicated(dataset_ids, result_ids)
+        with self._lock:
+            self._repairs += repaired_datasets + repaired_results
+            self._last_underreplicated = underreplicated
+        return {
+            "datasets_repaired": repaired_datasets,
+            "results_repaired": repaired_results,
+            "underreplicated": underreplicated,
+        }
+
+    def _ensure_dataset_replicas(self, dataset_id: str) -> int:
+        """Copy a dataset onto the live successors missing it; return copies made.
+
+        Every repaired copy must land at the *same* version as its siblings
+        (the all-replicas-agree invariant the cache depends on).  A target
+        whose own counter is still below the authoritative version stores
+        with ``version_floor = version - 1`` and lands exactly on it; a
+        target whose counter already moved past it (drops of stray copies
+        bump counters without a global write) would land *above* — so when
+        that happens the achieved version becomes the new target and the
+        other replicas are re-stored up to it, converging in a second pass
+        instead of leaving the copies divergent (and instead of every later
+        repair scan re-copying forever).
+        """
+        with self._lock:
+            live, _ = self._placement_locked(dataset_id)
+            targets = live[: self._replicas]
+            holders: Dict[str, int] = {}
+            for shard_id, backend in self._backends.items():
+                try:
+                    if backend.has_dataset(dataset_id):
+                        holders[shard_id] = backend.dataset_version(dataset_id)
+                except Exception:
+                    continue
+            if not holders:
+                return 0
+            best = max(holders, key=lambda shard_id: holders[shard_id])
+            if all(holders.get(shard_id) == holders[best] for shard_id in targets):
+                return 0  # fully replicated and version-aligned: nothing to fetch
+            try:
+                graph, version = self._backends[best].fetch_dataset_with_version(
+                    dataset_id
+                )
+            except Exception:
+                self._note_shard_error_locked(best)
+                return 0
+            repaired = 0
+            stable = False
+            while not stable:
+                stable = True
+                for shard_id in targets:
+                    if holders.get(shard_id) == version:
+                        continue
+                    backend = self._backends[shard_id]
+                    try:
+                        backend.store_dataset(
+                            dataset_id, graph, version_floor=version - 1
+                        )
+                        backend.result_cache.invalidate_dataset(dataset_id)
+                        achieved = backend.dataset_version(dataset_id)
+                        holders[shard_id] = achieved
+                        repaired += 1
+                    except Exception:
+                        self._note_shard_error_locked(shard_id)
+                        continue
+                    if achieved > version:
+                        # This target's counter had moved past the
+                        # authoritative version: pull the siblings up to the
+                        # achieved one on the next pass.
+                        version = achieved
+                        stable = False
+            return repaired
+
+    def _ensure_result_replicas(self, result_id: str) -> int:
+        """Copy a result onto the live successors missing it; return copies made."""
+        with self._lock:
+            live, _ = self._placement_locked(result_id)
+            targets = live[: self._replicas]
+            holders: List[str] = []
+            for shard_id, backend in self._backends.items():
+                try:
+                    if backend.has_result(result_id):
+                        holders.append(shard_id)
+                except Exception:
+                    continue
+            if not holders:
+                return 0
+            payload: Optional[dict] = None
+            repaired = 0
+            for shard_id in targets:
+                if shard_id in holders:
+                    continue
+                if payload is None:
+                    try:
+                        payload = self._backends[holders[0]].get_result(result_id)
+                    except Exception:
+                        # One erroring holder must not abort the whole repair
+                        # scan; the key stays under-replicated until the next
+                        # pass finds a healthy copy.
+                        self._note_shard_error_locked(holders[0])
+                        return repaired
+                try:
+                    self._backends[shard_id].put_result(result_id, payload)
+                    repaired += 1
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+            return repaired
+
+    def _count_underreplicated(
+        self, dataset_ids: Sequence[str], result_ids: Sequence[str]
+    ) -> int:
+        """Count keys with fewer live copies than the topology can hold."""
+        lagging = 0
+        with self._lock:
+            live_shards = [sid for sid in self._backends if sid not in self._down]
+            wanted = min(self._replicas, len(live_shards))
+            for dataset_id in dataset_ids:
+                copies = 0
+                for shard_id in live_shards:
+                    try:
+                        if self._backends[shard_id].has_dataset(dataset_id):
+                            copies += 1
+                    except Exception:
+                        continue
+                if 0 < copies < wanted:
+                    lagging += 1
+            for result_id in result_ids:
+                copies = 0
+                for shard_id in live_shards:
+                    try:
+                        if self._backends[shard_id].has_result(result_id):
+                            copies += 1
+                    except Exception:
+                        continue
+                if 0 < copies < wanted:
+                    lagging += 1
+        return lagging
+
+    def spill(
+        self,
+        *,
+        max_resident: Optional[int] = None,
+        dataset_ids: Optional[Sequence[str]] = None,
+        job: Optional[JobRecord] = None,
+    ) -> List[str]:
+        """Demote cold datasets from the memory shards to the file tier.
+
+        Provide exactly one selection policy: ``max_resident`` keeps at most
+        that many datasets on the ring (the coldest ones — least recently
+        stored/fetched on any shard — spill first), or ``dataset_ids`` names
+        the victims explicitly.  A spilled dataset keeps its upload version
+        (so nothing about the caching contract changes), loses its ring
+        copies and derived caches, and is served through read failover until
+        a re-upload promotes it back.  Returns the spilled ids.
+        """
+        if self._spill is None:
+            raise InvalidParameterError(
+                "no spill tier is configured; construct the store with spill_dir="
+            )
+        if (max_resident is None) == (dataset_ids is None):
+            raise InvalidParameterError(
+                "provide exactly one of `max_resident` or `dataset_ids`"
+            )
+        with self._topology_lock:
+            resident = self._ring_ids(lambda backend: backend.list_datasets())
+            if dataset_ids is not None:
+                resident_set = set(resident)
+                victims = [did for did in dataset_ids if did in resident_set]
+            else:
+                if max_resident < 0:
+                    raise InvalidParameterError(
+                        f"max_resident must be >= 0, got {max_resident}"
+                    )
+                excess = len(resident) - max_resident
+                if excess <= 0:
+                    victims = []
+                else:
+                    victims = sorted(resident, key=self._dataset_coldness)[:excess]
+            spilled: List[str] = []
+            for index, dataset_id in enumerate(victims):
+                if self._cancelled(job):
+                    break
+                try:
+                    if self._spill_one(dataset_id):
+                        spilled.append(dataset_id)
+                except Exception:
+                    # A victim whose holder (or the spill write) errors is
+                    # skipped — it stays resident and the remaining victims
+                    # still demote, mirroring replicate()'s per-item
+                    # fault tolerance.
+                    pass
+                self._progress(job, "spill", dataset_id, index + 1, len(victims))
+        with self._lock:
+            self._spills += len(spilled)
+        return spilled
+
+    def _dataset_coldness(self, dataset_id: str) -> float:
+        """Return the newest access stamp any shard holds (0.0 = coldest)."""
+        newest = 0.0
+        with self._lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            try:
+                newest = max(newest, backend.dataset_last_access(dataset_id))
+            except Exception:
+                continue
+        return newest
+
+    def _spill_one(self, dataset_id: str) -> bool:
+        """Move one dataset to the spill tier (version preserved)."""
+        with self._lock:
+            holders: Dict[str, int] = {}
+            for shard_id, backend in self._backends.items():
+                try:
+                    if backend.has_dataset(dataset_id):
+                        holders[shard_id] = backend.dataset_version(dataset_id)
+                except Exception:
+                    continue
+            if not holders:
+                return False
+            best = max(holders, key=lambda shard_id: holders[shard_id])
+            graph, version = self._backends[best].fetch_dataset_with_version(dataset_id)
+            self._spill.store_dataset(dataset_id, graph, version_floor=version - 1)
+            for shard_id in holders:
+                try:
+                    self._backends[shard_id].drop_dataset(dataset_id)
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+            return True
+
+    def rebalance(self, *, job: Optional[JobRecord] = None) -> List[str]:
+        """Restore canonical placement *and* R copies after topology changes.
+
+        For every ring-resident dataset and result: ensure the R live
+        successors hold a copy, then drop stray copies from shards outside
+        the replica set (only once the replica set is fully populated, so a
+        partial repair never reduces the copy count).  Log streams merge
+        onto their primary.  Emits ``progress`` events and honours
+        cancellation exactly like :meth:`replicate`.
+        """
+        moved: List[str] = []
+        with self._topology_lock:
+            dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
+            result_ids = self._ring_ids(lambda backend: backend.list_results())
+            total = len(dataset_ids) + len(result_ids)
+            done = 0
+            for dataset_id in dataset_ids:
+                if self._cancelled(job):
+                    break
+                if self._rebalance_dataset(dataset_id):
+                    moved.append(dataset_id)
+                done += 1
+                self._progress(job, "rebalance", dataset_id, done, total)
+            for result_id in result_ids:
+                if self._cancelled(job):
+                    break
+                self._rebalance_result(result_id)
+                done += 1
+                self._progress(job, "rebalance", result_id, done, total)
+            self._rebalance_log_streams()
+            with self._lock:
+                self._rebalances += 1
+                self._datasets_migrated += len(moved)
+                self._epoch += 1
+        return moved
+
+    def _rebalance_dataset(self, dataset_id: str) -> bool:
+        """Ensure replicas then drop strays for one dataset; return whether
+        anything moved."""
+        copied = self._ensure_dataset_replicas(dataset_id)
+        dropped = 0
+        with self._lock:
+            live, _ = self._placement_locked(dataset_id)
+            targets = set(live[: self._replicas])
+            holding_targets = 0
+            for shard_id in targets:
+                try:
+                    if self._backends[shard_id].has_dataset(dataset_id):
+                        holding_targets += 1
+                except Exception:
+                    continue
+            if holding_targets >= min(self._replicas, len(live) or 1):
+                for shard_id, backend in self._backends.items():
+                    if shard_id in targets:
+                        continue
+                    try:
+                        if backend.has_dataset(dataset_id):
+                            backend.drop_dataset(dataset_id)
+                            dropped += 1
+                    except Exception:
+                        self._note_shard_error_locked(shard_id)
+        return bool(copied or dropped)
+
+    def _rebalance_result(self, result_id: str) -> None:
+        self._ensure_result_replicas(result_id)
+        with self._lock:
+            live, _ = self._placement_locked(result_id)
+            targets = set(live[: self._replicas])
+            holding_targets = 0
+            for shard_id in targets:
+                try:
+                    if self._backends[shard_id].has_result(result_id):
+                        holding_targets += 1
+                except Exception:
+                    continue
+            if holding_targets >= min(self._replicas, len(live) or 1):
+                for shard_id, backend in self._backends.items():
+                    if shard_id in targets:
+                        continue
+                    try:
+                        backend.drop_result(result_id)
+                    except Exception:
+                        self._note_shard_error_locked(shard_id)
+
+    def _rebalance_log_streams(self) -> None:
+        """Merge misrouted log streams onto their primaries (tolerantly)."""
+        with self._lock:
+            backends = dict(self._backends)
+        for shard_id, backend in backends.items():
+            try:
+                self._drain_logs(shard_id, backend)
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+
+    def remove_shard(self, shard_id: str) -> List[str]:
+        """Remove a shard: take it off the ring, re-replicate, then unlink.
+
+        The replication-aware rebalance restores R copies and canonical
+        placement among the survivors before the backend is discarded; a
+        failure rolls the shard back onto the ring, exactly like the base
+        class.
+        """
+        with self._topology_lock:
+            with self._lock:
+                if shard_id not in self._backends:
+                    raise InvalidParameterError(f"shard {shard_id!r} does not exist")
+                if len(self._backends) == 1:
+                    raise InvalidParameterError("cannot remove the last shard")
+                if len(self._backends) - 1 < self._replicas:
+                    raise InvalidParameterError(
+                        f"cannot remove shard {shard_id!r}: {self._replicas} replicas "
+                        f"need at least {self._replicas} shards"
+                    )
+                leaving = self._backends[shard_id]
+                self._ring.remove_shard(shard_id)
+                self._epoch += 1
+            try:
+                moved = []
+                dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
+                for dataset_id in dataset_ids:
+                    if self._rebalance_dataset(dataset_id):
+                        moved.append(dataset_id)
+                for result_id in self._ring_ids(lambda backend: backend.list_results()):
+                    self._rebalance_result(result_id)
+            except BaseException:
+                with self._lock:
+                    self._ring.add_shard(shard_id)
+                    self._epoch += 1
+                raise
+            with self._lock:
+                del self._backends[shard_id]
+                self._down.discard(shard_id)
+                self._epoch += 1
+                self._datasets_migrated += len(moved)
+            self._drain_logs(shard_id, leaving)
+            return moved
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def replication_stats(self) -> Dict[str, Any]:
+        """Return the replication health counters.
+
+        ``underreplicated`` is the lag measured by the most recent
+        :meth:`replicate` scan (``None`` before the first one);
+        ``degraded_writes`` counts writes acked below full replication and
+        ``failover_reads`` reads answered by a non-primary source.
+        """
+        with self._lock:
+            return {
+                "replicas": self._replicas,
+                "quorum": self._quorum,
+                "failover_reads": self._failover_reads,
+                "degraded_writes": self._degraded_writes,
+                "repairs": self._repairs,
+                "marked_down": sorted(self._down),
+                "shard_errors": dict(self._shard_errors),
+                "underreplicated": self._last_underreplicated,
+            }
+
+    def spill_stats(self) -> Dict[str, Any]:
+        """Return the spill-tier occupancy (``{"enabled": False}`` without one)."""
+        if self._spill is None:
+            return {"enabled": False}
+        with self._lock:
+            spills = self._spills
+        try:
+            occupancy = self._spill.occupancy()
+        except Exception as exc:
+            return {"enabled": True, "spills": spills, "error": str(exc)}
+        return {
+            "enabled": True,
+            "spills": spills,
+            "spilled_datasets": occupancy.get("datasets", 0),
+            "occupancy": occupancy,
+        }
+
+    def shard_stats(self) -> Dict[str, Any]:
+        """Base topology stats plus replication health and spill occupancy."""
+        stats = super().shard_stats()
+        with self._lock:
+            down = set(self._down)
+        for shard_id in down:
+            card = stats["per_shard"].get(shard_id)
+            if card is not None:
+                card["healthy"] = False
+                card["marked_down"] = True
+        stats["replication"] = self.replication_stats()
+        stats["spill"] = self.spill_stats()
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicatedShardedDataStore over {self.num_shards} shards, "
+            f"R={self._replicas}"
+            f"{', spill' if self._spill is not None else ''}>"
+        )

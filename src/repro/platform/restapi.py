@@ -25,6 +25,17 @@ Endpoints
                                                 event (``id:`` = seq), ends after ``task_done``.  Works on
                                                 the stdlib ``ThreadingHTTPServer`` because each stream holds
                                                 one handler thread while submissions return immediately.
+                                                Idle streams emit ``: ping`` comment frames (every
+                                                ``keepalive`` seconds, default 15) so aggressive proxies do
+                                                not drop them; a client that reconnects resumes exactly
+                                                where it left off via ``after=N``.
+``POST   /api/storage/replicate``               start a replication-repair job; ``202`` with its job id
+``POST   /api/storage/spill``                   start a spill job; body ``{"max_resident": N}`` or
+                                                ``{"dataset_ids": [...]}``
+``POST   /api/storage/rebalance``               start a rebalance job (canonical placement + R copies).
+                                                Storage jobs stream progress through the same
+                                                ``/api/comparisons/<job id>/events`` endpoints and are
+                                                cancelled with ``DELETE /api/comparisons/<job id>``.
 ``GET    /api/comparisons/<id>/results?k=5``    the top-k comparison table; ``409`` with the current job
                                                 state while the comparison is not completed
 ``GET    /api/comparisons/<id>/logs``           execution log lines
@@ -96,13 +107,19 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, message: str, status: int, **extra: Any) -> None:
         self._send_json({"error": message, **extra}, status=status)
 
-    def _stream_sse(self, comparison_id: str, after: int) -> None:
+    def _stream_sse(self, comparison_id: str, after: int, keepalive: float) -> None:
         """Stream a comparison's events as ``text/event-stream`` frames.
 
         The handler thread is pinned for the duration of the stream — which
         is exactly the deal the threading server offers: submissions return
         immediately, observers each hold one thread.  The stream ends after
         the ``task_done`` frame (or silently when the client disconnects).
+
+        While the job is idle, a ``: ping`` SSE comment is written every
+        ``keepalive`` seconds: comments are ignored by every SSE client but
+        keep the connection warm through proxies that reap idle upstreams.
+        A client that loses the stream anyway resumes losslessly by
+        reconnecting with ``after=<last seen id>``.
         """
         gateway = self.server_wrapper.gateway
         # Probe the event cursor itself before committing the response, so
@@ -114,8 +131,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "text/event-stream; charset=utf-8")
         self.send_header("Cache-Control", "no-cache")
         self.end_headers()
-        try:
-            for event in gateway.stream_events(comparison_id, after=after):
+        cursor = after
+
+        def write_frames(events) -> bool:
+            """Write the frames; return True once ``task_done`` went out."""
+            nonlocal cursor
+            for event in events:
+                cursor = event["seq"]
                 frame = (
                     f"id: {event['seq']}\n"
                     f"event: {event['type']}\n"
@@ -123,6 +145,31 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 )
                 self.wfile.write(frame.encode("utf-8"))
                 self.wfile.flush()
+                if event["type"] == "task_done":
+                    return True
+            return False
+
+        try:
+            while True:
+                events = gateway.get_events(
+                    comparison_id, after=cursor, timeout=keepalive
+                )
+                if not events:
+                    if gateway.get_status(comparison_id).state.is_terminal():
+                        # The job finished right after the poll timed out:
+                        # drain the tail so the promised task_done frame is
+                        # delivered before the stream closes.
+                        write_frames(
+                            gateway.get_events(
+                                comparison_id, after=cursor, timeout=0.0
+                            )
+                        )
+                        return
+                    self.wfile.write(b": ping\n\n")
+                    self.wfile.flush()
+                    continue
+                if write_frames(events):
+                    return
         except (BrokenPipeError, ConnectionResetError):
             pass  # the client went away; nothing to clean up
         except ReproError:
@@ -186,7 +233,10 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 if parts[3] == "events":
                     after = int(query.get("after", ["0"])[0])
                     if query.get("stream", [""])[0] == "sse":
-                        self._stream_sse(comparison_id, after)
+                        keepalive = float(query.get("keepalive", ["15"])[0])
+                        self._stream_sse(
+                            comparison_id, after, min(max(keepalive, 0.05), 30.0)
+                        )
                         return
                     timeout = min(float(query.get("timeout", ["10"])[0]), 30.0)
                     events = gateway.get_events(
@@ -269,6 +319,23 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 synchronous = bool(payload.get("synchronous", False))
                 comparison_id = gateway.run_queries(queries, synchronous=synchronous)
                 self._send_json({"comparison_id": comparison_id}, status=201)
+                return
+            if parts[:2] == ["api", "storage"] and len(parts) == 3:
+                kind = parts[2]
+                payload = self._read_json_body()
+                if kind == "replicate":
+                    job_id = gateway.replicate_storage()
+                elif kind == "spill":
+                    job_id = gateway.spill_storage(
+                        max_resident=payload.get("max_resident"),
+                        dataset_ids=payload.get("dataset_ids"),
+                    )
+                elif kind == "rebalance":
+                    job_id = gateway.rebalance_storage()
+                else:
+                    self._send_error_json(f"unknown storage operation {kind!r}", 404)
+                    return
+                self._send_json({"job_id": job_id, "kind": kind}, status=202)
                 return
             self._send_error_json(f"unknown resource {parsed.path!r}", 404)
         except ReproError as exc:

@@ -47,7 +47,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
-from ..exceptions import JobCancelledError, TaskNotFoundError
+from ..exceptions import JobCancelledError, StorageError, TaskNotFoundError
 from ..ranking.result import Ranking
 from .cache import CacheKey, ResultCache, _canonical_parameters
 from .datastore import DataStore
@@ -81,7 +81,18 @@ class Scheduler:
     job_registry:
         The registry job lifecycles and event logs live in; a fresh bounded
         :class:`~repro.platform.jobs.JobRegistry` is created when omitted.
+    max_finished_tasks:
+        Retention bound of the task table, mirroring the job registry's:
+        active tasks are never evicted, but once the number of *terminal*
+        tasks exceeds the bound the oldest ones are dropped from memory.
+        Their permalinks keep resolving — results, rankings and status are
+        served from the result payload persisted in the datastore — so the
+        table no longer grows with lifetime submission count.
     """
+
+    #: Default terminal-task retention (mirrors the job registry's bound at
+    #: a multiple that keeps weeks of permalinks hot in memory).
+    DEFAULT_MAX_FINISHED_TASKS = 1024
 
     def __init__(
         self,
@@ -90,12 +101,21 @@ class Scheduler:
         executor_pool: ExecutorPool,
         *,
         job_registry: Optional[JobRegistry] = None,
+        max_finished_tasks: Optional[int] = None,
     ) -> None:
+        if max_finished_tasks is None:
+            max_finished_tasks = self.DEFAULT_MAX_FINISHED_TASKS
+        if max_finished_tasks < 1:
+            raise ValueError(
+                f"max_finished_tasks must be a positive integer, got {max_finished_tasks}"
+            )
         self._datastore = datastore
         self._catalog = catalog
         self._pool = executor_pool
         self._cache = datastore.result_cache
         self.jobs = job_registry if job_registry is not None else JobRegistry()
+        self._max_finished_tasks = max_finished_tasks
+        self._tasks_evicted = 0
         self._tasks: Dict[str, Task] = {}
         #: Single-flight table: cache key -> future of the ranking being
         #: computed right now, so concurrent identical queries never compute
@@ -130,9 +150,36 @@ class Scheduler:
         return task
 
     def list_tasks(self) -> List[Task]:
-        """Return every task the scheduler has seen, newest last."""
+        """Return every task still in the bounded table, newest last."""
         with self._lock:
             return list(self._tasks.values())
+
+    def _evict_finished_tasks(self) -> None:
+        """Drop the oldest terminal tasks beyond the bound (lock held).
+
+        Mirrors :meth:`~repro.platform.jobs.JobRegistry._evict_finished`:
+        active tasks are never evicted, and an evicted task's permalink still
+        resolves through the result payload the datastore persists (see
+        :meth:`rankings_for` / :meth:`stored_result`).
+        """
+        terminal = [
+            task_id for task_id, task in self._tasks.items() if task.state.is_terminal()
+        ]
+        for task_id in terminal[: max(0, len(terminal) - self._max_finished_tasks)]:
+            del self._tasks[task_id]
+            self._tasks_evicted += 1
+
+    def stored_result(self, task_id: str) -> dict:
+        """Return the persisted result payload of a task (permalink fallback).
+
+        Raises :class:`TaskNotFoundError` when the datastore holds no result
+        under the id — evicted FAILED/CANCELLED tasks never stored one, so
+        their permalinks genuinely expire with the table entry.
+        """
+        try:
+            return self._datastore.get_result(task_id)
+        except StorageError:
+            raise TaskNotFoundError(task_id) from None
 
     # ------------------------------------------------------------------ #
     # dataset materialisation
@@ -173,8 +220,10 @@ class Scheduler:
         job = self.jobs.create(task.task_id, task.total_queries)
         groups = self._group_queries(task.query_set)
         with self._lock:
+            self._tasks.pop(task.task_id, None)
             self._tasks[task.task_id] = task
             self._outstanding[task.task_id] = len(groups)
+            self._evict_finished_tasks()
         job.append("submitted", total_queries=task.total_queries)
         task.mark_running()
         return job, groups
@@ -571,8 +620,19 @@ class Scheduler:
         boundary check; batches already executing run to completion (their
         results still populate the cache), and the job is finished with
         state ``CANCELLED`` once the outstanding work has drained.
+
+        Registry jobs without a task — the storage maintenance jobs
+        (replicate/spill/rebalance) the gateway runs on this registry — are
+        purely cooperative: the flag is raised here and the migration loop
+        finishes the job at its next item boundary.
         """
-        task = self.get_task(task_id)
+        try:
+            task = self.get_task(task_id)
+        except TaskNotFoundError:
+            job = self.jobs.find(task_id)
+            if job is None:
+                raise
+            return job.request_cancel()
         job = self.jobs.find(task_id)
         if job is None:
             return False
@@ -670,5 +730,33 @@ class Scheduler:
         return task
 
     def rankings_for(self, task_id: str) -> Dict[int, Ranking]:
-        """Return the rankings computed so far for ``task_id``."""
-        return self.get_task(task_id).rankings()
+        """Return the rankings computed so far for ``task_id``.
+
+        A task evicted from the bounded table falls back to the result
+        payload persisted in the datastore, so old permalinks keep serving
+        their rankings without holding them in memory forever.
+        """
+        try:
+            return self.get_task(task_id).rankings()
+        except TaskNotFoundError:
+            payload = self.stored_result(task_id)
+            return {
+                int(index): Ranking.from_dict(serialised)
+                for index, serialised in payload.get("rankings", {}).items()
+            }
+
+    def task_table_stats(self) -> Dict[str, Any]:
+        """Return the bounded task table's occupancy (for ``platform_stats()``)."""
+        with self._lock:
+            tasks = list(self._tasks.values())
+            evicted = self._tasks_evicted
+        by_state: Dict[str, int] = {}
+        for task in tasks:
+            state = task.state.value
+            by_state[state] = by_state.get(state, 0) + 1
+        return {
+            "tasks": len(tasks),
+            "by_state": by_state,
+            "evicted": evicted,
+            "max_finished_tasks": self._max_finished_tasks,
+        }

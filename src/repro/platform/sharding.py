@@ -164,6 +164,35 @@ class HashRing:
         """Return ``{key: owning shard}`` for every key."""
         return {key: self.assign(key) for key in keys}
 
+    def successors(self, key: str, count: int) -> List[str]:
+        """Return the first ``count`` *distinct* shards at or after ``key``.
+
+        The first entry is :meth:`assign`'s owner (the primary); the rest are
+        the next distinct shards walking the ring clockwise — the replica
+        placement of the replicated store.  With at least ``count`` shards on
+        the ring the result always holds ``count`` distinct shards; with
+        fewer, every shard is returned.  Like :meth:`assign`, the walk
+        depends only on the set of shards, so placement is deterministic
+        across processes and a join/leave changes the successor set of a key
+        only when one of its wrapping intervals changed hands.
+        """
+        if not self._positions:
+            raise StorageError("the hash ring has no shards")
+        require_positive_int(count, "count")
+        wanted = min(count, len(self._shards))
+        start = bisect.bisect_left(self._positions, _ring_position(key))
+        total = len(self._positions)
+        owners: List[str] = []
+        seen: set = set()
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                owners.append(owner)
+                if len(owners) == wanted:
+                    break
+        return owners
+
 
 class ShardedResultCache:
     """The sharded store's routing view over the per-shard result caches.
@@ -211,27 +240,41 @@ class ShardedResultCache:
     def __len__(self) -> int:
         return sum(len(backend.result_cache) for backend in self._store.shard_stores().values())
 
-    def stats(self) -> Dict[str, Any]:
-        """Return the aggregated cache counters plus the per-shard breakdown."""
-        per_shard = {
+    #: Counter keys summed across shards by :meth:`stats`.
+    _COUNTER_KEYS = (
+        "capacity",
+        "size",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "expirations",
+        "admissions_deferred",
+    )
+
+    def _per_shard_stats(self) -> Dict[str, Any]:
+        """Collect each shard's cache counters (hook for tolerant subclasses)."""
+        return {
             shard_id: backend.result_cache.stats()
             for shard_id, backend in self._store.shard_stores().items()
         }
+
+    def stats(self) -> Dict[str, Any]:
+        """Return the aggregated cache counters plus the per-shard breakdown.
+
+        A per-shard entry carrying an ``"error"`` key (a shard the tolerant
+        replicated collection could not reach) is excluded from the sums.
+        """
+        per_shard = self._per_shard_stats()
+        healthy = [stats for stats in per_shard.values() if "error" not in stats]
         aggregated: Dict[str, Any] = {
-            "capacity": sum(s["capacity"] for s in per_shard.values()),
-            "size": sum(s["size"] for s in per_shard.values()),
-            "hits": sum(s["hits"] for s in per_shard.values()),
-            "misses": sum(s["misses"] for s in per_shard.values()),
-            "evictions": sum(s["evictions"] for s in per_shard.values()),
-            "invalidations": sum(s["invalidations"] for s in per_shard.values()),
-            "expirations": sum(s["expirations"] for s in per_shard.values()),
-            "admissions_deferred": sum(s["admissions_deferred"] for s in per_shard.values()),
+            key: sum(stats[key] for stats in healthy) for key in self._COUNTER_KEYS
         }
         total = aggregated["hits"] + aggregated["misses"]
         aggregated["hit_rate"] = (aggregated["hits"] / total) if total else 0.0
         # Policy knobs are uniform across internally-built shards; report the
         # first shard's so the stats shape matches the single-store cache.
-        first = next(iter(per_shard.values()), {})
+        first = next(iter(healthy), {})
         aggregated["ttl_seconds"] = first.get("ttl_seconds")
         aggregated["admit_on_second_miss"] = first.get("admit_on_second_miss", False)
         aggregated["shards"] = per_shard
@@ -726,17 +769,27 @@ class ShardedDataStore:
         """Return the compiled artifact of a stored dataset."""
         return self.fetch_compiled_with_version(dataset_id)[0]
 
-    def artifact_stats(self) -> Dict[str, Any]:
-        """Return aggregated artifact counters plus the per-shard breakdown."""
-        per_shard = {
+    #: Counter keys summed across shards by :meth:`artifact_stats`.
+    _ARTIFACT_COUNTER_KEYS = ("compiled", "hits", "misses", "invalidations")
+
+    def _per_shard_artifact_stats(self) -> Dict[str, Any]:
+        """Collect each shard's artifact counters (hook for tolerant subclasses)."""
+        return {
             shard_id: backend.artifact_stats()
             for shard_id, backend in self.shard_stores().items()
         }
+
+    def artifact_stats(self) -> Dict[str, Any]:
+        """Return aggregated artifact counters plus the per-shard breakdown.
+
+        Per-shard ``"error"`` entries (unreachable shards, reported by the
+        replicated subclass's tolerant collection) are excluded from the sums.
+        """
+        per_shard = self._per_shard_artifact_stats()
+        healthy = [stats for stats in per_shard.values() if "error" not in stats]
         aggregated: Dict[str, Any] = {
-            "compiled": sum(s["compiled"] for s in per_shard.values()),
-            "hits": sum(s["hits"] for s in per_shard.values()),
-            "misses": sum(s["misses"] for s in per_shard.values()),
-            "invalidations": sum(s["invalidations"] for s in per_shard.values()),
+            key: sum(stats[key] for stats in healthy)
+            for key in self._ARTIFACT_COUNTER_KEYS
         }
         total = aggregated["hits"] + aggregated["misses"]
         aggregated["hit_rate"] = (aggregated["hits"] / total) if total else 0.0

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from ..exceptions import TaskError
+from ..exceptions import StorageError, TaskError, TaskNotFoundError
 from .datastore import DataStore
 from .jobs import JobEvent, JobRecord, JobState
 from .scheduler import Scheduler
@@ -98,7 +98,24 @@ class StatusComponent:
         # The job record was evicted from the bounded registry (or the task
         # was registered without going through submission): fall back to the
         # task table, which the scheduler keeps for permalink lookups.
-        task = self._scheduler.get_task(task_id)
+        try:
+            task = self._scheduler.get_task(task_id)
+        except TaskNotFoundError:
+            # The task itself aged out of the bounded table; a completed
+            # comparison still has its result payload persisted in the
+            # datastore, so the permalink keeps resolving.
+            try:
+                payload = self._datastore.get_result(task_id)
+            except StorageError:
+                raise TaskNotFoundError(task_id) from None
+            rankings = payload.get("rankings", {})
+            return TaskProgress(
+                task_id=task_id,
+                state=TaskState(str(payload.get("state", TaskState.COMPLETED.value))),
+                completed_queries=len(rankings),
+                total_queries=len(payload.get("queries", rankings)),
+                error=None,
+            )
         return TaskProgress(
             task_id=task.task_id,
             state=task.state,
@@ -185,9 +202,13 @@ class StatusComponent:
             "batches": self._scheduler.batch_stats(),
             "artifacts": self._scheduler.artifact_stats(),
             "jobs": self._registry.stats(),
+            "tasks": self._scheduler.task_table_stats(),
         }
         shard_stats = getattr(self._datastore, "shard_stats", None)
         if callable(shard_stats):
+            # On a replicated deployment the section also carries
+            # ``replication`` (quorum, failovers, lag) and ``spill``
+            # (file-tier occupancy) subsections.
             stats["shards"] = shard_stats()
         return stats
 

@@ -115,18 +115,24 @@ class WebUI:
     # job listing and progress (the "watch it run" half of the demo)
     # ------------------------------------------------------------------ #
     def render_job_list(self) -> str:
-        """Render the job listing: one line per known comparison, oldest first."""
+        """Render the job listing: one line per known comparison, oldest first.
+
+        Storage maintenance jobs (replication repair, spill, rebalance) share
+        the registry with comparisons; their ``description`` distinguishes
+        them in the ``Kind`` column (comparisons render as ``comparison``).
+        """
         lines = [
             "Comparisons",
             "===========",
-            f"{'Comparison id':<38}{'State':<12}{'Progress':<10}Error",
+            f"{'Comparison id':<38}{'State':<12}{'Progress':<10}{'Kind':<22}Error",
         ]
         jobs = self._gateway.list_comparisons()
         for job in jobs:
             progress = f"{job['completed_queries']}/{job['total_queries']}"
+            kind = job.get("description") or "comparison"
             lines.append(
                 f"{job['comparison_id']:<38}{job['state']:<12}{progress:<10}"
-                f"{job['error'] or '-'}"
+                f"{kind:<22}{job['error'] or '-'}"
             )
         if not jobs:
             lines.append("(no comparisons submitted yet)")
@@ -136,14 +142,16 @@ class WebUI:
         """Render the job listing as an HTML fragment (one table row per job)."""
         parts = [
             "<table class='jobs'>",
-            "<tr><th>Comparison</th><th>State</th><th>Progress</th></tr>",
+            "<tr><th>Comparison</th><th>State</th><th>Progress</th><th>Kind</th></tr>",
         ]
         for job in self._gateway.list_comparisons():
+            kind = job.get("description") or "comparison"
             parts.append(
                 f"<tr data-state='{html.escape(job['state'])}'>"
                 f"<td><code>{html.escape(job['comparison_id'])}</code></td>"
                 f"<td>{html.escape(job['state'])}</td>"
-                f"<td>{job['completed_queries']}/{job['total_queries']}</td></tr>"
+                f"<td>{job['completed_queries']}/{job['total_queries']}</td>"
+                f"<td>{html.escape(kind)}</td></tr>"
             )
         parts.append("</table>")
         return "".join(parts)

@@ -183,8 +183,9 @@ class TestShardsFlag:
         assert "shards: 2 on the ring" in output
 
     @pytest.mark.skipif(
-        bool(int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0)),
-        reason="the sharded-topology run makes every default gateway sharded",
+        bool(int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0))
+        or bool(int(os.environ.get("REPRO_TEST_REPLICAS", "0") or 0)),
+        reason="the scaled-topology runs make every default gateway sharded",
     )
     def test_shard_line_is_omitted_on_a_single_store(self, tiny_catalog, capsys):
         assert main(["run", "toy", "cyclerank", "--source", "R", "--cache-stats"]) == 0
@@ -193,6 +194,37 @@ class TestShardsFlag:
     def test_non_positive_shards_is_rejected(self, tiny_catalog, capsys):
         assert main(["run", "toy", "cyclerank", "--source", "R", "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err
+
+
+class TestReplicasFlag:
+    def test_run_command_on_a_replicated_store(self, tiny_catalog, capsys, tmp_path):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--shards", "3",
+             "--replicas", "2", "--spill-dir", str(tmp_path), "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "CycleRank" in output
+        assert "shards: 3 on the ring" in output
+        assert "replication: R=2 (quorum 2)" in output
+        assert "spill: 0 dataset(s) on the file tier" in output
+
+    def test_replicas_without_shards_builds_a_default_ring(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--replicas", "2",
+             "--cache-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards: 3 on the ring" in output  # replicas + 1 backends
+        assert "replication: R=2" in output
+        assert "spill:" not in output  # no spill tier configured
+
+    def test_non_positive_replicas_is_rejected(self, tiny_catalog, capsys):
+        assert main(
+            ["run", "toy", "cyclerank", "--source", "R", "--replicas", "0"]
+        ) == 2
+        assert "--replicas" in capsys.readouterr().err
 
 
 class TestWaitFlags:

@@ -447,6 +447,68 @@ class TestJobEndpoints:
             get_json(server, "/api/comparisons/never-submitted/events?stream=sse")
         assert excinfo.value.code == 404
 
+    def test_idle_sse_stream_emits_keepalive_pings_and_resumes(self, server):
+        """An idle stream writes ``: ping`` comments; ``after=N`` resumes it.
+
+        A gated algorithm holds the job idle so the stream has nothing to
+        deliver: the keep-alive comments are what keeps proxies from reaping
+        the connection.  After the gate opens, the remaining events arrive in
+        ``seq`` order, and a client that only saw part of the stream resumes
+        losslessly from its last cursor over the long-poll endpoint.
+        """
+        from conftest import register_gated_algorithm
+        from repro.algorithms import registry as algorithm_registry
+
+        started, release = register_gated_algorithm("gated-keepalive")
+        try:
+            _, created = post_json(
+                server,
+                "/api/comparisons",
+                {
+                    "queries": [
+                        {
+                            "dataset_id": "enwiki-2018",
+                            "algorithm": "gated-keepalive",
+                            "source": "Freddie Mercury",
+                        }
+                    ],
+                    "synchronous": False,
+                },
+            )
+            comparison_id = created["comparison_id"]
+            assert started.wait(10.0)
+            url = (
+                f"{server.url}/api/comparisons/{comparison_id}/events"
+                "?stream=sse&keepalive=0.2"
+            )
+            pings = 0
+            frames = []
+            with urllib.request.urlopen(url, timeout=30) as response:
+                assert response.headers["Content-Type"].startswith("text/event-stream")
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    if line == ": ping":
+                        pings += 1
+                        if pings == 2:
+                            release.set()  # idle proven; let the job finish
+                    elif line.startswith("data: "):
+                        frames.append(json.loads(line[len("data: "):]))
+            assert pings >= 2
+            assert frames[-1]["type"] == "task_done"
+            seqs = [frame["seq"] for frame in frames]
+            assert seqs == sorted(seqs)
+            # Resume from a mid-stream cursor: exactly the tail comes back.
+            cursor = seqs[0]
+            status, body = get_json(
+                server,
+                f"/api/comparisons/{comparison_id}/events?after={cursor}&timeout=5",
+            )
+            assert status == 200
+            assert [event["seq"] for event in body["events"]] == seqs[1:]
+        finally:
+            release.set()
+            algorithm_registry._REGISTRY.pop("gated-keepalive", None)
+
 
 class TestResultsOfTerminalFailures:
     def test_failed_comparison_results_409_carries_the_error(self, server):
