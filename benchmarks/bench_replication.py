@@ -118,6 +118,49 @@ def _store_trajectory(graph, replicas, tmp_dir):
     }
 
 
+def _read_repair_convergence(graph):
+    """Time single-key read-repair convergence against a full replicate scan.
+
+    A handful of keys lose one replica copy; reading them back fails over
+    and enqueues exactly those keys, and one drain restores R copies —
+    ``underreplicated`` reaches 0 without scanning the other datasets.  The
+    full-scan wall time over the (already converged) ring is recorded
+    alongside as the cost the targeted drain avoided.
+    """
+    store = ReplicatedShardedDataStore(num_shards=NUM_SHARDS, replicas=2)
+    dataset_ids = [f"bench-{index}" for index in range(NUM_DATASETS)]
+    for dataset_id in dataset_ids:
+        store.store_dataset(dataset_id, graph)
+
+    victims = dataset_ids[: max(2, NUM_DATASETS // 4)]
+    for dataset_id in victims:
+        primary = store.replica_shards_for(dataset_id)[0]
+        store.shard_stores()[primary].drop_dataset(dataset_id)
+    failover_reads = _timed(store.fetch_dataset, victims)
+    assert store.pending_read_repairs() == len(victims)
+
+    drain_started = time.perf_counter()
+    outcome = store.drain_read_repairs()
+    drain_seconds = time.perf_counter() - drain_started
+    assert outcome["drained"] == len(victims)
+    assert store.replication_stats()["underreplicated"] == 0
+
+    scan_started = time.perf_counter()
+    scan = store.replicate()
+    scan_seconds = time.perf_counter() - scan_started
+    assert scan["datasets_repaired"] == 0  # the drain already converged
+
+    return {
+        "datasets": NUM_DATASETS,
+        "repaired_keys": outcome["drained"],
+        "repaired_copies": outcome["repaired"],
+        "failover_read_seconds": _summary(failover_reads),
+        "drain_wall_seconds": drain_seconds,
+        "full_scan_wall_seconds": scan_seconds,
+        "read_repairs_counted": store.replication_stats()["read_repairs"],
+    }
+
+
 def _gateway_rankings(graph, *, replicas):
     catalog = DatasetCatalog()
     catalog.register_graph("bench", graph, description="replication bench")
@@ -137,6 +180,7 @@ def test_bench_replication_trajectory(bench_graph, tmp_path):
     """Measure R=1 vs R=2 storage cost and write BENCH_replication.json."""
     single = _store_trajectory(bench_graph, 1, tmp_path)
     replicated = _store_trajectory(bench_graph, 2, tmp_path)
+    read_repair = _read_repair_convergence(bench_graph)
 
     # Correctness before timing claims: the replicated gateway serves
     # rankings bit-identical to the single-store gateway.
@@ -173,6 +217,7 @@ def test_bench_replication_trajectory(bench_graph, tmp_path):
         },
         "single": single,
         "replicated": replicated,
+        "read_repair": read_repair,
         "write_overhead_r2_vs_r1": overhead,
     }
     write_report("BENCH_replication.json", json.dumps(payload, indent=2))

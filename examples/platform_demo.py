@@ -8,7 +8,11 @@ Drives the full system the way the web demo does:
 3. submit the comparison to the scheduler / executor pool;
 4. poll the Status component while the workers run;
 5. fetch the results and the execution log from the datastore and render the
-   comparison table — the same flow as steps 1-5 of Section III.
+   comparison table — the same flow as steps 1-5 of Section III;
+6. kill a storage shard under a replicated gateway and watch the platform
+   heal itself: the failure detector auto-marks the shard down, failover
+   reads keep serving and enqueue read-repairs, and the recovered shard is
+   marked back up — no manual intervention at any step.
 
 Run with::
 
@@ -20,6 +24,98 @@ from __future__ import annotations
 import time
 
 from repro.platform import ApiGateway, WebUI
+
+
+class _KillableStore:
+    """Minimal fault wrapper for the walkthrough: a killed shard raises.
+
+    (The test suite's ``tests/faults.py`` library is the full-featured
+    version of this; the example keeps its own five-liner so it runs
+    standalone.)
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.killed = False
+
+    def __getattr__(self, name):
+        attribute = getattr(self._inner, name)
+        if not callable(attribute):
+            return attribute
+
+        def call(*args, **kwargs):
+            if self.killed:
+                raise RuntimeError("shard process is dead")
+            return attribute(*args, **kwargs)
+
+        return call
+
+
+def _wait_for(predicate, *, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+def self_healing_walkthrough() -> None:
+    """Step 6: kill a replicated shard and watch the platform heal itself."""
+    from repro.datasets.catalog import DatasetCatalog
+    from repro.graph.generators import reciprocal_communities_graph
+    from repro.platform.datastore import DataStore
+    from repro.platform.replication import ReplicatedShardedDataStore
+
+    print("=" * 72)
+    print("Self-healing storage: kill a shard, watch the platform recover")
+    print("=" * 72)
+
+    backends = [_KillableStore(DataStore()) for _ in range(4)]
+    store = ReplicatedShardedDataStore(
+        shards=backends,
+        replicas=2,
+        probe_failure_threshold=2,
+        probe_transition_interval_seconds=0.05,
+    )
+    catalog = DatasetCatalog()
+    catalog.register_graph(
+        "communities",
+        reciprocal_communities_graph(4, 8, seed=3),
+        description="planted communities",
+    )
+    with ApiGateway(
+        catalog=catalog, datastore=store, probe_interval_seconds=0.05
+    ) as gateway:
+        gateway.run_queries(
+            [{"dataset_id": "communities", "algorithm": "pagerank"}],
+            synchronous=True,
+        )
+        holders = store.replica_shards_for("communities")
+        print(f"dataset replicated to {holders} (R=2, quorum acked)\n")
+
+        victim_id = holders[0]
+        victim = store.shard_stores()[victim_id]
+        victim.killed = True
+        print(f"-- killed {victim_id}, the dataset's primary --")
+
+        graph = store.fetch_dataset("communities")
+        print(f"failover read still serves all {graph.number_of_nodes()} nodes")
+
+        _wait_for(lambda: victim_id in store.marked_down())
+        print(f"failure detector auto-marked {victim_id} down "
+              "(no mark_down call anywhere)")
+        _wait_for(lambda: store.replication_stats()["underreplicated"] == 0)
+        print("read-repair restored R copies among the survivors; "
+              "underreplicated = 0")
+
+        victim.killed = False
+        print(f"-- restarted {victim_id} --")
+        _wait_for(lambda: victim_id not in store.marked_down())
+        print("probe marked the shard back up; health event log:")
+        for event in gateway.health_events():
+            print(f"  seq {event['seq']:3d}  {event['type']:10s}  "
+                  f"{event['shard']} (streak {event['failures']})")
 
 
 def main() -> None:
@@ -67,6 +163,10 @@ def main() -> None:
         print("Execution log:")
         for line in gateway.get_logs(comparison_id):
             print(f"  {line}")
+        print()
+
+    # Step 6: the storage tier heals itself around a killed shard.
+    self_healing_walkthrough()
 
 
 if __name__ == "__main__":

@@ -102,6 +102,13 @@ def _add_storage_flags(parser: argparse.ArgumentParser) -> None:
         help="directory of the cold file tier cold datasets spill to "
         "(its contents survive restarts)",
     )
+    parser.add_argument(
+        "--spill-budget",
+        type=int,
+        metavar="BYTES",
+        help="automatic spill policy: demote cold datasets whenever the "
+        "estimated resident graph bytes exceed BYTES (requires --spill-dir)",
+    )
 
 
 def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
@@ -267,11 +274,23 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
                 f"{replication['degraded_writes']} degraded writes, "
                 f"lag {'unknown' if lag is None else lag}"
             )
+            print(
+                f"self-healing: {replication.get('read_repairs', 0)} read-repairs "
+                f"({replication.get('repair_queue', 0)} queued), "
+                f"tombstones {replication.get('tombstones_written', 0)} written / "
+                f"{replication.get('tombstones_reaped', 0)} reaped, "
+                f"auto down/up {replication.get('auto_downs', 0)}"
+                f"/{replication.get('auto_ups', 0)}"
+            )
         spill = shards.get("spill")
         if spill and spill.get("enabled"):
+            resident = spill.get("resident_bytes")
+            budget = (
+                "" if resident is None else f", ~{resident} resident byte(s) on the ring"
+            )
             print(
                 f"spill: {spill.get('spilled_datasets', 0)} dataset(s) on the "
-                f"file tier ({spill.get('spills', 0)} demotions)"
+                f"file tier ({spill.get('spills', 0)} demotions{budget})"
             )
 
 
@@ -489,8 +508,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
     spill_dir = getattr(arguments, "spill_dir", None)
+    spill_budget = getattr(arguments, "spill_budget", None)
+    if spill_budget is not None and spill_budget < 0:
+        print(
+            f"error: --spill-budget must be >= 0, got {spill_budget}",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        with ApiGateway(shards=shards, replicas=replicas, spill_dir=spill_dir) as gateway:
+        with ApiGateway(
+            shards=shards,
+            replicas=replicas,
+            spill_dir=spill_dir,
+            spill_budget_bytes=spill_budget,
+        ) as gateway:
             return handler(gateway, arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -98,6 +98,18 @@ class DataStore:
         #: dataset id -> monotonic timestamp of the last store/fetch; the
         #: replicated store's spill policy demotes the coldest datasets first.
         self._dataset_access: Dict[str, float] = {}
+        #: dataset id -> estimated resident bytes of the stored graph; the
+        #: replicated store's automatic spill policy budgets against the sum.
+        self._dataset_bytes: Dict[str, int] = {}
+        #: dataset id -> version the dataset was authoritatively deleted at.
+        #: A tombstone outlives the copy it deleted so an outage-surviving
+        #: stale replica cannot resurrect the dataset (see the replicated
+        #: store's anti-entropy passes); it is reaped once every replica has
+        #: acknowledged the deletion.
+        self._dataset_tombstones: Dict[str, int] = {}
+        #: result ids that were authoritatively deleted (results carry no
+        #: version counter, so presence of the id is the whole tombstone).
+        self._result_tombstones: Set[str] = set()
         self._results: Dict[str, dict] = {}
         self._logs: Dict[str, List[str]] = {}
         if result_cache is not None:
@@ -148,7 +160,12 @@ class DataStore:
             self._dataset_versions[dataset_id] = (
                 max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
             )
+            # The new version strictly exceeds any tombstone (the tombstone
+            # raised the counter when it was written), so the re-upload
+            # supersedes the deletion.
+            self._dataset_tombstones.pop(dataset_id, None)
             self._dataset_access[dataset_id] = time.monotonic()
+            self._dataset_bytes[dataset_id] = self._estimate_graph_bytes(graph)
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
         if replacing:
@@ -212,10 +229,113 @@ class DataStore:
         with self._lock:
             self._datasets.pop(dataset_id, None)
             self._dataset_access.pop(dataset_id, None)
+            self._dataset_bytes.pop(dataset_id, None)
             self._dataset_versions[dataset_id] = self._dataset_versions.get(dataset_id, 0) + 1
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
         self.result_cache.invalidate_dataset(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # deletion tombstones
+    # ------------------------------------------------------------------ #
+    def set_dataset_tombstone(self, dataset_id: str, version: int) -> bool:
+        """Record an authoritative deletion of ``dataset_id`` at ``version``.
+
+        Unlike :meth:`drop_dataset` (a plain removal of this store's copy,
+        used for internal purges and migrations), a tombstone is a durable
+        marker the replicated tier's anti-entropy passes treat as
+        authoritative: any replica holding a copy at a version ``<=`` the
+        tombstone's must drop it rather than re-spread it.  The upload
+        counter is raised to at least the tombstone version, so the next
+        upload's version strictly exceeds it and version-keyed cache entries
+        minted before the delete can never be served again.
+
+        Returns ``False`` (and changes nothing) when this store holds a copy
+        *newer* than the tombstone — the deletion was already superseded by
+        a re-upload.
+        """
+        with self._lock:
+            if (
+                dataset_id in self._datasets
+                and self._dataset_versions.get(dataset_id, 0) > version
+            ):
+                return False
+            self._datasets.pop(dataset_id, None)
+            self._dataset_access.pop(dataset_id, None)
+            self._dataset_bytes.pop(dataset_id, None)
+            self._dataset_tombstones[dataset_id] = max(
+                self._dataset_tombstones.get(dataset_id, 0), version
+            )
+            self._dataset_versions[dataset_id] = max(
+                self._dataset_versions.get(dataset_id, 0), version
+            )
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
+        self.result_cache.invalidate_dataset(dataset_id)
+        return True
+
+    def dataset_tombstone(self, dataset_id: str) -> int:
+        """Return the tombstone version for ``dataset_id`` (0 when none)."""
+        with self._lock:
+            return self._dataset_tombstones.get(dataset_id, 0)
+
+    def clear_dataset_tombstone(self, dataset_id: str) -> None:
+        """Reap a tombstone (every replica acknowledged the deletion).
+
+        The upload counter keeps its raised value, so versions stay
+        monotonic across the tombstone's whole lifecycle.
+        """
+        with self._lock:
+            self._dataset_tombstones.pop(dataset_id, None)
+
+    def list_dataset_tombstones(self) -> Dict[str, int]:
+        """Return a snapshot of all dataset tombstones (id -> version)."""
+        with self._lock:
+            return dict(self._dataset_tombstones)
+
+    def set_result_tombstone(self, result_id: str) -> None:
+        """Record an authoritative deletion of a result (and drop the copy)."""
+        with self._lock:
+            self._result_tombstones.add(result_id)
+        self.drop_result(result_id)
+
+    def has_result_tombstone(self, result_id: str) -> bool:
+        """Return ``True`` if ``result_id`` was authoritatively deleted."""
+        with self._lock:
+            return result_id in self._result_tombstones
+
+    def clear_result_tombstone(self, result_id: str) -> None:
+        """Reap a result tombstone (every replica acknowledged)."""
+        with self._lock:
+            self._result_tombstones.discard(result_id)
+
+    def list_result_tombstones(self) -> List[str]:
+        """Return the ids of all result tombstones, sorted."""
+        with self._lock:
+            return sorted(self._result_tombstones)
+
+    # ------------------------------------------------------------------ #
+    # resident-bytes accounting
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _estimate_graph_bytes(graph: DirectedGraph) -> int:
+        """Estimate the resident footprint of a stored graph.
+
+        A deterministic structural estimate (adjacency dict-of-sets plus
+        label tables), deliberately coarse: the spill budget needs a stable,
+        cheap measure that orders datasets by size, not an exact heap count.
+        """
+        return 112 + graph.number_of_nodes() * 56 + graph.number_of_edges() * 16
+
+    def resident_dataset_bytes(self) -> int:
+        """Return the estimated bytes of all graphs resident in memory."""
+        with self._lock:
+            return sum(self._dataset_bytes.values())
+
+    def resident_bytes_by_dataset(self) -> Dict[str, int]:
+        """Return the per-dataset resident-bytes estimates (a snapshot)."""
+        with self._lock:
+            return dict(self._dataset_bytes)
 
     # ------------------------------------------------------------------ #
     # compiled artifacts
@@ -284,6 +404,8 @@ class DataStore:
         self._persist_result(result_id, serialisable)
         with self._lock:
             self._results[result_id] = serialisable
+            # An explicit write supersedes a pending deletion marker.
+            self._result_tombstones.discard(result_id)
 
     def _persist_result(self, result_id: str, serialisable: dict) -> None:
         """Write the result file (no-op without a persistence directory)."""
@@ -472,16 +594,34 @@ class FileBackedDataStore(DataStore):
     def _recover(self) -> None:
         """Rebuild the in-memory index from the directory contents."""
         versions: Dict[str, int] = {}
+        dataset_tombstones: Dict[str, int] = {}
+        result_tombstones: List[str] = []
         versions_path = self._versions_path()
         if versions_path.exists():
             try:
-                versions = {
-                    key: int(value)
-                    for key, value in json.loads(
-                        versions_path.read_text(encoding="utf-8")
-                    ).items()
-                }
-            except (OSError, json.JSONDecodeError, ValueError) as exc:
+                document = json.loads(versions_path.read_text(encoding="utf-8"))
+                if isinstance(document.get("versions"), dict):
+                    # Current format: counters plus persisted tombstones.
+                    versions = {
+                        key: int(value)
+                        for key, value in document["versions"].items()
+                    }
+                    dataset_tombstones = {
+                        key: int(value)
+                        for key, value in document.get(
+                            "dataset_tombstones", {}
+                        ).items()
+                    }
+                    result_tombstones = [
+                        str(value)
+                        for value in document.get("result_tombstones", [])
+                    ]
+                else:
+                    # Legacy format: a flat id -> counter mapping.
+                    versions = {
+                        key: int(value) for key, value in document.items()
+                    }
+            except (OSError, json.JSONDecodeError, ValueError, AttributeError) as exc:
                 raise StorageError(f"cannot recover dataset versions: {exc}") from exc
         stored: Set[str] = set()
         for path in (self._directory / "datasets").glob("*.json"):
@@ -501,13 +641,38 @@ class FileBackedDataStore(DataStore):
         with self._lock:
             self._stored = stored
             self._dataset_versions.update(versions)
+            self._dataset_tombstones.update(dataset_tombstones)
+            self._result_tombstones.update(result_tombstones)
+            # A tombstone is authoritative over any copy at or below its
+            # version that survived on disk (e.g. the shard crashed between
+            # recording the tombstone and unlinking the file).
+            for dataset_id, version in dataset_tombstones.items():
+                if (
+                    dataset_id in self._stored
+                    and self._dataset_versions.get(dataset_id, 0) <= version
+                ):
+                    self._stored.discard(dataset_id)
+                    try:
+                        self._dataset_path(dataset_id).unlink(missing_ok=True)
+                        self._artifact_path(dataset_id).unlink(missing_ok=True)
+                    except OSError:
+                        pass  # retried on the next tombstone write
 
     def _flush_versions(self) -> None:
-        """Persist the upload counters (caller holds the lock)."""
+        """Persist the upload counters and tombstones (caller holds the lock)."""
         path = self._versions_path()
         tmp = path.with_suffix(".tmp")
         try:
-            tmp.write_text(json.dumps(self._dataset_versions), encoding="utf-8")
+            tmp.write_text(
+                json.dumps(
+                    {
+                        "versions": self._dataset_versions,
+                        "dataset_tombstones": self._dataset_tombstones,
+                        "result_tombstones": sorted(self._result_tombstones),
+                    }
+                ),
+                encoding="utf-8",
+            )
             os.replace(tmp, path)
         except OSError as exc:
             raise StorageError(f"cannot persist dataset versions: {exc}") from exc
@@ -566,6 +731,7 @@ class FileBackedDataStore(DataStore):
             self._dataset_versions[dataset_id] = version
             self._dataset_access[dataset_id] = time.monotonic()
             self._stored.add(dataset_id)
+            self._dataset_tombstones.pop(dataset_id, None)
             self._flush_versions()
             if self._compiled.pop(dataset_id, None) is not None:
                 self._artifact_invalidations += 1
@@ -613,6 +779,54 @@ class FileBackedDataStore(DataStore):
             except OSError as exc:
                 raise StorageError(f"cannot remove dataset {dataset_id!r}: {exc}") from exc
         self.result_cache.invalidate_dataset(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # deletion tombstones (persisted alongside the upload counters)
+    # ------------------------------------------------------------------ #
+    def set_dataset_tombstone(self, dataset_id: str, version: int) -> bool:
+        with self._lock:
+            if (
+                dataset_id in self._stored
+                and self._dataset_versions.get(dataset_id, 0) > version
+            ):
+                return False
+            self._stored.discard(dataset_id)
+            self._dataset_access.pop(dataset_id, None)
+            self._dataset_tombstones[dataset_id] = max(
+                self._dataset_tombstones.get(dataset_id, 0), version
+            )
+            self._dataset_versions[dataset_id] = max(
+                self._dataset_versions.get(dataset_id, 0), version
+            )
+            # The tombstone is durable before the copy disappears, so a
+            # crash in between cannot resurrect the dataset on recovery.
+            self._flush_versions()
+            if self._compiled.pop(dataset_id, None) is not None:
+                self._artifact_invalidations += 1
+            try:
+                self._dataset_path(dataset_id).unlink(missing_ok=True)
+                self._artifact_path(dataset_id).unlink(missing_ok=True)
+            except OSError:
+                pass  # _recover() re-applies the persisted tombstone
+        self.result_cache.invalidate_dataset(dataset_id)
+        return True
+
+    def clear_dataset_tombstone(self, dataset_id: str) -> None:
+        with self._lock:
+            if self._dataset_tombstones.pop(dataset_id, None) is not None:
+                self._flush_versions()
+
+    def set_result_tombstone(self, result_id: str) -> None:
+        with self._lock:
+            self._result_tombstones.add(result_id)
+            self._flush_versions()
+        self.drop_result(result_id)
+
+    def clear_result_tombstone(self, result_id: str) -> None:
+        with self._lock:
+            if result_id in self._result_tombstones:
+                self._result_tombstones.discard(result_id)
+                self._flush_versions()
 
     # ------------------------------------------------------------------ #
     # compiled artifacts (persisted next to their dataset)
@@ -690,6 +904,10 @@ class FileBackedDataStore(DataStore):
     def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
         """Persist a result payload to disk without keeping an in-memory copy."""
         self._persist_result(result_id, dict(payload))
+        with self._lock:
+            if result_id in self._result_tombstones:
+                self._result_tombstones.discard(result_id)
+                self._flush_versions()
 
     # ------------------------------------------------------------------ #
     # logs (bounded memory; reads recover from the file after a restart)
@@ -717,6 +935,18 @@ class FileBackedDataStore(DataStore):
     # ------------------------------------------------------------------ #
     # occupancy
     # ------------------------------------------------------------------ #
+    def resident_dataset_bytes(self) -> int:
+        """Disk-resident graphs cost no process memory: always 0.
+
+        This is what makes the store usable as the spill *target* of the
+        automatic budget policy — demoting a dataset here genuinely frees
+        the bytes the budget counts.
+        """
+        return 0
+
+    def resident_bytes_by_dataset(self) -> Dict[str, int]:
+        return {}
+
     def occupancy(self) -> Dict[str, int]:
         """Count disk-resident datasets/results alongside the memory tiers."""
         with self._lock:

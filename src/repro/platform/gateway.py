@@ -26,6 +26,7 @@ same event cursor.
 
 from __future__ import annotations
 
+import threading
 import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
@@ -78,10 +79,26 @@ class ApiGateway:
         datasets there, reads fail over to it transparently, and its content
         survives restarts.  Implies a replicated store (``replicas=1`` when
         not given).
+    spill_budget_bytes:
+        Automatic spill policy: whenever the estimated bytes of graph data
+        resident on the memory shards exceed this budget, the gateway
+        launches a coalesced spill job (``max_resident_bytes=budget``) from
+        the scheduler's maintenance hook and the background prober — no
+        operator POST required.  Requires a spill tier (``spill_dir``).
+    probe_interval_seconds:
+        Cadence of the background health prober on a replicated store
+        (default 5 seconds; ``0`` disables it).  Each tick pings every
+        shard — driving automatic ``mark_down``/``mark_up`` through the
+        store's failure detector — then re-checks the spill budget and
+        kicks the read-repair drain if keys are queued, so self-healing
+        continues through idle periods.
     max_finished_tasks:
         Retention bound of the scheduler's terminal task table (old
         permalinks fall back to the persisted result payloads).
     """
+
+    #: Default background-prober cadence on replicated stores, seconds.
+    DEFAULT_PROBE_INTERVAL_SECONDS = 5.0
 
     def __init__(
         self,
@@ -92,6 +109,8 @@ class ApiGateway:
         shards: Optional[Union[int, Sequence[DataStore]]] = None,
         replicas: Optional[int] = None,
         spill_dir: Optional[Union[str, Path]] = None,
+        spill_budget_bytes: Optional[int] = None,
+        probe_interval_seconds: Optional[float] = None,
         max_finished_tasks: Optional[int] = None,
     ) -> None:
         if replicas is not None or spill_dir is not None:
@@ -134,6 +153,51 @@ class ApiGateway:
         )
         self.status = StatusComponent(self.scheduler, self.datastore)
         self.task_builder = TaskBuilder(self.catalog)
+        # ---- self-healing storage wiring (replicated stores only) -------- #
+        if probe_interval_seconds is None:
+            probe_interval_seconds = self.DEFAULT_PROBE_INTERVAL_SECONDS
+        if probe_interval_seconds < 0:
+            raise InvalidParameterError(
+                f"probe_interval_seconds must be >= 0, got {probe_interval_seconds}"
+            )
+        if spill_budget_bytes is not None and spill_budget_bytes < 0:
+            raise InvalidParameterError(
+                f"spill_budget_bytes must be >= 0, got {spill_budget_bytes}"
+            )
+        replicated = isinstance(self.datastore, ReplicatedShardedDataStore)
+        if spill_budget_bytes is not None and (
+            not replicated or self.datastore.spill_store is None
+        ):
+            raise InvalidParameterError(
+                "spill_budget_bytes requires a spill tier; build the gateway "
+                "with spill_dir=..."
+            )
+        self._spill_budget = spill_budget_bytes
+        self._probe_interval = probe_interval_seconds
+        self._maintenance_lock = threading.Lock()
+        self._repair_job_active = False
+        self._spill_job_active = False
+        self._shutting_down = False
+        self._health_job: Optional[JobRecord] = None
+        self._prober: Optional[threading.Thread] = None
+        self._prober_stop = threading.Event()
+        if replicated:
+            store = self.datastore
+            # One long-lived registry job collects the failure detector's
+            # typed transitions, so shard_down/shard_up stream over the same
+            # long-poll/SSE surface as every other event.
+            self._health_job = self.scheduler.jobs.create(
+                f"storage-health-{uuid.uuid4()}", 0, description="storage health"
+            )
+            self._health_job.append("submitted", total_queries=0, kind="health")
+            store.add_health_listener(self._on_health_transition)
+            store.set_repair_launcher(self._launch_read_repair)
+            self.scheduler.register_maintenance_hook(self._storage_maintenance)
+            if probe_interval_seconds > 0:
+                self._prober = threading.Thread(
+                    target=self._probe_loop, name="storage-prober", daemon=True
+                )
+                self._prober.start()
 
     # ------------------------------------------------------------------ #
     # discovery endpoints
@@ -413,29 +477,41 @@ class ApiGateway:
         self,
         *,
         max_resident: Optional[int] = None,
+        max_resident_bytes: Optional[int] = None,
         dataset_ids: Optional[Sequence[str]] = None,
         wait: bool = False,
     ) -> str:
         """Start a spill job demoting cold datasets to the file tier.
 
         Provide exactly one of ``max_resident`` (keep at most that many
-        datasets on the memory shards; coldest spill first) or
-        ``dataset_ids`` (explicit victims).
+        datasets on the memory shards; coldest spill first),
+        ``max_resident_bytes`` (spill coldest-first until the estimated
+        resident graph bytes fit the budget) or ``dataset_ids`` (explicit
+        victims).
         """
         store = self._replicated_store()
         if store.spill_store is None:
             raise InvalidParameterError(
                 "no spill tier is configured; build the gateway with spill_dir=..."
             )
-        if (max_resident is None) == (dataset_ids is None):
+        policies = [
+            policy
+            for policy in (max_resident, max_resident_bytes, dataset_ids)
+            if policy is not None
+        ]
+        if len(policies) != 1:
             raise InvalidParameterError(
-                "provide exactly one of `max_resident` or `dataset_ids`"
+                "provide exactly one of `max_resident`, `max_resident_bytes` "
+                "or `dataset_ids`"
             )
         victims = list(dataset_ids) if dataset_ids is not None else None
         return self._launch_storage_job(
             "spill",
             lambda job: store.spill(
-                max_resident=max_resident, dataset_ids=victims, job=job
+                max_resident=max_resident,
+                max_resident_bytes=max_resident_bytes,
+                dataset_ids=victims,
+                job=job,
             ),
             wait=wait,
         )
@@ -453,6 +529,136 @@ class ApiGateway:
                 "with shards=N (optionally replicas=R)"
             )
         return self._launch_storage_job("rebalance", runner, wait=wait)
+
+    def read_repair_storage(self, *, wait: bool = False) -> str:
+        """Start a job draining the read-repair queue; return its job id.
+
+        Failover reads enqueue their keys automatically (and the gateway
+        normally launches this job by itself through the store's repair
+        launcher); the explicit entry point exists for operators and the
+        ``POST /api/storage/read-repair`` endpoint.
+        """
+        store = self._replicated_store()
+        return self._launch_storage_job(
+            "read-repair", lambda job: store.drain_read_repairs(job=job), wait=wait
+        )
+
+    # ------------------------------------------------------------------ #
+    # self-healing wiring (health prober, repair launcher, spill budget)
+    # ------------------------------------------------------------------ #
+    def _on_health_transition(self, shard_id: str, transition: str, streak: int) -> None:
+        """Store health listener: record the transition as a typed job event.
+
+        Runs under the store's routing lock, so it only appends to the
+        long-lived health job record (never calls back into the store).
+        """
+        job = self._health_job
+        if job is not None:
+            job.append(
+                "shard_down" if transition == "down" else "shard_up",
+                shard=shard_id,
+                failures=streak,
+            )
+
+    def health_events(self, *, after: int = 0) -> List[Dict[str, Any]]:
+        """Return the recorded shard health transitions (typed job events)."""
+        job = self._health_job
+        if job is None:
+            return []
+        return [
+            event.as_dict()
+            for event in job.events()
+            if event.seq > after and event.type in ("shard_down", "shard_up")
+        ]
+
+    def _launch_read_repair(self) -> None:
+        """Launch a coalesced background drain of the read-repair queue.
+
+        Called by the store whenever a failover read queues a key, and by
+        the prober when keys are pending.  At most one drain job runs at a
+        time; keys queued while it runs are picked up by its loop, and a
+        key that slips in exactly as the drain finishes is caught by the
+        re-kick below.
+        """
+        store = self.datastore
+        if not isinstance(store, ReplicatedShardedDataStore):
+            return
+        if store.pending_read_repairs() == 0:
+            return
+        with self._maintenance_lock:
+            if self._repair_job_active or self._shutting_down:
+                return
+            self._repair_job_active = True
+
+        def runner(job: JobRecord) -> Any:
+            try:
+                return store.drain_read_repairs(job=job)
+            finally:
+                with self._maintenance_lock:
+                    self._repair_job_active = False
+                if store.pending_read_repairs():
+                    self._launch_read_repair()
+
+        try:
+            self._launch_storage_job("read-repair", runner, wait=False)
+        except BaseException:
+            with self._maintenance_lock:
+                self._repair_job_active = False
+            raise
+
+    def _check_spill_budget(self) -> None:
+        """Launch a coalesced spill job when resident bytes exceed the budget."""
+        budget = self._spill_budget
+        store = self.datastore
+        if budget is None or not isinstance(store, ReplicatedShardedDataStore):
+            return
+        try:
+            resident = store.resident_dataset_bytes()
+        except Exception:
+            return
+        if resident <= budget:
+            return
+        with self._maintenance_lock:
+            if self._spill_job_active or self._shutting_down:
+                return
+            self._spill_job_active = True
+
+        def runner(job: JobRecord) -> Any:
+            try:
+                return store.spill(max_resident_bytes=budget, job=job)
+            finally:
+                with self._maintenance_lock:
+                    self._spill_job_active = False
+
+        try:
+            self._launch_storage_job("spill", runner, wait=False)
+        except BaseException:
+            with self._maintenance_lock:
+                self._spill_job_active = False
+            raise
+
+    def _storage_maintenance(self) -> None:
+        """Scheduler maintenance hook: runs after every settled work unit."""
+        self._check_spill_budget()
+        store = self.datastore
+        if (
+            isinstance(store, ReplicatedShardedDataStore)
+            and store.pending_read_repairs()
+        ):
+            self._launch_read_repair()
+
+    def _probe_loop(self) -> None:
+        """Background prober: ping shards, then re-run the maintenance checks."""
+        store = self.datastore
+        while not self._prober_stop.wait(self._probe_interval):
+            try:
+                store.probe_shards()
+            except Exception:
+                pass
+            try:
+                self._storage_maintenance()
+            except Exception:
+                pass
 
     def wait_for(self, comparison_id: str, *, timeout_seconds: float = 60.0) -> TaskProgress:
         """Block until a comparison finishes; return the final progress.
@@ -538,7 +744,17 @@ class ApiGateway:
     # lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
-        """Shut down the executor pool (waits for in-flight queries)."""
+        """Stop the prober and health job, then shut down the executor pool."""
+        with self._maintenance_lock:
+            self._shutting_down = True
+        self._prober_stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=5.0)
+            self._prober = None
+        if isinstance(self.datastore, ReplicatedShardedDataStore):
+            self.datastore.set_repair_launcher(None)
+        if self._health_job is not None:
+            self._health_job.finish(JobState.DONE)
         self.executor_pool.shutdown()
 
     def __enter__(self) -> "ApiGateway":

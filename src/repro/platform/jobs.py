@@ -78,6 +78,10 @@ EVENT_TYPES = frozenset(
         "progress",
         "task_done",
         "cancelled",
+        # Storage-health transitions (emitted on the gateway's health job by
+        # the replicated store's failure detector).
+        "shard_down",
+        "shard_up",
     }
 )
 

@@ -40,20 +40,48 @@ Maintenance as jobs
     once cancellation is requested — which is how the gateway runs them as
     cancellable jobs whose progress streams over long-poll/SSE and the CLI.
 
-Known limitations: there are no deletion tombstones — a dataset dropped
-while one of its replicas is unreachable can resurrect when that shard
-recovers — and reads trust the ring primary without a cross-replica version
-check, so a replica that missed a re-upload while it was erroring (its purge
-is skipped) can serve the stale pre-outage graph after it recovers, until
-``replicate()``/``rebalance()`` reconverges the copies.  Run a repair job
-after returning a shard to service (``mark_up``); the version counters
-protect the result cache from stale rankings in the meantime — a stale
+Self-healing (anti-entropy)
+    Three mechanisms keep the tier converging without an operator:
+
+    * **Deletion tombstones** — :meth:`ReplicatedShardedDataStore.drop_dataset`
+      and :meth:`~ReplicatedShardedDataStore.drop_result` write a durable,
+      versioned tombstone to the R live successors instead of erasing
+      blindly.  The repair passes treat a tombstone as authoritative over
+      any copy at or below its version, so a replica that slept through the
+      delete cannot resurrect the key when it recovers; the tombstone is
+      reaped once every replica acknowledged it with the whole ring
+      reachable.  File-backed shards persist tombstones across restarts.
+    * **Health probes** — every request outcome feeds a per-shard failure
+      streak, and :meth:`~ReplicatedShardedDataStore.probe_shards` adds
+      periodic pings (the gateway runs them on a background prober).  F
+      consecutive failures auto-``mark_down`` a shard; a successful probe
+      auto-``mark_up`` one the prober took down.  Transitions are
+      rate-limited (no flap storms), reported through listeners (the
+      gateway turns them into typed job events) and surfaced in
+      :meth:`~ReplicatedShardedDataStore.replication_stats`.  A manual
+      ``mark_down`` stays sticky — probes never un-mark an operator call.
+    * **Read-repair** — a failover read (answered by a non-primary source)
+      enqueues its key on a bounded, coalescing repair queue;
+      :meth:`~ReplicatedShardedDataStore.drain_read_repairs` restores that
+      single key's R copies (the gateway runs it as a cancellable job as
+      soon as keys queue), so ``underreplicated`` converges without waiting
+      for a full :meth:`~ReplicatedShardedDataStore.replicate` scan.
+
+Remaining limitation: reads trust the first answering source without a
+cross-replica version check, so a stale replica can serve a pre-outage
+graph until the (now automatic) repair passes converge the copies — the
+version counters protect the result cache from stale rankings in the
+meantime.  Concurrent re-uploads of the *same* dataset may also leave
+replicas at diverged versions until the next repair pass (writes run
+outside the routing lock); versions stay monotonic throughout, so a stale
 graph can be *read*, but never populates a fresh version's cache entry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
 from ..exceptions import InvalidParameterError, StorageError
@@ -155,6 +183,17 @@ class ReplicatedShardedDataStore(ShardedDataStore):
     spill_dir, spill_store:
         Configure the cold file tier (mutually exclusive; ``spill_dir``
         builds a :class:`FileBackedDataStore` under the directory).
+    probe_failure_threshold:
+        Consecutive request/probe failures after which a shard is
+        automatically marked down (the failure detector's F).
+    probe_transition_interval_seconds:
+        Minimum seconds between automatic health transitions of one shard —
+        the rate limit that keeps a flapping shard from storming the ring
+        with mark_down/mark_up churn (suppressed flips are counted).
+    read_repair_queue_limit:
+        Bound on the coalescing read-repair queue; keys flagged beyond it
+        are dropped (and counted) rather than growing memory — the next
+        full ``replicate()`` scan still catches them.
     """
 
     def __init__(
@@ -168,8 +207,18 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         spill_store: Optional[DataStore] = None,
         cache_ttl_seconds: Optional[float] = None,
         cache_admit_on_second_miss: bool = False,
+        probe_failure_threshold: int = 3,
+        probe_transition_interval_seconds: float = 1.0,
+        read_repair_queue_limit: int = 256,
     ) -> None:
         require_positive_int(replicas, "replicas")
+        require_positive_int(probe_failure_threshold, "probe_failure_threshold")
+        require_positive_int(read_repair_queue_limit, "read_repair_queue_limit")
+        if probe_transition_interval_seconds < 0:
+            raise InvalidParameterError(
+                "probe_transition_interval_seconds must be >= 0, got "
+                f"{probe_transition_interval_seconds}"
+            )
         super().__init__(
             shards,
             num_shards=num_shards,
@@ -195,11 +244,34 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         #: Shards the operator (or a failure detector) declared unreachable:
         #: reads and writes skip them, the next ring successor takes over.
         self._down: set = set()
+        #: The subset of ``_down`` the failure detector (not an operator)
+        #: marked: only these are eligible for automatic mark_up.
+        self._auto_down: set = set()
         self._shard_errors: Dict[str, int] = {}
+        self._consecutive_failures: Dict[str, int] = {}
+        self._last_transition: Dict[str, float] = {}
+        self._probe_failure_threshold = probe_failure_threshold
+        self._probe_transition_interval = probe_transition_interval_seconds
+        self._auto_downs = 0
+        self._auto_ups = 0
+        self._suppressed_transitions = 0
+        self._health_listeners: List[Callable[[str, str, int], None]] = []
+        #: Coalescing queue of keys flagged by failover reads, drained by
+        #: :meth:`drain_read_repairs` (the gateway launches a drain job as
+        #: soon as a key queues).
+        self._repair_queue: deque = deque()
+        self._repair_queued: set = set()
+        self._repair_limit = read_repair_queue_limit
+        self._repair_dropped = 0
+        self._repair_draining = False
+        self._repair_launcher: Optional[Callable[[], None]] = None
+        self._read_repairs = 0
         self._failover_reads = 0
         self._degraded_writes = 0
         self._spills = 0
         self._repairs = 0
+        self._tombstones_written = 0
+        self._tombstones_reaped = 0
         self._last_underreplicated: Optional[int] = None
         self.result_cache = ReplicatedResultCache(self)
 
@@ -222,23 +294,139 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         return self._spill
 
     def mark_down(self, shard_id: str) -> None:
-        """Declare a shard unreachable: reads and writes skip it from now on."""
+        """Declare a shard unreachable: reads and writes skip it from now on.
+
+        An operator call is *sticky*: the health prober never automatically
+        marks a manually-downed shard back up (use :meth:`mark_up`).
+        """
         with self._lock:
             if shard_id not in self._backends:
                 raise InvalidParameterError(f"shard {shard_id!r} does not exist")
             self._down.add(shard_id)
+            self._auto_down.discard(shard_id)
+            self._last_transition[shard_id] = time.monotonic()
             self._epoch += 1
 
     def mark_up(self, shard_id: str) -> None:
         """Return a shard to service (idempotent)."""
         with self._lock:
             self._down.discard(shard_id)
+            self._auto_down.discard(shard_id)
+            self._consecutive_failures.pop(shard_id, None)
+            self._last_transition[shard_id] = time.monotonic()
             self._epoch += 1
 
     def marked_down(self) -> List[str]:
         """Return the shards currently marked down, sorted."""
         with self._lock:
             return sorted(self._down)
+
+    # ------------------------------------------------------------------ #
+    # failure detection (piggybacked on request outcomes + periodic probes)
+    # ------------------------------------------------------------------ #
+    def add_health_listener(self, listener: Callable[[str, str, int], None]) -> None:
+        """Register ``listener(shard_id, "down"|"up", failure_streak)``.
+
+        Called on every *automatic* health transition (the gateway turns
+        them into typed ``shard_down``/``shard_up`` job events).  Listeners
+        run with the store's routing lock held and must not call back into
+        the store.
+        """
+        with self._lock:
+            self._health_listeners.append(listener)
+
+    def _emit_health_locked(self, shard_id: str, transition: str, streak: int) -> None:
+        for listener in self._health_listeners:
+            try:
+                listener(shard_id, transition, streak)
+            except Exception:
+                continue  # observability must never take routing down
+
+    def _transition_allowed_locked(self, shard_id: str) -> bool:
+        last = self._last_transition.get(shard_id)
+        if last is None:
+            return True
+        return time.monotonic() - last >= self._probe_transition_interval
+
+    def _note_shard_success_locked(self, shard_id: Optional[str]) -> None:
+        if shard_id is not None:
+            self._consecutive_failures.pop(shard_id, None)
+
+    def _note_shard_error_locked(self, shard_id: Optional[str]) -> None:
+        if shard_id is None:
+            return
+        self._shard_errors[shard_id] = self._shard_errors.get(shard_id, 0) + 1
+        streak = self._consecutive_failures.get(shard_id, 0) + 1
+        self._consecutive_failures[shard_id] = streak
+        if shard_id in self._down or streak < self._probe_failure_threshold:
+            return
+        if not self._transition_allowed_locked(shard_id):
+            self._suppressed_transitions += 1
+            return
+        self._down.add(shard_id)
+        self._auto_down.add(shard_id)
+        self._auto_downs += 1
+        self._last_transition[shard_id] = time.monotonic()
+        self._epoch += 1
+        self._emit_health_locked(shard_id, "down", streak)
+
+    def probe_shards(self) -> List[Tuple[str, str]]:
+        """Run one probe pass; return the transitions it caused.
+
+        Pings every backend with a cheap read.  A failing ping feeds the
+        same consecutive-failure streak as real request outcomes (F
+        failures auto-mark the shard down); a successful ping resets the
+        streak and — only for shards the *detector* took down, never for an
+        operator's ``mark_down`` — marks the shard back up.  Both
+        directions respect the per-shard transition rate limit.
+        """
+        with self._lock:
+            backends = dict(self._backends)
+        transitions: List[Tuple[str, str]] = []
+        for shard_id, backend in backends.items():
+            try:
+                backend.occupancy()
+                reachable = True
+            except Exception:
+                reachable = False
+            with self._lock:
+                if shard_id not in self._backends:
+                    continue  # removed while probing
+                if reachable:
+                    self._note_shard_success_locked(shard_id)
+                    if shard_id in self._auto_down:
+                        if self._transition_allowed_locked(shard_id):
+                            self._down.discard(shard_id)
+                            self._auto_down.discard(shard_id)
+                            self._auto_ups += 1
+                            self._last_transition[shard_id] = time.monotonic()
+                            self._epoch += 1
+                            self._emit_health_locked(shard_id, "up", 0)
+                            transitions.append((shard_id, "up"))
+                        else:
+                            self._suppressed_transitions += 1
+                elif shard_id not in self._down:
+                    self._note_shard_error_locked(shard_id)
+                    if shard_id in self._down:
+                        transitions.append((shard_id, "down"))
+        return transitions
+
+    def health_stats(self) -> Dict[str, Any]:
+        """Return the failure detector's counters and per-shard streaks."""
+        with self._lock:
+            return {
+                "failure_threshold": self._probe_failure_threshold,
+                "transition_interval_seconds": self._probe_transition_interval,
+                "auto_downs": self._auto_downs,
+                "auto_ups": self._auto_ups,
+                "suppressed_transitions": self._suppressed_transitions,
+                "auto_down": sorted(self._auto_down),
+                "consecutive_failures": {
+                    shard_id: streak
+                    for shard_id, streak in self._consecutive_failures.items()
+                    if streak
+                },
+            }
 
     def replica_shards_for(self, key: str) -> List[str]:
         """Return the canonical R-successor placement of ``key`` (health-blind)."""
@@ -251,10 +439,6 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         live = [sid for sid in order if sid not in self._down]
         down = [sid for sid in order if sid in self._down]
         return live, down
-
-    def _note_shard_error_locked(self, shard_id: Optional[str]) -> None:
-        if shard_id is not None:
-            self._shard_errors[shard_id] = self._shard_errors.get(shard_id, 0) + 1
 
     def _cache_backend_for(self, dataset_id: str) -> DataStore:
         """Return the backend whose cache owns ``dataset_id``'s entries."""
@@ -324,11 +508,19 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 if fallback is missing:
                     fallback = value
                 continue
-            if shard_id != primary:
-                # Answered by a replica, the spill tier or the scan — the
-                # canonical primary was down, erroring, or missing the key.
-                with self._lock:
+            enqueued = False
+            with self._lock:
+                self._note_shard_success_locked(shard_id)
+                if shard_id != primary:
+                    # Answered by a replica, the spill tier or the scan — the
+                    # canonical primary was down, erroring, or missing the
+                    # key.  Flag the key for single-key read-repair so its R
+                    # copies converge without waiting for a full replicate()
+                    # scan.
                     self._failover_reads += 1
+                    enqueued = self._queue_read_repair_locked(key)
+            if enqueued:
+                self._kick_repair_launcher()
             return value
         if missed is not None and fallback is not missing:
             return fallback
@@ -339,6 +531,95 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 f"no shard could answer the read for {key!r}: {first_error}"
             ) from first_error
         raise StorageError(f"key {key!r} is not stored on any shard")
+
+    # ------------------------------------------------------------------ #
+    # read-repair (single-key anti-entropy driven by failover reads)
+    # ------------------------------------------------------------------ #
+    def _queue_read_repair_locked(self, key: str) -> bool:
+        """Flag ``key`` for repair; return whether it newly queued.
+
+        The queue coalesces (a key already pending is not re-added) and is
+        bounded — beyond the limit keys are dropped and counted, the next
+        full :meth:`replicate` scan still catches them.
+        """
+        if key in self._repair_queued:
+            return False
+        if len(self._repair_queue) >= self._repair_limit:
+            self._repair_dropped += 1
+            return False
+        self._repair_queue.append(key)
+        self._repair_queued.add(key)
+        return True
+
+    def set_repair_launcher(self, launcher: Optional[Callable[[], None]]) -> None:
+        """Install the callback invoked (outside the lock) when a key queues.
+
+        The gateway points this at a coalesced background job running
+        :meth:`drain_read_repairs`; without one the queue simply waits for
+        an explicit drain or the next maintenance pass.
+        """
+        with self._lock:
+            self._repair_launcher = launcher
+
+    def _kick_repair_launcher(self) -> None:
+        with self._lock:
+            launcher = self._repair_launcher
+        if launcher is None:
+            return
+        try:
+            launcher()
+        except Exception:
+            pass  # repair scheduling is best-effort; the queue persists
+
+    def pending_read_repairs(self) -> int:
+        """Return how many keys are waiting on the read-repair queue."""
+        with self._lock:
+            return len(self._repair_queue)
+
+    def drain_read_repairs(self, *, job: Optional[JobRecord] = None) -> Dict[str, int]:
+        """Repair every queued key's R copies; return drain counts.
+
+        Each key gets the same single-key treatment as a :meth:`replicate`
+        scan item (dataset and result repair are both attempted — whichever
+        matches the key is a no-op for the other).  Emits one ``progress``
+        event per key, stops at key boundaries on cancellation, and a
+        concurrent call returns immediately (one drain at a time).
+        """
+        with self._lock:
+            if self._repair_draining:
+                return {"repaired": 0, "drained": 0, "pending": len(self._repair_queue)}
+            self._repair_draining = True
+        repaired = 0
+        drained = 0
+        try:
+            with self._topology_lock:
+                total = self.pending_read_repairs()
+                while not self._cancelled(job):
+                    with self._lock:
+                        if not self._repair_queue:
+                            break
+                        key = self._repair_queue.popleft()
+                        self._repair_queued.discard(key)
+                    repaired += self._ensure_dataset_replicas(key)
+                    repaired += self._ensure_result_replicas(key)
+                    drained += 1
+                    self._progress(
+                        job, "read-repair", key, drained, max(total, drained)
+                    )
+                if drained:
+                    dataset_ids = self._ring_dataset_ids()
+                    result_ids = self._ring_result_ids()
+                    underreplicated = self._count_underreplicated(
+                        dataset_ids, result_ids
+                    )
+                    with self._lock:
+                        self._last_underreplicated = underreplicated
+        finally:
+            with self._lock:
+                self._read_repairs += repaired
+                self._repair_draining = False
+                pending = len(self._repair_queue)
+        return {"repaired": repaired, "drained": drained, "pending": pending}
 
     # ------------------------------------------------------------------ #
     # replicated writes
@@ -354,45 +635,69 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         are purged (the write-time authority rule of the base class), and a
         spilled copy is superseded: a re-upload promotes the dataset back to
         the memory tier.
+
+        The replica writes run *outside* the routing lock on the same
+        epoch-validated scheme as results (:meth:`_replicated_write`), so a
+        large upload persisting to a file-backed shard no longer serialises
+        every other store operation.  If a topology change moves the
+        dataset's replica set mid-write, the write repeats against the fresh
+        owners (the version floor is re-read, so versions stay monotonic).
         """
-        with self._lock:
-            floor = self._version_floor(dataset_id)
-            live, _ = self._placement_locked(dataset_id)
-            acked: List[str] = []
-            for shard_id in live:
+        while True:
+            with self._lock:
+                epoch = self._epoch
+                floor = self._version_floor(dataset_id)
+                live, _ = self._placement_locked(dataset_id)
+                plan = [(sid, self._backends[sid]) for sid in live]
+            acked: List[Tuple[str, DataStore]] = []
+            for shard_id, backend in plan:
                 if len(acked) == self._replicas:
                     break
-                backend = self._backends[shard_id]
                 try:
                     owner_had_dataset = backend.has_dataset(dataset_id)
                     backend.store_dataset(dataset_id, graph, version_floor=floor)
                     if not owner_had_dataset:
                         backend.result_cache.invalidate_dataset(dataset_id)
-                    acked.append(shard_id)
+                    acked.append((shard_id, backend))
                 except Exception:
-                    self._note_shard_error_locked(shard_id)
+                    with self._lock:
+                        self._note_shard_error_locked(shard_id)
             if len(acked) < self._quorum:
                 raise StorageError(
                     f"dataset {dataset_id!r} write reached {len(acked)} of the "
                     f"{self._quorum} replica acks the quorum requires"
                 )
-            if len(acked) < self._replicas:
-                self._degraded_writes += 1
-            acked_set = set(acked)
-            for shard_id, backend in self._backends.items():
-                if shard_id in acked_set:
-                    continue
+            with self._lock:
+                for shard_id, _ in acked:
+                    self._note_shard_success_locked(shard_id)
+                if len(acked) < self._replicas:
+                    self._degraded_writes += 1
+                settled = self._epoch == epoch
+                if not settled:
+                    live, _ = self._placement_locked(dataset_id)
+                    current_owners = {
+                        self._backends[sid] for sid in live[: self._replicas]
+                    }
+                    settled = current_owners <= {backend for _, backend in acked}
+                if settled:
+                    acked_ids = {sid for sid, _ in acked}
+                    for shard_id, backend in self._backends.items():
+                        if shard_id in acked_ids:
+                            continue
+                        try:
+                            if backend.has_dataset(dataset_id):
+                                backend.drop_dataset(dataset_id)
+                        except Exception:
+                            self._note_shard_error_locked(shard_id)
+            if not settled:
+                continue
+            if self._spill is not None:
                 try:
-                    if backend.has_dataset(dataset_id):
-                        backend.drop_dataset(dataset_id)
+                    if self._spill.has_dataset(dataset_id):
+                        self._spill.drop_dataset(dataset_id)
                 except Exception:
-                    self._note_shard_error_locked(shard_id)
-        if self._spill is not None:
-            try:
-                if self._spill.has_dataset(dataset_id):
-                    self._spill.drop_dataset(dataset_id)
-            except Exception:
-                pass
+                    pass
+            return
 
     def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
         """Store a result on its R live successors with quorum acknowledgement."""
@@ -431,6 +736,8 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     f"{self._quorum} replica acks the quorum requires"
                 )
             with self._lock:
+                for shard_id, _ in acked:
+                    self._note_shard_success_locked(shard_id)
                 if len(acked) < self._replicas:
                     self._degraded_writes += 1
                 if self._epoch == epoch:
@@ -505,20 +812,87 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 pass
 
     def drop_dataset(self, dataset_id: str) -> None:
-        """Drop every copy of a dataset — all shards plus the spill tier.
+        """Delete a dataset everywhere by writing versioned tombstones.
 
-        A copy on an unreachable shard cannot be dropped and may resurrect
-        when the shard recovers (see the module docstring); the version
-        counters keep cached rankings safe regardless.
+        The R live ring successors each record a tombstone one version past
+        the global high-water mark (sliding past failing shards exactly like
+        a hinted-handoff write); any other shard still holding a copy is
+        tombstoned too, and the spill copy is dropped.  A copy on an
+        unreachable shard is no longer a resurrection hazard: the repair
+        passes treat the tombstone as authoritative over every copy at or
+        below its version, and reap it once all R replicas acknowledged the
+        delete with the whole ring reachable.  Like the base drop, this
+        never raises — a totally unreachable ring simply leaves the data
+        for a later retry.
         """
-        self._tolerant_drop(
-            lambda backend: backend.has_dataset(dataset_id)
-            and backend.drop_dataset(dataset_id)
-        )
+        with self._lock:
+            version = self._version_floor(dataset_id) + 1
+            live, _ = self._placement_locked(dataset_id)
+            acked = 0
+            processed: set = set()
+            for shard_id in live:
+                if acked == self._replicas:
+                    break
+                processed.add(shard_id)
+                try:
+                    self._backends[shard_id].set_dataset_tombstone(
+                        dataset_id, version
+                    )
+                    acked += 1
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+            if acked:
+                self._tombstones_written += 1
+            for shard_id, backend in self._backends.items():
+                if shard_id in processed:
+                    continue
+                try:
+                    if backend.has_dataset(dataset_id):
+                        backend.set_dataset_tombstone(dataset_id, version)
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                if self._spill.has_dataset(dataset_id):
+                    self._spill.drop_dataset(dataset_id)
+            except Exception:
+                pass
 
     def drop_result(self, result_id: str) -> None:
-        """Drop every copy of a result — all shards plus the spill tier."""
-        self._tolerant_drop(lambda backend: backend.drop_result(result_id))
+        """Delete a result everywhere by writing tombstones.
+
+        Results are written once per id, so the tombstone needs no version:
+        its presence kills the single write it shadows.  Placement and
+        reaping mirror :meth:`drop_dataset`.
+        """
+        with self._lock:
+            live, _ = self._placement_locked(result_id)
+            acked = 0
+            processed: set = set()
+            for shard_id in live:
+                if acked == self._replicas:
+                    break
+                processed.add(shard_id)
+                try:
+                    self._backends[shard_id].set_result_tombstone(result_id)
+                    acked += 1
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+            if acked:
+                self._tombstones_written += 1
+            for shard_id, backend in self._backends.items():
+                if shard_id in processed:
+                    continue
+                try:
+                    if backend.has_result(result_id):
+                        backend.set_result_tombstone(result_id)
+                except Exception:
+                    self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                self._spill.drop_result(result_id)
+            except Exception:
+                pass
 
     def drop_logs(self, log_id: str) -> None:
         """Drop a log stream from every shard and the spill tier."""
@@ -576,6 +950,28 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     self._note_shard_error_locked(shard_id)
         return sorted(identifiers)
 
+    def _ring_dataset_ids(self) -> List[str]:
+        """Ring-resident dataset ids plus tombstone-only ids.
+
+        Including ids whose every copy is already gone keeps their
+        tombstones propagating and reaping through the normal repair scan.
+        """
+        identifiers = set(self._ring_ids(lambda backend: backend.list_datasets()))
+        identifiers.update(
+            self._ring_ids(
+                lambda backend: list(backend.list_dataset_tombstones())
+            )
+        )
+        return sorted(identifiers)
+
+    def _ring_result_ids(self) -> List[str]:
+        """Ring-resident result ids plus tombstone-only ids."""
+        identifiers = set(self._ring_ids(lambda backend: backend.list_results()))
+        identifiers.update(
+            self._ring_ids(lambda backend: backend.list_result_tombstones())
+        )
+        return sorted(identifiers)
+
     def replicate(self, *, job: Optional[JobRecord] = None) -> Dict[str, int]:
         """Restore R copies of every dataset and result; return repair counts.
 
@@ -589,8 +985,8 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         repaired_datasets = 0
         repaired_results = 0
         with self._topology_lock:
-            dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
-            result_ids = self._ring_ids(lambda backend: backend.list_results())
+            dataset_ids = self._ring_dataset_ids()
+            result_ids = self._ring_result_ids()
             total = len(dataset_ids) + len(result_ids)
             done = 0
             for dataset_id in dataset_ids:
@@ -618,6 +1014,14 @@ class ReplicatedShardedDataStore(ShardedDataStore):
     def _ensure_dataset_replicas(self, dataset_id: str) -> int:
         """Copy a dataset onto the live successors missing it; return copies made.
 
+        Tombstones first: when the highest tombstone version on any shard
+        meets or beats every live copy, the *delete* is the authoritative
+        write — remaining copies are purged, the tombstone propagates to
+        all R targets, and once every target acknowledged it with the whole
+        ring reachable the tombstone is reaped.  A live copy strictly newer
+        than the tombstone means a re-upload won the race: the stale
+        tombstones are cleared and normal copy repair proceeds.
+
         Every repaired copy must land at the *same* version as its siblings
         (the all-replicas-agree invariant the cache depends on).  A target
         whose own counter is still below the authoritative version stores
@@ -633,12 +1037,31 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             live, _ = self._placement_locked(dataset_id)
             targets = live[: self._replicas]
             holders: Dict[str, int] = {}
+            tombstones: Dict[str, int] = {}
+            unreachable = False
             for shard_id, backend in self._backends.items():
                 try:
+                    marker = backend.dataset_tombstone(dataset_id)
+                    if marker:
+                        tombstones[shard_id] = marker
                     if backend.has_dataset(dataset_id):
                         holders[shard_id] = backend.dataset_version(dataset_id)
                 except Exception:
+                    unreachable = True
                     continue
+            tomb = max(tombstones.values(), default=0)
+            if tomb and max(holders.values(), default=0) <= tomb:
+                return self._settle_dataset_tombstone_locked(
+                    dataset_id, tomb, holders, targets, unreachable
+                )
+            if tomb:
+                # A write newer than the delete exists somewhere: the
+                # tombstone lost the race and must stop shadowing repairs.
+                for shard_id in tombstones:
+                    try:
+                        self._backends[shard_id].clear_dataset_tombstone(dataset_id)
+                    except Exception:
+                        continue
             if not holders:
                 return 0
             best = max(holders, key=lambda shard_id: holders[shard_id])
@@ -678,18 +1101,122 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                         stable = False
             return repaired
 
+    def _settle_dataset_tombstone_locked(
+        self,
+        dataset_id: str,
+        version: int,
+        holders: Dict[str, int],
+        targets: Sequence[str],
+        unreachable: bool,
+    ) -> int:
+        """Enforce an authoritative tombstone: purge, propagate, maybe reap.
+
+        Returns the number of copies purged (they count as repair work).
+        The tombstone is reaped — cleared from every shard — only when all
+        R targets acknowledged it *and* no backend was unreachable during
+        the scan, so a sleeping shard's stale copy can never outlive the
+        marker that kills it.
+        """
+        purged = 0
+        acked = 0
+        for shard_id in targets:
+            try:
+                self._backends[shard_id].set_dataset_tombstone(dataset_id, version)
+                if shard_id in holders:
+                    purged += 1
+                acked += 1
+            except Exception:
+                unreachable = True
+                self._note_shard_error_locked(shard_id)
+        for shard_id in holders:
+            if shard_id in targets:
+                continue
+            try:
+                self._backends[shard_id].set_dataset_tombstone(dataset_id, version)
+                purged += 1
+            except Exception:
+                unreachable = True
+                self._note_shard_error_locked(shard_id)
+        if self._spill is not None:
+            try:
+                if (
+                    self._spill.has_dataset(dataset_id)
+                    and self._spill.dataset_version(dataset_id) <= version
+                ):
+                    self._spill.drop_dataset(dataset_id)
+                    purged += 1
+            except Exception:
+                unreachable = True
+        if not unreachable and acked == len(targets):
+            reaped = True
+            for backend in self._backends.values():
+                try:
+                    backend.clear_dataset_tombstone(dataset_id)
+                except Exception:
+                    reaped = False
+            if reaped:
+                self._tombstones_reaped += 1
+        return purged
+
     def _ensure_result_replicas(self, result_id: str) -> int:
-        """Copy a result onto the live successors missing it; return copies made."""
+        """Copy a result onto the live successors missing it; return copies made.
+
+        A result tombstone anywhere wins unconditionally (results are
+        written once per id, so a delete can never race a newer write):
+        holders are purged, the marker propagates to the R targets and is
+        reaped under the same all-acked-and-reachable rule as datasets.
+        """
         with self._lock:
             live, _ = self._placement_locked(result_id)
             targets = live[: self._replicas]
             holders: List[str] = []
+            tombstoned = False
+            unreachable = False
             for shard_id, backend in self._backends.items():
                 try:
+                    if backend.has_result_tombstone(result_id):
+                        tombstoned = True
                     if backend.has_result(result_id):
                         holders.append(shard_id)
                 except Exception:
+                    unreachable = True
                     continue
+            if tombstoned:
+                purged = 0
+                acked = 0
+                for shard_id in targets:
+                    try:
+                        self._backends[shard_id].set_result_tombstone(result_id)
+                        if shard_id in holders:
+                            purged += 1
+                        acked += 1
+                    except Exception:
+                        unreachable = True
+                        self._note_shard_error_locked(shard_id)
+                for shard_id in holders:
+                    if shard_id in targets:
+                        continue
+                    try:
+                        self._backends[shard_id].set_result_tombstone(result_id)
+                        purged += 1
+                    except Exception:
+                        unreachable = True
+                        self._note_shard_error_locked(shard_id)
+                if self._spill is not None:
+                    try:
+                        self._spill.drop_result(result_id)
+                    except Exception:
+                        unreachable = True
+                if not unreachable and acked == len(targets):
+                    reaped = True
+                    for backend in self._backends.values():
+                        try:
+                            backend.clear_result_tombstone(result_id)
+                        except Exception:
+                            reaped = False
+                    if reaped:
+                        self._tombstones_reaped += 1
+                return purged
             if not holders:
                 return 0
             payload: Optional[dict] = None
@@ -743,10 +1270,32 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     lagging += 1
         return lagging
 
+    def resident_bytes_by_dataset(self) -> Dict[str, int]:
+        """Estimated memory cost per ring-resident dataset, summed over its
+        replica copies (file-backed shards report zero — their graphs live
+        on disk)."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            try:
+                for dataset_id, size in backend.resident_bytes_by_dataset().items():
+                    totals[dataset_id] = totals.get(dataset_id, 0) + size
+            except Exception:
+                continue
+        return totals
+
+    def resident_dataset_bytes(self) -> int:
+        """Total estimated bytes of graph data held in memory on the ring —
+        the quantity :meth:`spill` with ``max_resident_bytes`` keeps under
+        budget (and the gateway's automatic spill policy watches)."""
+        return sum(self.resident_bytes_by_dataset().values())
+
     def spill(
         self,
         *,
         max_resident: Optional[int] = None,
+        max_resident_bytes: Optional[int] = None,
         dataset_ids: Optional[Sequence[str]] = None,
         job: Optional[JobRecord] = None,
     ) -> List[str]:
@@ -754,25 +1303,48 @@ class ReplicatedShardedDataStore(ShardedDataStore):
 
         Provide exactly one selection policy: ``max_resident`` keeps at most
         that many datasets on the ring (the coldest ones — least recently
-        stored/fetched on any shard — spill first), or ``dataset_ids`` names
-        the victims explicitly.  A spilled dataset keeps its upload version
-        (so nothing about the caching contract changes), loses its ring
-        copies and derived caches, and is served through read failover until
-        a re-upload promotes it back.  Returns the spilled ids.
+        stored/fetched on any shard — spill first), ``max_resident_bytes``
+        spills coldest-first until the estimated resident graph bytes fit
+        the budget (the policy behind ``ApiGateway(spill_budget_bytes=…)``),
+        or ``dataset_ids`` names the victims explicitly.  A spilled dataset
+        keeps its upload version (so nothing about the caching contract
+        changes), loses its ring copies and derived caches, and is served
+        through read failover until a re-upload promotes it back.  Returns
+        the spilled ids.
         """
         if self._spill is None:
             raise InvalidParameterError(
                 "no spill tier is configured; construct the store with spill_dir="
             )
-        if (max_resident is None) == (dataset_ids is None):
+        policies = [
+            policy
+            for policy in (max_resident, max_resident_bytes, dataset_ids)
+            if policy is not None
+        ]
+        if len(policies) != 1:
             raise InvalidParameterError(
-                "provide exactly one of `max_resident` or `dataset_ids`"
+                "provide exactly one of `max_resident`, `max_resident_bytes` "
+                "or `dataset_ids`"
             )
         with self._topology_lock:
             resident = self._ring_ids(lambda backend: backend.list_datasets())
             if dataset_ids is not None:
                 resident_set = set(resident)
                 victims = [did for did in dataset_ids if did in resident_set]
+            elif max_resident_bytes is not None:
+                if max_resident_bytes < 0:
+                    raise InvalidParameterError(
+                        f"max_resident_bytes must be >= 0, got {max_resident_bytes}"
+                    )
+                sizes = self.resident_bytes_by_dataset()
+                total = sum(sizes.get(did, 0) for did in resident)
+                victims = []
+                if total > max_resident_bytes:
+                    for dataset_id in sorted(resident, key=self._dataset_coldness):
+                        victims.append(dataset_id)
+                        total -= sizes.get(dataset_id, 0)
+                        if total <= max_resident_bytes:
+                            break
             else:
                 if max_resident < 0:
                     raise InvalidParameterError(
@@ -847,8 +1419,8 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         """
         moved: List[str] = []
         with self._topology_lock:
-            dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
-            result_ids = self._ring_ids(lambda backend: backend.list_results())
+            dataset_ids = self._ring_dataset_ids()
+            result_ids = self._ring_result_ids()
             total = len(dataset_ids) + len(result_ids)
             done = 0
             for dataset_id in dataset_ids:
@@ -954,11 +1526,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 self._epoch += 1
             try:
                 moved = []
-                dataset_ids = self._ring_ids(lambda backend: backend.list_datasets())
-                for dataset_id in dataset_ids:
+                for dataset_id in self._ring_dataset_ids():
                     if self._rebalance_dataset(dataset_id):
                         moved.append(dataset_id)
-                for result_id in self._ring_ids(lambda backend: backend.list_results()):
+                for result_id in self._ring_result_ids():
                     self._rebalance_result(result_id)
             except BaseException:
                 with self._lock:
@@ -968,6 +1539,9 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             with self._lock:
                 del self._backends[shard_id]
                 self._down.discard(shard_id)
+                self._auto_down.discard(shard_id)
+                self._consecutive_failures.pop(shard_id, None)
+                self._last_transition.pop(shard_id, None)
                 self._epoch += 1
                 self._datasets_migrated += len(moved)
             self._drain_logs(shard_id, leaving)
@@ -980,9 +1554,13 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         """Return the replication health counters.
 
         ``underreplicated`` is the lag measured by the most recent
-        :meth:`replicate` scan (``None`` before the first one);
-        ``degraded_writes`` counts writes acked below full replication and
-        ``failover_reads`` reads answered by a non-primary source.
+        :meth:`replicate` or :meth:`drain_read_repairs` scan (``None``
+        before the first one); ``degraded_writes`` counts writes acked
+        below full replication and ``failover_reads`` reads answered by a
+        non-primary source.  The anti-entropy counters sit alongside:
+        read-repair queue depth and totals, tombstone writes/reaps, and the
+        failure detector's transition counts (see :meth:`health_stats` for
+        its per-shard detail).
         """
         with self._lock:
             return {
@@ -991,7 +1569,16 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 "failover_reads": self._failover_reads,
                 "degraded_writes": self._degraded_writes,
                 "repairs": self._repairs,
+                "read_repairs": self._read_repairs,
+                "repair_queue": len(self._repair_queue),
+                "repair_dropped": self._repair_dropped,
+                "tombstones_written": self._tombstones_written,
+                "tombstones_reaped": self._tombstones_reaped,
+                "auto_downs": self._auto_downs,
+                "auto_ups": self._auto_ups,
+                "suppressed_transitions": self._suppressed_transitions,
                 "marked_down": sorted(self._down),
+                "auto_down": sorted(self._auto_down),
                 "shard_errors": dict(self._shard_errors),
                 "underreplicated": self._last_underreplicated,
             }
@@ -1011,6 +1598,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             "spills": spills,
             "spilled_datasets": occupancy.get("datasets", 0),
             "occupancy": occupancy,
+            "resident_bytes": self.resident_dataset_bytes(),
         }
 
     def shard_stats(self) -> Dict[str, Any]:
@@ -1025,6 +1613,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 card["marked_down"] = True
         stats["replication"] = self.replication_stats()
         stats["spill"] = self.spill_stats()
+        stats["health"] = self.health_stats()
         return stats
 
     def __repr__(self) -> str:

@@ -30,9 +30,11 @@ Endpoints
                                                 not drop them; a client that reconnects resumes exactly
                                                 where it left off via ``after=N``.
 ``POST   /api/storage/replicate``               start a replication-repair job; ``202`` with its job id
-``POST   /api/storage/spill``                   start a spill job; body ``{"max_resident": N}`` or
-                                                ``{"dataset_ids": [...]}``
+``POST   /api/storage/spill``                   start a spill job; body ``{"max_resident": N}``,
+                                                ``{"max_resident_bytes": N}`` or ``{"dataset_ids": [...]}``
 ``POST   /api/storage/rebalance``               start a rebalance job (canonical placement + R copies).
+``POST   /api/storage/read-repair``             drain the read-repair queue (failover reads fill it; the
+                                                gateway normally drains automatically).
                                                 Storage jobs stream progress through the same
                                                 ``/api/comparisons/<job id>/events`` endpoints and are
                                                 cancelled with ``DELETE /api/comparisons/<job id>``.
@@ -328,10 +330,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 elif kind == "spill":
                     job_id = gateway.spill_storage(
                         max_resident=payload.get("max_resident"),
+                        max_resident_bytes=payload.get("max_resident_bytes"),
                         dataset_ids=payload.get("dataset_ids"),
                     )
                 elif kind == "rebalance":
                     job_id = gateway.rebalance_storage()
+                elif kind == "read-repair":
+                    job_id = gateway.read_repair_storage()
                 else:
                     self._send_error_json(f"unknown storage operation {kind!r}", 404)
                     return

@@ -43,7 +43,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
@@ -132,6 +132,9 @@ class Scheduler:
         self._batches_dispatched = 0
         self._queries_batched = 0
         self._largest_batch = 0
+        #: Callbacks run after each settled work unit (see
+        #: :meth:`register_maintenance_hook`).
+        self._maintenance_hooks: List[Callable[[], None]] = []
         self._lock = threading.RLock()
         # Serialises first-use dataset materialisation so concurrent cold
         # starts don't double-store (store_dataset treats a re-store as a
@@ -659,6 +662,31 @@ class Scheduler:
                 self._outstanding.pop(task.task_id, None)
         if remaining <= 0 and job.cancel_requested and not job.state.is_terminal():
             self._finalise_cancelled(job, task)
+        self._run_maintenance_hooks()
+
+    # ------------------------------------------------------------------ #
+    # maintenance hooks
+    # ------------------------------------------------------------------ #
+    def register_maintenance_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every settled work unit (exceptions swallowed).
+
+        The gateway points one at its storage-budget check, so policies like
+        the automatic spill piggyback on scheduling activity instead of
+        waiting for an operator request; its background prober covers idle
+        periods.  Hooks run on whatever thread settled the unit and must be
+        quick — launch a job for anything heavier.
+        """
+        with self._lock:
+            self._maintenance_hooks.append(hook)
+
+    def _run_maintenance_hooks(self) -> None:
+        with self._lock:
+            hooks = list(self._maintenance_hooks)
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:
+                continue  # maintenance must never fail the dispatch path
 
     def _finalise_cancelled(self, job: JobRecord, task: Task) -> None:
         task.mark_cancelled()

@@ -636,6 +636,20 @@ class ShardedDataStore:
                 if not target.has_result(result_id):
                     target.put_result(result_id, backend.get_result(result_id))
                 backend.drop_result(result_id)
+        # Deletion tombstones relocate with their keys: a marker stranded on
+        # a leaving shard would let the deleted key resurrect elsewhere.
+        for dataset_id, version in backend.list_dataset_tombstones().items():
+            with self._lock:
+                owner = self._ring.assign(dataset_id)
+                if owner == shard_id:
+                    continue
+                self._backends[owner].set_dataset_tombstone(dataset_id, version)
+                backend.clear_dataset_tombstone(dataset_id)
+        for result_id in backend.list_result_tombstones():
+            owner = self._ring.assign(result_id)
+            if owner != shard_id:
+                self._backends[owner].set_result_tombstone(result_id)
+                backend.clear_result_tombstone(result_id)
         self._drain_logs(shard_id, backend)
         return moved
 
@@ -754,6 +768,81 @@ class ShardedDataStore:
             for backend in self._backends.values():
                 if backend.has_dataset(dataset_id):
                     backend.drop_dataset(dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # deletion tombstones (fanned out like the drops they harden)
+    # ------------------------------------------------------------------ #
+    def set_dataset_tombstone(self, dataset_id: str, version: int) -> bool:
+        """Record a versioned deletion marker on every shard.
+
+        Returns ``True`` if any shard accepted it (a shard holding a
+        strictly newer live copy declines — the write won the race).
+        """
+        accepted = False
+        with self._lock:
+            for backend in self._backends.values():
+                if backend.set_dataset_tombstone(dataset_id, version):
+                    accepted = True
+        return accepted
+
+    def dataset_tombstone(self, dataset_id: str) -> int:
+        """Return the highest tombstone version any shard records (0 = none)."""
+        version = 0
+        for backend in self.shard_stores().values():
+            version = max(version, backend.dataset_tombstone(dataset_id))
+        return version
+
+    def clear_dataset_tombstone(self, dataset_id: str) -> None:
+        """Reap a dataset tombstone from every shard."""
+        for backend in self.shard_stores().values():
+            backend.clear_dataset_tombstone(dataset_id)
+
+    def list_dataset_tombstones(self) -> Dict[str, int]:
+        """Merged ``{dataset_id: version}`` tombstones across the shards."""
+        merged: Dict[str, int] = {}
+        for backend in self.shard_stores().values():
+            for dataset_id, version in backend.list_dataset_tombstones().items():
+                merged[dataset_id] = max(merged.get(dataset_id, 0), version)
+        return merged
+
+    def set_result_tombstone(self, result_id: str) -> None:
+        """Record a result deletion marker on every shard."""
+        for backend in self.shard_stores().values():
+            backend.set_result_tombstone(result_id)
+
+    def has_result_tombstone(self, result_id: str) -> bool:
+        """Return whether any shard records a tombstone for ``result_id``."""
+        return any(
+            backend.has_result_tombstone(result_id)
+            for backend in self.shard_stores().values()
+        )
+
+    def clear_result_tombstone(self, result_id: str) -> None:
+        """Reap a result tombstone from every shard."""
+        for backend in self.shard_stores().values():
+            backend.clear_result_tombstone(result_id)
+
+    def list_result_tombstones(self) -> List[str]:
+        """Sorted union of result tombstones across the shards."""
+        identifiers: set = set()
+        for backend in self.shard_stores().values():
+            identifiers.update(backend.list_result_tombstones())
+        return sorted(identifiers)
+
+    # ------------------------------------------------------------------ #
+    # resident-bytes accounting (feeds the automatic spill budget)
+    # ------------------------------------------------------------------ #
+    def resident_bytes_by_dataset(self) -> Dict[str, int]:
+        """Estimated memory cost per dataset, summed across the shards."""
+        totals: Dict[str, int] = {}
+        for backend in self.shard_stores().values():
+            for dataset_id, size in backend.resident_bytes_by_dataset().items():
+                totals[dataset_id] = totals.get(dataset_id, 0) + size
+        return totals
+
+    def resident_dataset_bytes(self) -> int:
+        """Total estimated bytes of graph data resident across the shards."""
+        return sum(self.resident_bytes_by_dataset().values())
 
     # ------------------------------------------------------------------ #
     # compiled artifacts (routed with their dataset)

@@ -207,8 +207,10 @@ class StatusComponent:
         shard_stats = getattr(self._datastore, "shard_stats", None)
         if callable(shard_stats):
             # On a replicated deployment the section also carries
-            # ``replication`` (quorum, failovers, lag) and ``spill``
-            # (file-tier occupancy) subsections.
+            # ``replication`` (quorum, failovers, lag, read-repair and
+            # tombstone counters), ``spill`` (file-tier occupancy, resident
+            # bytes) and ``health`` (failure-detector streaks and automatic
+            # transition counts) subsections.
             stats["shards"] = shard_stats()
         return stats
 

@@ -9,11 +9,12 @@ same code paths as the full-size benchmarks.
 from __future__ import annotations
 
 import os
-import threading
-from collections import Counter
-from typing import Any, Dict, Optional
 
 import pytest
+
+# Re-exported for suites that historically imported the fault helpers from
+# conftest; the scenario library itself now lives in tests/faults.py.
+from faults import DownShard, FlakyStore  # noqa: F401
 
 from repro.datasets.amazon import generate_amazon_graph
 from repro.datasets.twitter import generate_twitter_graph
@@ -25,116 +26,6 @@ from repro.graph.generators import (
     reciprocal_communities_graph,
     star_graph,
 )
-
-
-class FlakyStore:
-    """Fault-injection wrapper: make any :class:`DataStore` raise on demand.
-
-    Wraps a real datastore and forwards everything; failures are injected
-    per method and per call count through :meth:`fail_on`, or wholesale
-    through :meth:`go_down` (every *method call* raises until
-    :meth:`come_up`; plain attributes such as ``result_cache`` keep
-    forwarding, mirroring a node whose process is dead but whose state is
-    not).  Reusable by every platform suite: wrap the backends handed to a
-    ``ShardedDataStore``/``ReplicatedShardedDataStore`` (or a gateway's
-    ``datastore``) and script the outage.
-
-    Examples
-    --------
-    >>> backend = FlakyStore(DataStore())         # doctest: +SKIP
-    >>> backend.fail_on("put_result", times=2)    # next two writes raise
-    >>> backend.go_down()                         # everything raises now
-    """
-
-    def __init__(self, inner) -> None:
-        self._inner = inner
-        self._flaky_lock = threading.Lock()
-        self._rules: Dict[str, Dict[str, Any]] = {}
-        self._is_down = False
-        #: Per-method call counts (attempted calls, including failed ones).
-        self.calls: Counter = Counter()
-
-    # -- scripting ----------------------------------------------------- #
-    def fail_on(
-        self,
-        method: str,
-        *,
-        times: Optional[int] = 1,
-        after: int = 0,
-        error: Optional[BaseException] = None,
-    ) -> None:
-        """Make ``method`` raise: skip ``after`` calls, then fail ``times``
-        calls (``times=None`` fails forever).  ``error`` defaults to a
-        ``RuntimeError`` — an *infrastructure* failure, distinct from the
-        ``StorageError`` a store uses for a genuinely absent key."""
-        with self._flaky_lock:
-            self._rules[method] = {"after": after, "times": times, "error": error}
-
-    def clear_faults(self, method: Optional[str] = None) -> None:
-        """Drop one method's injected faults (or all of them)."""
-        with self._flaky_lock:
-            if method is None:
-                self._rules.clear()
-            else:
-                self._rules.pop(method, None)
-
-    def go_down(self) -> None:
-        """Take the whole store down: every method call raises until come_up()."""
-        with self._flaky_lock:
-            self._is_down = True
-
-    def come_up(self) -> None:
-        """Bring the store back (injected per-method faults stay in place)."""
-        with self._flaky_lock:
-            self._is_down = False
-
-    @property
-    def is_down(self) -> bool:
-        with self._flaky_lock:
-            return self._is_down
-
-    # -- forwarding ---------------------------------------------------- #
-    def _check(self, name: str) -> None:
-        with self._flaky_lock:
-            self.calls[name] += 1
-            if self._is_down:
-                raise RuntimeError(f"injected outage: shard is down ({name})")
-            rule = self._rules.get(name)
-            if rule is None:
-                return
-            if rule["after"] > 0:
-                rule["after"] -= 1
-                return
-            if rule["times"] is None:
-                pass  # fail forever
-            elif rule["times"] > 0:
-                rule["times"] -= 1
-                if rule["times"] == 0:
-                    del self._rules[name]
-            else:
-                return
-            error = rule["error"]
-            raise error if error is not None else RuntimeError(
-                f"injected fault in {name}"
-            )
-
-    def __getattr__(self, name: str):
-        attribute = getattr(self._inner, name)
-        if not callable(attribute):
-            return attribute
-
-        def wrapper(*args, **kwargs):
-            self._check(name)
-            return attribute(*args, **kwargs)
-
-        return wrapper
-
-    def __repr__(self) -> str:
-        return f"<FlakyStore over {self._inner!r}{' DOWN' if self._is_down else ''}>"
-
-
-#: Alias for tests that script a permanent shard loss rather than flakiness.
-DownShard = FlakyStore
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -19,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import DownShard, FlakyStore
+from faults import DownShard, FlakyStore
 from repro.datasets.catalog import DatasetCatalog
 from repro.exceptions import InvalidParameterError, StorageError, TaskNotFoundError
 from repro.graph.generators import cycle_graph, reciprocal_communities_graph, star_graph

@@ -27,7 +27,7 @@ import urllib.request
 
 import pytest
 
-from conftest import FlakyStore
+from faults import FlakyStore
 from repro.datasets.catalog import DatasetCatalog
 from repro.graph.generators import reciprocal_communities_graph
 from repro.platform.datastore import DataStore, FileBackedDataStore
