@@ -1,0 +1,236 @@
+"""Closed-loop overload: accepted latency with vs without load shedding.
+
+Eight closed-loop clients push single-query comparisons through a gateway
+with two workers — a sustained 4x-capacity overload.  The same workload
+runs twice:
+
+* ``no_shedding``  — admission control disabled: every submission is
+  accepted and queues behind the backlog;
+* ``shedding``     — admission control bounds the in-flight estimated
+  cost; over-budget submissions are shed with a retry-after hint and the
+  clients re-submit after the hinted delay (the CLI/HTTP 429 discipline).
+
+The structural claims the suite asserts (robust on shared CI runners):
+
+* zero accepted requests are dropped or cancelled in either mode — a shed
+  happens *before* enqueueing, so acceptance is a promise;
+* with shedding the admitted in-flight cost never exceeded the budget
+  (``peak_cost <= max_cost``), which is what bounds accepted latency;
+* the shed ratio and the retry amplification are recorded, not asserted
+  against absolute time.
+
+The measured trajectories (accepted p50/p99 per mode, shed ratio, retry
+amplification) are written to ``benchmarks/output/BENCH_overload.json`` so
+future serving-layer PRs can diff the overload envelope.  Set
+``REPRO_BENCH_NODES`` to shrink the graph (the CI smoke run uses 1000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import DatasetCatalog
+from repro.exceptions import GatewayOverloadedError
+from repro.graph.generators import preferential_attachment_graph
+from repro.platform.gateway import ApiGateway
+from repro.platform.tasks import TaskState
+from repro.version import __version__
+
+from _harness import write_report
+
+NUM_NODES = int(os.environ.get("REPRO_BENCH_NODES", "3000"))
+NUM_WORKERS = 2
+NUM_CLIENTS = 4 * NUM_WORKERS  # 4x-capacity closed loop
+REQUESTS_PER_CLIENT = 4
+#: Admitted in-flight estimated-cost budget for the shedding run.
+ADMISSION_BUDGET = 2 * NUM_WORKERS
+RETRY_AFTER_BASE = 0.05
+#: Cap on one client-side shed-retry sleep, mirroring the CLI's cap.
+RETRY_SLEEP_CAP = 0.2
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    graph = preferential_attachment_graph(
+        NUM_NODES, out_degree=6, reciprocation_probability=0.3, seed=11,
+        name=f"overload-bench-{NUM_NODES}",
+    )
+    for node in range(graph.number_of_nodes()):
+        graph.set_label(node, f"n{node}")
+    return graph
+
+
+def _fresh_gateway(graph, *, shedding):
+    catalog = DatasetCatalog()
+    catalog.register_graph("bench", graph, description="overload bench")
+    options = {}
+    if shedding:
+        options = {
+            "admission_max_cost": ADMISSION_BUDGET,
+            "admission_retry_after_seconds": RETRY_AFTER_BASE,
+        }
+    return ApiGateway(catalog=catalog, num_workers=NUM_WORKERS, **options)
+
+
+class _ClientStats:
+    """Per-run counters shared by the closed-loop client threads."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.accepted_latencies = []
+        self.accepted_ids = []
+        self.sheds = 0
+        self.submit_attempts = 0
+        self.errors = []
+
+
+def _client_loop(gateway, graph, stats, client_index):
+    """One closed-loop client: submit, retry sheds, await completion."""
+    in_degrees = np.asarray(graph.in_degrees())
+    hubs = [int(node) for node in np.argsort(in_degrees)[::-1]]
+    for request in range(REQUESTS_PER_CLIENT):
+        # Every request targets a distinct cold source so the result cache
+        # cannot absorb the overload.
+        source = hubs[(client_index * REQUESTS_PER_CLIENT + request) % len(hubs)]
+        queries = [
+            {
+                "dataset_id": "bench",
+                "algorithm": "personalized-pagerank",
+                "source": graph.label_of(source),
+                "parameters": {"alpha": 0.8 + 0.001 * client_index},
+            }
+        ]
+        try:
+            while True:
+                with stats.lock:
+                    stats.submit_attempts += 1
+                accepted_at = time.perf_counter()
+                try:
+                    comparison_id = gateway.run_queries(queries, synchronous=False)
+                    break
+                except GatewayOverloadedError as error:
+                    with stats.lock:
+                        stats.sheds += 1
+                    time.sleep(min(max(error.retry_after, 0.0), RETRY_SLEEP_CAP))
+            gateway.wait_for(comparison_id, timeout_seconds=600.0)
+            latency = time.perf_counter() - accepted_at
+            with stats.lock:
+                stats.accepted_latencies.append(latency)
+                stats.accepted_ids.append(comparison_id)
+        except Exception as error:  # pragma: no cover - surfaced by the assert
+            with stats.lock:
+                stats.errors.append(repr(error))
+            return
+
+
+def _run_mode(graph, *, shedding):
+    stats = _ClientStats()
+    with _fresh_gateway(graph, shedding=shedding) as gateway:
+        # Warm the dataset artifact so the overload measures serving.
+        gateway.run_queries(
+            [{"dataset_id": "bench", "algorithm": "pagerank"}], synchronous=True
+        )
+        threads = [
+            threading.Thread(
+                target=_client_loop, args=(gateway, graph, stats, index),
+                name=f"overload-client-{index}",
+            )
+            for index in range(NUM_CLIENTS)
+        ]
+        began = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - began
+        assert stats.errors == [], f"client errors: {stats.errors}"
+        # Zero accepted requests dropped or cancelled — acceptance is a
+        # promise in both modes.
+        final_states = [
+            gateway.get_status(comparison_id).state
+            for comparison_id in stats.accepted_ids
+        ]
+        assert all(state is TaskState.COMPLETED for state in final_states)
+        overload = gateway.get_platform_stats()["overload"]
+    return stats, wall, overload
+
+
+def _percentiles(latencies):
+    ordered = sorted(latencies)
+    return {
+        "p50": float(np.percentile(ordered, 50)),
+        "p99": float(np.percentile(ordered, 99)),
+        "mean": float(np.mean(ordered)),
+        "max": float(ordered[-1]),
+    }
+
+
+@pytest.mark.benchmark(group="overload")
+def test_bench_overload_trajectory(bench_graph):
+    """Measure the overload envelope and write BENCH_overload.json."""
+    expected = NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+    baseline_stats, baseline_wall, baseline_overload = _run_mode(
+        bench_graph, shedding=False
+    )
+    shed_stats, shed_wall, shed_overload = _run_mode(bench_graph, shedding=True)
+
+    # Every request eventually completed in both modes.
+    assert len(baseline_stats.accepted_latencies) == expected
+    assert len(shed_stats.accepted_latencies) == expected
+    # Without admission control nothing is shed.
+    assert baseline_stats.sheds == 0
+    assert baseline_overload["admission"]["enabled"] is False
+    # With it, the gateway's own counters agree with the clients' view and
+    # the admitted in-flight cost never exceeded the budget — the invariant
+    # that bounds accepted latency under overload.
+    admission = shed_overload["admission"]
+    assert admission["shed"] == shed_stats.sheds
+    assert admission["admitted"] >= expected
+    assert admission["peak_cost"] <= ADMISSION_BUDGET
+    assert admission["inflight_cost"] == 0
+
+    shed_ratio = shed_stats.sheds / max(1, shed_stats.submit_attempts)
+    retry_amplification = shed_stats.submit_attempts / expected
+    payload = {
+        "benchmark": "overload",
+        "version": __version__,
+        "graph": {
+            "generator": "preferential_attachment_graph",
+            "nodes": bench_graph.number_of_nodes(),
+            "edges": bench_graph.number_of_edges(),
+        },
+        "workload": {
+            "clients": NUM_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "workers": NUM_WORKERS,
+            "overload_factor": NUM_CLIENTS / NUM_WORKERS,
+            "admission_budget": ADMISSION_BUDGET,
+            "retry_after_base_seconds": RETRY_AFTER_BASE,
+        },
+        "no_shedding": {
+            "accepted_latency_seconds": _percentiles(
+                baseline_stats.accepted_latencies
+            ),
+            "wall_seconds": baseline_wall,
+            "sheds": 0,
+            "submit_attempts": baseline_stats.submit_attempts,
+        },
+        "shedding": {
+            "accepted_latency_seconds": _percentiles(shed_stats.accepted_latencies),
+            "wall_seconds": shed_wall,
+            "sheds": shed_stats.sheds,
+            "submit_attempts": shed_stats.submit_attempts,
+            "shed_ratio": shed_ratio,
+            "retry_amplification": retry_amplification,
+            "peak_admitted_cost": admission["peak_cost"],
+        },
+    }
+    path = write_report("BENCH_overload.json", json.dumps(payload, indent=2))
+    assert path.exists()

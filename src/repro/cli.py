@@ -48,17 +48,26 @@ subsystem instead:
         query 0 completed (1/1 done)
         comparison done (1/1 queries)
         ...top-k results...
+
+Overload protection rides on the same flags surface: ``--deadline-ms``
+bounds how long a submission may wait before it is settled with a typed
+``deadline_exceeded`` event, ``--admission-budget`` enables load shedding
+(shed submissions are retried client-side after the server's hinted delay,
+bounded by ``--shed-retries``; ``--no-retry`` fails fast), and
+``--retry-budget``/``--breaker-cooldown`` tune the replicated storage
+tier's retry token bucket and per-shard circuit breakers.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from .algorithms.registry import available_algorithms, get_algorithm
 from .datasets.seeds import FAKE_NEWS_TOPICS
-from .exceptions import ReproError
+from .exceptions import GatewayOverloadedError, ReproError
 from .platform.gateway import ApiGateway
 from .platform.webui import WebUI
 from .ranking.comparison import dataset_comparison
@@ -111,6 +120,69 @@ def _add_storage_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_overload_flags(
+    parser: argparse.ArgumentParser, *, client_retries: bool = True
+) -> None:
+    """Attach the overload-protection knobs shared by run/compare/serve.
+
+    ``client_retries`` additionally attaches the client-side shed-retry
+    flags (``run``/``compare`` re-submit shed requests after the hinted
+    ``retry_after``; ``serve`` is the server, so it only takes the knobs).
+    """
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        metavar="MS",
+        help="per-submission deadline: a comparison that cannot start within "
+        "MS milliseconds is settled with a typed deadline_exceeded event "
+        "instead of occupying a worker",
+    )
+    parser.add_argument(
+        "--admission-budget",
+        type=int,
+        metavar="COST",
+        help="admission-control budget in estimated query cost units; "
+        "submissions over the budget are shed (HTTP 429 under 'serve') "
+        "before anything is enqueued",
+    )
+    parser.add_argument(
+        "--admission-retry-after",
+        type=float,
+        metavar="SECONDS",
+        help="base Retry-After hint returned with shed submissions "
+        "(scaled by how far over budget the gateway is; default 1.0)",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        metavar="TOKENS",
+        help="token-bucket budget shared by all storage retries (requires "
+        "--replicas); caps retry amplification during a shard outage",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        metavar="SECONDS",
+        help="per-shard circuit-breaker cooldown before a half-open probe "
+        "is allowed (requires --replicas)",
+    )
+    if client_retries:
+        parser.add_argument(
+            "--shed-retries",
+            type=int,
+            default=3,
+            metavar="N",
+            help="re-submit a shed comparison up to N times, sleeping the "
+            "server's retry_after hint between attempts (default 3)",
+        )
+        parser.add_argument(
+            "--no-retry",
+            action="store_true",
+            help="fail immediately when the submission is shed instead of "
+            "retrying after the hinted delay",
+        )
+
+
 def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the non-blocking submission flags shared by run/compare."""
     waiting = parser.add_mutually_exclusive_group()
@@ -161,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the result-cache and batch-dispatch counters after the run",
     )
     _add_storage_flags(run_parser)
+    _add_overload_flags(run_parser)
     _add_wait_flags(run_parser)
 
     compare_parser = subparsers.add_parser(
@@ -184,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the result-cache and batch-dispatch counters after the comparison",
     )
     _add_storage_flags(compare_parser)
+    _add_overload_flags(compare_parser)
     _add_wait_flags(compare_parser)
 
     cross_parser = subparsers.add_parser(
@@ -206,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="number of executor nodes in the pool"
     )
     _add_storage_flags(serve_parser)
+    _add_overload_flags(serve_parser, client_retries=False)
 
     return parser
 
@@ -325,12 +400,61 @@ def _describe_event(event: Dict[str, object]) -> str:
         )
     if kind == "cancelled":
         return "cancellation requested"
+    if kind == "shed":
+        return (
+            f"submission shed by admission control "
+            f"(cost {event.get('cost')}, retry after {event.get('retry_after')}s)"
+        )
+    if kind == "deadline_exceeded":
+        return (
+            f"deadline exceeded after {event.get('deadline_ms')}ms "
+            f"({event.get('completed_queries')}/{event.get('total_queries')} done)"
+        )
     if kind == "task_done":
         return (
             f"comparison {event.get('state')} "
             f"({event.get('completed_queries')}/{event.get('total_queries')} queries)"
         )
     return f"{kind}"
+
+
+#: Upper bound on one client-side shed-retry sleep, so a badly overloaded
+#: gateway cannot park the CLI for minutes.
+_SHED_RETRY_SLEEP_CAP = 5.0
+
+
+def _run_queries_with_shed_retries(
+    gateway: ApiGateway,
+    queries: List[dict],
+    arguments: argparse.Namespace,
+    *,
+    synchronous: bool,
+) -> str:
+    """Submit, honouring the server's shed hints like an HTTP client honours 429.
+
+    A shed submission was never enqueued, so re-sending it is safe.  The
+    loop sleeps the gateway's ``retry_after`` hint (capped) between the
+    bounded ``--shed-retries`` attempts; ``--no-retry`` fails on the first
+    shed instead.
+    """
+    retries = 0 if getattr(arguments, "no_retry", False) else max(
+        0, getattr(arguments, "shed_retries", 0)
+    )
+    attempt = 0
+    while True:
+        try:
+            return gateway.run_queries(queries, synchronous=synchronous)
+        except GatewayOverloadedError as error:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = min(max(error.retry_after, 0.0), _SHED_RETRY_SLEEP_CAP)
+            print(
+                f"submission shed (attempt {attempt}/{retries}); "
+                f"retrying in {delay:.2f}s",
+                file=sys.stderr,
+            )
+            time.sleep(delay)
 
 
 def _submit_comparison(
@@ -340,19 +464,26 @@ def _submit_comparison(
 
     Returns the comparison id once it has finished, or ``None`` when the
     caller should exit immediately (``--no-wait`` printed the permalink).
-    The default path blocks exactly like the pre-jobs CLI did.
+    The default path blocks exactly like the pre-jobs CLI did.  Shed
+    submissions are retried per ``--shed-retries``/``--no-retry``.
     """
     if getattr(arguments, "no_wait", False):
-        comparison = gateway.run_queries(queries, synchronous=False)
+        comparison = _run_queries_with_shed_retries(
+            gateway, queries, arguments, synchronous=False
+        )
         print(comparison)
         return None
     if getattr(arguments, "follow", False):
-        comparison = gateway.run_queries(queries, synchronous=False)
+        comparison = _run_queries_with_shed_retries(
+            gateway, queries, arguments, synchronous=False
+        )
         print(f"comparison {comparison}:")
         for event in gateway.stream_events(comparison):
             print(_describe_event(event))
         return comparison
-    return gateway.run_queries(queries, synchronous=True)
+    return _run_queries_with_shed_retries(
+        gateway, queries, arguments, synchronous=True
+    )
 
 
 def _fail_if_errored(gateway: ApiGateway, comparison_id: str) -> Optional[int]:
@@ -470,8 +601,6 @@ def _command_serve(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
     print(f"Serving the comparison API on http://{host}:{port} (Ctrl-C to stop)")
     try:
         while True:
-            import time
-
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down")
@@ -515,12 +644,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    deadline_ms = getattr(arguments, "deadline_ms", None)
+    if deadline_ms is not None and deadline_ms < 1:
+        print(
+            f"error: --deadline-ms must be a positive integer, got {deadline_ms}",
+            file=sys.stderr,
+        )
+        return 2
+    admission_budget = getattr(arguments, "admission_budget", None)
+    if admission_budget is not None and admission_budget < 0:
+        print(
+            f"error: --admission-budget must be >= 0, got {admission_budget}",
+            file=sys.stderr,
+        )
+        return 2
+    retry_budget = getattr(arguments, "retry_budget", None)
+    if retry_budget is not None and retry_budget < 0:
+        print(
+            f"error: --retry-budget must be >= 0, got {retry_budget}",
+            file=sys.stderr,
+        )
+        return 2
+    breaker_cooldown = getattr(arguments, "breaker_cooldown", None)
+    if breaker_cooldown is not None and breaker_cooldown <= 0:
+        print(
+            f"error: --breaker-cooldown must be > 0, got {breaker_cooldown}",
+            file=sys.stderr,
+        )
+        return 2
+    gateway_options: Dict[str, object] = {}
+    if getattr(arguments, "admission_retry_after", None) is not None:
+        gateway_options["admission_retry_after_seconds"] = arguments.admission_retry_after
     try:
         with ApiGateway(
             shards=shards,
             replicas=replicas,
             spill_dir=spill_dir,
             spill_budget_bytes=spill_budget,
+            default_deadline_ms=deadline_ms,
+            admission_max_cost=admission_budget,
+            retry_budget_capacity=retry_budget,
+            breaker_cooldown_seconds=breaker_cooldown,
+            **gateway_options,
         ) as gateway:
             return handler(gateway, arguments)
     except ReproError as error:

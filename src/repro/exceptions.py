@@ -24,6 +24,8 @@ __all__ = [
     "TaskError",
     "TaskNotFoundError",
     "JobCancelledError",
+    "DeadlineExceededError",
+    "GatewayOverloadedError",
     "ExecutorError",
     "StorageError",
 ]
@@ -161,6 +163,43 @@ class JobCancelledError(TaskError):
     def __init__(self, job_id: str) -> None:
         super().__init__(f"job {job_id!r} was cancelled")
         self.job_id = job_id
+
+
+class DeadlineExceededError(TaskError):
+    """Raised when a submission's deadline expires before its work could run.
+
+    Deadline-expired jobs settle through the event log with a typed
+    ``deadline_exceeded`` event (mirroring cancellation) instead of
+    occupying a worker; storage reads abandoned mid-failover because the
+    deadline ran out raise this directly.
+
+    Attributes
+    ----------
+    deadline_ms:
+        The submission's deadline in milliseconds, when known.
+    """
+
+    def __init__(self, message: str, *, deadline_ms: int | None = None) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class GatewayOverloadedError(PlatformError):
+    """Raised when admission control sheds a submission (the 429 path).
+
+    Shedding happens *before* the job is enqueued, so nothing was accepted
+    and nothing needs cancelling — the caller should back off and retry.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested backoff in seconds (the REST layer turns it into a
+        ``Retry-After`` header, the CLI into a client-side sleep).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ExecutorError(PlatformError):

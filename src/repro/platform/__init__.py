@@ -32,6 +32,12 @@ reproduces the same component decomposition with in-process equivalents:
     each carrying an explicit lifecycle and an append-only event log with
     blocking cursor reads — the seam the non-blocking submission, streamed
     progress and cooperative cancellation are built on.
+``resilience``
+    The overload-protection primitives shared by the gateway, scheduler and
+    replicated storage: :class:`Deadline` propagation, the
+    :class:`AdmissionController` (load shedding with Retry-After hints),
+    the :class:`RetryPolicy`/:class:`TokenBucket` retry discipline and
+    per-shard :class:`CircuitBreaker`\\ s.
 ``executor``
     Executor (worker) nodes running queries on a thread pool that can be
     scaled up or down.
@@ -56,6 +62,16 @@ from .executor import BatchExecutionOutcome, ExecutionOutcome, ExecutorNode, Exe
 from .gateway import ApiGateway
 from .jobs import JobEvent, JobRecord, JobRegistry, JobState, QueryState
 from .replication import ReplicatedResultCache, ReplicatedShardedDataStore
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    TokenBucket,
+    current_deadline,
+    deadline_scope,
+    estimate_cost,
+)
 from .restapi import RestApiServer
 from .scheduler import Scheduler
 from .sharding import HashRing, ShardedDataStore, ShardedResultCache
@@ -86,6 +102,14 @@ __all__ = [
     "JobRegistry",
     "JobState",
     "QueryState",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "TokenBucket",
+    "current_deadline",
+    "deadline_scope",
+    "estimate_cost",
     "Scheduler",
     "StatusComponent",
     "TaskProgress",

@@ -33,7 +33,11 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from ..algorithms.registry import available_algorithms, get_algorithm
 from ..datasets.catalog import DatasetCatalog, default_catalog
-from ..exceptions import InvalidParameterError, TaskNotFoundError
+from ..exceptions import (
+    GatewayOverloadedError,
+    InvalidParameterError,
+    TaskNotFoundError,
+)
 from ..graph.analysis import graph_summary
 from ..graph.digraph import DirectedGraph
 from ..ranking.comparison import ComparisonTable
@@ -42,6 +46,7 @@ from .datastore import DataStore
 from .executor import ExecutorPool
 from .jobs import JobRecord, JobState
 from .replication import ReplicatedShardedDataStore
+from .resilience import AdmissionController, estimate_cost
 from .scheduler import Scheduler
 from .sharding import ShardedDataStore
 from .status import StatusComponent, TaskProgress
@@ -95,6 +100,31 @@ class ApiGateway:
     max_finished_tasks:
         Retention bound of the scheduler's terminal task table (old
         permalinks fall back to the persisted result payloads).
+    default_deadline_ms:
+        Deadline applied to submissions that do not carry their own
+        ``deadline_ms``: an expired job settles with a typed
+        ``deadline_exceeded`` event instead of occupying a worker.
+        ``None`` (the default) applies no deadline.
+    admission_max_cost:
+        Enable admission control: the estimated-cost budget of in-flight
+        work (CycleRank queries weigh more than the light algorithms —
+        see :func:`~repro.platform.resilience.estimate_cost`).  A
+        submission that would exceed it is *shed before enqueueing* with
+        :class:`~repro.exceptions.GatewayOverloadedError` carrying a
+        computed retry-after (REST turns it into ``429`` +
+        ``Retry-After``), so accepted work is never dropped.  ``None``
+        disables shedding.
+    admission_retry_after_seconds:
+        Base of the computed retry-after; scaled with the overshoot and
+        clamped to 8x.
+    retry_max_attempts, retry_budget_capacity, retry_budget_refill_per_second:
+        Forwarded to the replicated store's shared storage retry policy
+        (:meth:`~repro.platform.replication.ReplicatedShardedDataStore.configure_resilience`):
+        bounded attempts with jittered backoff, capped by a store-wide
+        retry budget.  ``None`` keeps the store's defaults.
+    breaker_failure_threshold, breaker_cooldown_seconds:
+        Forwarded to the store's per-shard circuit breakers.  ``None``
+        keeps the store's defaults.
     """
 
     #: Default background-prober cadence on replicated stores, seconds.
@@ -112,6 +142,14 @@ class ApiGateway:
         spill_budget_bytes: Optional[int] = None,
         probe_interval_seconds: Optional[float] = None,
         max_finished_tasks: Optional[int] = None,
+        default_deadline_ms: Optional[int] = None,
+        admission_max_cost: Optional[int] = None,
+        admission_retry_after_seconds: float = 1.0,
+        retry_max_attempts: Optional[int] = None,
+        retry_budget_capacity: Optional[int] = None,
+        retry_budget_refill_per_second: Optional[float] = None,
+        breaker_failure_threshold: Optional[int] = None,
+        breaker_cooldown_seconds: Optional[float] = None,
     ) -> None:
         if replicas is not None or spill_dir is not None:
             if datastore is not None:
@@ -198,6 +236,58 @@ class ApiGateway:
                     target=self._probe_loop, name="storage-prober", daemon=True
                 )
                 self._prober.start()
+        # ---- overload protection wiring ---------------------------------- #
+        if default_deadline_ms is not None and (
+            not isinstance(default_deadline_ms, int)
+            or isinstance(default_deadline_ms, bool)
+            or default_deadline_ms <= 0
+        ):
+            raise InvalidParameterError(
+                f"default_deadline_ms must be a positive int, got {default_deadline_ms!r}"
+            )
+        self._default_deadline_ms = default_deadline_ms
+        self._admission: Optional[AdmissionController] = None
+        self._overload_job: Optional[JobRecord] = None
+        if admission_max_cost is not None:
+            if admission_max_cost < 0:
+                raise InvalidParameterError(
+                    f"admission_max_cost must be >= 0, got {admission_max_cost}"
+                )
+            if admission_retry_after_seconds <= 0:
+                raise InvalidParameterError(
+                    "admission_retry_after_seconds must be > 0, got "
+                    f"{admission_retry_after_seconds}"
+                )
+            self._admission = AdmissionController(
+                max_cost=admission_max_cost,
+                retry_after_seconds=admission_retry_after_seconds,
+            )
+            # Shed submissions were never enqueued, so they have no job of
+            # their own; a long-lived registry job carries the typed ``shed``
+            # events onto the same long-poll/SSE surface as everything else.
+            self._overload_job = self.scheduler.jobs.create(
+                f"gateway-overload-{uuid.uuid4()}", 0, description="gateway overload"
+            )
+            self._overload_job.append("submitted", total_queries=0, kind="overload")
+        storage_resilience = {
+            key: value
+            for key, value in {
+                "retry_max_attempts": retry_max_attempts,
+                "retry_budget_capacity": retry_budget_capacity,
+                "retry_budget_refill_per_second": retry_budget_refill_per_second,
+                "breaker_failure_threshold": breaker_failure_threshold,
+                "breaker_cooldown_seconds": breaker_cooldown_seconds,
+            }.items()
+            if value is not None
+        }
+        if storage_resilience:
+            if not replicated:
+                raise InvalidParameterError(
+                    "storage retry/breaker knobs require a replicated datastore; "
+                    "build the gateway with replicas=R"
+                )
+            self.datastore.configure_resilience(**storage_resilience)
+        self.status.register_section("overload", self._overload_stats)
 
     # ------------------------------------------------------------------ #
     # discovery endpoints
@@ -295,18 +385,41 @@ class ApiGateway:
         query_set.add(query)
         return query
 
-    def submit_comparison(self, query_set: QuerySet, *, synchronous: bool = False) -> str:
+    def submit_comparison(
+        self,
+        query_set: QuerySet,
+        *,
+        synchronous: bool = False,
+        deadline_ms: Optional[int] = None,
+    ) -> str:
         """Submit a query set for execution and return its comparison id.
 
         With ``synchronous=True`` the call blocks until every query has run
         (useful for scripting); otherwise queries execute on the worker pool
         and progress can be polled through :meth:`get_status`.
+
+        ``deadline_ms`` bounds the submission end to end (defaulting to the
+        gateway's ``default_deadline_ms``); with admission control enabled
+        the submission may be shed *before* enqueueing with
+        :class:`~repro.exceptions.GatewayOverloadedError` — nothing was
+        accepted, so the caller simply retries after its ``retry_after``.
         """
-        task = self.task_builder.build_task(query_set)
-        if synchronous:
-            self.scheduler.run_synchronously(task)
-        else:
-            self.scheduler.submit(task)
+        if deadline_ms is None:
+            deadline_ms = self._default_deadline_ms
+        task = self.task_builder.build_task(query_set, deadline_ms=deadline_ms)
+        cost = estimate_cost(query_set.queries)
+        admitted = self._admit(task, cost)
+        try:
+            if synchronous:
+                self.scheduler.run_synchronously(task)
+            else:
+                self.scheduler.submit(task)
+        except BaseException:
+            if admitted:
+                self._admission.release(cost)
+            raise
+        if admitted:
+            self._arm_admission_release(task.task_id, cost)
         return task.task_id
 
     def run_queries(
@@ -314,12 +427,14 @@ class ApiGateway:
         queries: Sequence[Mapping[str, Any]],
         *,
         synchronous: bool = True,
+        deadline_ms: Optional[int] = None,
     ) -> str:
         """Build a query set from plain dictionaries and submit it.
 
         Each mapping must provide ``dataset_id`` and ``algorithm`` and may
         provide ``source`` and ``parameters`` — the JSON body of the demo's
-        submission endpoint.
+        submission endpoint.  ``deadline_ms`` is forwarded to
+        :meth:`submit_comparison`.
         """
         query_set = self.new_query_set()
         for raw in queries:
@@ -330,7 +445,105 @@ class ApiGateway:
                 source=raw.get("source"),
                 parameters=raw.get("parameters"),
             )
-        return self.submit_comparison(query_set, synchronous=synchronous)
+        return self.submit_comparison(
+            query_set, synchronous=synchronous, deadline_ms=deadline_ms
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission control (load shedding before enqueue)
+    # ------------------------------------------------------------------ #
+    def _admit(self, task: Task, cost: int) -> bool:
+        """Reserve ``cost`` against the admission budget, or shed the task.
+
+        Returns whether a reservation was made (``False`` when admission
+        control is disabled).  Shedding happens before the scheduler ever
+        sees the task: a typed ``shed`` event lands on the overload job and
+        :class:`GatewayOverloadedError` carries the computed retry-after.
+        """
+        if self._admission is None:
+            return False
+        admitted, retry_after = self._admission.try_admit(cost)
+        if admitted:
+            return True
+        job = self._overload_job
+        if job is not None:
+            job.append(
+                "shed",
+                comparison_id=task.task_id,
+                cost=cost,
+                retry_after=round(retry_after, 3),
+            )
+        raise GatewayOverloadedError(
+            f"gateway over admission budget (estimated cost {cost}); "
+            f"retry after {retry_after:.2f}s",
+            retry_after=retry_after,
+        )
+
+    def _arm_admission_release(self, task_id: str, cost: int) -> None:
+        """Release the admission reservation exactly once, when the job settles.
+
+        Subscribes to the job's event stream for ``task_done`` and then
+        covers the finished-before-subscribe race with a terminal-state
+        check; the once-guard makes the two paths (and any duplicate
+        callbacks) idempotent.
+        """
+        admission = self._admission
+        if admission is None:
+            return
+        job = self.scheduler.jobs.find(task_id)
+        if job is None:
+            admission.release(cost)
+            return
+        released = [False]
+        release_lock = threading.Lock()
+
+        def release_once() -> None:
+            with release_lock:
+                if released[0]:
+                    return
+                released[0] = True
+            admission.release(cost)
+
+        def on_event(event) -> None:
+            if event.type == "task_done":
+                release_once()
+
+        job.subscribe(on_event)
+        if job.state.is_terminal():
+            release_once()
+
+    def shed_events(self, *, after: int = 0) -> List[Dict[str, Any]]:
+        """Return the typed ``shed`` events admission control has recorded."""
+        job = self._overload_job
+        if job is None:
+            return []
+        return [
+            event.as_dict()
+            for event in job.events()
+            if event.seq > after and event.type == "shed"
+        ]
+
+    def _overload_stats(self) -> Dict[str, Any]:
+        """The ``overload`` section of :meth:`get_platform_stats`."""
+        payload: Dict[str, Any] = {
+            "deadlines": {
+                "default_deadline_ms": self._default_deadline_ms,
+                **self.scheduler.overload_stats(),
+            }
+        }
+        if self._admission is not None:
+            payload["admission"] = {"enabled": True, **self._admission.stats()}
+        else:
+            payload["admission"] = {"enabled": False}
+        store = self.datastore
+        if isinstance(store, ReplicatedShardedDataStore):
+            replication = store.replication_stats()
+            payload["storage"] = {
+                "retries": replication["retries"],
+                "breakers": replication["breakers"],
+                "stale_reads": replication["stale_reads"],
+            }
+        return payload
 
     # ------------------------------------------------------------------ #
     # status / results
@@ -755,6 +968,8 @@ class ApiGateway:
             self.datastore.set_repair_launcher(None)
         if self._health_job is not None:
             self._health_job.finish(JobState.DONE)
+        if self._overload_job is not None:
+            self._overload_job.finish(JobState.DONE)
         self.executor_pool.shutdown()
 
     def __enter__(self) -> "ApiGateway":

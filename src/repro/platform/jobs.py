@@ -45,6 +45,13 @@ Event types
                      completed, total)
 ``cancelled``        cancellation was requested
 ``task_done``        the job reached a terminal state (payload: the state)
+``shed``             admission control refused a submission before it was
+                     enqueued (payload: comparison id, estimated cost,
+                     computed retry-after) — emitted on the gateway's
+                     overload job, never on the shed submission itself,
+                     which was not admitted and has no job
+``deadline_exceeded``  the job's deadline expired before its work ran;
+                     the job settles FAILED without occupying a worker
 """
 
 from __future__ import annotations
@@ -82,6 +89,10 @@ EVENT_TYPES = frozenset(
         # the replicated store's failure detector).
         "shard_down",
         "shard_up",
+        # Overload protection: admission-control refusals land on the
+        # gateway's overload job; expired deadlines settle the job itself.
+        "shed",
+        "deadline_exceeded",
     }
 )
 

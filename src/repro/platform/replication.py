@@ -67,11 +67,20 @@ Self-healing (anti-entropy)
       soon as keys queue), so ``underreplicated`` converges without waiting
       for a full :meth:`~ReplicatedShardedDataStore.replicate` scan.
 
-Remaining limitation: reads trust the first answering source without a
-cross-replica version check, so a stale replica can serve a pre-outage
-graph until the (now automatic) repair passes converge the copies — the
-version counters protect the result cache from stale rankings in the
-meantime.  Concurrent re-uploads of the *same* dataset may also leave
+Overload protection
+    Replica operations share one retry discipline (bounded attempts,
+    full-jitter backoff, a store-wide retry *budget* capping amplification
+    during an outage), per-shard circuit breakers short-circuit reads past
+    a sick shard between health transitions, and reads honour the caller's
+    deadline between failover hops.  See :mod:`repro.platform.resilience`
+    and :meth:`ReplicatedShardedDataStore.configure_resilience`.
+
+Remaining limitation: reads still trust the first answering source without
+a cross-replica version *quorum*; a versioned read below the caller-known
+floor is now detected (counted as ``stale_reads`` and flagged for
+read-repair), but unversioned surfaces can serve a pre-outage copy until
+the repair passes converge — the version counters protect the result cache
+from stale rankings in the meantime.  Concurrent re-uploads of the *same* dataset may also leave
 replicas at diverged versions until the next repair pass (writes run
 outside the routing lock); versions stay monotonic throughout, so a stale
 graph can be *read*, but never populates a fresh version's cache entry.
@@ -84,11 +93,12 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import require_positive_int
-from ..exceptions import InvalidParameterError, StorageError
+from ..exceptions import DeadlineExceededError, InvalidParameterError, StorageError
 from ..graph.digraph import DirectedGraph
 from .cache import CacheKey
 from .datastore import DataStore, FileBackedDataStore
 from .jobs import JobRecord
+from .resilience import CircuitBreaker, RetryPolicy, TokenBucket, current_deadline
 from .sharding import DEFAULT_VIRTUAL_NODES, ShardedDataStore, ShardedResultCache
 
 __all__ = ["ReplicatedResultCache", "ReplicatedShardedDataStore"]
@@ -194,6 +204,23 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         Bound on the coalescing read-repair queue; keys flagged beyond it
         are dropped (and counted) rather than growing memory — the next
         full ``replicate()`` scan still catches them.
+    retry_max_attempts, retry_base_delay_seconds, retry_max_delay_seconds:
+        The shared retry policy for *transient* per-replica faults: at most
+        ``retry_max_attempts`` total attempts per replica operation, with
+        full-jitter exponential backoff between them.  ``StorageError``
+        (absence) never retries, and an installed request deadline stops
+        retrying early.
+    retry_budget_capacity, retry_budget_refill_per_second:
+        The store-wide retry budget (token bucket) every retry must win a
+        token from, so a dead shard costs each caller its bounded attempts
+        but can never trigger a cluster-doubling retry storm.  A refill
+        rate of ``0`` makes the budget fixed.
+    breaker_failure_threshold, breaker_cooldown_seconds:
+        Per-shard circuit breakers over the same consecutive-failure
+        streaks the health detector counts: at the threshold (defaulting to
+        ``probe_failure_threshold``) the breaker opens and reads
+        short-circuit straight past the shard to its next successor; after
+        the cooldown the prober's next success closes it again.
     """
 
     def __init__(
@@ -210,6 +237,13 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         probe_failure_threshold: int = 3,
         probe_transition_interval_seconds: float = 1.0,
         read_repair_queue_limit: int = 256,
+        retry_max_attempts: int = 3,
+        retry_base_delay_seconds: float = 0.02,
+        retry_max_delay_seconds: float = 0.5,
+        retry_budget_capacity: int = 64,
+        retry_budget_refill_per_second: float = 8.0,
+        breaker_failure_threshold: Optional[int] = None,
+        breaker_cooldown_seconds: float = 2.0,
     ) -> None:
         require_positive_int(replicas, "replicas")
         require_positive_int(probe_failure_threshold, "probe_failure_threshold")
@@ -273,6 +307,33 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         self._tombstones_written = 0
         self._tombstones_reaped = 0
         self._last_underreplicated: Optional[int] = None
+        #: Stale-read detection: the highest dataset version this store has
+        #: itself written or served, per dataset.  A failover read answering
+        #: below the floor is counted and flagged for read-repair.
+        self._known_version_floor: Dict[str, int] = {}
+        self._stale_reads = 0
+        #: Drop intents that may not have landed durably: dataset id → the
+        #: tombstone version the drop minted.  The repair passes treat the
+        #: entry as one more tombstone source, so a delete issued while
+        #: every successor was unreachable is completed after recovery
+        #: instead of silently resurrecting ("later retry" made real).
+        self._pending_drops: Dict[str, int] = {}
+        #: Per-shard circuit breakers (lazily built) and the shared retry
+        #: policy/budget; see :meth:`configure_resilience`.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.configure_resilience(
+            retry_max_attempts=retry_max_attempts,
+            retry_base_delay_seconds=retry_base_delay_seconds,
+            retry_max_delay_seconds=retry_max_delay_seconds,
+            retry_budget_capacity=retry_budget_capacity,
+            retry_budget_refill_per_second=retry_budget_refill_per_second,
+            breaker_failure_threshold=(
+                breaker_failure_threshold
+                if breaker_failure_threshold is not None
+                else probe_failure_threshold
+            ),
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
+        )
         self.result_cache = ReplicatedResultCache(self)
 
     # ------------------------------------------------------------------ #
@@ -322,6 +383,99 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             return sorted(self._down)
 
     # ------------------------------------------------------------------ #
+    # overload protection (retry discipline + per-shard circuit breakers)
+    # ------------------------------------------------------------------ #
+    def configure_resilience(
+        self,
+        *,
+        retry_max_attempts: Optional[int] = None,
+        retry_base_delay_seconds: Optional[float] = None,
+        retry_max_delay_seconds: Optional[float] = None,
+        retry_budget_capacity: Optional[int] = None,
+        retry_budget_refill_per_second: Optional[float] = None,
+        breaker_failure_threshold: Optional[int] = None,
+        breaker_cooldown_seconds: Optional[float] = None,
+    ) -> None:
+        """(Re)build the retry policy, retry budget and breaker parameters.
+
+        ``None`` keeps the current value.  The gateway forwards its overload
+        knobs through here, so an externally-constructed store picks them up
+        too.  Rebuilding resets the retry/breaker counters and breaker
+        states — operator reconfiguration starts the discipline fresh.
+        """
+        with self._lock:
+            current_policy = getattr(self, "_retry_policy", None)
+            current_budget = getattr(self, "_retry_budget", None)
+            budget = TokenBucket(
+                retry_budget_capacity
+                if retry_budget_capacity is not None
+                else (current_budget.capacity if current_budget else 64),
+                retry_budget_refill_per_second
+                if retry_budget_refill_per_second is not None
+                else (current_budget.refill_per_second if current_budget else 8.0),
+            )
+            self._retry_budget = budget
+            self._retry_policy = RetryPolicy(
+                max_attempts=retry_max_attempts
+                if retry_max_attempts is not None
+                else (current_policy.max_attempts if current_policy else 3),
+                base_delay=retry_base_delay_seconds
+                if retry_base_delay_seconds is not None
+                else (current_policy.base_delay if current_policy else 0.02),
+                max_delay=retry_max_delay_seconds
+                if retry_max_delay_seconds is not None
+                else (current_policy.max_delay if current_policy else 0.5),
+                budget=budget,
+            )
+            self._breaker_failure_threshold = (
+                breaker_failure_threshold
+                if breaker_failure_threshold is not None
+                else getattr(
+                    self, "_breaker_failure_threshold", self._probe_failure_threshold
+                )
+            )
+            self._breaker_cooldown = (
+                breaker_cooldown_seconds
+                if breaker_cooldown_seconds is not None
+                else getattr(self, "_breaker_cooldown", 2.0)
+            )
+            self._breakers.clear()
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The shared retry policy every replica operation goes through."""
+        return self._retry_policy
+
+    @property
+    def retry_budget(self) -> TokenBucket:
+        """The store-wide token bucket retries draw from."""
+        return self._retry_budget
+
+    def _breaker_locked(self, shard_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(shard_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_failure_threshold,
+                cooldown_seconds=self._breaker_cooldown,
+            )
+            self._breakers[shard_id] = breaker
+        return breaker
+
+    def _shard_allowed(self, shard_id: str) -> bool:
+        """Breaker gate for the read path (probes deliberately bypass it:
+        :meth:`probe_shards` pings the backend directly, and its success
+        is what closes a half-open breaker)."""
+        with self._lock:
+            breaker = self._breakers.get(shard_id)
+        return breaker is None or breaker.allow()
+
+    def breaker_stats(self) -> Dict[str, Any]:
+        """Return every instantiated breaker's state and counters."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {shard_id: breaker.stats() for shard_id, breaker in sorted(breakers.items())}
+
+    # ------------------------------------------------------------------ #
     # failure detection (piggybacked on request outcomes + periodic probes)
     # ------------------------------------------------------------------ #
     def add_health_listener(self, listener: Callable[[str, str, int], None]) -> None:
@@ -351,6 +505,9 @@ class ReplicatedShardedDataStore(ShardedDataStore):
     def _note_shard_success_locked(self, shard_id: Optional[str]) -> None:
         if shard_id is not None:
             self._consecutive_failures.pop(shard_id, None)
+            breaker = self._breakers.get(shard_id)
+            if breaker is not None:
+                breaker.record_success()
 
     def _note_shard_error_locked(self, shard_id: Optional[str]) -> None:
         if shard_id is None:
@@ -358,6 +515,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         self._shard_errors[shard_id] = self._shard_errors.get(shard_id, 0) + 1
         streak = self._consecutive_failures.get(shard_id, 0) + 1
         self._consecutive_failures[shard_id] = streak
+        # The breaker consumes the same streak the health detector counts;
+        # it opens independently of the (rate-limited) mark_down machinery,
+        # so reads stop offering a sick shard work even between transitions.
+        self._breaker_locked(shard_id).record_failure()
         if shard_id in self._down or streak < self._probe_failure_threshold:
             return
         if not self._transition_allowed_locked(shard_id):
@@ -411,6 +572,45 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                         transitions.append((shard_id, "down"))
         return transitions
 
+    def _reconcile_shard_health(self) -> None:
+        """Probe every backend ahead of a maintenance pass, authoritatively.
+
+        :meth:`replicate` and :meth:`rebalance` must converge on whatever
+        the ring can *actually* serve, so the pass opens with one ping per
+        backend and treats the result as ground truth: a reachable shard
+        the detector had auto-marked down comes back up immediately — the
+        per-shard transition rate limit is deliberately bypassed, because
+        a full-ring maintenance scan is a deliberate observation, not the
+        request-driven flapping the limit exists to damp.  The success
+        also resets the failure streak and closes the shard's circuit
+        breaker, so the repair reads that follow are not short-circuited
+        past a recovered holder.  Operator ``mark_down`` shards stay down,
+        exactly as in :meth:`probe_shards`.
+        """
+        with self._lock:
+            backends = dict(self._backends)
+        for shard_id, backend in backends.items():
+            try:
+                backend.occupancy()
+                reachable = True
+            except Exception:
+                reachable = False
+            with self._lock:
+                if shard_id not in self._backends:
+                    continue  # removed while probing
+                if not reachable:
+                    if shard_id not in self._down:
+                        self._note_shard_error_locked(shard_id)
+                    continue
+                self._note_shard_success_locked(shard_id)
+                if shard_id in self._auto_down:
+                    self._down.discard(shard_id)
+                    self._auto_down.discard(shard_id)
+                    self._auto_ups += 1
+                    self._last_transition[shard_id] = time.monotonic()
+                    self._epoch += 1
+                    self._emit_health_locked(shard_id, "up", 0)
+
     def health_stats(self) -> Dict[str, Any]:
         """Return the failure detector's counters and per-shard streaks."""
         with self._lock:
@@ -448,8 +648,18 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             return self._backends[preferred]
 
     def _version_floor(self, dataset_id: str) -> int:
-        """Global version high-water mark, tolerant of failing shards."""
-        floor = 0
+        """Global version high-water mark, tolerant of failing shards.
+
+        The backend scan skips unreachable shards, so it alone can go
+        *backwards* during an outage: a quorum write sliding past the down
+        canonical holders would mint the same version their hidden copies
+        already carry, and after recovery the repair passes could not tell
+        the two graphs apart.  Seeding the scan with the router's own
+        high-water mark of acked writes and drops
+        (``_known_version_floor``) keeps every new version strictly above
+        every copy this router ever acknowledged, reachable or not.
+        """
+        floor = self._known_version_floor.get(dataset_id, 0)
         backends = list(self._backends.values())
         if self._spill is not None:
             backends.append(self._spill)
@@ -475,6 +685,15 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         the base class's fan-out scan).  ``missed`` covers readers that
         signal absence with a value (``has_*``, ``dataset_version``,
         ``get_logs``).
+
+        Overload discipline: each source attempt runs under the shared
+        retry policy (transient faults retry with jittered backoff, capped
+        by the store-wide retry budget); a ring source whose circuit
+        breaker is open is skipped without touching the backend; and once
+        the first source has been consulted, the caller's deadline (when
+        one is installed via :func:`~.resilience.deadline_scope`) is
+        checked before each further failover hop so an expired request
+        stops burning replicas.
         """
         with self._lock:
             live, down = self._placement_locked(key)
@@ -491,9 +710,22 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         missing = object()
         fallback = missing
         first_error: Optional[BaseException] = None
+        deadline = current_deadline()
+        consulted = 0
         for shard_id, backend in sources:
+            if consulted and deadline is not None and deadline.expired():
+                raise DeadlineExceededError(
+                    f"deadline expired during read failover for {key!r} "
+                    f"after {consulted} source(s)",
+                    deadline_ms=deadline.deadline_ms,
+                )
+            if shard_id is not None and not self._shard_allowed(shard_id):
+                continue  # open breaker: straight to the next successor
+            consulted += 1
             try:
-                value = operation(backend)
+                value = self._retry_policy.run(
+                    lambda backend=backend: operation(backend)
+                )
             except StorageError as exc:
                 if first_error is None:
                     first_error = exc
@@ -531,6 +763,42 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 f"no shard could answer the read for {key!r}: {first_error}"
             ) from first_error
         raise StorageError(f"key {key!r} is not stored on any shard")
+
+    # ------------------------------------------------------------------ #
+    # stale-read detection (the observable first step toward a read-path
+    # version quorum: failover answers are checked against the version
+    # floor this store itself established)
+    # ------------------------------------------------------------------ #
+    def _note_read_version(self, dataset_id: str, version: int) -> None:
+        """Compare a read's version against the caller-known floor.
+
+        A read below the floor means a failover source served a pre-outage
+        copy: count it and flag the key for single-key read-repair (the
+        version-keyed result cache already protects rankings — this makes
+        the staleness *observable* and self-healing).  A read at or above
+        the floor raises it, so the floor tracks reality even for datasets
+        stored before this store started (or by a peer).
+        """
+        enqueued = False
+        with self._lock:
+            floor = self._known_version_floor.get(dataset_id, 0)
+            if version < floor:
+                self._stale_reads += 1
+                enqueued = self._queue_read_repair_locked(dataset_id)
+            elif version > floor:
+                self._known_version_floor[dataset_id] = version
+        if enqueued:
+            self._kick_repair_launcher()
+
+    def fetch_dataset_with_version(self, dataset_id: str):
+        graph, version = super().fetch_dataset_with_version(dataset_id)
+        self._note_read_version(dataset_id, version)
+        return graph, version
+
+    def fetch_compiled_with_version(self, dataset_id: str):
+        compiled, version = super().fetch_compiled_with_version(dataset_id)
+        self._note_read_version(dataset_id, version)
+        return compiled, version
 
     # ------------------------------------------------------------------ #
     # read-repair (single-key anti-entropy driven by failover reads)
@@ -653,9 +921,16 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             for shard_id, backend in plan:
                 if len(acked) == self._replicas:
                     break
-                try:
+                def _store_one(backend=backend):
                     owner_had_dataset = backend.has_dataset(dataset_id)
                     backend.store_dataset(dataset_id, graph, version_floor=floor)
+                    return owner_had_dataset
+
+                try:
+                    # The in-memory/file backends validate before mutating, so
+                    # a failed attempt left no partial copy and the shared
+                    # retry policy may safely re-send the whole write.
+                    owner_had_dataset = self._retry_policy.run(_store_one)
                     if not owner_had_dataset:
                         backend.result_cache.invalidate_dataset(dataset_id)
                     acked.append((shard_id, backend))
@@ -697,6 +972,16 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                         self._spill.drop_dataset(dataset_id)
                 except Exception:
                     pass
+            with self._lock:
+                # Every acked replica stored at floor + 1: that is now the
+                # caller-known version floor stale-read detection holds
+                # future failover reads to.
+                self._known_version_floor[dataset_id] = max(
+                    self._known_version_floor.get(dataset_id, 0), floor + 1
+                )
+                # The acked upload (at floor + 1, strictly above any pending
+                # tombstone) supersedes an outstanding drop intent.
+                self._pending_drops.pop(dataset_id, None)
             return
 
     def put_result(self, result_id: str, payload: Mapping[str, object]) -> None:
@@ -725,7 +1010,9 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 if len(acked) == self._replicas:
                     break
                 try:
-                    operation(backend)
+                    self._retry_policy.run(
+                        lambda backend=backend: operation(backend)
+                    )
                     acked.append((shard_id, backend))
                 except Exception:
                     with self._lock:
@@ -827,6 +1114,14 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         """
         with self._lock:
             version = self._version_floor(dataset_id) + 1
+            # The deletion is itself a version-bearing write: remembering it
+            # as the floor keeps a re-upload during the same outage strictly
+            # above the tombstone, so repair can never mistake the fresh
+            # copy for resurrected pre-deletion data.  The pending-drop
+            # entry lets the repair passes finish a delete whose tombstones
+            # never reached a single backend.
+            self._known_version_floor[dataset_id] = version
+            self._pending_drops[dataset_id] = version
             live, _ = self._placement_locked(dataset_id)
             acked = 0
             processed: set = set()
@@ -975,7 +1270,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
     def replicate(self, *, job: Optional[JobRecord] = None) -> Dict[str, int]:
         """Restore R copies of every dataset and result; return repair counts.
 
-        Scans the ring, copies each under-replicated key from its freshest
+        The pass opens by reconciling shard health against reality (one
+        ping per backend; recovered auto-down shards come back up and
+        their breakers close — see :meth:`_reconcile_shard_health`), then
+        scans the ring, copies each under-replicated key from its freshest
         reachable holder onto the live successors missing it, and records how
         many keys remain under-replicated (the replication lag reported by
         :meth:`replication_stats`).  Emits one ``progress`` event per key on
@@ -985,6 +1283,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         repaired_datasets = 0
         repaired_results = 0
         with self._topology_lock:
+            self._reconcile_shard_health()
             dataset_ids = self._ring_dataset_ids()
             result_ids = self._ring_result_ids()
             total = len(dataset_ids) + len(result_ids)
@@ -1049,7 +1348,13 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 except Exception:
                     unreachable = True
                     continue
-            tomb = max(tombstones.values(), default=0)
+            # The router's own drop intent counts as one more tombstone
+            # source: a delete issued while every successor was down left
+            # no marker on any backend, and this is where it is completed.
+            tomb = max(
+                max(tombstones.values(), default=0),
+                self._pending_drops.get(dataset_id, 0),
+            )
             if tomb and max(holders.values(), default=0) <= tomb:
                 return self._settle_dataset_tombstone_locked(
                     dataset_id, tomb, holders, targets, unreachable
@@ -1057,6 +1362,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             if tomb:
                 # A write newer than the delete exists somewhere: the
                 # tombstone lost the race and must stop shadowing repairs.
+                self._pending_drops.pop(dataset_id, None)
                 for shard_id in tombstones:
                     try:
                         self._backends[shard_id].clear_dataset_tombstone(dataset_id)
@@ -1148,6 +1454,9 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             except Exception:
                 unreachable = True
         if not unreachable and acked == len(targets):
+            # Every target durably carries the marker, so the router's own
+            # drop intent has been completed and can be forgotten.
+            self._pending_drops.pop(dataset_id, None)
             reaped = True
             for backend in self._backends.values():
                 try:
@@ -1419,6 +1728,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         """
         moved: List[str] = []
         with self._topology_lock:
+            self._reconcile_shard_health()
             dataset_ids = self._ring_dataset_ids()
             result_ids = self._ring_result_ids()
             total = len(dataset_ids) + len(result_ids)
@@ -1567,6 +1877,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 "replicas": self._replicas,
                 "quorum": self._quorum,
                 "failover_reads": self._failover_reads,
+                "stale_reads": self._stale_reads,
                 "degraded_writes": self._degraded_writes,
                 "repairs": self._repairs,
                 "read_repairs": self._read_repairs,
@@ -1581,6 +1892,11 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 "auto_down": sorted(self._auto_down),
                 "shard_errors": dict(self._shard_errors),
                 "underreplicated": self._last_underreplicated,
+                "retries": self._retry_policy.stats(),
+                "breakers": {
+                    shard_id: breaker.stats()
+                    for shard_id, breaker in sorted(self._breakers.items())
+                },
             }
 
     def spill_stats(self) -> Dict[str, Any]:

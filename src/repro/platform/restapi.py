@@ -12,9 +12,15 @@ Endpoints
 ``GET    /api/datasets``                        dataset picker payload
 ``GET    /api/datasets/<id>/summary``           structural summary of one dataset
 ``GET    /api/algorithms``                      algorithm picker payload
-``POST   /api/comparisons``                     submit a comparison; body ``{"queries": [...], "synchronous": bool}``
-                                                (``"synchronous": false`` returns the permalink id immediately
-                                                while the comparison runs on the worker pool)
+``POST   /api/comparisons``                     submit a comparison; body ``{"queries": [...], "synchronous": bool,
+                                                "deadline_ms": N}`` (``"synchronous": false`` returns the permalink
+                                                id immediately while the comparison runs on the worker pool;
+                                                ``deadline_ms`` bounds how long the submission may wait + run
+                                                before it is settled with a ``deadline_exceeded`` event).
+                                                When the gateway is over its admission budget the submission is
+                                                shed with ``429`` + a ``Retry-After`` header and body
+                                                ``{"error": ..., "retry_after": seconds, "shed": true}`` —
+                                                nothing was enqueued; re-submit after the hinted delay.
 ``GET    /api/comparisons``                     job listing: one summary row per known comparison
 ``GET    /api/comparisons/<id>/status``         progress snapshot
 ``GET    /api/comparisons/<id>/events?after=N`` long-poll: blocks up to ``timeout`` seconds (default 10,
@@ -44,11 +50,13 @@ Endpoints
 ``DELETE /api/comparisons/<id>``                request cooperative cancellation of a running comparison
 ``GET    /api/stats``                           result-cache, batch-dispatch, compiled-artifact and
                                                 job-registry counters; on a sharded deployment also the
-                                                shard topology, per-shard health/occupancy and hit rates
+                                                shard topology, per-shard health/occupancy and hit rates;
+                                                the ``overload`` section reports deadline, admission
+                                                (shed/admitted), storage-retry and circuit-breaker counters
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources, 409 for results of an
-unfinished comparison).
+unfinished comparison, 429 for submissions shed by admission control).
 
 Example — submit without blocking, then follow the stream::
 
@@ -61,12 +69,13 @@ Example — submit without blocking, then follow the stream::
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..exceptions import ReproError
+from ..exceptions import GatewayOverloadedError, ReproError
 from .gateway import ApiGateway
 from .tasks import TaskState
 from .webui import WebUI
@@ -90,11 +99,18 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             "restapi", f"{self.address_string()} {format % args}"
         )
 
-    def _send_json(self, payload: Any, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, ensure_ascii=False, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -319,7 +335,11 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 if not isinstance(queries, list) or not queries:
                     raise ValueError("the body must contain a non-empty 'queries' list")
                 synchronous = bool(payload.get("synchronous", False))
-                comparison_id = gateway.run_queries(queries, synchronous=synchronous)
+                comparison_id = gateway.run_queries(
+                    queries,
+                    synchronous=synchronous,
+                    deadline_ms=payload.get("deadline_ms"),
+                )
                 self._send_json({"comparison_id": comparison_id}, status=201)
                 return
             if parts[:2] == ["api", "storage"] and len(parts) == 3:
@@ -343,6 +363,15 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_json({"job_id": job_id, "kind": kind}, status=202)
                 return
             self._send_error_json(f"unknown resource {parsed.path!r}", 404)
+        except GatewayOverloadedError as exc:
+            # Shed by admission control: nothing was enqueued.  429 plus the
+            # standard Retry-After header (integer seconds, rounded up so the
+            # client never comes back early) and the precise hint in the body.
+            self._send_json(
+                {"error": str(exc), "retry_after": exc.retry_after, "shed": True},
+                status=429,
+                headers={"Retry-After": str(max(1, math.ceil(exc.retry_after)))},
+            )
         except ReproError as exc:
             self._send_error_json(str(exc), 400)
         except (ValueError, KeyError, TypeError) as exc:

@@ -47,12 +47,18 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
-from ..exceptions import JobCancelledError, StorageError, TaskNotFoundError
+from ..exceptions import (
+    DeadlineExceededError,
+    JobCancelledError,
+    StorageError,
+    TaskNotFoundError,
+)
 from ..ranking.result import Ranking
 from .cache import CacheKey, ResultCache, _canonical_parameters
 from .datastore import DataStore
 from .executor import ExecutorPool
 from .jobs import JobRecord, JobRegistry, JobState
+from .resilience import deadline_scope
 from .tasks import Query, QuerySet, Task, TaskState
 
 __all__ = ["Scheduler"]
@@ -132,6 +138,9 @@ class Scheduler:
         self._batches_dispatched = 0
         self._queries_batched = 0
         self._largest_batch = 0
+        #: Jobs settled with a typed ``deadline_exceeded`` event instead of
+        #: ever occupying a worker (see :meth:`overload_stats`).
+        self._deadlines_exceeded = 0
         #: Callbacks run after each settled work unit (see
         #: :meth:`register_maintenance_hook`).
         self._maintenance_hooks: List[Callable[[], None]] = []
@@ -268,9 +277,10 @@ class Scheduler:
         try:
             for (dataset_id, algorithm, _), members in groups.items():
                 try:
-                    proceed = self._process_group(
-                        job, task, dataset_id, algorithm, members, synchronous=True
-                    )
+                    with deadline_scope(task.deadline):
+                        proceed = self._process_group(
+                            job, task, dataset_id, algorithm, members, synchronous=True
+                        )
                 finally:
                     self._work_unit_done(job, task)
                 if not proceed or task.state is TaskState.FAILED:
@@ -302,7 +312,10 @@ class Scheduler:
     ) -> None:
         """Pool entry point for one group: process it, then settle the unit."""
         try:
-            self._process_group(job, task, dataset_id, algorithm, members, synchronous=False)
+            with deadline_scope(task.deadline):
+                self._process_group(
+                    job, task, dataset_id, algorithm, members, synchronous=False
+                )
         finally:
             self._work_unit_done(job, task)
 
@@ -331,8 +344,20 @@ class Scheduler:
         """
         if job.cancel_requested or job.state.is_terminal():
             return False
+        # Deadline boundary, mirroring the cancel boundary above: an expired
+        # task's group returns without computing, so the deadline costs no
+        # worker time beyond this check.
+        if task.deadline_expired():
+            self._settle_deadline_exceeded(job, task)
+            return False
         try:
             graph, version = self._fetch_dataset(dataset_id)
+        except DeadlineExceededError:
+            # The deadline ran out mid-storage-IO (the replicated store
+            # checks it between failover sources): settle typed, not as a
+            # dataset-load failure.
+            self._settle_deadline_exceeded(job, task)
+            return False
         except Exception as exc:
             message = f"cannot load dataset {dataset_id!r}: {exc}"
             task.mark_failed(message)
@@ -688,6 +713,34 @@ class Scheduler:
             except Exception:
                 continue  # maintenance must never fail the dispatch path
 
+    def _settle_deadline_exceeded(self, job: JobRecord, task: Task) -> None:
+        """Settle a job whose deadline expired before (or during) dispatch.
+
+        Mirrors :meth:`_finalise_cancelled`: the typed event is appended
+        *before* the terminal transition (terminal jobs drop appends), the
+        task fails with a deadline message, and sibling groups observe the
+        terminal job at their own boundary check and return immediately.
+        """
+        deadline_ms = task.deadline.deadline_ms if task.deadline is not None else None
+        message = "deadline expired before execution" + (
+            f" (deadline_ms={deadline_ms})" if deadline_ms is not None else ""
+        )
+        task.mark_failed(message)
+        job.append(
+            "deadline_exceeded",
+            deadline_ms=deadline_ms,
+            completed_queries=task.completed_queries,
+            total_queries=task.total_queries,
+        )
+        if job.finish(JobState.FAILED, error=message):
+            with self._lock:
+                self._deadlines_exceeded += 1
+            self._datastore.append_log(
+                task.task_id,
+                f"[scheduler] task {task.task_id} deadline expired with "
+                f"{task.completed_queries}/{task.total_queries} queries done",
+            )
+
     def _finalise_cancelled(self, job: JobRecord, task: Task) -> None:
         task.mark_cancelled()
         if job.finish(JobState.CANCELLED):
@@ -734,6 +787,11 @@ class Scheduler:
     def artifact_stats(self) -> Dict[str, Any]:
         """Return the compiled-artifact cache counters (delegates to the datastore)."""
         return self._datastore.artifact_stats()
+
+    def overload_stats(self) -> Dict[str, Any]:
+        """Return the scheduler's overload-protection counters."""
+        with self._lock:
+            return {"deadline_exceeded": self._deadlines_exceeded}
 
     # ------------------------------------------------------------------ #
     # waiting

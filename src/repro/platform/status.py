@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..exceptions import StorageError, TaskError, TaskNotFoundError
 from .datastore import DataStore
@@ -74,6 +74,19 @@ class StatusComponent:
         self._scheduler = scheduler
         self._datastore = datastore
         self._registry = scheduler.jobs
+        self._sections: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    def register_section(
+        self, name: str, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Register an extra top-level ``platform_stats`` section.
+
+        ``provider`` is called on every stats read; components that carry
+        their own counters (e.g. the gateway's overload-protection layer)
+        register here instead of the status component reaching into them.
+        Registering the same name again replaces the provider.
+        """
+        self._sections[name] = provider
 
     # ------------------------------------------------------------------ #
     # progress
@@ -195,7 +208,10 @@ class StatusComponent:
         platform runs on a :class:`~repro.platform.sharding.ShardedDataStore`
         a ``shards`` section is added: ring topology, per-shard health,
         occupancy and hit rates (the cache/artifact sections then aggregate
-        across shards and carry their own per-shard breakdowns).
+        across shards and carry their own per-shard breakdowns).  Sections
+        registered with :meth:`register_section` — such as the gateway's
+        ``overload`` section (deadline, admission and storage-retry
+        counters) — are merged in last.
         """
         stats = {
             "cache": self._scheduler.cache_stats(),
@@ -212,6 +228,8 @@ class StatusComponent:
             # bytes) and ``health`` (failure-detector streaks and automatic
             # transition counts) subsections.
             stats["shards"] = shard_stats()
+        for name, provider in self._sections.items():
+            stats[name] = provider()
         return stats
 
     def stored_result(self, task_id: str) -> dict:

@@ -26,6 +26,7 @@ from ..algorithms.registry import get_algorithm
 from ..datasets.catalog import DatasetCatalog
 from ..exceptions import InvalidParameterError, TaskError
 from ..ranking.result import Ranking
+from .resilience import Deadline
 
 __all__ = ["Query", "QuerySet", "Task", "TaskState", "TaskBuilder"]
 
@@ -132,11 +133,25 @@ class TaskState(enum.Enum):
 
 
 class Task:
-    """A query set submitted for execution, with per-query progress."""
+    """A query set submitted for execution, with per-query progress.
 
-    def __init__(self, query_set: QuerySet) -> None:
+    Parameters
+    ----------
+    query_set:
+        The validated queries to execute.
+    deadline_ms:
+        Optional overall deadline in milliseconds, counted from task
+        construction (submission time).  The scheduler refuses to start
+        work for an expired task and settles it with a typed
+        ``deadline_exceeded`` event instead of occupying a worker.
+    """
+
+    def __init__(self, query_set: QuerySet, *, deadline_ms: Optional[int] = None) -> None:
         self.task_id = query_set.comparison_id
         self.query_set = query_set
+        self.deadline: Optional[Deadline] = (
+            Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
+        )
         self._lock = threading.RLock()
         self._state = TaskState.PENDING
         self._completed_queries = 0
@@ -207,6 +222,10 @@ class Task:
         with self._lock:
             return dict(self._rankings)
 
+    def deadline_expired(self) -> bool:
+        """Return ``True`` when the task carries a deadline that has passed."""
+        return self.deadline is not None and self.deadline.expired()
+
     def is_done(self) -> bool:
         """Return ``True`` once the task reached a terminal state."""
         return self.state.is_terminal()
@@ -274,8 +293,16 @@ class TaskBuilder:
         """Return an empty query set with a fresh comparison id."""
         return QuerySet()
 
-    def build_task(self, query_set: QuerySet) -> Task:
-        """Wrap a non-empty query set into a :class:`Task` ready for scheduling."""
+    def build_task(self, query_set: QuerySet, *, deadline_ms: Optional[int] = None) -> Task:
+        """Wrap a non-empty query set into a :class:`Task` ready for scheduling.
+
+        ``deadline_ms``, when given, starts the submission's deadline clock
+        here — validation errors from a non-positive value surface as
+        :class:`TaskError` so callers see one exception family.
+        """
         if len(query_set) == 0:
             raise TaskError("cannot submit an empty query set")
-        return Task(query_set)
+        try:
+            return Task(query_set, deadline_ms=deadline_ms)
+        except (TypeError, ValueError) as exc:
+            raise TaskError(f"invalid deadline_ms: {exc}") from exc

@@ -231,6 +231,21 @@ class TestReplicatedWrites:
 
 
 class TestFailoverReads:
+    def test_transient_primary_fault_is_absorbed_by_in_place_retry(self):
+        backends = [FlakyStore(DataStore()) for _ in range(4)]
+        store = ReplicatedShardedDataStore(shards=backends, replicas=2)
+        graph = star_graph(6)
+        store.store_dataset("ds", graph)
+        primary = store.replica_shards_for("ds")[0]
+        flaky = backends[int(primary.split("-")[1])]
+        # One transient blip: the shared retry policy re-sends to the same
+        # source, so the primary still answers and no failover happens.
+        flaky.fail_on("fetch_dataset", times=1)
+        assert store.fetch_dataset("ds").edge_list() == graph.edge_list()
+        stats = store.replication_stats()
+        assert stats["failover_reads"] == 0
+        assert stats["retries"]["retries_spent"] >= 1
+
     def test_read_fails_over_when_the_primary_errors(self):
         backends = [FlakyStore(DataStore()) for _ in range(4)]
         store = ReplicatedShardedDataStore(shards=backends, replicas=2)
@@ -238,11 +253,12 @@ class TestFailoverReads:
         store.store_dataset("ds", graph)
         primary = store.replica_shards_for("ds")[0]
         flaky = backends[int(primary.split("-")[1])]
-        flaky.fail_on("fetch_dataset", times=1)
+        # Outlast the per-source retry attempts so the read fails over.
+        flaky.fail_on("fetch_dataset", times=store.retry_policy.max_attempts)
         assert store.fetch_dataset("ds").edge_list() == graph.edge_list()
         assert store.replication_stats()["failover_reads"] >= 1
         assert store.replication_stats()["shard_errors"].get(primary, 0) >= 1
-        # The fault was one-shot: the primary serves again.
+        # The fault rule is exhausted: the primary serves again.
         assert store.fetch_dataset("ds").edge_list() == graph.edge_list()
 
     def test_read_fails_over_when_the_primary_is_marked_down(self):
