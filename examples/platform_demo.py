@@ -12,7 +12,10 @@ Drives the full system the way the web demo does:
 6. kill a storage shard under a replicated gateway and watch the platform
    heal itself: the failure detector auto-marks the shard down, failover
    reads keep serving and enqueue read-repairs, and the recovered shard is
-   marked back up — no manual intervention at any step.
+   marked back up — no manual intervention at any step;
+7. follow one comparison through the observability layer: submit it,
+   reconstruct its span waterfall from the recorded trace, and scrape the
+   Prometheus ``/metrics`` exposition the gateway serves.
 
 Run with::
 
@@ -118,6 +121,41 @@ def self_healing_walkthrough() -> None:
                   f"{event['shard']} (streak {event['failures']})")
 
 
+def observability_walkthrough() -> None:
+    """Step 7: submit → follow the trace → scrape ``/metrics``."""
+    print("=" * 72)
+    print("Observability: trace one comparison, then scrape /metrics")
+    print("=" * 72)
+
+    with ApiGateway(num_workers=2) as gateway:
+        # Submit: the gateway mints a trace id and stamps every job event
+        # with it, so stream consumers can join events against the trace.
+        comparison_id = gateway.run_queries(
+            [
+                {"dataset_id": "enwiki-2018", "algorithm": "pagerank",
+                 "parameters": {"alpha": 0.85}},
+                {"dataset_id": "enwiki-2018", "algorithm": "cheirank"},
+            ],
+            synchronous=True,
+        )
+        envelope = gateway.get_trace(comparison_id)
+        print(f"comparison {comparison_id} finished; "
+              f"trace {envelope['trace_id']} recorded "
+              f"{envelope['trace']['span_count']} spans\n")
+
+        # Follow the trace: the same tree GET /api/comparisons/<id>/trace
+        # returns, rendered as the CLI --trace waterfall.
+        print(WebUI(gateway).render_trace_waterfall(comparison_id))
+        print()
+
+        # Scrape: GET /metrics serves this text to a Prometheus collector.
+        print("a /metrics scrape (histogram buckets elided):")
+        for line in gateway.render_metrics().splitlines():
+            if "_bucket{" in line:
+                continue
+            print(f"  {line}")
+
+
 def main() -> None:
     with ApiGateway(num_workers=2) as gateway:
         ui = WebUI(gateway)
@@ -167,6 +205,9 @@ def main() -> None:
 
     # Step 6: the storage tier heals itself around a killed shard.
     self_healing_walkthrough()
+
+    # Step 7: the observability layer explains where the time went.
+    observability_walkthrough()
 
 
 if __name__ == "__main__":

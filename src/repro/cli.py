@@ -56,6 +56,15 @@ bounds how long a submission may wait before it is settled with a typed
 bounded by ``--shed-retries``; ``--no-retry`` fails fast), and
 ``--retry-budget``/``--breaker-cooldown`` tune the replicated storage
 tier's retry token bucket and per-shard circuit breakers.
+
+Observability rides on ``run``/``compare`` too: ``--stats`` prints the
+platform serving counters after the results — the cache/batch/storage
+lines plus the ``overload`` (admission, deadlines, retries, breakers) and
+``telemetry`` (tracer + span latency percentiles) sections of
+``GET /api/stats``.  ``--cache-stats`` survives as a deprecated alias for
+``--stats``.  ``--trace`` prints the comparison's recorded span waterfall
+(gateway submit → scheduler dispatch → batch execute → storage writes),
+the CLI view of ``GET /api/comparisons/<id>/trace``.
 """
 
 from __future__ import annotations
@@ -183,6 +192,26 @@ def _add_overload_flags(
         )
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the stats/trace reporting flags shared by run/compare."""
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the platform serving counters after the results: cache, "
+        "batches, storage, plus the overload and telemetry sections",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="deprecated alias for --stats",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the comparison's recorded span waterfall after the results",
+    )
+
+
 def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the non-blocking submission flags shared by run/compare."""
     waiting = parser.add_mutually_exclusive_group()
@@ -227,11 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scores", action="store_true", help="print scores next to the labels"
     )
-    run_parser.add_argument(
-        "--cache-stats",
-        action="store_true",
-        help="print the result-cache and batch-dispatch counters after the run",
-    )
+    _add_observability_flags(run_parser)
     _add_storage_flags(run_parser)
     _add_overload_flags(run_parser)
     _add_wait_flags(run_parser)
@@ -251,11 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--k", type=int, default=3, help="CycleRank maximum cycle length")
     compare_parser.add_argument("--top", type=int, default=5, help="rows in the comparison table")
     compare_parser.add_argument("--logs", action="store_true", help="print the execution log")
-    compare_parser.add_argument(
-        "--cache-stats",
-        action="store_true",
-        help="print the result-cache and batch-dispatch counters after the comparison",
-    )
+    _add_observability_flags(compare_parser)
     _add_storage_flags(compare_parser)
     _add_overload_flags(compare_parser)
     _add_wait_flags(compare_parser)
@@ -367,6 +388,101 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
                 f"spill: {spill.get('spilled_datasets', 0)} dataset(s) on the "
                 f"file tier ({spill.get('spills', 0)} demotions{budget})"
             )
+
+
+def _print_overload_stats(stats: Dict[str, object]) -> None:
+    """Print the ``overload`` stats section as compact human-readable lines."""
+    admission = stats.get("admission") or {}
+    if admission.get("enabled"):
+        print(
+            f"admission: {admission.get('admitted', 0)} admitted / "
+            f"{admission.get('shed', 0)} shed, in-flight cost "
+            f"{admission.get('inflight_cost', 0)}/{admission.get('max_cost', 0)} "
+            f"(peak {admission.get('peak_cost', 0)})"
+        )
+    else:
+        print("admission: disabled")
+    deadlines = stats.get("deadlines") or {}
+    default_ms = deadlines.get("default_deadline_ms")
+    print(
+        f"deadlines: {deadlines.get('deadline_exceeded', 0)} exceeded "
+        f"(default {'none' if default_ms is None else f'{default_ms}ms'})"
+    )
+    storage = stats.get("storage")
+    if storage:
+        retries = storage.get("retries") or {}
+        budget = retries.get("budget") or {}
+        budget_text = (
+            f", budget {budget.get('available', 0)}/{budget.get('capacity', 0)} tokens"
+            if budget
+            else ""
+        )
+        print(
+            f"retries: {retries.get('retries_spent', 0)} spent / "
+            f"{retries.get('retries_denied', 0)} denied{budget_text}"
+        )
+        breakers = storage.get("breakers") or {}
+        if breakers:
+            breakdown = ", ".join(
+                f"{shard_id}: {info.get('state', '?')} "
+                f"({info.get('opens', 0)} opens, "
+                f"{info.get('short_circuits', 0)} short-circuits)"
+                for shard_id, info in sorted(breakers.items())
+            )
+            print(f"breakers: {breakdown}")
+
+
+def _print_telemetry_stats(stats: Dict[str, object]) -> None:
+    """Print the ``telemetry`` stats section as compact human-readable lines."""
+    tracer = stats.get("tracer") or {}
+    if not tracer.get("enabled"):
+        print("telemetry: disabled")
+        return
+    print(
+        f"telemetry: {tracer.get('traces_tracked', 0)} trace(s) tracked, "
+        f"{tracer.get('spans_collected', 0)} span(s) collected "
+        f"({tracer.get('spans_dropped', 0)} dropped), "
+        f"{len(tracer.get('slow_spans') or [])} slow span(s) over "
+        f"{tracer.get('slow_threshold_ms', 0):g}ms"
+    )
+    metrics = stats.get("metrics") or {}
+    durations = metrics.get("span_duration_ms")
+    if isinstance(durations, dict):
+        for labels, summary in sorted(durations.items()):
+            if not isinstance(summary, dict):
+                continue
+            name = labels.strip("{}")
+            if name.startswith('span="') and name.endswith('"'):
+                name = name[len('span="'):-1]
+            print(
+                f"  span {name}: {summary.get('count', 0)} recorded, "
+                f"p50 {summary.get('p50', 0):.2f}ms, "
+                f"p95 {summary.get('p95', 0):.2f}ms, "
+                f"p99 {summary.get('p99', 0):.2f}ms"
+            )
+
+
+def _print_platform_stats(gateway: ApiGateway) -> None:
+    """Print the full ``--stats`` report: cache, overload and telemetry."""
+    _print_cache_stats(gateway)
+    stats = gateway.get_platform_stats()
+    overload = stats.get("overload")
+    if overload:
+        _print_overload_stats(overload)
+    telemetry = stats.get("telemetry")
+    if telemetry:
+        _print_telemetry_stats(telemetry)
+
+
+def _wants_stats(arguments: argparse.Namespace) -> bool:
+    """True when ``--stats`` (or its deprecated ``--cache-stats`` alias) is set."""
+    if getattr(arguments, "cache_stats", False):
+        print(
+            "warning: --cache-stats is deprecated; use --stats",
+            file=sys.stderr,
+        )
+        return True
+    return getattr(arguments, "stats", False)
 
 
 def _describe_event(event: Dict[str, object]) -> str:
@@ -521,8 +637,10 @@ def _command_run(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
             print(f"{entry.rank:>3}. {entry.label}  ({entry.score:.6g})")
         else:
             print(f"{entry.rank:>3}. {entry.label}")
-    if arguments.cache_stats:
-        _print_cache_stats(gateway)
+    if arguments.trace:
+        print(WebUI(gateway).render_trace_waterfall(comparison))
+    if _wants_stats(arguments):
+        _print_platform_stats(gateway)
     return 0
 
 
@@ -559,8 +677,10 @@ def _command_compare(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
         print()
         for line in gateway.get_logs(comparison):
             print(line)
-    if arguments.cache_stats:
-        _print_cache_stats(gateway)
+    if arguments.trace:
+        print(WebUI(gateway).render_trace_waterfall(comparison))
+    if _wants_stats(arguments):
+        _print_platform_stats(gateway)
     return 0
 
 

@@ -38,6 +38,12 @@ reproduces the same component decomposition with in-process equivalents:
     :class:`AdmissionController` (load shedding with Retry-After hints),
     the :class:`RetryPolicy`/:class:`TokenBucket` retry discipline and
     per-shard :class:`CircuitBreaker`\\ s.
+``telemetry``
+    The observability layer: a process-wide :class:`MetricsRegistry`
+    (counters, gauges, log-bucket latency histograms with a Prometheus
+    text exposition) and a :class:`Tracer` minting one trace per
+    comparison, with spans propagated through the same thread-local seam
+    deadlines use (``trace_scope`` / ``child_span``).
 ``executor``
     Executor (worker) nodes running queries on a thread pool that can be
     scaled up or down.
@@ -77,6 +83,15 @@ from .scheduler import Scheduler
 from .sharding import HashRing, ShardedDataStore, ShardedResultCache
 from .status import StatusComponent, TaskProgress
 from .tasks import Query, QuerySet, Task, TaskBuilder, TaskState
+from .telemetry import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    add_span_event,
+    child_span,
+    current_span,
+    trace_scope,
+)
 from .webui import WebUI
 
 __all__ = [
@@ -110,6 +125,13 @@ __all__ = [
     "current_deadline",
     "deadline_scope",
     "estimate_cost",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "add_span_event",
+    "child_span",
+    "current_span",
+    "trace_scope",
     "Scheduler",
     "StatusComponent",
     "TaskProgress",

@@ -25,6 +25,7 @@ from ..graph.digraph import DirectedGraph
 from ..ranking.result import Ranking
 from .datastore import DataStore
 from .tasks import Query
+from .telemetry import child_span
 
 __all__ = ["BatchExecutionOutcome", "ExecutionOutcome", "ExecutorNode", "ExecutorPool"]
 
@@ -94,9 +95,13 @@ class ExecutorNode:
         )
         started = time.perf_counter()
         try:
-            ranking = algorithm.run(
-                graph, source=query.source, parameters=dict(query.parameters)
-            )
+            with child_span(
+                "executor_run", executor=self.name, algorithm=algorithm.name,
+                dataset=query.dataset_id,
+            ):
+                ranking = algorithm.run(
+                    graph, source=query.source, parameters=dict(query.parameters)
+                )
         except Exception as exc:
             self._datastore.append_log(
                 log_id, f"[{self.name}] FAILED {algorithm.display_name}: {exc}"
@@ -160,11 +165,15 @@ class ExecutorNode:
         )
         started = time.perf_counter()
         try:
-            rankings = algorithm.run_batch(
-                graph,
-                sources=[query.source for query in queries],
-                parameters=dict(first.parameters),
-            )
+            with child_span(
+                "executor_run", executor=self.name, algorithm=algorithm.name,
+                dataset=first.dataset_id, batch=len(queries),
+            ):
+                rankings = algorithm.run_batch(
+                    graph,
+                    sources=[query.source for query in queries],
+                    parameters=dict(first.parameters),
+                )
         except Exception as exc:
             self._datastore.append_log(
                 log_id, f"[{self.name}] FAILED batch {algorithm.display_name}: {exc}"

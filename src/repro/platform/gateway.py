@@ -51,6 +51,7 @@ from .scheduler import Scheduler
 from .sharding import ShardedDataStore
 from .status import StatusComponent, TaskProgress
 from .tasks import Query, QuerySet, Task, TaskBuilder
+from .telemetry import MetricsRegistry, Tracer, child_span, trace_scope
 
 __all__ = ["ApiGateway"]
 
@@ -125,6 +126,14 @@ class ApiGateway:
     breaker_failure_threshold, breaker_cooldown_seconds:
         Forwarded to the store's per-shard circuit breakers.  ``None``
         keeps the store's defaults.
+    telemetry_enabled:
+        Build the gateway's :class:`~repro.platform.telemetry.MetricsRegistry`
+        and :class:`~repro.platform.telemetry.Tracer` in recording mode (the
+        default).  ``False`` turns every span/metric call into a no-op —
+        the uninstrumented arm of ``benchmarks/bench_telemetry_overhead.py``.
+    slow_span_threshold_ms:
+        Spans slower than this land in the tracer's bounded slow-request
+        ring, surfaced through the ``telemetry`` stats section.
     """
 
     #: Default background-prober cadence on replicated stores, seconds.
@@ -150,6 +159,8 @@ class ApiGateway:
         retry_budget_refill_per_second: Optional[float] = None,
         breaker_failure_threshold: Optional[int] = None,
         breaker_cooldown_seconds: Optional[float] = None,
+        telemetry_enabled: bool = True,
+        slow_span_threshold_ms: float = 500.0,
     ) -> None:
         if replicas is not None or spill_dir is not None:
             if datastore is not None:
@@ -180,6 +191,20 @@ class ApiGateway:
                 datastore = ShardedDataStore(num_shards=shards)
             else:
                 datastore = ShardedDataStore(shards=list(shards))
+        if not (
+            isinstance(slow_span_threshold_ms, (int, float))
+            and not isinstance(slow_span_threshold_ms, bool)
+            and slow_span_threshold_ms > 0
+        ):
+            raise InvalidParameterError(
+                f"slow_span_threshold_ms must be > 0, got {slow_span_threshold_ms!r}"
+            )
+        self.metrics = MetricsRegistry(enabled=bool(telemetry_enabled))
+        self.tracer = Tracer(
+            self.metrics,
+            enabled=bool(telemetry_enabled),
+            slow_threshold_ms=slow_span_threshold_ms,
+        )
         self.catalog = catalog if catalog is not None else default_catalog()
         self.datastore = datastore if datastore is not None else DataStore()
         self.executor_pool = ExecutorPool(self.datastore, num_workers=num_workers)
@@ -288,6 +313,7 @@ class ApiGateway:
                 )
             self.datastore.configure_resilience(**storage_resilience)
         self.status.register_section("overload", self._overload_stats)
+        self.status.register_section("telemetry", self._telemetry_stats)
 
     # ------------------------------------------------------------------ #
     # discovery endpoints
@@ -407,17 +433,43 @@ class ApiGateway:
         if deadline_ms is None:
             deadline_ms = self._default_deadline_ms
         task = self.task_builder.build_task(query_set, deadline_ms=deadline_ms)
+        # Root span of the submission: a REST request span already on this
+        # thread makes the comparison a child sharing its trace id, so one
+        # HTTP request and the work it triggers form a single trace.  The
+        # span stays open until the job settles (see _arm_trace_finish).
+        span = self.tracer.start_trace(
+            "comparison",
+            comparison_id=task.task_id,
+            queries=task.total_queries,
+            synchronous=synchronous,
+        )
+        task.trace_span = span if span.recording else None
+        self.metrics.counter_inc(
+            "submissions_total", help="Comparisons submitted to the gateway"
+        )
         cost = estimate_cost(query_set.queries)
-        admitted = self._admit(task, cost)
-        try:
-            if synchronous:
-                self.scheduler.run_synchronously(task)
-            else:
-                self.scheduler.submit(task)
-        except BaseException:
-            if admitted:
-                self._admission.release(cost)
-            raise
+        with trace_scope(task.trace_span):
+            try:
+                with child_span("admission", cost=cost):
+                    admitted = self._admit(task, cost)
+            except GatewayOverloadedError:
+                self.metrics.counter_inc(
+                    "shed_total", help="Submissions refused by admission control"
+                )
+                span.annotate(shed=True)
+                span.finish()
+                raise
+            try:
+                if synchronous:
+                    self.scheduler.run_synchronously(task)
+                else:
+                    self.scheduler.submit(task)
+            except BaseException:
+                if admitted:
+                    self._admission.release(cost)
+                span.finish()
+                raise
+        self._arm_trace_finish(task.task_id, span)
         if admitted:
             self._arm_admission_release(task.task_id, cost)
         return task.task_id
@@ -511,6 +563,32 @@ class ApiGateway:
         job.subscribe(on_event)
         if job.state.is_terminal():
             release_once()
+
+    def _arm_trace_finish(self, task_id: str, span: Any) -> None:
+        """Finish the submission's root span exactly once, when the job settles.
+
+        Mirrors :meth:`_arm_admission_release`: subscribe for ``task_done``,
+        then cover the finished-before-subscribe race with a terminal-state
+        check; the span's own ``finish()`` idempotence absorbs duplicates.
+        """
+        if not span.recording:
+            return
+        job = self.scheduler.jobs.find(task_id)
+        if job is None:
+            span.finish()
+            return
+
+        def finish_span() -> None:
+            span.annotate(state=job.state.value)
+            span.finish()
+
+        def on_event(event) -> None:
+            if event.type == "task_done":
+                finish_span()
+
+        job.subscribe(on_event)
+        if job.state.is_terminal():
+            finish_span()
 
     def shed_events(self, *, after: int = 0) -> List[Dict[str, Any]]:
         """Return the typed ``shed`` events admission control has recorded."""
@@ -629,6 +707,77 @@ class ApiGateway:
     def get_platform_stats(self) -> Dict[str, Any]:
         """Return the serving counters: result-cache stats and batch sizes."""
         return self.status.platform_stats()
+
+    # ------------------------------------------------------------------ #
+    # telemetry surface (traces, /metrics, the telemetry stats section)
+    # ------------------------------------------------------------------ #
+    def get_trace(self, comparison_id: str) -> Dict[str, Any]:
+        """Return the reconstructed span tree of a submitted comparison.
+
+        The payload carries the job state, the trace id and a ``trace``
+        tree (``None`` when telemetry is disabled or the trace aged out of
+        the tracer's bounded store).  Unknown comparison ids raise
+        :class:`~repro.exceptions.TaskNotFoundError`.
+        """
+        job = self.scheduler.jobs.get(comparison_id)
+        trace_id = job.trace_id
+        tree = self.tracer.trace_tree(trace_id) if trace_id else None
+        return {
+            "comparison_id": comparison_id,
+            "state": job.state.value,
+            "trace_id": trace_id,
+            "trace": tree,
+        }
+
+    def render_metrics(self) -> str:
+        """Render the registry as a Prometheus text exposition (``GET /metrics``).
+
+        A handful of platform counters are mirrored as scrape-time gauges so
+        one scrape answers the basic capacity questions without walking the
+        JSON stats surface.
+        """
+        self._refresh_runtime_gauges()
+        return self.metrics.render_prometheus()
+
+    def _refresh_runtime_gauges(self) -> None:
+        if not self.metrics.enabled:
+            return
+        cache = self.scheduler.cache_stats()
+        self.metrics.gauge_set(
+            "result_cache_hits", cache.get("hits", 0),
+            help="Result-cache hits since start",
+        )
+        self.metrics.gauge_set(
+            "result_cache_misses", cache.get("misses", 0),
+            help="Result-cache misses since start",
+        )
+        batches = self.scheduler.batch_stats()
+        self.metrics.gauge_set(
+            "batches_dispatched", batches.get("batches", 0),
+            help="Batched executions dispatched since start",
+        )
+        self.metrics.gauge_set(
+            "inflight_queries", batches.get("inflight_queries", 0),
+            help="Single-flight table occupancy",
+        )
+        for state, count in self.scheduler.jobs.stats().get("by_state", {}).items():
+            self.metrics.gauge_set(
+                "jobs", count, help="Registered jobs by lifecycle state",
+                state=state,
+            )
+        if self._admission is not None:
+            self.metrics.gauge_set(
+                "admission_in_flight_cost",
+                self._admission.stats().get("inflight_cost", 0),
+                help="Reserved admission cost of in-flight work",
+            )
+
+    def _telemetry_stats(self) -> Dict[str, Any]:
+        """The ``telemetry`` section of :meth:`get_platform_stats`."""
+        return {
+            "tracer": self.tracer.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
 
     # ------------------------------------------------------------------ #
     # storage maintenance jobs (replication / spill / rebalance)

@@ -178,12 +178,25 @@ class JobRecord:
         Number of queries the job carries; sizes the sub-state vector.
     description:
         Optional human-readable summary shown by job listings.
+    trace_id:
+        Optional telemetry trace id.  When set, every appended event is
+        stamped with a ``trace_id`` payload field, so SSE/long-poll
+        consumers can correlate the event stream with the span tree served
+        by ``GET /api/comparisons/<id>/trace``.
     """
 
-    def __init__(self, job_id: str, total_queries: int, *, description: str = "") -> None:
+    def __init__(
+        self,
+        job_id: str,
+        total_queries: int,
+        *,
+        description: str = "",
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.job_id = job_id
         self.total_queries = total_queries
         self.description = description
+        self.trace_id = trace_id
         self.created_at = time.time()
         self._cond = threading.Condition()
         self._events: List[JobEvent] = []
@@ -216,11 +229,14 @@ class JobRecord:
                 return None
             if event_type == "cancelled" and self._cancel_requested:
                 return None
+            stamped = dict(payload)
+            if self.trace_id is not None:
+                stamped.setdefault("trace_id", self.trace_id)
             event = JobEvent(
                 seq=len(self._events) + 1,
                 type=event_type,
                 timestamp=time.time(),
-                payload=dict(payload),
+                payload=stamped,
             )
             self._events.append(event)
             self._apply(event)
@@ -430,6 +446,7 @@ class JobRecord:
                 "finished_at": self._finished_at,
                 "events": len(self._events),
                 "description": self.description,
+                "trace_id": self.trace_id,
             }
 
     def __repr__(self) -> str:
@@ -463,10 +480,17 @@ class JobRegistry:
         self._evicted = 0
 
     def create(
-        self, job_id: str, total_queries: int, *, description: str = ""
+        self,
+        job_id: str,
+        total_queries: int,
+        *,
+        description: str = "",
+        trace_id: Optional[str] = None,
     ) -> JobRecord:
         """Create and register a fresh record (replaces a stale same-id record)."""
-        record = JobRecord(job_id, total_queries, description=description)
+        record = JobRecord(
+            job_id, total_queries, description=description, trace_id=trace_id
+        )
         with self._lock:
             self._jobs.pop(job_id, None)
             self._jobs[job_id] = record

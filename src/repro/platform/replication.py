@@ -100,6 +100,7 @@ from .datastore import DataStore, FileBackedDataStore
 from .jobs import JobRecord
 from .resilience import CircuitBreaker, RetryPolicy, TokenBucket, current_deadline
 from .sharding import DEFAULT_VIRTUAL_NODES, ShardedDataStore, ShardedResultCache
+from .telemetry import child_span
 
 __all__ = ["ReplicatedResultCache", "ReplicatedShardedDataStore"]
 
@@ -694,7 +695,18 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         one is installed via :func:`~.resilience.deadline_scope`) is
         checked before each further failover hop so an expired request
         stops burning replicas.
+
+        When a telemetry span is ambient on the calling thread, the whole
+        read is wrapped in a ``storage_read`` span with one
+        ``replica_attempt`` child per consulted source; breaker
+        short-circuits land as events on the read span.
         """
+        with child_span("storage_read", key=key) as read_span:
+            return self._route_read_traced(
+                key, operation, read_span, missed=missed
+            )
+
+    def _route_read_traced(self, key: str, operation, read_span, *, missed=None):
         with self._lock:
             live, down = self._placement_locked(key)
             primary = self._ring.successors(key, 1)[0]
@@ -720,12 +732,17 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     deadline_ms=deadline.deadline_ms,
                 )
             if shard_id is not None and not self._shard_allowed(shard_id):
+                read_span.add_event("breaker_skip", shard=shard_id)
                 continue  # open breaker: straight to the next successor
             consulted += 1
             try:
-                value = self._retry_policy.run(
-                    lambda backend=backend: operation(backend)
-                )
+                with child_span(
+                    "replica_attempt",
+                    shard=shard_id if shard_id is not None else "spill",
+                ):
+                    value = self._retry_policy.run(
+                        lambda backend=backend: operation(backend)
+                    )
             except StorageError as exc:
                 if first_error is None:
                     first_error = exc
@@ -751,6 +768,11 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     # scan.
                     self._failover_reads += 1
                     enqueued = self._queue_read_repair_locked(key)
+            if shard_id != primary:
+                read_span.annotate(
+                    failover=True,
+                    served_by=shard_id if shard_id is not None else "spill",
+                )
             if enqueued:
                 self._kick_repair_launcher()
             return value
@@ -911,6 +933,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         dataset's replica set mid-write, the write repeats against the fresh
         owners (the version floor is re-read, so versions stay monotonic).
         """
+        with child_span("storage_write", key=dataset_id, kind="dataset") as write_span:
+            self._store_dataset_traced(dataset_id, graph, write_span)
+
+    def _store_dataset_traced(self, dataset_id, graph, write_span) -> None:
         while True:
             with self._lock:
                 epoch = self._epoch
@@ -930,7 +956,8 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     # The in-memory/file backends validate before mutating, so
                     # a failed attempt left no partial copy and the shared
                     # retry policy may safely re-send the whole write.
-                    owner_had_dataset = self._retry_policy.run(_store_one)
+                    with child_span("replica_write", shard=shard_id):
+                        owner_had_dataset = self._retry_policy.run(_store_one)
                     if not owner_had_dataset:
                         backend.result_cache.invalidate_dataset(dataset_id)
                     acked.append((shard_id, backend))
@@ -942,6 +969,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     f"dataset {dataset_id!r} write reached {len(acked)} of the "
                     f"{self._quorum} replica acks the quorum requires"
                 )
+            write_span.annotate(acked=len(acked), quorum=self._quorum)
             with self._lock:
                 for shard_id, _ in acked:
                     self._note_shard_success_locked(shard_id)
@@ -1000,6 +1028,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         repeated against the fresh owners (results are written once per id,
         so a duplicate send is idempotent).
         """
+        with child_span("storage_write", key=key, kind="result") as write_span:
+            self._replicated_write_traced(key, operation, write_span)
+
+    def _replicated_write_traced(self, key: str, operation, write_span) -> None:
         while True:
             with self._lock:
                 epoch = self._epoch
@@ -1010,9 +1042,10 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 if len(acked) == self._replicas:
                     break
                 try:
-                    self._retry_policy.run(
-                        lambda backend=backend: operation(backend)
-                    )
+                    with child_span("replica_write", shard=shard_id):
+                        self._retry_policy.run(
+                            lambda backend=backend: operation(backend)
+                        )
                     acked.append((shard_id, backend))
                 except Exception:
                     with self._lock:
@@ -1022,6 +1055,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     f"write of {key!r} reached {len(acked)} of the "
                     f"{self._quorum} replica acks the quorum requires"
                 )
+            write_span.annotate(acked=len(acked), quorum=self._quorum)
             with self._lock:
                 for shard_id, _ in acked:
                     self._note_shard_success_locked(shard_id)

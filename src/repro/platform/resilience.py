@@ -38,6 +38,7 @@ import time
 from typing import Callable, Dict, Optional, Sequence, TypeVar
 
 from ..exceptions import DeadlineExceededError, StorageError
+from . import telemetry
 
 __all__ = [
     "AdmissionController",
@@ -249,7 +250,7 @@ class RetryPolicy:
                 return operation()
             except (StorageError, DeadlineExceededError):
                 raise  # absence / expired caller: retrying cannot help
-            except Exception:
+            except Exception as exc:
                 if attempt >= self.max_attempts:
                     raise
                 delay = self._backoff(attempt)
@@ -257,13 +258,23 @@ class RetryPolicy:
                 if deadline is not None and deadline.remaining() <= delay:
                     with self._lock:
                         self.retries_denied += 1
+                    telemetry.add_span_event(
+                        "retry_denied", reason="deadline", attempt=attempt
+                    )
                     raise
                 if self.budget is not None and not self.budget.try_acquire():
                     with self._lock:
                         self.retries_denied += 1
+                    telemetry.add_span_event(
+                        "retry_denied", reason="budget", attempt=attempt
+                    )
                     raise
                 with self._lock:
                     self.retries_spent += 1
+                telemetry.add_span_event(
+                    "retry", attempt=attempt, error=type(exc).__name__,
+                    delay_ms=round(delay * 1000.0, 3),
+                )
                 if delay > 0:
                     time.sleep(delay)
 

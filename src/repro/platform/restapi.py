@@ -52,7 +52,17 @@ Endpoints
                                                 job-registry counters; on a sharded deployment also the
                                                 shard topology, per-shard health/occupancy and hit rates;
                                                 the ``overload`` section reports deadline, admission
-                                                (shed/admitted), storage-retry and circuit-breaker counters
+                                                (shed/admitted), storage-retry and circuit-breaker counters;
+                                                the ``telemetry`` section reports tracer occupancy, the
+                                                slow-span ring and a snapshot of the metrics registry
+``GET    /api/comparisons/<id>/trace``          reconstructed telemetry span tree of a submission
+                                                (``comparison`` root → scheduler group dispatch → batch
+                                                execution → storage writes with per-replica attempts);
+                                                ``trace`` is ``null`` when telemetry is disabled or the
+                                                trace aged out of the tracer's bounded store
+``GET    /metrics``                             Prometheus text exposition of the gateway's metrics
+                                                registry: request/submission counters, runtime gauges and
+                                                the per-span-name latency histograms
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources, 409 for results of an
@@ -78,9 +88,40 @@ from urllib.parse import parse_qs, urlparse
 from ..exceptions import GatewayOverloadedError, ReproError
 from .gateway import ApiGateway
 from .tasks import TaskState
+from .telemetry import trace_scope
 from .webui import WebUI
 
 __all__ = ["RestApiServer"]
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path onto the fixed route vocabulary.
+
+    Metric labels must stay low-cardinality, so comparison/dataset ids are
+    folded to ``*`` and anything unrecognised becomes ``other``.
+    """
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        return "/"
+    if parts == ["metrics"]:
+        return "/metrics"
+    if parts[0] != "api":
+        return "other"
+    if parts[1:] in (["datasets"], ["algorithms"], ["stats"], ["comparisons"]):
+        return "/api/" + parts[1]
+    if parts[1] == "datasets" and len(parts) == 4 and parts[3] == "summary":
+        return "/api/datasets/*/summary"
+    if parts[1] == "comparisons" and len(parts) == 3:
+        return "/api/comparisons/*"
+    if parts[1] == "comparisons" and len(parts) == 4 and parts[3] in (
+        "status", "events", "results", "logs", "trace"
+    ):
+        return "/api/comparisons/*/" + parts[3]
+    if parts[1] == "storage" and len(parts) == 3 and parts[2] in (
+        "replicate", "spill", "rebalance", "read-repair"
+    ):
+        return "/api/storage/" + parts[2]
+    return "other"
 
 
 class _GatewayRequestHandler(BaseHTTPRequestHandler):
@@ -121,6 +162,37 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _traced(self, method: str, handler) -> None:
+        """Run one request handler under a ``rest_request`` telemetry span.
+
+        The span is the trace root of whatever the handler triggers — a
+        submission's ``comparison`` span becomes its child, so the HTTP
+        request and the work it spawned share one trace id.  SSE streams
+        bypass the wrapper in :meth:`do_GET`: they pin the handler thread
+        for the stream's lifetime and would record stream duration, not
+        request-handling latency.
+        """
+        gateway = self.server_wrapper.gateway
+        route = _route_label(self.path)
+        gateway.metrics.counter_inc(
+            "http_requests_total", help="REST requests handled, by method and route",
+            method=method, route=route,
+        )
+        span = gateway.tracer.start_trace("rest_request", method=method, route=route)
+        with trace_scope(span if span.recording else None):
+            try:
+                handler()
+            finally:
+                span.finish()
 
     def _send_error_json(self, message: str, status: int, **extra: Any) -> None:
         self._send_json({"error": message, **extra}, status=status)
@@ -211,6 +283,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        query = parse_qs(urlparse(self.path).query)
+        if query.get("stream", [""])[0] == "sse":
+            self._handle_get()  # SSE pins the thread; no request span
+            return
+        self._traced("GET", self._handle_get)
+
+    def _handle_get(self) -> None:
         gateway = self.server_wrapper.gateway
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
@@ -218,6 +297,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         try:
             if not parts:
                 self._send_html(self.server_wrapper.render_index())
+                return
+            if parts == ["metrics"]:
+                self._send_text(gateway.render_metrics())
                 return
             if parts[:2] == ["api", "datasets"] and len(parts) == 2:
                 self._send_json(gateway.list_datasets())
@@ -316,6 +398,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 if parts[3] == "logs":
                     self._send_json({"lines": gateway.get_logs(comparison_id)})
                     return
+                if parts[3] == "trace":
+                    self._send_json(gateway.get_trace(comparison_id))
+                    return
             self._send_error_json(f"unknown resource {parsed.path!r}", 404)
         except KeyError as exc:
             self._send_error_json(str(exc), 404)
@@ -325,6 +410,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(str(exc), 400)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._traced("POST", self._handle_post)
+
+    def _handle_post(self) -> None:
         gateway = self.server_wrapper.gateway
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
@@ -378,6 +466,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(str(exc), 400)
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._traced("DELETE", self._handle_delete)
+
+    def _handle_delete(self) -> None:
         gateway = self.server_wrapper.gateway
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]

@@ -60,6 +60,7 @@ from .executor import ExecutorPool
 from .jobs import JobRecord, JobRegistry, JobState
 from .resilience import deadline_scope
 from .tasks import Query, QuerySet, Task, TaskState
+from .telemetry import add_span_event, child_span, trace_scope
 
 __all__ = ["Scheduler"]
 
@@ -229,7 +230,9 @@ class Scheduler:
 
     def _register(self, task: Task) -> Tuple[JobRecord, "OrderedDict[GroupKey, List[Tuple[int, Query]]]"]:
         """Create the job record, register the task and count its work units."""
-        job = self.jobs.create(task.task_id, task.total_queries)
+        job = self.jobs.create(
+            task.task_id, task.total_queries, trace_id=task.trace_id
+        )
         groups = self._group_queries(task.query_set)
         with self._lock:
             self._tasks.pop(task.task_id, None)
@@ -277,7 +280,10 @@ class Scheduler:
         try:
             for (dataset_id, algorithm, _), members in groups.items():
                 try:
-                    with deadline_scope(task.deadline):
+                    # The trace span rides along with the deadline: whatever
+                    # thread serves the group re-installs both, so spans
+                    # opened deep in storage land under the submission root.
+                    with trace_scope(task.trace_span), deadline_scope(task.deadline):
                         proceed = self._process_group(
                             job, task, dataset_id, algorithm, members, synchronous=True
                         )
@@ -312,7 +318,7 @@ class Scheduler:
     ) -> None:
         """Pool entry point for one group: process it, then settle the unit."""
         try:
-            with deadline_scope(task.deadline):
+            with trace_scope(task.trace_span), deadline_scope(task.deadline):
                 self._process_group(
                     job, task, dataset_id, algorithm, members, synchronous=False
                 )
@@ -342,6 +348,26 @@ class Scheduler:
         be processed (cancellation observed, the job already terminal —
         e.g. a sibling group failed — or the dataset failed to load).
         """
+        with child_span(
+            "group_dispatch",
+            dataset=dataset_id,
+            algorithm=algorithm,
+            queries=len(members),
+        ):
+            return self._process_group_traced(
+                job, task, dataset_id, algorithm, members, synchronous=synchronous
+            )
+
+    def _process_group_traced(
+        self,
+        job: JobRecord,
+        task: Task,
+        dataset_id: str,
+        algorithm: str,
+        members: List[Tuple[int, Query]],
+        *,
+        synchronous: bool,
+    ) -> bool:
         if job.cancel_requested or job.state.is_terminal():
             return False
         # Deadline boundary, mirroring the cancel boundary above: an expired
@@ -351,7 +377,8 @@ class Scheduler:
             self._settle_deadline_exceeded(job, task)
             return False
         try:
-            graph, version = self._fetch_dataset(dataset_id)
+            with child_span("dataset_fetch", dataset=dataset_id):
+                graph, version = self._fetch_dataset(dataset_id)
         except DeadlineExceededError:
             # The deadline ran out mid-storage-IO (the replicated store
             # checks it between failover sources): settle typed, not as a
@@ -369,24 +396,30 @@ class Scheduler:
         hits: List[Tuple[int, Ranking]] = []
         waiters: List[Tuple["Future[Ranking]", int, bool]] = []
         to_compute: List[Tuple[CacheKey, Query, int]] = []
-        with self._lock:
-            for index, query in members:
-                key = ResultCache.key_for(
-                    query.dataset_id, query.algorithm, query.parameters,
-                    query.source, version=version,
-                )
-                cached = self._cache.get(key)
-                if cached is not None:
-                    hits.append((index, cached))
-                    continue
-                future = self._inflight.get(key)
-                joined = future is not None
-                if future is None:
-                    future = Future()
-                    self._inflight[key] = future
-                    to_compute.append((key, query, index))
-                self._inflight_jobs.setdefault(key, set()).add(job.job_id)
-                waiters.append((future, index, joined))
+        with child_span("cache_lookup", dataset=dataset_id, algorithm=algorithm) as lookup:
+            with self._lock:
+                for index, query in members:
+                    key = ResultCache.key_for(
+                        query.dataset_id, query.algorithm, query.parameters,
+                        query.source, version=version,
+                    )
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        hits.append((index, cached))
+                        continue
+                    future = self._inflight.get(key)
+                    joined = future is not None
+                    if future is None:
+                        future = Future()
+                        self._inflight[key] = future
+                        to_compute.append((key, query, index))
+                    self._inflight_jobs.setdefault(key, set()).add(job.job_id)
+                    waiters.append((future, index, joined))
+            lookup.annotate(
+                hits=len(hits),
+                joined=sum(1 for _, _, was_joined in waiters if was_joined),
+                misses=len(to_compute),
+            )
         if hits:
             self._datastore.append_log(
                 task.task_id,
@@ -401,6 +434,9 @@ class Scheduler:
             }
             if joined:
                 payload["joined"] = True
+                # The group span records each single-flight join: this query
+                # rides a computation some other group already dispatched.
+                add_span_event("singleflight_join", query=index)
             job.append("query_started", **payload)
         for future, index, _ in waiters:
             future.add_done_callback(
@@ -417,13 +453,14 @@ class Scheduler:
             if to_compute:
                 self._execute_group(job, task, to_compute, graph, algorithm)
         if synchronous:
-            for future, _, _ in waiters:
-                try:
-                    future.result()
-                except Exception:
-                    # The per-query error was recorded by the done-callback;
-                    # a synchronous run reports it via the task state.
-                    pass
+            with child_span("singleflight_wait", waiters=len(waiters)):
+                for future, _, _ in waiters:
+                    try:
+                        future.result()
+                    except Exception:
+                        # The per-query error was recorded by the done-callback;
+                        # a synchronous run reports it via the task state.
+                        pass
         return True
 
     def _abandon_exclusive_keys(
@@ -473,6 +510,17 @@ class Scheduler:
         multi-query batch degrades to per-query execution so one bad query
         cannot poison siblings joined by concurrent tasks.
         """
+        with child_span("batch_execute", algorithm=algorithm, batch=len(to_compute)):
+            self._execute_group_traced(job, task, to_compute, graph, algorithm)
+
+    def _execute_group_traced(
+        self,
+        job: JobRecord,
+        task: Task,
+        to_compute: List[Tuple[CacheKey, Query, int]],
+        graph,
+        algorithm: str,
+    ) -> None:
         keys = [key for key, _, _ in to_compute]
         batch = [query for _, query, _ in to_compute]
         try:
@@ -631,7 +679,14 @@ class Scheduler:
                 str(index): ranking.to_dict() for index, ranking in sorted(rankings.items())
             },
         }
-        self._datastore.put_result(task.task_id, payload)
+        # The settling thread may be a pool worker inside the group span or a
+        # foreign thread resolving a join: re-install the task's root span so
+        # the persistence write (and any replicated per-replica spans under
+        # it) always lands in this task's trace, not the joiner's.
+        with trace_scope(task.trace_span), child_span(
+            "store_results", rankings=len(rankings)
+        ):
+            self._datastore.put_result(task.task_id, payload)
         self._datastore.append_log(
             task.task_id,
             f"[scheduler] task {task.task_id} {task.state.value}; results stored",

@@ -12,6 +12,12 @@ job record derived from that log into a :class:`TaskProgress` snapshot.
 sleeping in a poll loop, and :meth:`events_since` exposes the raw cursor
 read that the REST long-poll/SSE endpoints and the CLI ``--follow`` renderer
 consume.
+
+The component also hosts pluggable *stats sections* via
+:meth:`StatusComponent.register_section`: the gateway registers its
+``overload`` (admission/retry/breaker counters) and ``telemetry``
+(tracer + metrics snapshot, see :mod:`repro.platform.telemetry`) sections
+here, so ``platform_stats()`` / ``GET /api/stats`` surface them uniformly.
 """
 
 from __future__ import annotations

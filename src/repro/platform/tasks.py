@@ -144,6 +144,11 @@ class Task:
         construction (submission time).  The scheduler refuses to start
         work for an expired task and settles it with a typed
         ``deadline_exceeded`` event instead of occupying a worker.
+
+    The gateway additionally attaches ``trace_span`` — the telemetry root
+    span of the submission — before handing the task to the scheduler, which
+    re-installs it (alongside the deadline) on whatever pool thread picks a
+    group up, exactly the way the deadline rides along.
     """
 
     def __init__(self, query_set: QuerySet, *, deadline_ms: Optional[int] = None) -> None:
@@ -152,6 +157,7 @@ class Task:
         self.deadline: Optional[Deadline] = (
             Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
         )
+        self.trace_span: Optional[Any] = None
         self._lock = threading.RLock()
         self._state = TaskState.PENDING
         self._completed_queries = 0
@@ -216,6 +222,12 @@ class Task:
     def total_queries(self) -> int:
         """Return how many queries the task contains."""
         return len(self.query_set)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """Return the telemetry trace id, when the gateway attached a span."""
+        span = self.trace_span
+        return span.trace_id if span is not None else None
 
     def rankings(self) -> Dict[int, Ranking]:
         """Return the rankings computed so far, keyed by query index."""

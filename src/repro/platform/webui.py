@@ -10,6 +10,9 @@ Its server-side counterpart here renders the same three views as strings:
 * the **job listing** (one row per known comparison with its lifecycle
   state) and the per-comparison **progress fragment** the browser polls or
   streams while a comparison runs,
+* the **trace waterfall** (the span tree recorded for one comparison by
+  :mod:`repro.platform.telemetry`, rendered as an indented timing
+  waterfall — the view behind the CLI ``--trace`` flag),
 * the **HTML index** served at ``/`` by the REST front-end.
 
 Rendering to plain text keeps the platform fully testable offline while
@@ -179,6 +182,59 @@ class WebUI:
         return "".join(parts)
 
     # ------------------------------------------------------------------ #
+    # trace waterfall (the observability view behind the CLI --trace flag)
+    # ------------------------------------------------------------------ #
+    def render_trace_waterfall(self, comparison_id: str) -> str:
+        """Render one comparison's recorded span tree as a text waterfall.
+
+        Each line shows a span's start offset relative to the root span,
+        its duration, its name and its annotations; children are indented
+        under their parent, and span events (retries, single-flight joins,
+        breaker skips) render as ``·`` bullet lines.  Returns a short
+        placeholder when the trace has been evicted or tracing is disabled.
+        """
+        envelope = self._gateway.get_trace(comparison_id)
+        lines = [
+            f"Trace for comparison {comparison_id}",
+            f"state: {envelope['state']}  trace_id: {envelope['trace_id'] or '-'}",
+        ]
+        tree = envelope.get("trace")
+        if not tree or not tree.get("roots"):
+            lines.append("(no spans recorded — tracing disabled or trace evicted)")
+            return "\n".join(lines)
+        lines.append(f"spans: {tree['span_count']}")
+        origin = min(root["started_at"] for root in tree["roots"])
+
+        def _walk(node: dict, depth: int) -> None:
+            offset_ms = max(0.0, (node["started_at"] - origin) * 1000.0)
+            duration = node.get("duration_ms")
+            duration_text = f"{duration:8.2f}ms" if duration is not None else "   (open)"
+            annotations = ", ".join(
+                f"{key}={value}" for key, value in sorted(node.get("annotations", {}).items())
+            )
+            indent = "  " * depth
+            lines.append(
+                f"{offset_ms:9.2f}ms {duration_text}  {indent}{node['name']}"
+                + (f"  [{annotations}]" if annotations else "")
+            )
+            for event in node.get("events", ()):
+                fields = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(event.items())
+                    if key not in ("name", "offset_ms")
+                )
+                lines.append(
+                    f"{'':21s}  {indent}  · {event['name']} @ {event['offset_ms']:.2f}ms"
+                    + (f" ({fields})" if fields else "")
+                )
+            for child in node.get("children", ()):
+                _walk(child, depth + 1)
+
+        for root in tree["roots"]:
+            _walk(root, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
     # HTML index (served at / by the REST front-end)
     # ------------------------------------------------------------------ #
     def render_index(self) -> str:
@@ -201,7 +257,10 @@ class WebUI:
             "<p>POST a JSON body {\"queries\": [...]} to <code>/api/comparisons</code> "
             "to run a comparison (<code>\"synchronous\": false</code> returns the "
             "permalink immediately); follow progress via "
-            "<code>/api/comparisons/&lt;id&gt;/events</code>.</p>"
+            "<code>/api/comparisons/&lt;id&gt;/events</code>, inspect a "
+            "comparison's span tree at "
+            "<code>/api/comparisons/&lt;id&gt;/trace</code> and scrape "
+            "Prometheus metrics from <code>/metrics</code>.</p>"
             f"<h2>Datasets</h2><ul>{dataset_items}</ul>"
             f"<h2>Algorithms</h2><ul>{algorithm_items}</ul>"
             f"<h2>Comparisons</h2>{self.render_job_list_html()}"

@@ -134,30 +134,76 @@ class TestCommands:
         assert "skipping unknown language" in captured.err
 
 
-class TestCacheStatsFlag:
-    def test_run_command_prints_cache_stats(self, tiny_catalog, capsys):
-        exit_code = main(
-            ["run", "toy", "cyclerank", "--source", "R", "--cache-stats"]
-        )
+class TestStatsFlag:
+    def test_run_command_prints_stats(self, tiny_catalog, capsys):
+        exit_code = main(["run", "toy", "cyclerank", "--source", "R", "--stats"])
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "cache:" in output
         assert "batches:" in output
         assert "misses" in output
 
-    def test_compare_command_prints_cache_stats(self, tiny_catalog, capsys):
+    def test_stats_include_overload_and_telemetry_sections(self, tiny_catalog, capsys):
+        exit_code = main(["run", "toy", "cyclerank", "--source", "R", "--stats"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "admission: disabled" in output
+        assert "deadlines:" in output
+        assert "telemetry:" in output
+        assert "span comparison:" in output
+        assert "p95" in output
+
+    def test_compare_command_prints_stats(self, tiny_catalog, capsys):
         exit_code = main(
             ["compare", "toy", "--source", "R", "--algorithms",
-             "personalized-pagerank", "--cache-stats"]
+             "personalized-pagerank", "--stats"]
         )
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "cache:" in output
         assert "1 dispatched" in output or "dispatched" in output
 
+    def test_cache_stats_is_a_deprecated_alias(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["run", "toy", "cyclerank", "--source", "R", "--cache-stats"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "cache:" in captured.out
+        assert "telemetry:" in captured.out
+        assert "--cache-stats is deprecated" in captured.err
+
     def test_stats_are_omitted_without_the_flag(self, tiny_catalog, capsys):
         assert main(["run", "toy", "cyclerank", "--source", "R"]) == 0
-        assert "cache:" not in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "cache:" not in output
+        assert "telemetry:" not in output
+
+
+class TestTraceFlag:
+    def test_run_command_prints_the_span_waterfall(self, tiny_catalog, capsys):
+        exit_code = main(["run", "toy", "cyclerank", "--source", "R", "--trace"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Trace for comparison" in output
+        assert "trace_id:" in output
+        assert "comparison" in output
+        assert "group_dispatch" in output
+        assert "batch_execute" in output
+
+    def test_compare_command_prints_the_span_waterfall(self, tiny_catalog, capsys):
+        exit_code = main(
+            ["compare", "toy", "--source", "R", "--algorithms",
+             "personalized-pagerank", "--trace"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Trace for comparison" in output
+        assert "store_results" in output
+
+    def test_trace_is_omitted_without_the_flag(self, tiny_catalog, capsys):
+        assert main(["run", "toy", "cyclerank", "--source", "R"]) == 0
+        assert "Trace for comparison" not in capsys.readouterr().out
 
 
 class TestShardsFlag:

@@ -251,6 +251,13 @@ def _assert_exactly_once_in_order(events, expected_queries):
     assert len(seqs) == len(set(seqs)), "an event was delivered more than once"
     assert events[0]["type"] == "submitted"
     assert events[-1]["type"] == "task_done"
+    # Every event of a comparison is stamped with the one trace id the
+    # gateway minted at submission, so a stream consumer can join the
+    # event log against GET /api/comparisons/<id>/trace.
+    trace_ids = {event.get("trace_id") for event in events}
+    assert len(trace_ids) == 1, f"events carried mixed trace ids: {trace_ids}"
+    (trace_id,) = trace_ids
+    assert trace_id, "events were not stamped with a trace id"
     per_query = {}
     for event in events:
         if event["type"] in ("query_started", "query_cached", "query_completed"):
