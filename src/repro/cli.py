@@ -212,6 +212,20 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the compute-tier flags shared by run/compare/serve."""
+    parser.add_argument(
+        "--executor-mode",
+        choices=("thread", "process"),
+        help="executor tier: 'thread' (default) runs batch kernels in-process; "
+        "'process' runs them on worker processes mapping the compiled graph "
+        "zero-copy from shared memory, scaling CPU-bound batches across cores",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="number of executor nodes in the pool"
+    )
+
+
 def _add_wait_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the non-blocking submission flags shared by run/compare."""
     waiting = parser.add_mutually_exclusive_group()
@@ -259,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(run_parser)
     _add_storage_flags(run_parser)
     _add_overload_flags(run_parser)
+    _add_executor_flags(run_parser)
     _add_wait_flags(run_parser)
 
     compare_parser = subparsers.add_parser(
@@ -279,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(compare_parser)
     _add_storage_flags(compare_parser)
     _add_overload_flags(compare_parser)
+    _add_executor_flags(compare_parser)
     _add_wait_flags(compare_parser)
 
     cross_parser = subparsers.add_parser(
@@ -297,11 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument("--port", type=int, default=8080, help="bind port (0 = random)")
-    serve_parser.add_argument(
-        "--workers", type=int, default=2, help="number of executor nodes in the pool"
-    )
     _add_storage_flags(serve_parser)
     _add_overload_flags(serve_parser, client_retries=False)
+    _add_executor_flags(serve_parser)
 
     return parser
 
@@ -462,10 +476,29 @@ def _print_telemetry_stats(stats: Dict[str, object]) -> None:
             )
 
 
+def _print_executor_stats(stats: Dict[str, object]) -> None:
+    """Print the ``executors`` stats section as one compact line."""
+    segments = ""
+    if stats.get("mode") == "process":
+        segments = (
+            f", {stats.get('segments', 0)} shared segment(s) "
+            f"({stats.get('shared_bytes', 0)} bytes), "
+            f"{stats.get('worker_crashes', 0)} worker crash(es)"
+        )
+    print(
+        f"executors: {stats.get('mode')} mode, "
+        f"{stats.get('busy_workers', 0)}/{stats.get('num_workers', 0)} busy, "
+        f"{stats.get('executed_queries', 0)} queries executed{segments}"
+    )
+
+
 def _print_platform_stats(gateway: ApiGateway) -> None:
-    """Print the full ``--stats`` report: cache, overload and telemetry."""
+    """Print the full ``--stats`` report: cache, executors, overload, telemetry."""
     _print_cache_stats(gateway)
     stats = gateway.get_platform_stats()
+    executors = stats.get("executors")
+    if executors:
+        _print_executor_stats(executors)
     overload = stats.get("overload")
     if overload:
         _print_overload_stats(overload)
@@ -715,7 +748,6 @@ def _command_cross_language(gateway: ApiGateway, arguments: argparse.Namespace) 
 def _command_serve(gateway: ApiGateway, arguments: argparse.Namespace) -> int:
     from .platform.restapi import RestApiServer
 
-    gateway.executor_pool.scale_to(arguments.workers)
     server = RestApiServer(gateway, host=arguments.host, port=arguments.port)
     host, port = server.start()
     print(f"Serving the comparison API on http://{host}:{port} (Ctrl-C to stop)")
@@ -792,9 +824,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    workers = getattr(arguments, "workers", None)
+    if workers is not None and workers < 1:
+        print(
+            f"error: --workers must be a positive integer, got {workers}",
+            file=sys.stderr,
+        )
+        return 2
     gateway_options: Dict[str, object] = {}
     if getattr(arguments, "admission_retry_after", None) is not None:
         gateway_options["admission_retry_after_seconds"] = arguments.admission_retry_after
+    if workers is not None:
+        gateway_options["num_workers"] = workers
+    if getattr(arguments, "executor_mode", None) is not None:
+        gateway_options["executor_mode"] = arguments.executor_mode
     try:
         with ApiGateway(
             shards=shards,

@@ -35,6 +35,7 @@ import json
 import os
 import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 from urllib.parse import quote, unquote
@@ -851,7 +852,11 @@ class FileBackedDataStore(DataStore):
 
     def _store_artifact(self, dataset_id: str, version: int, csr: CSRGraph) -> None:
         path = self._artifact_path(dataset_id)
-        tmp = path.with_suffix(".tmp.npz")
+        # Per-writer unique temp name: two processes (or threads racing the
+        # compiled-cache lock) persisting the same dataset must not truncate
+        # each other's half-written file; each writes its own temp and the
+        # atomic rename decides who lands last.
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
         try:
             with open(tmp, "wb") as handle:
                 np.savez(

@@ -43,7 +43,7 @@ from ..graph.digraph import DirectedGraph
 from ..ranking.comparison import ComparisonTable
 from ..ranking.result import Ranking
 from .datastore import DataStore
-from .executor import ExecutorPool
+from .executor import ExecutorPool, ProcessExecutorPool
 from .jobs import JobRecord, JobState
 from .replication import ReplicatedShardedDataStore
 from .resilience import AdmissionController, estimate_cost
@@ -54,6 +54,11 @@ from .tasks import Query, QuerySet, Task, TaskBuilder
 from .telemetry import MetricsRegistry, Tracer, child_span, trace_scope
 
 __all__ = ["ApiGateway"]
+
+#: Executor tier built when ``ApiGateway(executor_mode=None)``.  Module-level
+#: so test harnesses can flip the whole suite onto the process tier
+#: (``REPRO_TEST_EXECUTOR=process``) without touching every construction site.
+DEFAULT_EXECUTOR_MODE = "thread"
 
 
 class ApiGateway:
@@ -69,6 +74,14 @@ class ApiGateway:
         and executors work against the abstract store either way.
     num_workers:
         Number of executor nodes in the pool.
+    executor_mode:
+        ``"thread"`` (default) runs batch kernels on a thread pool inside
+        the gateway process; ``"process"`` runs them on a
+        :class:`~repro.platform.executor.ProcessExecutorPool` — worker
+        *processes* that map each dataset's compiled CSR arrays zero-copy
+        from shared memory, so CPU-bound batches scale across cores instead
+        of serialising on the GIL.  ``None`` resolves to the module-level
+        ``DEFAULT_EXECUTOR_MODE``.
     shards:
         Shard the storage layer: an integer builds that many in-memory
         backends behind a consistent-hash ring, a sequence of
@@ -145,6 +158,7 @@ class ApiGateway:
         catalog: Optional[DatasetCatalog] = None,
         datastore: Optional[DataStore] = None,
         num_workers: int = 2,
+        executor_mode: Optional[str] = None,
         shards: Optional[Union[int, Sequence[DataStore]]] = None,
         replicas: Optional[int] = None,
         spill_dir: Optional[Union[str, Path]] = None,
@@ -207,7 +221,16 @@ class ApiGateway:
         )
         self.catalog = catalog if catalog is not None else default_catalog()
         self.datastore = datastore if datastore is not None else DataStore()
-        self.executor_pool = ExecutorPool(self.datastore, num_workers=num_workers)
+        resolved_mode = executor_mode if executor_mode is not None else DEFAULT_EXECUTOR_MODE
+        if resolved_mode not in ("thread", "process"):
+            raise InvalidParameterError(
+                f"executor_mode must be 'thread' or 'process', got {executor_mode!r}"
+            )
+        self.executor_mode = resolved_mode
+        pool_class = ProcessExecutorPool if resolved_mode == "process" else ExecutorPool
+        self.executor_pool = pool_class(
+            self.datastore, num_workers=num_workers, metrics=self.metrics
+        )
         self.scheduler = Scheduler(
             self.datastore,
             self.catalog,
@@ -314,6 +337,7 @@ class ApiGateway:
             self.datastore.configure_resilience(**storage_resilience)
         self.status.register_section("overload", self._overload_stats)
         self.status.register_section("telemetry", self._telemetry_stats)
+        self.status.register_section("executors", self._executor_stats)
 
     # ------------------------------------------------------------------ #
     # discovery endpoints
@@ -386,6 +410,9 @@ class ApiGateway:
                 dataset_id, source, format=format, description=description, replace=replace
             )
         self.datastore.drop_dataset(dataset_id)
+        # The shared-memory segment (process executor tier) carries the old
+        # compiled arrays; unlink it with the artifact it mirrors.
+        self.executor_pool.invalidate_artifact(dataset_id)
         return self.dataset_summary(dataset_id)
 
     # ------------------------------------------------------------------ #
@@ -771,6 +798,15 @@ class ApiGateway:
                 self._admission.stats().get("inflight_cost", 0),
                 help="Reserved admission cost of in-flight work",
             )
+        self.metrics.gauge_set(
+            "executor_busy_workers", self.executor_pool.busy_workers,
+            help="Executor workers currently running a batch",
+            mode=self.executor_pool.mode,
+        )
+
+    def _executor_stats(self) -> Dict[str, Any]:
+        """The ``executors`` section of :meth:`get_platform_stats`."""
+        return self.executor_pool.stats()
 
     def _telemetry_stats(self) -> Dict[str, Any]:
         """The ``telemetry`` section of :meth:`get_platform_stats`."""

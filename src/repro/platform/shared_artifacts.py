@@ -1,0 +1,192 @@
+"""Shared-memory artifact lifecycle for the cross-process compute tier.
+
+:class:`SharedArtifactRegistry` owns the ``multiprocessing.shared_memory``
+segments that carry per-dataset :class:`~repro.graph.compiled.CompiledGraph`
+CSR arrays into executor worker processes.  The contract mirrors the PR-2
+publish recheck on the compiled-artifact cache:
+
+* A segment is cached per dataset only while the exact ``CompiledGraph``
+  *object* it was exported from is still the datastore's current artifact.
+  Every invalidation path in the datastore (re-upload, drop, tombstone)
+  produces a *new* object on the next fetch, so an identity check is a
+  complete staleness test.
+* If an export races a re-upload (the datastore's current artifact changed
+  between fetch and publish), the segment is still valid for the graph the
+  caller holds — it is handed out as a one-shot *ephemeral* lease and
+  unlinked as soon as the batch completes, never cached.
+* ``invalidate()`` (wired to gateway re-upload/drop) and ``close()``
+  (gateway shutdown) unlink eagerly, so no segment outlives the artifact it
+  carries.  Unlinking while a worker still has the segment mapped is safe:
+  the mapping persists until the worker closes it, and the version stamp
+  re-checked by ``CompiledGraph.from_shared`` keeps any *new* attach from
+  landing on a mismatched segment.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..graph.compiled import CompiledGraph, SharedGraphHandle
+
+__all__ = ["SharedArtifactRegistry"]
+
+
+@dataclass
+class _SegmentEntry:
+    """One cached export: the graph object it came from plus the segment."""
+
+    graph: CompiledGraph
+    handle: SharedGraphHandle
+    shm: object  # multiprocessing.shared_memory.SharedMemory
+
+
+def _unlink_quietly(shm: object) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - views may still be exported
+        pass
+    except OSError:  # pragma: no cover
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except OSError:  # pragma: no cover
+        pass
+
+
+class SharedArtifactRegistry:
+    """Export, cache and invalidate shared-memory ``CompiledGraph`` segments."""
+
+    def __init__(self, datastore) -> None:
+        self._datastore = datastore
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _SegmentEntry] = {}
+        self._exported = 0
+        self._ephemeral = 0
+        self._invalidated = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def _segment_name(self) -> str:
+        # Unique per export: pid guards against cross-process collisions,
+        # the uuid against two concurrent exports in this process.
+        return f"repro-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+
+    def lease(
+        self, dataset_id: str, graph: CompiledGraph
+    ) -> Tuple[SharedGraphHandle, Optional[Callable[[], None]]]:
+        """Return a shareable handle for ``graph``, exporting if needed.
+
+        Returns ``(handle, release)``.  ``release`` is ``None`` for cached
+        segments (the registry owns their lifecycle) and a zero-argument
+        callable for ephemeral ones — the caller must invoke it once the
+        batch round-trip completes so the one-shot segment is unlinked.
+        """
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+            if entry is not None and entry.graph is graph:
+                return entry.handle, None
+
+        # Export outside the lock: copying the CSR arrays can be large.
+        try:
+            current, version = self._datastore.fetch_compiled_with_version(dataset_id)
+        except Exception:
+            current, version = None, None
+        if current is not graph:
+            # The caller executes an artifact the datastore has already
+            # replaced (or one it never published).  Correct, but not
+            # cacheable — stamp it with a throwaway version and unlink
+            # after use.
+            version = -1
+        handle, shm = graph.to_shared(segment=self._segment_name(), version=int(version))
+
+        cached = False
+        stale_entry: Optional[_SegmentEntry] = None
+        duplicate: Optional[SharedGraphHandle] = None
+        if current is graph:
+            with self._lock:
+                if not self._closed:
+                    existing = self._entries.get(dataset_id)
+                    if existing is not None and existing.graph is graph:
+                        # A concurrent lease for the same graph won the
+                        # publish: adopt its cached segment and discard our
+                        # duplicate export.  Unlinking the *existing* one
+                        # here instead would tear a segment already handed
+                        # to an in-flight batch.
+                        duplicate = existing.handle
+                    else:
+                        # Publish recheck: only cache if the datastore
+                        # *still* serves this object — a re-upload racing
+                        # the export must not leave its predecessor cached.
+                        try:
+                            latest, _ = self._datastore.fetch_compiled_with_version(
+                                dataset_id
+                            )
+                        except Exception:
+                            latest = None
+                        if latest is graph:
+                            stale_entry = self._entries.pop(dataset_id, None)
+                            self._entries[dataset_id] = _SegmentEntry(
+                                graph=graph, handle=handle, shm=shm
+                            )
+                            cached = True
+        if duplicate is not None:
+            _unlink_quietly(shm)
+            return duplicate, None
+        if stale_entry is not None:
+            _unlink_quietly(stale_entry.shm)
+
+        self._exported += 1
+        if cached:
+            return handle, None
+        self._ephemeral += 1
+
+        def release() -> None:
+            _unlink_quietly(shm)
+
+        return handle, release
+
+    def invalidate(self, dataset_id: str) -> None:
+        """Unlink the cached segment for ``dataset_id`` (re-upload/drop)."""
+        with self._lock:
+            entry = self._entries.pop(dataset_id, None)
+            if entry is not None:
+                self._invalidated += 1
+        if entry is not None:
+            _unlink_quietly(entry.shm)
+
+    def close(self) -> None:
+        """Unlink every cached segment (gateway shutdown)."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            _unlink_quietly(entry.shm)
+
+    def active_segments(self) -> Tuple[str, ...]:
+        """Names of the segments currently cached (for leak assertions)."""
+        with self._lock:
+            return tuple(entry.handle.segment for entry in self._entries.values())
+
+    def active_handles(self) -> Tuple[SharedGraphHandle, ...]:
+        """Handles of the cached segments (sizing for the bench harness)."""
+        with self._lock:
+            return tuple(entry.handle for entry in self._entries.values())
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "segments": len(self._entries),
+                "segments_exported": self._exported,
+                "segments_ephemeral": self._ephemeral,
+                "segments_invalidated": self._invalidated,
+                "shared_bytes": sum(
+                    entry.handle.total_bytes for entry in self._entries.values()
+                ),
+            }

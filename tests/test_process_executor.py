@@ -1,0 +1,515 @@
+"""Acceptance tests for the cross-process compute tier.
+
+Covers the PR's guarantees end to end: the shared-memory serialisation seam
+on :class:`CompiledGraph` round-trips the compiled arrays bit-exactly, every
+registry algorithm run through :class:`ProcessExecutorPool` returns rankings
+bit-identical to the thread pool and the sequential batch path, worker
+crashes surface as typed failures (never hung futures) and the pool recovers,
+artifact re-upload/drop never serves a stale CSR and leaks no shared-memory
+segments, and deadlines/telemetry cooperate across the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry as algorithm_registry
+from repro.algorithms.base import Algorithm, AlgorithmSpec
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.datasets.catalog import DatasetCatalog
+from repro.exceptions import DeadlineExceededError, ExecutorError, GraphError
+from repro.graph.compiled import CompiledGraph, SharedGraphHandle, compiled_of
+from repro.graph.digraph import DirectedGraph
+from repro.platform.datastore import DataStore
+from repro.platform.executor import ExecutorPool, ProcessExecutorPool
+from repro.platform.gateway import ApiGateway
+from repro.platform.resilience import Deadline, deadline_scope
+from repro.platform.shared_artifacts import SharedArtifactRegistry
+from repro.platform.tasks import Query
+
+# Attach-side SharedMemory finalisers can run while numpy views into the
+# segment are still being collected; CPython reports the resulting BufferError
+# as "Exception ignored" noise.  The owner still unlinks the segment, so the
+# warning is benign.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-crash choreography relies on fork-inherited registries",
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def _bench_graph(name: str = "shared-toy") -> DirectedGraph:
+    graph = DirectedGraph(name=name)
+    edges = [
+        ("A", "B"), ("B", "C"), ("C", "A"), ("C", "D"), ("D", "A"),
+        ("B", "A"), ("D", "E"), ("E", "B"), ("A", "E"), ("E", "F"),
+        ("F", "C"), ("F", "A"),
+    ]
+    for source, target in edges:
+        graph.add_edge(source, target)
+    return graph
+
+
+@pytest.fixture
+def toy_store():
+    graph = _bench_graph()
+    datastore = DataStore()
+    datastore.store_dataset("toy", graph)
+    return datastore
+
+
+@pytest.fixture
+def process_pool(toy_store):
+    pool = ProcessExecutorPool(toy_store, num_workers=2)
+    yield pool
+    pool.shutdown()
+
+
+@pytest.fixture
+def thread_pool(toy_store):
+    pool = ExecutorPool(toy_store, num_workers=2)
+    yield pool
+    pool.shutdown()
+
+
+class TestSharedGraphSeam:
+    """to_shared()/from_shared() round-trip the compiled arrays zero-copy."""
+
+    def test_round_trip_is_bit_exact(self):
+        compiled = compiled_of(_bench_graph())
+        handle, shm = compiled.to_shared(segment=f"repro-test-{os.getpid()}-rt", version=3)
+        try:
+            view = CompiledGraph.from_shared(handle)
+            assert np.array_equal(view.to_csr().indptr, compiled.to_csr().indptr)
+            assert np.array_equal(view.to_csr().indices, compiled.to_csr().indices)
+            assert np.array_equal(
+                view.transpose_csr().indptr, compiled.transpose_csr().indptr
+            )
+            assert np.array_equal(
+                view.transpose_csr().indices, compiled.transpose_csr().indices
+            )
+            assert np.array_equal(view.out_degrees(), compiled.out_degrees())
+            assert np.array_equal(view.dangling_mask(), compiled.dangling_mask())
+            assert list(view.labels_array()) == list(compiled.labels_array())
+            assert view.name == compiled.name
+            assert view.resolve("C") == compiled.resolve("C")
+            assert view.number_of_nodes() == compiled.number_of_nodes()
+            assert view.number_of_edges() == compiled.number_of_edges()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_views_share_memory_not_copies(self):
+        compiled = compiled_of(_bench_graph())
+        handle, shm = compiled.to_shared(segment=f"repro-test-{os.getpid()}-zc", version=1)
+        try:
+            view = CompiledGraph.from_shared(handle)
+            indptr = view.to_csr().indptr
+            # A zero-copy view over the segment: no ndarray owns its data.
+            assert not indptr.flags.owndata
+            assert not indptr.flags.writeable
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_version_mismatch_raises_instead_of_serving_stale(self):
+        compiled = compiled_of(_bench_graph())
+        handle, shm = compiled.to_shared(segment=f"repro-test-{os.getpid()}-vs", version=5)
+        try:
+            stale = SharedGraphHandle(
+                segment=handle.segment, version=6, graph_name=handle.graph_name,
+                num_nodes=handle.num_nodes, num_edges=handle.num_edges,
+                total_bytes=handle.total_bytes, layout=handle.layout,
+            )
+            with pytest.raises(GraphError, match="version"):
+                CompiledGraph.from_shared(stale)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_missing_segment_raises_graph_error(self):
+        compiled = compiled_of(_bench_graph())
+        handle, shm = compiled.to_shared(segment=f"repro-test-{os.getpid()}-ms", version=1)
+        shm.close()
+        shm.unlink()
+        with pytest.raises(GraphError, match="no longer exists"):
+            CompiledGraph.from_shared(handle)
+
+    def test_handle_reports_csr_bytes(self):
+        compiled = compiled_of(_bench_graph())
+        handle, shm = compiled.to_shared(segment=f"repro-test-{os.getpid()}-cb", version=1)
+        try:
+            expected = (
+                compiled.to_csr().indptr.nbytes
+                + compiled.to_csr().indices.nbytes
+                + compiled.transpose_csr().indptr.nbytes
+                + compiled.transpose_csr().indices.nbytes
+            )
+            assert handle.csr_bytes == expected
+            assert handle.total_bytes >= expected
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestBitIdentity:
+    """Every registry algorithm: process pool == thread pool == sequential."""
+
+    def test_every_registry_algorithm_is_bit_identical(
+        self, toy_store, process_pool, thread_pool
+    ):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        personalized = set(available_algorithms(personalized=True))
+        for name in available_algorithms():
+            source = "A" if name in personalized else None
+            query = [Query(dataset_id="toy", algorithm=name, source=source, parameters={})]
+            via_process = process_pool.execute_batch_sync(query, graph, log_id="t")
+            via_thread = thread_pool.execute_batch_sync(query, graph, log_id="t")
+            sequential = get_algorithm(name).run_batch(
+                graph, sources=[source], parameters={}
+            )
+            for ranking in (via_thread.rankings[0], sequential[0]):
+                assert np.array_equal(
+                    via_process.rankings[0].scores, ranking.scores
+                ), f"{name} diverged across execution tiers"
+                assert list(via_process.rankings[0]) == list(ranking), name
+
+    def test_batched_sources_stay_aligned(self, toy_store, process_pool, thread_pool):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        sources = ["A", "B", "C", "D"]
+        queries = [
+            Query(dataset_id="toy", algorithm="personalized-pagerank",
+                  source=source, parameters={})
+            for source in sources
+        ]
+        via_process = process_pool.execute_batch_sync(queries, graph, log_id="t")
+        via_thread = thread_pool.execute_batch_sync(queries, graph, log_id="t")
+        assert [r.reference for r in via_process.rankings] == sources
+        for ours, theirs in zip(via_process.rankings, via_thread.rankings):
+            assert np.array_equal(ours.scores, theirs.scores)
+
+
+class TestSegmentLifecycle:
+    """Segments live exactly as long as the artifact they mirror."""
+
+    def test_repeat_batches_reuse_one_cached_segment(self, toy_store, process_pool):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        query = [Query(dataset_id="toy", algorithm="pagerank", source=None, parameters={})]
+        for _ in range(3):
+            process_pool.execute_batch_sync(query, graph, log_id="t")
+        stats = process_pool.stats()
+        assert stats["segments"] == 1
+        assert stats["segments_exported"] == 1
+        assert stats["segments_ephemeral"] == 0
+
+    def test_invalidate_unlinks_the_segment(self, toy_store, process_pool):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        query = [Query(dataset_id="toy", algorithm="pagerank", source=None, parameters={})]
+        process_pool.execute_batch_sync(query, graph, log_id="t")
+        segments = process_pool.artifacts.active_segments()
+        assert segments and all(_segment_exists(name) for name in segments)
+        process_pool.invalidate_artifact("toy")
+        assert process_pool.artifacts.active_segments() == ()
+        assert not any(_segment_exists(name) for name in segments)
+
+    def test_shutdown_unlinks_every_segment(self, toy_store):
+        pool = ProcessExecutorPool(toy_store, num_workers=2)
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        query = [Query(dataset_id="toy", algorithm="pagerank", source=None, parameters={})]
+        pool.execute_batch_sync(query, graph, log_id="t")
+        segments = pool.artifacts.active_segments()
+        assert segments
+        pool.shutdown()
+        assert pool.artifacts.active_segments() == ()
+        assert not any(_segment_exists(name) for name in segments)
+
+    def test_reupload_race_takes_the_ephemeral_path(self, toy_store):
+        """A graph the datastore already replaced still executes correctly,
+        but its segment is one-shot: never cached, unlinked after use."""
+        registry = SharedArtifactRegistry(toy_store)
+        old_graph, _ = toy_store.fetch_compiled_with_version("toy")
+        # Re-upload: the datastore's current artifact is now a *new* object.
+        toy_store.store_dataset("toy", _bench_graph())
+        handle, release = registry.lease("toy", old_graph)
+        assert release is not None, "a replaced artifact must not be cached"
+        assert registry.active_segments() == ()
+        assert _segment_exists(handle.segment)
+        release()
+        assert not _segment_exists(handle.segment)
+        # The current artifact is cacheable as usual.
+        new_graph, _ = toy_store.fetch_compiled_with_version("toy")
+        cached_handle, cached_release = registry.lease("toy", new_graph)
+        assert cached_release is None
+        assert registry.active_segments() == (cached_handle.segment,)
+        registry.close()
+        assert not _segment_exists(cached_handle.segment)
+
+    def test_concurrent_leases_converge_on_one_segment(self, toy_store):
+        """Two batches exporting the same dataset at once must not unlink
+        each other's in-flight segment (the duplicate export is discarded,
+        the winner's segment is adopted)."""
+        import threading
+
+        registry = SharedArtifactRegistry(toy_store)
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        barrier = threading.Barrier(4)
+        results = []
+
+        def race():
+            barrier.wait()
+            results.append(registry.lease("toy", graph))
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        handles = {handle.segment for handle, _ in results}
+        assert len(handles) == 1, f"concurrent leases diverged: {handles}"
+        assert all(release is None for _, release in results)
+        assert all(_segment_exists(name) for name in handles)
+        registry.close()
+        assert not any(_segment_exists(name) for name in handles)
+
+    def test_reupload_mid_flight_never_serves_stale_results(self):
+        """Re-upload between submissions: the process tier always computes on
+        the artifact version the datastore serves at execution time."""
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", _bench_graph("v1"), description="v1")
+        with ApiGateway(
+            catalog=catalog, executor_mode="process", num_workers=2
+        ) as gateway:
+            gateway.upload_dataset("mine", _bench_graph("v1"), replace=True)
+            first = gateway.run_queries(
+                [{"dataset_id": "mine", "algorithm": "pagerank"}], synchronous=True
+            )
+            before = gateway.get_rankings(first)[0]
+            old_segments = gateway.executor_pool.artifacts.active_segments()
+
+            # Replace the dataset with a structurally different graph.
+            replacement = DirectedGraph(name="v2")
+            for source, target in [("X", "Y"), ("Y", "Z"), ("Z", "X"), ("X", "Z")]:
+                replacement.add_edge(source, target)
+            gateway.upload_dataset("mine", replacement, replace=True)
+            # The old segment is unlinked with the artifact it mirrored.
+            assert not any(_segment_exists(name) for name in old_segments)
+
+            second = gateway.run_queries(
+                [{"dataset_id": "mine", "algorithm": "pagerank"}], synchronous=True
+            )
+            after = gateway.get_rankings(second)[0]
+            assert list(after) != list(before), "stale CSR served after re-upload"
+            assert len(after.scores) == replacement.number_of_nodes()
+
+
+class TestWorkerFaults:
+    """Crash coverage: typed failure, pool recovery, no orphaned segments."""
+
+    @fork_only
+    def test_worker_crash_settles_failed_and_pool_recovers(self):
+        # Registered BEFORE the gateway: forked workers inherit it, so the
+        # dispatch is routed to a worker (not the in-process fallback) and
+        # the crash happens in a sacrificial process, never in pytest.
+        class _KillWorker(Algorithm):
+            spec = AlgorithmSpec(
+                name="kill-worker",
+                display_name="Kill Worker",
+                personalized=False,
+                parameters=(),
+                description="test-only: kills the executing worker process",
+            )
+
+            def _execute(self, graph, *, source, parameters):
+                if multiprocessing.parent_process() is not None:
+                    os._exit(1)  # SIGKILL-style death mid-batch
+                raise RuntimeError("refusing to kill the test process")
+
+        algorithm_registry.register_algorithm(_KillWorker(), replace=True)
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", _bench_graph(), description="crash target")
+        try:
+            with ApiGateway(
+                catalog=catalog, executor_mode="process", num_workers=2
+            ) as gateway:
+                comparison_id = gateway.run_queries(
+                    [{"dataset_id": "mine", "algorithm": "kill-worker"}],
+                    synchronous=True,
+                )
+                progress = gateway.wait_for(comparison_id, timeout_seconds=60.0)
+                assert progress.state.value == "failed"
+                events = gateway.get_events(comparison_id)
+                failures = [e for e in events if e.get("type") == "query_failed"]
+                assert failures, f"no typed query_failed event in {events}"
+                assert "crashed" in failures[0]["error"]
+                assert gateway.executor_pool.stats()["worker_crashes"] >= 1
+
+                # The rebuilt pool serves subsequent submissions.
+                ok = gateway.run_queries(
+                    [{"dataset_id": "mine", "algorithm": "pagerank"}],
+                    synchronous=True,
+                )
+                assert gateway.wait_for(ok, timeout_seconds=60.0).state.value == "completed"
+                segments = gateway.executor_pool.artifacts.active_segments()
+            # Gateway close: nothing orphaned in /dev/shm.
+            assert gateway.executor_pool.artifacts.active_segments() == ()
+            assert not any(_segment_exists(name) for name in segments)
+        finally:
+            algorithm_registry._REGISTRY.pop("kill-worker", None)
+
+    def test_worker_error_is_typed_not_hung(self, toy_store, process_pool):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        query = [
+            Query(dataset_id="toy", algorithm="cyclerank",
+                  source="does-not-exist", parameters={"k": 3})
+        ]
+        started = time.perf_counter()
+        with pytest.raises(ExecutorError, match="batch failed"):
+            process_pool.execute_batch_sync(query, graph, log_id="t")
+        assert time.perf_counter() - started < 30.0
+
+
+class TestDeadlineCooperation:
+    def test_expired_deadline_is_checked_before_dispatch(self, toy_store, process_pool):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        query = [Query(dataset_id="toy", algorithm="pagerank", source=None, parameters={})]
+        expired = Deadline(time.monotonic() - 1.0, deadline_ms=1)
+        executed_before = process_pool.total_executed()
+        with deadline_scope(expired):
+            with pytest.raises(DeadlineExceededError, match="before process dispatch"):
+                process_pool.execute_batch_sync(query, graph, log_id="t")
+        # Nothing was dispatched, nothing counted.
+        assert process_pool.total_executed() == executed_before
+
+
+class TestInProcessFallback:
+    def test_algorithm_missing_from_workers_falls_back_in_process(
+        self, toy_store, process_pool, thread_pool
+    ):
+        graph, _ = toy_store.fetch_compiled_with_version("toy")
+        # Force the workers to exist (fork happens on first submit), so the
+        # algorithm registered afterwards is invisible to them.
+        warmup = [Query(dataset_id="toy", algorithm="pagerank", source=None, parameters={})]
+        process_pool.execute_batch_sync(warmup, graph, log_id="t")
+
+        from repro.algorithms.pagerank import pagerank
+
+        class _LateRegistered(Algorithm):
+            spec = AlgorithmSpec(
+                name="late-registered",
+                display_name="Late Registered",
+                personalized=False,
+                parameters=(),
+                description="test-only: registered after the workers forked",
+            )
+
+            def _execute(self, graph, *, source, parameters):
+                return pagerank(graph)
+
+        algorithm_registry.register_algorithm(_LateRegistered(), replace=True)
+        try:
+            query = [Query(dataset_id="toy", algorithm="late-registered",
+                           source=None, parameters={})]
+            outcome = process_pool.execute_batch_sync(query, graph, log_id="t")
+            reference = thread_pool.execute_batch_sync(query, graph, log_id="t")
+            assert np.array_equal(
+                outcome.rankings[0].scores, reference.rankings[0].scores
+            )
+        finally:
+            algorithm_registry._REGISTRY.pop("late-registered", None)
+
+
+class TestObservabilitySurface:
+    def test_stats_metrics_and_trace_expose_the_process_tier(self):
+        catalog = DatasetCatalog()
+        catalog.register_graph("mine", _bench_graph(), description="observed")
+        with ApiGateway(
+            catalog=catalog, executor_mode="process", num_workers=2
+        ) as gateway:
+            comparison_id = gateway.run_queries(
+                [{"dataset_id": "mine", "algorithm": "pagerank"}], synchronous=True
+            )
+            gateway.wait_for(comparison_id, timeout_seconds=60.0)
+
+            stats = gateway.get_platform_stats()
+            executors = stats["executors"]
+            assert executors["mode"] == "process"
+            assert executors["num_workers"] == 2
+            assert executors["executed_queries"] >= 1
+            assert executors["segments"] == 1
+
+            exposition = gateway.render_metrics()
+            assert 'repro_executor_busy_workers{mode="process"}' in exposition
+            assert 'repro_executor_batch_ms_bucket{mode="process"' in exposition
+
+            trace = gateway.get_trace(comparison_id)["trace"]
+
+            def spans(node):
+                yield node
+                for child in node.get("children", []):
+                    yield from spans(child)
+
+            executor_spans = [
+                span
+                for root in trace["roots"]
+                for span in spans(root)
+                if span["name"] == "executor_run"
+            ]
+            assert executor_spans, "executor span missing from the parent trace"
+            annotations = executor_spans[0]["annotations"]
+            assert annotations["mode"] == "process"
+            assert annotations["worker_pid"] != os.getpid()
+
+    def test_thread_mode_histogram_carries_its_own_label(self, two_triangles):
+        catalog = DatasetCatalog()
+        catalog.register_graph("toy", two_triangles, description="thread mode")
+        with ApiGateway(
+            catalog=catalog, executor_mode="thread", num_workers=2
+        ) as gateway:
+            comparison_id = gateway.run_queries(
+                [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+            )
+            gateway.wait_for(comparison_id, timeout_seconds=60.0)
+            assert gateway.get_platform_stats()["executors"]["mode"] == "thread"
+            exposition = gateway.render_metrics()
+            assert 'repro_executor_batch_ms_bucket{mode="thread"' in exposition
+
+
+class TestGatewayWiring:
+    def test_executor_mode_is_validated(self):
+        with pytest.raises(Exception, match="executor_mode"):
+            ApiGateway(executor_mode="fiber")
+
+    def test_default_mode_is_module_configurable(self):
+        from repro.platform import gateway as gateway_module
+
+        original = gateway_module.DEFAULT_EXECUTOR_MODE
+        gateway_module.DEFAULT_EXECUTOR_MODE = "process"
+        try:
+            with ApiGateway() as gateway:
+                assert isinstance(gateway.executor_pool, ProcessExecutorPool)
+        finally:
+            gateway_module.DEFAULT_EXECUTOR_MODE = original
+
+    def test_cli_flags_reach_the_gateway(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["run", "toy", "pagerank", "--executor-mode", "process", "--workers", "3"]
+        )
+        assert arguments.executor_mode == "process"
+        assert arguments.workers == 3
+        serve = build_parser().parse_args(["serve", "--executor-mode", "thread"])
+        assert serve.executor_mode == "thread"
+        assert serve.workers == 2
