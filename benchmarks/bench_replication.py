@@ -6,7 +6,10 @@ and ``R=2`` (quorum-acked writes), then one shard is marked down and every
 dataset is read back through the failover path, and finally the datasets are
 spilled to the file tier and read through it.  A gateway-level check asserts
 the replicated topology serves rankings **bit-identical** to a single-store
-gateway on a mixed comparison workload.
+gateway on a mixed comparison workload.  A ``quorum_reads`` section prices
+the digest-first quorum read against the one-replica default and proves the
+acceptance bar: zero below-floor serves during a scripted outage that leaves
+every primary stale.
 
 The measured write/read latencies are written to
 ``benchmarks/output/BENCH_replication.json`` so future storage PRs can diff
@@ -161,6 +164,65 @@ def _read_repair_convergence(graph):
     }
 
 
+def _quorum_read_trajectory(graph):
+    """Price the digest-first quorum read against the one-replica default.
+
+    The same workload runs twice — ``read_consistency="one"`` and
+    ``"quorum"`` — first over a healthy ring (the steady-state latency the
+    digest round adds), then over a scripted staleness topology: every
+    dataset's primary sleeps through a re-upload and wakes holding the
+    below-floor copy.  One-mode serves that stale copy (the pre-PR gap);
+    quorum mode must serve **zero** below-floor reads.
+    """
+    dataset_ids = [f"bench-{index}" for index in range(NUM_DATASETS)]
+    sections = {}
+    for consistency in ("one", "quorum"):
+        store = ReplicatedShardedDataStore(
+            num_shards=NUM_SHARDS, replicas=2, read_consistency=consistency
+        )
+        for dataset_id in dataset_ids:
+            store.store_dataset(dataset_id, graph)
+        healthy_reads = _timed(store.fetch_dataset, dataset_ids)
+
+        # Scripted staleness: the primary misses the re-upload (hinted
+        # handoff lands v2 on the survivors) and comes back holding v1.
+        for dataset_id in dataset_ids:
+            primary = store.replica_shards_for(dataset_id)[0]
+            store.mark_down(primary)
+            store.store_dataset(dataset_id, graph)
+            store.mark_up(primary)
+
+        stale_serves = 0
+        stale_topology_reads = []
+        for dataset_id in dataset_ids:
+            started = time.perf_counter()
+            _, version = store.fetch_dataset_with_version(dataset_id)
+            stale_topology_reads.append(time.perf_counter() - started)
+            if version < 2:
+                stale_serves += 1
+        stats = store.replication_stats()
+        sections[consistency] = {
+            "healthy_read_seconds": _summary(healthy_reads),
+            "stale_topology_read_seconds": _summary(stale_topology_reads),
+            "stale_serves": stale_serves,
+            "digest_reads": stats["digest_reads"],
+            "stale_reads_prevented": stats["stale_reads_prevented"],
+            "version_conflicts_resolved": stats["version_conflicts_resolved"],
+        }
+
+    # The acceptance bar: one-mode demonstrates the gap (the recovered
+    # primary answers first with the pre-outage copy); quorum mode closes
+    # it completely — zero below-floor serves during the scripted outage.
+    assert sections["one"]["stale_serves"] > 0
+    assert sections["quorum"]["stale_serves"] == 0
+    assert sections["quorum"]["digest_reads"] >= NUM_DATASETS
+    sections["quorum_vs_one_read_overhead"] = (
+        sections["quorum"]["healthy_read_seconds"]["total"]
+        / max(sections["one"]["healthy_read_seconds"]["total"], 1e-9)
+    )
+    return sections
+
+
 def _gateway_rankings(graph, *, replicas):
     catalog = DatasetCatalog()
     catalog.register_graph("bench", graph, description="replication bench")
@@ -181,6 +243,7 @@ def test_bench_replication_trajectory(bench_graph, tmp_path):
     single = _store_trajectory(bench_graph, 1, tmp_path)
     replicated = _store_trajectory(bench_graph, 2, tmp_path)
     read_repair = _read_repair_convergence(bench_graph)
+    quorum_reads = _quorum_read_trajectory(bench_graph)
 
     # Correctness before timing claims: the replicated gateway serves
     # rankings bit-identical to the single-store gateway.
@@ -218,6 +281,7 @@ def test_bench_replication_trajectory(bench_graph, tmp_path):
         "single": single,
         "replicated": replicated,
         "read_repair": read_repair,
+        "quorum_reads": quorum_reads,
         "write_overhead_r2_vs_r1": overhead,
     }
     write_report("BENCH_replication.json", json.dumps(payload, indent=2))

@@ -56,6 +56,10 @@ bounds how long a submission may wait before it is settled with a typed
 bounded by ``--shed-retries``; ``--no-retry`` fails fast), and
 ``--retry-budget``/``--breaker-cooldown`` tune the replicated storage
 tier's retry token bucket and per-shard circuit breakers.
+``--read-consistency quorum`` makes every dataset read open with a
+version-digest round over the live replicas, so a known-stale copy is
+never served (requires ``--replicas``; the default ``one`` keeps the
+single-source fast path).
 
 Observability rides on ``run``/``compare`` too: ``--stats`` prints the
 platform serving counters after the results — the cache/batch/storage
@@ -126,6 +130,14 @@ def _add_storage_flags(parser: argparse.ArgumentParser) -> None:
         metavar="BYTES",
         help="automatic spill policy: demote cold datasets whenever the "
         "estimated resident graph bytes exceed BYTES (requires --spill-dir)",
+    )
+    parser.add_argument(
+        "--read-consistency",
+        choices=("one", "quorum"),
+        help="replicated-store read consistency: 'one' (default) serves the "
+        "first answering replica, 'quorum' polls the replicas' version "
+        "digests first and never serves a copy below the known version "
+        "floor (requires --replicas)",
     )
 
 
@@ -383,6 +395,14 @@ def _print_cache_stats(gateway: ApiGateway) -> None:
                 f"{replication['failover_reads']} failover reads, "
                 f"{replication['degraded_writes']} degraded writes, "
                 f"lag {'unknown' if lag is None else lag}"
+            )
+            print(
+                f"reads: {replication.get('read_consistency', 'one')} "
+                f"consistency, {replication.get('digest_reads', 0)} digest "
+                f"rounds, {replication.get('stale_reads', 0)} stale detected "
+                f"/ {replication.get('stale_reads_prevented', 0)} withheld, "
+                f"{replication.get('version_conflicts_resolved', 0)} version "
+                f"conflicts resolved"
             )
             print(
                 f"self-healing: {replication.get('read_repairs', 0)} read-repairs "
@@ -838,6 +858,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gateway_options["num_workers"] = workers
     if getattr(arguments, "executor_mode", None) is not None:
         gateway_options["executor_mode"] = arguments.executor_mode
+    if getattr(arguments, "read_consistency", None) is not None:
+        gateway_options["read_consistency"] = arguments.read_consistency
     try:
         with ApiGateway(
             shards=shards,

@@ -143,8 +143,13 @@ class DataStore:
     # datasets
     # ------------------------------------------------------------------ #
     def store_dataset(
-        self, dataset_id: str, graph: DirectedGraph, *, version_floor: int = 0
-    ) -> None:
+        self,
+        dataset_id: str,
+        graph: DirectedGraph,
+        *,
+        version_floor: int = 0,
+        supersede_below: Optional[int] = None,
+    ) -> bool:
         """Store (or replace) a dataset graph under ``dataset_id``.
 
         Replacing an existing dataset invalidates every cached ranking that
@@ -154,13 +159,22 @@ class DataStore:
         counter and the floor, so a cache key minted against any earlier
         copy of the dataset — on any shard — can never collide with a later
         upload's version.
+
+        ``supersede_below`` makes the write conditional, atomically under
+        the store lock: when the current copy's version is already at or
+        above it, the write is refused (``False`` is returned and nothing
+        changes) — the replicated tier uses this so a re-upload that lost a
+        concurrent race can never overwrite the winner's newer copy with
+        older data at an even higher version.  Returns ``True`` when the
+        graph was stored.
         """
         with self._lock:
+            current = self._dataset_versions.get(dataset_id, 0)
+            if supersede_below is not None and current >= supersede_below:
+                return False
             replacing = dataset_id in self._datasets
             self._datasets[dataset_id] = graph
-            self._dataset_versions[dataset_id] = (
-                max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
-            )
+            self._dataset_versions[dataset_id] = max(current, version_floor) + 1
             # The new version strictly exceeds any tombstone (the tombstone
             # raised the counter when it was written), so the re-upload
             # supersedes the deletion.
@@ -171,6 +185,7 @@ class DataStore:
                 self._artifact_invalidations += 1
         if replacing:
             self.result_cache.invalidate_dataset(dataset_id)
+        return True
 
     def fetch_dataset(self, dataset_id: str) -> DirectedGraph:
         """Return the stored dataset graph (raises :class:`StorageError` if absent)."""
@@ -714,12 +729,24 @@ class FileBackedDataStore(DataStore):
     # datasets (disk-resident)
     # ------------------------------------------------------------------ #
     def store_dataset(
-        self, dataset_id: str, graph: DirectedGraph, *, version_floor: int = 0
-    ) -> None:
-        """Persist (or replace) a dataset; the graph is not kept in memory."""
+        self,
+        dataset_id: str,
+        graph: DirectedGraph,
+        *,
+        version_floor: int = 0,
+        supersede_below: Optional[int] = None,
+    ) -> bool:
+        """Persist (or replace) a dataset; the graph is not kept in memory.
+
+        ``supersede_below`` carries the in-memory store's conditional-write
+        contract: a copy already at or above it refuses the overwrite.
+        """
         with self._lock:
+            current = self._dataset_versions.get(dataset_id, 0)
+            if supersede_below is not None and current >= supersede_below:
+                return False
             replacing = dataset_id in self._stored
-            version = max(self._dataset_versions.get(dataset_id, 0), version_floor) + 1
+            version = max(current, version_floor) + 1
             path = self._dataset_path(dataset_id)
             tmp = path.with_suffix(".tmp")
             try:
@@ -742,6 +769,7 @@ class FileBackedDataStore(DataStore):
                 pass  # a stale artifact is harmless: it is version-checked on load
         if replacing:
             self.result_cache.invalidate_dataset(dataset_id)
+        return True
 
     def fetch_dataset(self, dataset_id: str) -> DirectedGraph:
         """Load and rebuild the dataset graph from its file."""

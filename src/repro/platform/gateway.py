@@ -139,6 +139,13 @@ class ApiGateway:
     breaker_failure_threshold, breaker_cooldown_seconds:
         Forwarded to the store's per-shard circuit breakers.  ``None``
         keeps the store's defaults.
+    read_consistency:
+        Dataset read consistency on a replicated store: ``"one"`` serves
+        the first answering source (detecting but serving below-floor
+        answers), ``"quorum"`` opens every dataset read with a
+        version-digest round over the live replicas and never serves a
+        copy below the known version floor.  ``None`` keeps the store's
+        default (``"one"``).
     telemetry_enabled:
         Build the gateway's :class:`~repro.platform.telemetry.MetricsRegistry`
         and :class:`~repro.platform.telemetry.Tracer` in recording mode (the
@@ -173,6 +180,7 @@ class ApiGateway:
         retry_budget_refill_per_second: Optional[float] = None,
         breaker_failure_threshold: Optional[int] = None,
         breaker_cooldown_seconds: Optional[float] = None,
+        read_consistency: Optional[str] = None,
         telemetry_enabled: bool = True,
         slow_span_threshold_ms: float = 500.0,
     ) -> None:
@@ -335,6 +343,13 @@ class ApiGateway:
                     "build the gateway with replicas=R"
                 )
             self.datastore.configure_resilience(**storage_resilience)
+        if read_consistency is not None:
+            if not replicated:
+                raise InvalidParameterError(
+                    "read_consistency requires a replicated datastore; build "
+                    "the gateway with replicas=R"
+                )
+            self.datastore.set_read_consistency(read_consistency)
         self.status.register_section("overload", self._overload_stats)
         self.status.register_section("telemetry", self._telemetry_stats)
         self.status.register_section("executors", self._executor_stats)
@@ -646,7 +661,13 @@ class ApiGateway:
             payload["storage"] = {
                 "retries": replication["retries"],
                 "breakers": replication["breakers"],
+                "read_consistency": replication["read_consistency"],
                 "stale_reads": replication["stale_reads"],
+                "stale_reads_prevented": replication["stale_reads_prevented"],
+                "digest_reads": replication["digest_reads"],
+                "version_conflicts_resolved": replication[
+                    "version_conflicts_resolved"
+                ],
             }
         return payload
 
@@ -803,6 +824,27 @@ class ApiGateway:
             help="Executor workers currently running a batch",
             mode=self.executor_pool.mode,
         )
+        if isinstance(self.datastore, ReplicatedShardedDataStore):
+            replication = self.datastore.replication_stats()
+            self.metrics.gauge_set(
+                "storage_stale_reads", replication["stale_reads"],
+                help="Below-floor replica answers detected on the read path",
+                consistency=replication["read_consistency"],
+            )
+            self.metrics.gauge_set(
+                "storage_stale_reads_prevented",
+                replication["stale_reads_prevented"],
+                help="Below-floor replica answers withheld by quorum reads",
+            )
+            self.metrics.gauge_set(
+                "storage_digest_reads", replication["digest_reads"],
+                help="Version-digest quorum rounds run by the replicated store",
+            )
+            self.metrics.gauge_set(
+                "storage_version_conflicts_resolved",
+                replication["version_conflicts_resolved"],
+                help="Replica version divergences resolved by digest rounds",
+            )
 
     def _executor_stats(self) -> Dict[str, Any]:
         """The ``executors`` section of :meth:`get_platform_stats`."""

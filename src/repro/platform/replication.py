@@ -75,15 +75,27 @@ Overload protection
     deadline between failover hops.  See :mod:`repro.platform.resilience`
     and :meth:`ReplicatedShardedDataStore.configure_resilience`.
 
-Remaining limitation: reads still trust the first answering source without
-a cross-replica version *quorum*; a versioned read below the caller-known
-floor is now detected (counted as ``stale_reads`` and flagged for
-read-repair), but unversioned surfaces can serve a pre-outage copy until
-the repair passes converge — the version counters protect the result cache
-from stale rankings in the meantime.  Concurrent re-uploads of the *same* dataset may also leave
-replicas at diverged versions until the next repair pass (writes run
-outside the routing lock); versions stay monotonic throughout, so a stale
-graph can be *read*, but never populates a fresh version's cache entry.
+Read-path version quorum
+    With ``read_consistency="quorum"`` a dataset read opens with a *digest
+    round*: the live R-successors are polled for their cheap per-key
+    version counters (deadline- and breaker-aware, under the same retry
+    discipline as data reads, one ``digest_attempt`` span per replica) and
+    the read then serves only a copy at the maximum of the digests and the
+    router's known version floor — a caller can never receive a graph
+    below the floor.  Every dataset read surface routes through the
+    versioned fetch (including plain ``fetch_dataset`` and the
+    compiled-artifact path), so the floor check covers all of them;
+    divergence the digest round discovers is flagged on the single-key
+    read-repair queue instead of merely counted.  On the write side the
+    divergence source is closed at the root: each upload reserves its
+    version against the router's high-water mark under the routing lock (a
+    CAS-style reservation), so concurrent re-uploads of the same dataset
+    mint distinct, ordered versions, and each replica write supersedes
+    only strictly older copies — the losing writer's copies are purged (or
+    refused at the backend) rather than resurrected above the winner.  The
+    back-compat default ``read_consistency="one"`` keeps the single-source
+    fast path, where a below-floor answer is still detected
+    (``stale_reads``) and flagged for repair but served.
 """
 
 from __future__ import annotations
@@ -222,6 +234,12 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         ``probe_failure_threshold``) the breaker opens and reads
         short-circuit straight past the shard to its next successor; after
         the cooldown the prober's next success closes it again.
+    read_consistency:
+        ``"one"`` (the back-compat default) serves the first answering
+        source, detecting but still serving below-floor answers;
+        ``"quorum"`` opens every dataset read with a version-digest round
+        over the live R-successors and never serves a copy below the
+        maximum of the digests and the router's known version floor.
     """
 
     def __init__(
@@ -245,8 +263,14 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         retry_budget_refill_per_second: float = 8.0,
         breaker_failure_threshold: Optional[int] = None,
         breaker_cooldown_seconds: float = 2.0,
+        read_consistency: str = "one",
     ) -> None:
         require_positive_int(replicas, "replicas")
+        if read_consistency not in ("one", "quorum"):
+            raise InvalidParameterError(
+                f"read_consistency must be 'one' or 'quorum', got "
+                f"{read_consistency!r}"
+            )
         require_positive_int(probe_failure_threshold, "probe_failure_threshold")
         require_positive_int(read_repair_queue_limit, "read_repair_queue_limit")
         if probe_transition_interval_seconds < 0:
@@ -313,6 +337,15 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         #: below the floor is counted and flagged for read-repair.
         self._known_version_floor: Dict[str, int] = {}
         self._stale_reads = 0
+        #: Read-path version quorum: mode, digest/prevention counters, and
+        #: the CAS-style upload reservations concurrent re-uploads of one
+        #: dataset mint their distinct versions against (dataset id → the
+        #: highest version an in-flight write has claimed).
+        self._read_consistency = read_consistency
+        self._digest_reads = 0
+        self._stale_reads_prevented = 0
+        self._version_conflicts_resolved = 0
+        self._version_reservations: Dict[str, int] = {}
         #: Drop intents that may not have landed durably: dataset id → the
         #: tombstone version the drop minted.  The repair passes treat the
         #: entry as one more tombstone source, so a delete issued while
@@ -354,6 +387,25 @@ class ReplicatedShardedDataStore(ShardedDataStore):
     def spill_store(self) -> Optional[DataStore]:
         """Return the cold file tier, if one is configured."""
         return self._spill
+
+    @property
+    def read_consistency(self) -> str:
+        """Return the read consistency mode (``"one"`` or ``"quorum"``)."""
+        return self._read_consistency
+
+    def set_read_consistency(self, mode: str) -> None:
+        """Switch between ``"one"`` and ``"quorum"`` dataset reads.
+
+        The knob is safe to flip at runtime: it only selects whether the
+        next read opens with a digest round, so in-flight reads finish
+        under the mode they started with.
+        """
+        if mode not in ("one", "quorum"):
+            raise InvalidParameterError(
+                f"read_consistency must be 'one' or 'quorum', got {mode!r}"
+            )
+        with self._lock:
+            self._read_consistency = mode
 
     def mark_down(self, shard_id: str) -> None:
         """Declare a shard unreachable: reads and writes skip it from now on.
@@ -658,9 +710,16 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         the two graphs apart.  Seeding the scan with the router's own
         high-water mark of acked writes and drops
         (``_known_version_floor``) keeps every new version strictly above
-        every copy this router ever acknowledged, reachable or not.
+        every copy this router ever acknowledged, reachable or not.  The
+        scan is also seeded with any in-flight upload reservation
+        (:attr:`_version_reservations`), so a concurrent writer or drop
+        mints strictly past a version another writer has already claimed
+        but not yet landed.
         """
-        floor = self._known_version_floor.get(dataset_id, 0)
+        floor = max(
+            self._known_version_floor.get(dataset_id, 0),
+            self._version_reservations.get(dataset_id, 0),
+        )
         backends = list(self._backends.values())
         if self._spill is not None:
             backends.append(self._spill)
@@ -706,7 +765,9 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 key, operation, read_span, missed=missed
             )
 
-    def _route_read_traced(self, key: str, operation, read_span, *, missed=None):
+    def _route_read_traced(
+        self, key: str, operation, read_span, *, missed=None, reject=None
+    ):
         with self._lock:
             live, down = self._placement_locked(key)
             primary = self._ring.successors(key, 1)[0]
@@ -724,6 +785,7 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         first_error: Optional[BaseException] = None
         deadline = current_deadline()
         consulted = 0
+        rejected = 0
         for shard_id, backend in sources:
             if consulted and deadline is not None and deadline.expired():
                 raise DeadlineExceededError(
@@ -747,6 +809,11 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 if first_error is None:
                     first_error = exc
                 continue
+            except DeadlineExceededError:
+                # The *caller's* clock ran out mid-attempt.  That is not a
+                # shard fault: re-raise without feeding the failure streak
+                # or circuit breaker of a shard that did nothing wrong.
+                raise
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
@@ -756,6 +823,24 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             if missed is not None and missed(value):
                 if fallback is missing:
                     fallback = value
+                continue
+            if reject is not None and reject(value):
+                # A healthy source answered with a copy the caller must not
+                # see (below the quorum's version target): withhold it, flag
+                # the key for repair and keep walking the successor list.
+                rejected += 1
+                enqueued = False
+                with self._lock:
+                    self._note_shard_success_locked(shard_id)
+                    self._stale_reads += 1
+                    self._stale_reads_prevented += 1
+                    enqueued = self._queue_read_repair_locked(key)
+                read_span.add_event(
+                    "stale_skip",
+                    shard=shard_id if shard_id is not None else "spill",
+                )
+                if enqueued:
+                    self._kick_repair_launcher()
                 continue
             enqueued = False
             with self._lock:
@@ -778,6 +863,11 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             return value
         if missed is not None and fallback is not missing:
             return fallback
+        if rejected:
+            raise StorageError(
+                f"every reachable copy of {key!r} is below the version floor "
+                f"the quorum established ({rejected} stale answer(s) withheld)"
+            )
         if isinstance(first_error, StorageError):
             raise first_error
         if first_error is not None:
@@ -812,12 +902,118 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         if enqueued:
             self._kick_repair_launcher()
 
+    # ------------------------------------------------------------------ #
+    # read-path version quorum (digest-first reads)
+    # ------------------------------------------------------------------ #
+    def _digest_round(self, dataset_id: str, read_span) -> Dict[str, int]:
+        """Poll the live R-successors for their version digest of a key.
+
+        The digest is the cheapest question a replica can answer — its
+        local ``dataset_version`` counter (``0`` when it does not hold the
+        key) — polled under the same per-replica discipline as data reads:
+        a successor whose circuit breaker is open is skipped without
+        touching the backend, each poll runs under the shared retry policy
+        inside a ``digest_attempt`` span, and the caller's deadline is
+        checked between hops (the first successor is always consulted,
+        mirroring the failover read loop).  Returns ``{shard_id: version}``
+        for every successor that answered.
+        """
+        with self._lock:
+            live, _ = self._placement_locked(dataset_id)
+            plan = [(sid, self._backends[sid]) for sid in live[: self._replicas]]
+        deadline = current_deadline()
+        digests: Dict[str, int] = {}
+        polled = 0
+        for shard_id, backend in plan:
+            if polled and deadline is not None:
+                deadline.raise_if_expired(
+                    f"during the version-digest round for {dataset_id!r}"
+                )
+            if not self._shard_allowed(shard_id):
+                read_span.add_event("breaker_skip", shard=shard_id)
+                continue
+            polled += 1
+            try:
+                with child_span("digest_attempt", shard=shard_id):
+                    version = self._retry_policy.run(
+                        lambda backend=backend: backend.dataset_version(dataset_id)
+                    )
+            except DeadlineExceededError:
+                raise  # the caller's clock, not a shard fault
+            except StorageError:
+                continue
+            except Exception:
+                with self._lock:
+                    self._note_shard_error_locked(shard_id)
+                continue
+            with self._lock:
+                self._note_shard_success_locked(shard_id)
+            digests[shard_id] = version
+        return digests
+
+    def _quorum_fetch_versioned(self, dataset_id: str, operation):
+        """Serve ``(payload, version)`` at the digest round's maximum version.
+
+        The version target is the maximum of the digests and the router's
+        known version floor; the failover walk then *withholds* any source
+        answering below it (counted as ``stale_reads_prevented``, flagged
+        for read-repair) instead of serving it.  Divergence among the
+        digests — holders at more than one version — is resolved for the
+        caller by serving the maximum, and the key is queued on the
+        single-key read-repair queue so the replicas themselves converge.
+        """
+        with child_span(
+            "storage_read", key=dataset_id, consistency="quorum"
+        ) as read_span:
+            digests = self._digest_round(dataset_id, read_span)
+            held = [version for version in digests.values() if version > 0]
+            enqueued = False
+            with self._lock:
+                self._digest_reads += 1
+                floor = self._known_version_floor.get(dataset_id, 0)
+                target = max([floor] + held)
+                if held and any(version < target for version in held):
+                    self._version_conflicts_resolved += 1
+                    enqueued = self._queue_read_repair_locked(dataset_id)
+            if enqueued:
+                self._kick_repair_launcher()
+            read_span.annotate(digest_replicas=len(digests), version_target=target)
+            value = self._route_read_traced(
+                dataset_id,
+                operation,
+                read_span,
+                reject=lambda value: value[1] < target,
+            )
+            self._note_read_version(dataset_id, value[1])
+            return value
+
+    def fetch_dataset(self, dataset_id: str):
+        """Return the dataset graph, routed through the versioned fetch.
+
+        The base class reads the payload without its version, which lets a
+        failover source serve a pre-outage copy with no ``stale_reads``
+        detection at all; routing through
+        :meth:`fetch_dataset_with_version` puts every dataset read —
+        one-mode floor check and quorum alike — on the same guard.
+        """
+        return self.fetch_dataset_with_version(dataset_id)[0]
+
     def fetch_dataset_with_version(self, dataset_id: str):
+        if self._read_consistency == "quorum":
+            return self._quorum_fetch_versioned(
+                dataset_id,
+                lambda backend: backend.fetch_dataset_with_version(dataset_id),
+            )
         graph, version = super().fetch_dataset_with_version(dataset_id)
         self._note_read_version(dataset_id, version)
         return graph, version
 
     def fetch_compiled_with_version(self, dataset_id: str):
+        if self._read_consistency == "quorum":
+            return self._quorum_fetch_versioned(
+                dataset_id,
+                lambda backend: backend.fetch_compiled_with_version(dataset_id),
+            )
         compiled, version = super().fetch_compiled_with_version(dataset_id)
         self._note_read_version(dataset_id, version)
         return compiled, version
@@ -932,6 +1128,13 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         every other store operation.  If a topology change moves the
         dataset's replica set mid-write, the write repeats against the fresh
         owners (the version floor is re-read, so versions stay monotonic).
+
+        Concurrent re-uploads of the same dataset are ordered by a
+        CAS-style reservation taken under the routing lock: each writer
+        mints a distinct version, each replica write supersedes only
+        strictly older copies, and the losing writer's copies are purged
+        as superseded — the replicas converge on the winner without
+        waiting for a repair pass.
         """
         with child_span("storage_write", key=dataset_id, kind="dataset") as write_span:
             self._store_dataset_traced(dataset_id, graph, write_span)
@@ -940,7 +1143,17 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         while True:
             with self._lock:
                 epoch = self._epoch
+                # CAS-style version reservation: the upload claims its
+                # version against the router's high-water mark (acked
+                # floor, reachable backend scan, and any reservation a
+                # concurrent writer already holds — ``_version_floor``
+                # folds all three in) under the routing lock, so two
+                # racing re-uploads of the same dataset always mint
+                # distinct, ordered versions even though the replica
+                # writes themselves run outside the lock.
                 floor = self._version_floor(dataset_id)
+                minted = floor + 1
+                self._version_reservations[dataset_id] = minted
                 live, _ = self._placement_locked(dataset_id)
                 plan = [(sid, self._backends[sid]) for sid in live]
             acked: List[Tuple[str, DataStore]] = []
@@ -949,22 +1162,44 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     break
                 def _store_one(backend=backend):
                     owner_had_dataset = backend.has_dataset(dataset_id)
-                    backend.store_dataset(dataset_id, graph, version_floor=floor)
-                    return owner_had_dataset
+                    stored = backend.store_dataset(
+                        dataset_id,
+                        graph,
+                        version_floor=floor,
+                        supersede_below=minted,
+                    )
+                    return owner_had_dataset, stored
 
                 try:
                     # The in-memory/file backends validate before mutating, so
                     # a failed attempt left no partial copy and the shared
                     # retry policy may safely re-send the whole write.
+                    # ``supersede_below`` makes the send conditional: a
+                    # replica already holding a concurrent re-upload's newer
+                    # version refuses the overwrite, so the losing writer can
+                    # never resurrect its older graph above the winner — the
+                    # newer copy also satisfies this write's durability, so
+                    # the refusal still counts as an ack.
                     with child_span("replica_write", shard=shard_id):
-                        owner_had_dataset = self._retry_policy.run(_store_one)
-                    if not owner_had_dataset:
+                        owner_had_dataset, stored = self._retry_policy.run(
+                            _store_one
+                        )
+                    if stored and not owner_had_dataset:
                         backend.result_cache.invalidate_dataset(dataset_id)
                     acked.append((shard_id, backend))
                 except Exception:
                     with self._lock:
                         self._note_shard_error_locked(shard_id)
             if len(acked) < self._quorum:
+                with self._lock:
+                    # Nothing landed: release the reservation (unless a
+                    # concurrent writer already reserved past it) so the
+                    # failed write does not poison the version sequence
+                    # with a version no replica holds.
+                    if not acked and (
+                        self._version_reservations.get(dataset_id) == minted
+                    ):
+                        del self._version_reservations[dataset_id]
                 raise StorageError(
                     f"dataset {dataset_id!r} write reached {len(acked)} of the "
                     f"{self._quorum} replica acks the quorum requires"
@@ -987,8 +1222,22 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                     for shard_id, backend in self._backends.items():
                         if shard_id in acked_ids:
                             continue
+                        if shard_id in self._down:
+                            # A down shard takes no writes, purges included;
+                            # a pre-outage copy it still holds is below the
+                            # floor this write establishes, so the quorum
+                            # read withholds it and the repair passes
+                            # supersede it after recovery.
+                            continue
                         try:
-                            if backend.has_dataset(dataset_id):
+                            if backend.has_dataset(dataset_id) and (
+                                backend.dataset_version(dataset_id) < minted
+                            ):
+                                # Purge only strictly-older copies: a shard
+                                # outside this write's acked set may already
+                                # hold a concurrent re-upload's newer version,
+                                # which must survive the losing writer's
+                                # cleanup.
                                 backend.drop_dataset(dataset_id)
                         except Exception:
                             self._note_shard_error_locked(shard_id)
@@ -996,19 +1245,23 @@ class ReplicatedShardedDataStore(ShardedDataStore):
                 continue
             if self._spill is not None:
                 try:
-                    if self._spill.has_dataset(dataset_id):
+                    if self._spill.has_dataset(dataset_id) and (
+                        self._spill.dataset_version(dataset_id) < minted
+                    ):
                         self._spill.drop_dataset(dataset_id)
                 except Exception:
                     pass
             with self._lock:
-                # Every acked replica stored at floor + 1: that is now the
-                # caller-known version floor stale-read detection holds
-                # future failover reads to.
+                # Every acked replica holds at least ``minted``: that is now
+                # the caller-known version floor stale-read detection and
+                # the quorum's digest round hold future reads to.
                 self._known_version_floor[dataset_id] = max(
-                    self._known_version_floor.get(dataset_id, 0), floor + 1
+                    self._known_version_floor.get(dataset_id, 0), minted
                 )
-                # The acked upload (at floor + 1, strictly above any pending
-                # tombstone) supersedes an outstanding drop intent.
+                if self._version_reservations.get(dataset_id) == minted:
+                    del self._version_reservations[dataset_id]
+                # The acked upload (strictly above any pending tombstone)
+                # supersedes an outstanding drop intent.
                 self._pending_drops.pop(dataset_id, None)
             return
 
@@ -1901,7 +2154,12 @@ class ReplicatedShardedDataStore(ShardedDataStore):
         :meth:`replicate` or :meth:`drain_read_repairs` scan (``None``
         before the first one); ``degraded_writes`` counts writes acked
         below full replication and ``failover_reads`` reads answered by a
-        non-primary source.  The anti-entropy counters sit alongside:
+        non-primary source.  ``stale_reads`` counts below-floor answers
+        detected; under ``read_consistency="quorum"`` those answers are
+        also withheld (``stale_reads_prevented``), ``digest_reads`` counts
+        digest rounds and ``version_conflicts_resolved`` the replica
+        version divergences a digest round discovered and flagged for
+        repair.  The anti-entropy counters sit alongside:
         read-repair queue depth and totals, tombstone writes/reaps, and the
         failure detector's transition counts (see :meth:`health_stats` for
         its per-shard detail).
@@ -1910,8 +2168,12 @@ class ReplicatedShardedDataStore(ShardedDataStore):
             return {
                 "replicas": self._replicas,
                 "quorum": self._quorum,
+                "read_consistency": self._read_consistency,
                 "failover_reads": self._failover_reads,
                 "stale_reads": self._stale_reads,
+                "digest_reads": self._digest_reads,
+                "stale_reads_prevented": self._stale_reads_prevented,
+                "version_conflicts_resolved": self._version_conflicts_resolved,
                 "degraded_writes": self._degraded_writes,
                 "repairs": self._repairs,
                 "read_repairs": self._read_repairs,

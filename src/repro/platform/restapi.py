@@ -52,7 +52,12 @@ Endpoints
                                                 job-registry counters; on a sharded deployment also the
                                                 shard topology, per-shard health/occupancy and hit rates;
                                                 the ``overload`` section reports deadline, admission
-                                                (shed/admitted), storage-retry and circuit-breaker counters;
+                                                (shed/admitted), storage-retry and circuit-breaker counters
+                                                plus the read-consistency mode and its quorum counters
+                                                (``digest_reads``, ``stale_reads_prevented``,
+                                                ``version_conflicts_resolved`` — also under
+                                                ``shards.replication``, fed by the gateway's
+                                                ``read_consistency="one"|"quorum"`` knob);
                                                 the ``telemetry`` section reports tracer occupancy, the
                                                 slow-span ring and a snapshot of the metrics registry
 ``GET    /api/comparisons/<id>/trace``          reconstructed telemetry span tree of a submission
@@ -61,8 +66,9 @@ Endpoints
                                                 ``trace`` is ``null`` when telemetry is disabled or the
                                                 trace aged out of the tracer's bounded store
 ``GET    /metrics``                             Prometheus text exposition of the gateway's metrics
-                                                registry: request/submission counters, runtime gauges and
-                                                the per-span-name latency histograms
+                                                registry: request/submission counters, runtime gauges
+                                                (including the replicated store's stale-read/digest
+                                                counters) and the per-span-name latency histograms
 
 Errors are returned as ``{"error": "..."}`` with an appropriate status code
 (400 for bad requests, 404 for unknown resources, 409 for results of an

@@ -39,12 +39,22 @@ def _sharded_default_datastore():
     :class:`DataStore`.  With ``REPRO_TEST_REPLICAS=R`` it gets an R-way
     :class:`~repro.platform.replication.ReplicatedShardedDataStore` instead
     (over ``REPRO_TEST_SHARDS`` backends when both are set, else ``R + 1``).
-    CI runs the platform suite on the 4-shard topology *and* on the
-    replicated one (``REPRO_TEST_REPLICAS=2``) so all three stay green;
-    locally the suite runs unsharded unless a variable is set.
+    ``REPRO_TEST_READ_CONSISTENCY=quorum`` additionally runs every dataset
+    read through the replicated store's digest-first quorum (implying the
+    replicated topology when ``REPRO_TEST_REPLICAS`` is unset).  CI runs
+    the platform suite on the 4-shard topology, the replicated one
+    (``REPRO_TEST_REPLICAS=2``) *and* the quorum axis so all of them stay
+    green; locally the suite runs unsharded unless a variable is set.
     """
     num_shards = int(os.environ.get("REPRO_TEST_SHARDS", "0") or 0)
     replicas = int(os.environ.get("REPRO_TEST_REPLICAS", "0") or 0)
+    consistency = (
+        os.environ.get("REPRO_TEST_READ_CONSISTENCY", "").strip().lower()
+    )
+    if consistency not in ("one", "quorum"):
+        consistency = ""
+    if consistency == "quorum" and replicas <= 0:
+        replicas = 2
     if num_shards <= 0 and replicas <= 0:
         yield
         return
@@ -56,7 +66,9 @@ def _sharded_default_datastore():
 
         backing = num_shards if num_shards > 0 else max(replicas + 1, 3)
         gateway_module.DataStore = lambda: ReplicatedShardedDataStore(
-            num_shards=backing, replicas=replicas
+            num_shards=backing,
+            replicas=replicas,
+            read_consistency=consistency or "one",
         )
     else:
         from repro.platform.sharding import ShardedDataStore

@@ -35,6 +35,7 @@ __all__ = [
     "ShardFlapper",
     "fault_rounds",
     "partition",
+    "stale_primary",
 ]
 
 #: Environment variable scaling the scripted outage scenarios (see CI's
@@ -236,6 +237,28 @@ class ShardFlapper(threading.Thread):
         self.stop()
         self.join(timeout=10.0)
         self._shard.come_up()
+
+
+def stale_primary(store, dataset_id: str, graph) -> str:
+    """Script the outage that leaves ``dataset_id``'s primary stale.
+
+    The canonical quorum-read scenario: the primary's backend (which must
+    be a :class:`FlakyStore`) goes physically down, a re-upload of
+    ``graph`` lands the next version on the surviving successors via
+    hinted handoff, and the primary comes back holding the pre-outage
+    copy — below the version floor the write established.  A
+    ``read_consistency="one"`` store now serves that stale copy (counted
+    as ``stale_reads``); a ``"quorum"`` store's digest round withholds it.
+    Returns the primary's shard id.
+    """
+    primary = store.replica_shards_for(dataset_id)[0]
+    backend = store.shard_stores()[primary]
+    backend.go_down()
+    try:
+        store.store_dataset(dataset_id, graph)
+    finally:
+        backend.come_up()
+    return primary
 
 
 @contextlib.contextmanager

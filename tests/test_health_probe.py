@@ -49,7 +49,9 @@ class TestRequestDrivenDetection:
         )
         store.store_dataset("ds", cycle_graph(4))
         primary = store.replica_shards_for("ds")[0]
-        store.shard_stores()[primary].fail_on("fetch_dataset", times=None)
+        store.shard_stores()[primary].fail_on(
+            "fetch_dataset_with_version", times=None
+        )
         # Reads keep succeeding through failover while the streak builds.
         for _ in range(3):
             assert store.fetch_dataset("ds") is not None
@@ -65,7 +67,9 @@ class TestRequestDrivenDetection:
         backends, store = _build(probe_failure_threshold=3)
         store.store_dataset("ds", cycle_graph(4))
         primary = store.replica_shards_for("ds")[0]
-        store.shard_stores()[primary].fail_on("fetch_dataset", times=2)
+        store.shard_stores()[primary].fail_on(
+            "fetch_dataset_with_version", times=2
+        )
         store.fetch_dataset("ds")
         store.fetch_dataset("ds")
         # Two failures, then a success: the streak resets before the

@@ -455,10 +455,10 @@ class TestRetryBudget:
         store.store_dataset("ds", cycle_graph(4))
         for backend in backends:
             backend.go_down()
-        before = sum(b.calls["fetch_dataset"] for b in backends)
+        before = sum(b.calls["fetch_dataset_with_version"] for b in backends)
         with pytest.raises(StorageError):
             store.fetch_dataset("ds")
-        attempts = sum(b.calls["fetch_dataset"] for b in backends) - before
+        attempts = sum(b.calls["fetch_dataset_with_version"] for b in backends) - before
         sources = len(backends)  # every shard is consulted during failover
         # The acceptance bound: first attempts are free, every *retry*
         # must win a budget token — amplification is capped.
@@ -468,10 +468,10 @@ class TestRetryBudget:
         assert retries["budget"]["denied"] >= 1
         # The budget is spent (refill 0): the next read tries each source
         # exactly once.
-        before = sum(b.calls["fetch_dataset"] for b in backends)
+        before = sum(b.calls["fetch_dataset_with_version"] for b in backends)
         with pytest.raises(StorageError):
             store.fetch_dataset("ds")
-        assert sum(b.calls["fetch_dataset"] for b in backends) - before == sources
+        assert sum(b.calls["fetch_dataset_with_version"] for b in backends) - before == sources
 
     def test_transient_write_fault_is_retried_in_place(self):
         backends, store = self._build(retry_max_attempts=3)
@@ -525,11 +525,11 @@ class TestCircuitBreakers:
         for _ in range(3):
             assert store.fetch_dataset("ds") is not None
         assert store.breaker_stats()[primary]["state"] == "open"
-        frozen = victim.calls["fetch_dataset"]
+        frozen = victim.calls["fetch_dataset_with_version"]
         for _ in range(2):
             assert store.fetch_dataset("ds") is not None
         # The open breaker short-circuits: the sick shard sees no traffic.
-        assert victim.calls["fetch_dataset"] == frozen
+        assert victim.calls["fetch_dataset_with_version"] == frozen
         assert store.breaker_stats()[primary]["short_circuits"] >= 2
 
     def test_probe_success_closes_the_breaker(self):
@@ -548,9 +548,9 @@ class TestCircuitBreakers:
         # is the PR-6 prober's ping, and its success closes the breaker.
         store.probe_shards()
         assert store.breaker_stats()[primary]["state"] == "closed"
-        before = victim.calls["fetch_dataset"]
+        before = victim.calls["fetch_dataset_with_version"]
         assert store.fetch_dataset("ds") is not None
-        assert victim.calls["fetch_dataset"] == before + 1
+        assert victim.calls["fetch_dataset_with_version"] == before + 1
 
     def test_gateway_surfaces_breaker_counters(self, catalog):
         backends = [FlakyStore(DataStore()) for _ in range(3)]

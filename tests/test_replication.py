@@ -14,19 +14,27 @@ terminal task table with datastore-served permalinks.
 from __future__ import annotations
 
 import string
+import threading
+import time
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from faults import DownShard, FlakyStore
+from faults import DownShard, FlakyStore, stale_primary
 from repro.datasets.catalog import DatasetCatalog
-from repro.exceptions import InvalidParameterError, StorageError, TaskNotFoundError
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    StorageError,
+    TaskNotFoundError,
+)
 from repro.graph.generators import cycle_graph, reciprocal_communities_graph, star_graph
 from repro.platform.datastore import DataStore, FileBackedDataStore
 from repro.platform.gateway import ApiGateway
 from repro.platform.jobs import JobRecord, JobState
 from repro.platform.replication import ReplicatedShardedDataStore
+from repro.platform.resilience import Deadline, deadline_scope
 from repro.platform.sharding import HashRing
 
 KEYS = [f"dataset-{index}" for index in range(600)]
@@ -240,7 +248,8 @@ class TestFailoverReads:
         flaky = backends[int(primary.split("-")[1])]
         # One transient blip: the shared retry policy re-sends to the same
         # source, so the primary still answers and no failover happens.
-        flaky.fail_on("fetch_dataset", times=1)
+        # Every dataset read routes through the versioned fetch now.
+        flaky.fail_on("fetch_dataset_with_version", times=1)
         assert store.fetch_dataset("ds").edge_list() == graph.edge_list()
         stats = store.replication_stats()
         assert stats["failover_reads"] == 0
@@ -254,7 +263,9 @@ class TestFailoverReads:
         primary = store.replica_shards_for("ds")[0]
         flaky = backends[int(primary.split("-")[1])]
         # Outlast the per-source retry attempts so the read fails over.
-        flaky.fail_on("fetch_dataset", times=store.retry_policy.max_attempts)
+        flaky.fail_on(
+            "fetch_dataset_with_version", times=store.retry_policy.max_attempts
+        )
         assert store.fetch_dataset("ds").edge_list() == graph.edge_list()
         assert store.replication_stats()["failover_reads"] >= 1
         assert store.replication_stats()["shard_errors"].get(primary, 0) >= 1
@@ -601,3 +612,237 @@ class TestBoundedTaskTable:
             ]
             # The newest terminal task survives in the table.
             assert gateway.scheduler.get_task(ids[-1]).task_id == ids[-1]
+
+
+# --------------------------------------------------------------------------- #
+# read-path version quorum
+# --------------------------------------------------------------------------- #
+class TestQuorumReads:
+    """Digest-first quorum reads: a known-stale replica is never served."""
+
+    def _stale_primary_store(self, *, read_consistency):
+        backends = [FlakyStore(DataStore()) for _ in range(4)]
+        store = ReplicatedShardedDataStore(
+            shards=backends, replicas=2, read_consistency=read_consistency
+        )
+        old = cycle_graph(4)
+        fresh = star_graph(6)
+        store.store_dataset("ds", old)
+        primary = stale_primary(store, "ds", fresh)
+        return store, primary, old, fresh
+
+    def test_invalid_modes_are_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReplicatedShardedDataStore(
+                num_shards=3, replicas=2, read_consistency="all"
+            )
+        store = ReplicatedShardedDataStore(num_shards=3, replicas=2)
+        assert store.read_consistency == "one"
+        with pytest.raises(InvalidParameterError):
+            store.set_read_consistency("most")
+        store.set_read_consistency("quorum")
+        assert store.read_consistency == "quorum"
+        assert store.replication_stats()["read_consistency"] == "quorum"
+
+    def test_one_mode_detects_but_serves_the_stale_primary(self):
+        store, primary, old, fresh = self._stale_primary_store(
+            read_consistency="one"
+        )
+        # The documented pre-quorum gap: the recovered primary answers first
+        # with the pre-outage copy, which is detected — and served anyway.
+        graph, version = store.fetch_dataset_with_version("ds")
+        assert version == 1
+        assert graph.edge_list() == old.edge_list()
+        stats = store.replication_stats()
+        assert stats["stale_reads"] >= 1
+        assert stats["stale_reads_prevented"] == 0
+        assert stats["digest_reads"] == 0
+
+    def test_quorum_read_never_serves_below_the_version_floor(self):
+        store, primary, old, fresh = self._stale_primary_store(
+            read_consistency="quorum"
+        )
+        graph, version = store.fetch_dataset_with_version("ds")
+        assert version == 2
+        assert graph.edge_list() == fresh.edge_list()
+        stats = store.replication_stats()
+        assert stats["digest_reads"] >= 1
+        assert stats["stale_reads"] >= 1
+        assert stats["stale_reads_prevented"] >= 1
+        assert stats["version_conflicts_resolved"] >= 1
+
+    def test_quorum_covers_the_unversioned_and_compiled_surfaces(self):
+        store, primary, old, fresh = self._stale_primary_store(
+            read_consistency="quorum"
+        )
+        # Plain fetch_dataset and the compiled-artifact path route through
+        # the versioned fetch, so the floor check covers them too.
+        assert store.fetch_dataset("ds").edge_list() == fresh.edge_list()
+        _, compiled_version = store.fetch_compiled_with_version("ds")
+        assert compiled_version == 2
+        assert store.replication_stats()["stale_reads_prevented"] >= 1
+
+    def test_quorum_divergence_is_flagged_and_repaired(self):
+        store, primary, old, fresh = self._stale_primary_store(
+            read_consistency="quorum"
+        )
+        store.fetch_dataset("ds")
+        assert store.pending_read_repairs() >= 1
+        store.drain_read_repairs()
+        backend = store.shard_stores()[primary]
+        assert backend.dataset_version("ds") == 2
+        assert backend.fetch_dataset("ds").edge_list() == fresh.edge_list()
+
+    def test_quorum_refuses_when_only_stale_copies_are_reachable(self):
+        store, primary, old, fresh = self._stale_primary_store(
+            read_consistency="quorum"
+        )
+        for shard_id in _holders(store, "ds"):
+            if shard_id != primary:
+                store.shard_stores()[shard_id].go_down()
+        # Every reachable copy sits below the floor: refusing beats lying.
+        with pytest.raises(StorageError):
+            store.fetch_dataset_with_version("ds")
+        assert store.replication_stats()["stale_reads_prevented"] >= 1
+
+
+class TestDeadlineAttribution:
+    """A caller's expired clock must never feed shard health streaks."""
+
+    def test_expired_deadline_against_a_healthy_ring_moves_no_streaks(self):
+        store = ReplicatedShardedDataStore(
+            num_shards=4, replicas=2, read_consistency="quorum"
+        )
+        store.store_dataset("ds", cycle_graph(4))
+        expired = Deadline.from_ms(1)
+        time.sleep(0.005)
+        with deadline_scope(expired):
+            with pytest.raises(DeadlineExceededError):
+                store.fetch_dataset("ds")
+        # The first digest hop is always consulted; the expiry raised on the
+        # hop after it is the caller's clock, not a shard fault — zero
+        # streak/breaker movement on the healthy ring.
+        assert store.health_stats()["consecutive_failures"] == {}
+        assert store.replication_stats()["shard_errors"] == {}
+        for breaker in store.breaker_stats().values():
+            assert breaker["state"] == "closed"
+            assert breaker["opens"] == 0
+
+    def test_mid_attempt_deadline_error_is_reraised_not_attributed(self):
+        backends = [FlakyStore(DataStore()) for _ in range(4)]
+        store = ReplicatedShardedDataStore(shards=backends, replicas=2)
+        store.store_dataset("ds", cycle_graph(4))
+        primary = store.replica_shards_for("ds")[0]
+        store.shard_stores()[primary].fail_on(
+            "fetch_dataset_with_version",
+            times=1,
+            error=DeadlineExceededError("caller clock ran out mid-attempt"),
+        )
+        with pytest.raises(DeadlineExceededError):
+            store.fetch_dataset("ds")
+        assert store.replication_stats()["shard_errors"].get(primary, 0) == 0
+        assert store.health_stats()["consecutive_failures"] == {}
+
+
+class TestConcurrentReuploads:
+    """CAS version reservations order racing re-uploads of one dataset."""
+
+    def test_racing_reuploads_mint_distinct_versions_and_converge(self):
+        store = ReplicatedShardedDataStore(
+            num_shards=4, replicas=2, read_consistency="quorum"
+        )
+        store.store_dataset("ds", cycle_graph(3))
+        graphs = [cycle_graph(5), star_graph(7), cycle_graph(8)]
+        barrier = threading.Barrier(len(graphs))
+        errors = []
+
+        def upload(graph):
+            barrier.wait()
+            try:
+                store.store_dataset("ds", graph)
+            except StorageError as exc:  # pragma: no cover - would fail below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=upload, args=(graph,)) for graph in graphs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Three writers after v1 mint exactly v2, v3 and v4; every replica
+        # converges on v4 with the max-minted writer's graph — no diverged
+        # versions, no resurrected older content above the winner.
+        holders = _holders(store, "ds")
+        assert len(holders) == store.replicas
+        versions = {
+            store.shard_stores()[shard_id].dataset_version("ds")
+            for shard_id in holders
+        }
+        assert versions == {4}
+        contents = {
+            tuple(sorted(store.shard_stores()[shard_id].fetch_dataset("ds").edge_list()))
+            for shard_id in holders
+        }
+        assert len(contents) == 1
+        assert contents.pop() in {
+            tuple(sorted(graph.edge_list())) for graph in graphs
+        }
+        graph, version = store.fetch_dataset_with_version("ds")
+        assert version == 4
+
+    def test_failed_quorum_write_releases_its_version_reservation(self):
+        backends = [FlakyStore(DataStore()) for _ in range(3)]
+        store = ReplicatedShardedDataStore(shards=backends, replicas=2)
+        store.store_dataset("ds", cycle_graph(3))
+        for backend in backends:
+            backend.go_down()
+        with pytest.raises(StorageError):
+            store.store_dataset("ds", star_graph(5))
+        for backend in backends:
+            backend.come_up()
+        # The failed write landed nothing and released its reservation: the
+        # next upload mints v2, no phantom version gaps the sequence.
+        store.store_dataset("ds", star_graph(5))
+        assert store.fetch_dataset_with_version("ds")[1] == 2
+
+
+class TestGatewayReadConsistency:
+    @pytest.fixture
+    def catalog(self, community_graph):
+        catalog = DatasetCatalog()
+        catalog.register_graph("toy", community_graph, description="communities")
+        return catalog
+
+    def test_gateway_wires_the_knob_and_surfaces_the_counters(self, catalog):
+        with ApiGateway(
+            catalog=catalog,
+            replicas=2,
+            read_consistency="quorum",
+            probe_interval_seconds=0,
+        ) as gateway:
+            assert gateway.datastore.read_consistency == "quorum"
+            comparison = gateway.run_queries(
+                [{"dataset_id": "toy", "algorithm": "pagerank"}], synchronous=True
+            )
+            assert gateway.get_rankings(comparison)
+            stats = gateway.get_platform_stats()
+            replication = stats["shards"]["replication"]
+            assert replication["read_consistency"] == "quorum"
+            assert replication["digest_reads"] >= 1
+            storage = stats["overload"]["storage"]
+            assert storage["read_consistency"] == "quorum"
+            assert storage["stale_reads_prevented"] == 0
+            rendered = gateway.render_metrics()
+            assert "repro_storage_digest_reads" in rendered
+            assert "repro_storage_stale_reads_prevented" in rendered
+
+    def test_read_consistency_requires_a_replicated_store(self, catalog):
+        # Pin an explicit single store so the CI topology fixtures (which
+        # swap the *default* datastore) cannot turn this into a replicated
+        # gateway.
+        with pytest.raises(InvalidParameterError):
+            ApiGateway(
+                catalog=catalog, datastore=DataStore(), read_consistency="quorum"
+            )

@@ -15,6 +15,7 @@ on the same shard/replica topologies CI runs the platform suites under
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict
 
 import pytest
@@ -34,9 +35,11 @@ from repro.platform.replication import ReplicatedShardedDataStore
 TOPOLOGIES = [(4, 2), (3, 2)]
 
 
-def _build(num_shards: int, replicas: int):
+def _build(num_shards: int, replicas: int, read_consistency: str = "one"):
     backends = [FlakyStore(DataStore()) for _ in range(num_shards)]
-    store = ReplicatedShardedDataStore(shards=backends, replicas=replicas)
+    store = ReplicatedShardedDataStore(
+        shards=backends, replicas=replicas, read_consistency=read_consistency
+    )
     return backends, store
 
 
@@ -232,6 +235,7 @@ def _ops(num_shards: int):
         st.one_of(
             st.tuples(st.just("store"), dataset),
             st.tuples(st.just("drop"), dataset),
+            st.tuples(st.just("race"), dataset),
             st.tuples(st.just("down"), shard),
             st.tuples(st.just("up"), shard),
             st.tuples(st.just("maintain"), st.just(0)),
@@ -245,15 +249,20 @@ class TestInterleavingProperty:
     @settings(max_examples=fault_rounds(30), deadline=None)
     @given(data=st.data())
     def test_any_interleaving_converges_with_no_resurrection(self, data):
-        """Store/drop/outage/recover/maintenance in any order: after full
-        recovery plus repair passes, every successfully dropped dataset is
-        gone from every backend, every live dataset serves its last
-        successfully stored graph at full replication, and version counters
-        only ever move forward (no stale cache keyspace is ever reused)."""
+        """Store/drop/race/outage/recover/maintenance in any order: after
+        full recovery plus repair passes, every successfully dropped dataset
+        is gone from every backend, every live dataset serves its last
+        successfully stored graph at full replication (a raced re-upload
+        converges every replica on ONE terminal version holding one of the
+        contending graphs), and version counters only ever move forward (no
+        stale cache keyspace is ever reused).  The store runs with
+        ``read_consistency="quorum"``, and after *every* step a quorum read
+        of each known dataset must either refuse outright or return a copy
+        at (or past) the router's known version floor — never below it."""
         num_shards, replicas = data.draw(
             st.sampled_from(TOPOLOGIES), label="topology"
         )
-        backends, store = _build(num_shards, replicas)
+        backends, store = _build(num_shards, replicas, read_consistency="quorum")
         ops = data.draw(_ops(num_shards), label="timeline")
 
         UNKNOWN = object()  # a write that failed its quorum mid-outage
@@ -275,6 +284,37 @@ class TestInterleavingProperty:
                 dataset_id = f"ds-{arg}"
                 store.drop_dataset(dataset_id)  # tolerant: never raises
                 expected[dataset_id] = None
+            elif kind == "race":
+                # Two writers re-upload the same dataset concurrently: the
+                # CAS version reservation must mint distinct ordered
+                # versions so the replicas can converge on exactly one.
+                dataset_id = f"ds-{arg}"
+                generation += 1
+                contenders = [
+                    cycle_graph(3 + generation % 5),
+                    star_graph(4 + generation % 4),
+                ]
+                barrier = threading.Barrier(len(contenders))
+                failures = []
+
+                def upload(graph):
+                    barrier.wait()
+                    try:
+                        store.store_dataset(dataset_id, graph)
+                    except (StorageError, RuntimeError):
+                        failures.append(graph)
+
+                threads = [
+                    threading.Thread(target=upload, args=(graph,))
+                    for graph in contenders
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                expected[dataset_id] = (
+                    UNKNOWN if failures else list(contenders)
+                )
             elif kind == "down":
                 backends[arg].go_down()
             elif kind == "up":
@@ -293,6 +333,20 @@ class TestInterleavingProperty:
                 floor = floor_versions.get(dataset_id, 0)
                 assert seen >= 0
                 floor_versions[dataset_id] = max(floor, seen)
+            # The tentpole acceptance property, checked at EVERY step of
+            # the timeline: a quorum read either refuses (all reachable
+            # copies below the digest-established floor, or outright
+            # unreachable/dropped) or serves at/past the router's floor.
+            for dataset_id in expected:
+                known_floor = store._known_version_floor.get(dataset_id, 0)
+                try:
+                    _, served = store.fetch_dataset_with_version(dataset_id)
+                except (StorageError, RuntimeError):
+                    continue  # refusing beats serving a below-floor copy
+                assert served >= known_floor, (
+                    f"quorum served {dataset_id} at v{served}, below the "
+                    f"known floor v{known_floor}"
+                )
 
         for backend in backends:
             backend.come_up()
@@ -309,6 +363,37 @@ class TestInterleavingProperty:
                     assert not backend.has_dataset(dataset_id), (
                         f"{dataset_id} resurrected on {backend!r}"
                     )
+            elif isinstance(outcome, list):
+                # A raced re-upload: every replica must converge on ONE
+                # terminal version holding ONE of the contending graphs —
+                # no split-brain copies, no resurrected loser above the
+                # winner's version.
+                holders = _live_holders(store, dataset_id)
+                assert len(holders) == replicas
+                versions = {
+                    store.shard_stores()[shard_id].dataset_version(dataset_id)
+                    for shard_id in holders
+                }
+                assert len(versions) == 1, (
+                    f"raced {dataset_id} diverged: {versions}"
+                )
+                contents = {
+                    tuple(
+                        sorted(
+                            store.shard_stores()[shard_id]
+                            .fetch_dataset(dataset_id)
+                            .edge_list()
+                        )
+                    )
+                    for shard_id in holders
+                }
+                assert len(contents) == 1
+                candidates = {
+                    tuple(sorted(graph.edge_list())) for graph in outcome
+                }
+                assert contents.pop() in candidates
+                current = versions.pop()
+                assert current >= floor_versions.get(dataset_id, 0)
             else:
                 assert isinstance(outcome, DirectedGraph)
                 fetched = store.fetch_dataset(dataset_id)
